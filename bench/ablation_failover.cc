@@ -1,0 +1,157 @@
+// Ablation: automatic failover — unavailability window vs detection policy.
+//
+// The paper motivates the replication architecture with "automatic failover
+// management and ensure high availability" (§I). This drill crashes the
+// master mid-run under live load and measures, per detection policy, how
+// long writes stay unavailable, how many operations fail, and whether
+// committed writes were lost (§II's asynchronous-replication risk).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cloudstone/schema.h"
+#include "repl/failover.h"
+
+using namespace clouddb;
+
+namespace {
+
+struct DrillResult {
+  double detection_s = 0.0;      // crash -> failover completed
+  int64_t failed_ops = 0;        // Unavailable responses seen by users
+  double tput_before = 0.0;      // ops/s in the 2 min before the crash
+  double tput_after = 0.0;       // ops/s in the 2 min after recovery
+  bool lost_writes = false;
+  bool converged = false;
+};
+
+DrillResult RunDrill(const repl::FailoverOptions& failover_options,
+                     uint64_t seed) {
+  sim::Simulation sim;
+  cloud::CloudOptions cloud_options;
+  cloud::CloudProvider provider(&sim, cloud_options, seed);
+
+  repl::ClusterConfig cluster_config;
+  cluster_config.num_slaves = 3;
+  cluster_config.cost_model =
+      cloudstone::MakeWorkloadCostModel(cloudstone::OperationCosts{});
+  repl::ReplicationCluster cluster(&provider, cluster_config);
+  cloud::Instance* app = provider.Launch("app", cloud::InstanceType::kLarge,
+                                         cloud::MasterPlacement());
+  cloud::Instance* monitor = provider.Launch(
+      "monitor", cloud::InstanceType::kSmall, cloud::MasterPlacement());
+
+  cloudstone::WorkloadState state;
+  Status loaded = cloudstone::LoadInitialData(
+      [&](const std::string& sql) {
+        return cluster.ExecuteEverywhereDirect(sql);
+      },
+      150, seed, &state);
+  if (!loaded.ok()) return DrillResult{};
+
+  std::vector<repl::SlaveNode*> slaves;
+  for (int i = 0; i < 3; ++i) slaves.push_back(cluster.slave(i));
+  client::ReadWriteSplitProxy proxy(&sim, &provider.network(), app->node_id(),
+                                    cluster.master(), slaves,
+                                    client::ProxyOptions{});
+  repl::FailoverManager manager(&sim, &provider.network(), monitor->node_id(),
+                                cluster.master(), slaves, failover_options);
+  DrillResult result;
+  SimTime crash_at = Minutes(4);
+  SimTime failover_done_at = 0;
+  manager.SetFailoverListener([&](repl::MasterNode* new_master) {
+    failover_done_at = sim.Now();
+    proxy.ReplaceMaster(new_master);
+    for (int i = 0; i < 3; ++i) {
+      if (cluster.slave(i) == manager.promoted_slave()) {
+        proxy.DeactivateSlave(i);
+      }
+    }
+  });
+  manager.Start();
+
+  cloudstone::OperationGenerator generator(
+      cloudstone::WorkloadMix::FiftyFifty(), cloudstone::OperationCosts{},
+      &state, [&] { return app->LocalNowMicros(); });
+  cloudstone::MetricsCollector metrics;
+  std::vector<std::unique_ptr<cloudstone::UserEmulator>> users;
+  Rng seeder(seed);
+  SimTime horizon = Minutes(12);
+  for (int i = 0; i < 60; ++i) {
+    users.push_back(std::make_unique<cloudstone::UserEmulator>(
+        &sim, &proxy, &generator, &metrics, seeder.Fork(i + 1), Seconds(6)));
+    users.back()->Activate(Seconds(i), horizon);
+  }
+
+  sim.ScheduleAt(crash_at, [&] { cluster.master()->set_online(false); });
+  sim.RunUntil(horizon);
+  manager.Stop();
+  sim.Run();
+
+  double window_s = ToSeconds(Minutes(2));
+  result.detection_s =
+      failover_done_at > 0 ? ToSeconds(failover_done_at - crash_at) : -1.0;
+  result.failed_ops = metrics.failures();
+  result.tput_before = static_cast<double>(metrics.CountInWindow(
+                           crash_at - Minutes(2), crash_at)) /
+                       window_s;
+  result.tput_after =
+      failover_done_at > 0
+          ? static_cast<double>(metrics.CountInWindow(
+                failover_done_at, failover_done_at + Minutes(2))) /
+                window_s
+          : 0.0;
+  result.lost_writes = manager.lost_writes_possible();
+  result.converged = true;
+  for (repl::SlaveNode* slave : manager.active_slaves()) {
+    if (!db::Database::ContentsEqual(manager.current_master()->database(),
+                                     slave->database(), {"heartbeat"})) {
+      result.converged = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation: failover drill — master crash under load (3 slaves, 60 "
+      "users, 50/50)");
+
+  TableWriter table({"probe interval", "timeout", "failures to trip",
+                     "crash->recovered (s)", "failed ops", "tput before",
+                     "tput after", "writes lost", "converged"});
+  struct Policy {
+    SimDuration interval;
+    SimDuration timeout;
+    int trips;
+  };
+  for (const Policy& policy :
+       {Policy{Millis(500), Seconds(1), 1}, Policy{Seconds(1), Seconds(2), 3},
+        Policy{Seconds(5), Seconds(5), 3}}) {
+    repl::FailoverOptions options;
+    options.check_interval = policy.interval;
+    options.probe_timeout = policy.timeout;
+    options.failures_to_trip = policy.trips;
+    DrillResult r = RunDrill(options, 424242);
+    std::fprintf(stderr, "  [drill] interval=%s trips=%d -> %.1fs\n",
+                 FormatDuration(policy.interval).c_str(), policy.trips,
+                 r.detection_s);
+    table.AddRow({FormatDuration(policy.interval),
+                  FormatDuration(policy.timeout),
+                  StrFormat("%d", policy.trips),
+                  StrFormat("%.1f", r.detection_s),
+                  StrFormat("%lld", static_cast<long long>(r.failed_ops)),
+                  StrFormat("%.1f", r.tput_before),
+                  StrFormat("%.1f", r.tput_after),
+                  r.lost_writes ? "possibly" : "no",
+                  r.converged ? "yes" : "no"});
+  }
+  std::printf("%s", table.ToAscii().c_str());
+  std::printf(
+      "\nExpected: aggressive probing shrinks the unavailability window "
+      "(fewer failed ops)\nat the cost of false-positive risk; throughput "
+      "recovers to near pre-crash levels\nwith one fewer read replica.\n");
+  return 0;
+}

@@ -1,0 +1,20 @@
+// Reproduces paper Fig. 2 (a–c): end-to-end throughput with an increasing
+// workload (50–200 users), an increasing number of database replicas (1–4
+// slaves) and three geographic configurations of the slaves. Read/write
+// ratio 50/50, initial data size 300, master in us-west-1a.
+//
+// Expected shape (paper §IV-A): 1 slave saturates around 100 users; 2 slaves
+// push the saturation point to ~175 users; from the 3rd slave on the master
+// is the bottleneck and extra slaves add (almost) nothing.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace clouddb;
+  bench::PrintHeader(
+      "Figure 2: throughput, 50/50 read/write, data size 300, 1-4 slaves");
+  return bench::RunLocationSweeps(bench::FiftyFiftyBase(),
+                                  bench::Fig2Slaves(), bench::Fig2Users(),
+                                  /*print_throughput=*/true,
+                                  /*print_delay=*/false, "Fig2");
+}

@@ -1,0 +1,105 @@
+// Reproduces paper Fig. 4: measured time differences between two instances
+// over a 20-minute period, with and without per-second NTP synchronization.
+//
+// Paper's measurements: sync-once drifts linearly from ~7 ms to ~50 ms
+// (median 28.23 ms, stddev 12.31); sync-every-second stays within 1–8 ms
+// (median 3.30 ms, stddev 1.19). The clock model is calibrated to that pair
+// of instances: ±18 ppm drift and ±1.65 ms NTP path bias.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cloud/cloud_provider.h"
+#include "cloud/ntp.h"
+#include "common/stats.h"
+
+namespace {
+
+using namespace clouddb;
+
+struct Scenario {
+  const char* name;
+  Sample diffs;
+  std::vector<double> timeline;  // one sample per 10 s for the table
+};
+
+Scenario RunScenario(bool sync_every_second) {
+  sim::Simulation sim;
+  cloud::CloudOptions options;
+  cloud::CloudProvider provider(&sim, options, 1);
+  cloud::Instance* a = provider.Launch("i-1", cloud::InstanceType::kSmall,
+                                       cloud::MasterPlacement());
+  cloud::Instance* b = provider.Launch("i-2", cloud::InstanceType::kSmall,
+                                       cloud::MasterPlacement());
+  // Calibrated to the paper's measured instance pair.
+  a->clock().set_drift_ppm(18.0);
+  b->clock().set_drift_ppm(-18.0);
+
+  cloud::NtpOptions ntp;
+  ntp.residual_noise_ms = 0.85;
+  cloud::NtpOptions ntp_a = ntp;
+  cloud::NtpOptions ntp_b = ntp;
+  if (sync_every_second) {
+    ntp_a.fixed_bias_ms = 1.65;
+    ntp_b.fixed_bias_ms = -1.65;
+  } else {
+    // The paper's sync-once run starts ~7 ms apart (a different pair of NTP
+    // exchanges than the per-second run) and drifts to ~50 ms.
+    ntp_a.fixed_bias_ms = 3.5;
+    ntp_b.fixed_bias_ms = -3.5;
+  }
+  cloud::NtpClient client_a(&sim, a, ntp_a, 11);
+  cloud::NtpClient client_b(&sim, b, ntp_b, 12);
+
+  if (sync_every_second) {
+    client_a.StartPeriodic();
+    client_b.StartPeriodic();
+  } else {
+    client_a.SyncOnce();
+    client_b.SyncOnce();
+  }
+
+  cloud::ClockComparison comparison(&sim, a, b);
+  comparison.Start(Seconds(1), 1201);  // every second for 20 minutes
+  sim.RunUntil(Minutes(20) + Seconds(1));
+  client_a.Stop();
+  client_b.Stop();
+  sim.Run();
+
+  Scenario out;
+  out.name = sync_every_second ? "Sync every second" : "Sync once at beginning";
+  out.diffs.AddAll(comparison.differences_ms());
+  for (size_t i = 0; i < comparison.differences_ms().size(); i += 60) {
+    out.timeline.push_back(comparison.differences_ms()[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 4: time differences between two instances, 20-minute period");
+
+  Scenario once = RunScenario(false);
+  Scenario periodic = RunScenario(true);
+
+  TableWriter table({"timeline", "sync once (ms)", "sync every second (ms)"});
+  for (size_t i = 0; i < once.timeline.size(); ++i) {
+    table.AddRow({StrFormat("%02zu:00", i),
+                  StrFormat("%.2f", once.timeline[i]),
+                  StrFormat("%.2f", periodic.timeline[i])});
+  }
+  std::printf("%s", table.ToAscii().c_str());
+
+  std::printf("\nSummary over all 1-second samples:\n");
+  std::printf("  %-24s median %6.2f ms  stddev %5.2f  min %5.2f  max %5.2f"
+              "   (paper: median 28.23, stddev 12.31, range ~7..50)\n",
+              once.name, once.diffs.Median(), once.diffs.StdDev(),
+              once.diffs.Min(), once.diffs.Max());
+  std::printf("  %-24s median %6.2f ms  stddev %5.2f  min %5.2f  max %5.2f"
+              "   (paper: median 3.30, stddev 1.19, range ~1..8)\n",
+              periodic.name, periodic.diffs.Median(), periodic.diffs.StdDev(),
+              periodic.diffs.Min(), periodic.diffs.Max());
+  return 0;
+}

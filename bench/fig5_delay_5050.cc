@@ -1,0 +1,20 @@
+// Reproduces paper Fig. 5 (a–c): average relative replication delay with an
+// increasing workload, 1–4 slaves, three geographic configurations.
+// Read/write 50/50, data size 300.
+//
+// Expected shape (paper §IV-B.2): delay rises with workload — by orders of
+// magnitude once replicas saturate (up to 10^5..10^6 ms) — and falls as
+// slaves are added; the placement's contribution (16/21/173 ms one-way) is
+// minor compared to the workload's.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace clouddb;
+  bench::PrintHeader(
+      "Figure 5: average relative replication delay (ms), 50/50, 1-4 slaves");
+  return bench::RunLocationSweeps(bench::FiftyFiftyBase(),
+                                  bench::Fig2Slaves(), bench::Fig2Users(),
+                                  /*print_throughput=*/false,
+                                  /*print_delay=*/true, "Fig5");
+}

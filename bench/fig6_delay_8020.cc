@@ -1,0 +1,15 @@
+// Reproduces paper Fig. 6 (a–c): average relative replication delay with an
+// increasing workload, 1–11 slaves, three geographic configurations.
+// Read/write 80/20, data size 600.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace clouddb;
+  bench::PrintHeader(
+      "Figure 6: average relative replication delay (ms), 80/20, 1-11 slaves");
+  return bench::RunLocationSweeps(bench::EightyTwentyBase(),
+                                  bench::Fig3Slaves(), bench::Fig3Users(),
+                                  /*print_throughput=*/false,
+                                  /*print_delay=*/true, "Fig6");
+}

@@ -1,0 +1,181 @@
+// Microbenchmarks (google-benchmark) for the engine substrates: B+Tree
+// operations, SQL parsing, statement execution, and the simulation kernel.
+// These bound how many simulated operations per wall-clock second the
+// experiment harness can push.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "db/bplus_tree.h"
+#include "db/database.h"
+#include "db/sql_parser.h"
+#include "sim/cpu_scheduler.h"
+#include "sim/simulation.h"
+
+namespace {
+
+using namespace clouddb;
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextU64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_BPlusTreeInsert(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    db::BPlusTree<int64_t, int64_t> tree;
+    Rng rng(7);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < n; ++i) {
+      tree.Insert(rng.NextU64() >> 1, i);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BPlusTreeInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_BPlusTreeFind(benchmark::State& state) {
+  db::BPlusTree<int64_t, int64_t> tree;
+  const int64_t n = state.range(0);
+  for (int64_t i = 0; i < n; ++i) tree.Insert(i * 2, i);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Find(rng.UniformInt(0, 2 * n)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BPlusTreeFind)->Arg(10000)->Arg(100000);
+
+void BM_BPlusTreeScan100(benchmark::State& state) {
+  db::BPlusTree<int64_t, int64_t> tree;
+  for (int64_t i = 0; i < 100000; ++i) tree.Insert(i, i);
+  Rng rng(4);
+  for (auto _ : state) {
+    int64_t lo = rng.UniformInt(0, 99899);
+    int64_t hi = lo + 100;
+    int64_t sum = 0;
+    tree.Scan(&lo, true, &hi, false, [&](const int64_t&, const int64_t& v) {
+      sum += v;
+      return true;
+    });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BPlusTreeScan100);
+
+void BM_SqlParseSelect(benchmark::State& state) {
+  const std::string sql =
+      "SELECT event_id, title, event_date FROM events "
+      "WHERE event_date >= 18200 AND created_by = 17 ORDER BY event_date "
+      "LIMIT 10";
+  for (auto _ : state) {
+    auto parsed = db::ParseSql(sql);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+}
+BENCHMARK(BM_SqlParseSelect);
+
+void BM_SqlParseInsert(benchmark::State& state) {
+  const std::string sql =
+      "INSERT INTO comments (comment_id, event_id, user_id, body, created_at)"
+      " VALUES (12345, 678, 91, 'nice event, see you there', 1234567890)";
+  for (auto _ : state) {
+    auto parsed = db::ParseSql(sql);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+}
+BENCHMARK(BM_SqlParseInsert);
+
+void BM_DatabaseInsert(benchmark::State& state) {
+  db::Database database;
+  (void)database.Execute("CREATE TABLE t (a BIGINT PRIMARY KEY, b TEXT)");
+  int64_t key = 0;
+  for (auto _ : state) {
+    auto r = database.Execute(
+        StrFormat("INSERT INTO t VALUES (%lld, 'value')",
+                  static_cast<long long>(key++)));
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DatabaseInsert);
+
+void BM_DatabaseSelectPk(benchmark::State& state) {
+  db::Database database;
+  (void)database.Execute("CREATE TABLE t (a BIGINT PRIMARY KEY, b TEXT)");
+  for (int64_t i = 0; i < 10000; ++i) {
+    (void)database.Execute(StrFormat("INSERT INTO t VALUES (%lld, 'v')",
+                                     static_cast<long long>(i)));
+  }
+  Rng rng(5);
+  for (auto _ : state) {
+    auto r = database.Execute(StrFormat(
+        "SELECT * FROM t WHERE a = %lld",
+        static_cast<long long>(rng.UniformInt(0, 9999))));
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DatabaseSelectPk);
+
+void BM_DatabaseIndexRange(benchmark::State& state) {
+  db::Database database;
+  (void)database.Execute(
+      "CREATE TABLE t (a BIGINT PRIMARY KEY, d BIGINT)");
+  (void)database.Execute("CREATE INDEX idx_d ON t (d)");
+  Rng fill(6);
+  for (int64_t i = 0; i < 10000; ++i) {
+    (void)database.Execute(StrFormat(
+        "INSERT INTO t VALUES (%lld, %lld)", static_cast<long long>(i),
+        static_cast<long long>(fill.UniformInt(0, 365))));
+  }
+  Rng rng(7);
+  for (auto _ : state) {
+    int64_t lo = rng.UniformInt(0, 355);
+    auto r = database.Execute(StrFormat(
+        "SELECT a FROM t WHERE d >= %lld AND d < %lld LIMIT 10",
+        static_cast<long long>(lo), static_cast<long long>(lo + 10)));
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DatabaseIndexRange);
+
+void BM_SimulationEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    int64_t count = 0;
+    const int64_t kEvents = 100000;
+    std::function<void()> tick = [&] {
+      if (++count < kEvents) sim.ScheduleAfter(1, tick);
+    };
+    sim.ScheduleAt(0, tick);
+    sim.Run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimulationEventThroughput);
+
+void BM_CpuSchedulerChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::CpuScheduler cpu(&sim, 1, 1.0);
+    for (int i = 0; i < 10000; ++i) cpu.Submit(10, [] {});
+    sim.Run();
+    benchmark::DoNotOptimize(cpu.JobsCompleted());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_CpuSchedulerChurn);
+
+}  // namespace
+
+BENCHMARK_MAIN();

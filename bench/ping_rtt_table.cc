@@ -1,0 +1,53 @@
+// Reproduces the paper's §IV-B.2 network measurement: "We measured 1/2
+// round-trip time between the master in us-west-1a and the slave that uses
+// different configurations of geographic locations by running ping command
+// every second for a 20-minute period. The results suggest an average of 16,
+// 21, and 173 milliseconds 1/2 round-trip time".
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cloud/cloud_provider.h"
+#include "common/stats.h"
+#include "net/network.h"
+
+int main() {
+  using namespace clouddb;
+  bench::PrintHeader(
+      "Half round-trip time by placement (ping every 1 s for 20 min)");
+
+  sim::Simulation sim;
+  cloud::CloudOptions options;
+  cloud::CloudProvider provider(&sim, options, 99);
+  cloud::Instance* master = provider.Launch(
+      "master", cloud::InstanceType::kSmall, cloud::MasterPlacement());
+  struct Target {
+    const char* label;
+    cloud::Placement placement;
+    const char* paper;
+  };
+  Target targets[] = {
+      {"same zone (us-west-1a)", cloud::SameZonePlacement(), "16 ms"},
+      {"different zone (us-west-1b)", cloud::DifferentZonePlacement(), "21 ms"},
+      {"different region (eu-west-1a)", cloud::DifferentRegionPlacement(),
+       "173 ms"},
+  };
+
+  TableWriter table({"slave placement", "mean 1/2 RTT (ms)", "p95 (ms)",
+                     "samples", "paper"});
+  for (const Target& target : targets) {
+    cloud::Instance* slave = provider.Launch(
+        "slave", cloud::InstanceType::kSmall, target.placement);
+    net::PingProbe probe(&sim, &provider.network(), master->node_id(),
+                         slave->node_id());
+    probe.Start(Seconds(1), 1200);
+    sim.Run();
+    Sample sample;
+    sample.AddAll(probe.half_rtt_ms());
+    table.AddRow({target.label, StrFormat("%.1f", sample.Mean()),
+                  StrFormat("%.1f", sample.Percentile(0.95)),
+                  StrFormat("%zu", sample.count()), target.paper});
+  }
+  std::printf("%s", table.ToAscii().c_str());
+  return 0;
+}

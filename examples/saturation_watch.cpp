@@ -1,0 +1,93 @@
+// Example: *watching* the paper's §IV-A saturation transition live.
+//
+// The paper infers the saturation point's movement from throughput curves:
+// slaves pin their CPUs first; adding slaves moves the knee until the
+// master's write capacity becomes the wall. This example runs the same
+// deployment with a ClusterMonitor attached and prints the per-replica CPU
+// and backlog time series while the workload doubles every few minutes —
+// the transition is visible directly in the utilization columns.
+
+#include <cstdio>
+
+#include "client/rw_split_proxy.h"
+#include "cloud/cloud_provider.h"
+#include "cloudstone/benchmark_driver.h"
+#include "cloudstone/operations.h"
+#include "cloudstone/schema.h"
+#include "common/str_util.h"
+#include "repl/cluster_monitor.h"
+#include "repl/replication_cluster.h"
+
+using namespace clouddb;
+
+int main() {
+  sim::Simulation sim;
+  cloud::CloudOptions cloud_options;
+  cloud_options.cpu_speed_cov = 0.0;  // clean curves for the demo
+  cloud::CloudProvider provider(&sim, cloud_options, 9);
+
+  repl::ClusterConfig cluster_config;
+  cluster_config.num_slaves = 2;
+  cluster_config.cost_model =
+      cloudstone::MakeWorkloadCostModel(cloudstone::OperationCosts{});
+  repl::ReplicationCluster cluster(&provider, cluster_config);
+  cloud::Instance* app = provider.Launch("app", cloud::InstanceType::kLarge,
+                                         cloud::MasterPlacement());
+
+  cloudstone::WorkloadState state;
+  Status loaded = cloudstone::LoadInitialData(
+      [&](const std::string& sql) {
+        return cluster.ExecuteEverywhereDirect(sql);
+      },
+      /*scale=*/120, /*seed=*/5, &state);
+  if (!loaded.ok()) {
+    std::printf("load failed: %s\n", loaded.ToString().c_str());
+    return 1;
+  }
+
+  std::vector<repl::SlaveNode*> slaves = {cluster.slave(0), cluster.slave(1)};
+  client::ReadWriteSplitProxy proxy(&sim, &provider.network(), app->node_id(),
+                                    cluster.master(), slaves,
+                                    client::ProxyOptions{});
+  repl::ClusterMonitor monitor(&sim, cluster.master(), slaves, Minutes(1));
+  monitor.Start();
+
+  cloudstone::OperationGenerator generator(
+      cloudstone::WorkloadMix::FiftyFifty(), cloudstone::OperationCosts{},
+      &state, [&] { return app->LocalNowMicros(); });
+  cloudstone::MetricsCollector metrics;
+  std::vector<std::unique_ptr<cloudstone::UserEmulator>> users;
+  Rng seeder(3);
+  SimTime horizon = Minutes(16);
+  auto add_users = [&](int n) {
+    for (int i = 0; i < n; ++i) {
+      users.push_back(std::make_unique<cloudstone::UserEmulator>(
+          &sim, &proxy, &generator, &metrics, seeder.Fork(users.size() + 1),
+          Seconds(9)));
+      users.back()->Activate(sim.Now(), horizon);
+    }
+  };
+  // Workload steps: 50 -> 100 -> 200 users.
+  add_users(50);
+  sim.ScheduleAt(Minutes(5), [&] { add_users(50); });
+  sim.ScheduleAt(Minutes(10), [&] { add_users(100); });
+  sim.RunUntil(horizon);
+  monitor.Stop();
+  sim.Run();
+
+  std::printf("Per-minute cluster health (50 users, +50 at 5min, +100 at "
+              "10min):\n\n%s\n",
+              monitor.ToTable().ToAscii().c_str());
+  std::printf("mean master CPU: %.0f%%   max slave lag: %lld events\n",
+              100.0 * monitor.MeanMasterCpu(),
+              static_cast<long long>(monitor.MaxLagEvents()));
+  std::printf("slave 1 saturated (>90%% CPU) in %.0f%% of samples\n",
+              100.0 * monitor.SlaveSaturatedFraction(0, 0.9));
+  std::printf(
+      "\nReading the table: the slave CPU columns pin at 1.00 first (reads\n"
+      "plus writeset applies) while the master still has headroom; by the\n"
+      "final workload step the master hits its wall too and the relay\n"
+      "backlogs grow without bound. That is the paper's §IV-A saturation\n"
+      "story — and its scaling limit — observed directly.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+#include "client/rw_split_proxy.h"
+
+#include <cassert>
+
+#include "db/sql_parser.h"
+
+namespace clouddb::client {
+
+const char* BalancePolicyToString(BalancePolicy policy) {
+  switch (policy) {
+    case BalancePolicy::kRoundRobin:
+      return "round_robin";
+    case BalancePolicy::kLeastOutstanding:
+      return "least_outstanding";
+    case BalancePolicy::kLatencyWeighted:
+      return "latency_weighted";
+  }
+  return "?";
+}
+
+ReadWriteSplitProxy::ReadWriteSplitProxy(sim::Simulation* sim,
+                                         net::Network* network,
+                                         net::NodeId client_node,
+                                         repl::MasterNode* master,
+                                         std::vector<repl::SlaveNode*> slaves,
+                                         const ProxyOptions& options)
+    : sim_(sim), network_(network), client_node_(client_node),
+      options_(options) {
+  master_pool_ = std::make_unique<ConnectionPool>(sim, network, client_node,
+                                                  master, options.pool);
+  for (repl::SlaveNode* slave : slaves) {
+    AddSlave(slave);
+  }
+}
+
+void ReadWriteSplitProxy::AddSlave(repl::SlaveNode* slave) {
+  slave_pools_.push_back(std::make_unique<ConnectionPool>(
+      sim_, network_, client_node_, slave, options_.pool));
+  active_.push_back(true);
+  outstanding_.push_back(0);
+  ewma_response_us_.push_back(0.0);
+  reads_routed_.push_back(0);
+}
+
+void ReadWriteSplitProxy::ReplaceMaster(repl::MasterNode* master) {
+  old_master_pools_.push_back(std::move(master_pool_));
+  master_pool_ = std::make_unique<ConnectionPool>(sim_, network_, client_node_,
+                                                  master, options_.pool);
+}
+
+void ReadWriteSplitProxy::DeactivateSlave(int slave_index) {
+  active_[static_cast<size_t>(slave_index)] = false;
+}
+
+void ReadWriteSplitProxy::Execute(const std::string& sql, bool is_read,
+                                  SimDuration cpu_cost, Callback done) {
+  int slave = is_read ? PickSlave() : -1;
+  if (slave < 0) {  // write, or no active slave to read from
+    ++writes_routed_;
+    master_pool_->Execute(sql, cpu_cost, std::move(done));
+    return;
+  }
+  ++reads_routed_[static_cast<size_t>(slave)];
+  ++outstanding_[static_cast<size_t>(slave)];
+  SimTime started = sim_->Now();
+  slave_pools_[static_cast<size_t>(slave)]->Execute(
+      sql, cpu_cost,
+      [this, slave, started,
+       done = std::move(done)](Result<db::ExecResult> result) mutable {
+        --outstanding_[static_cast<size_t>(slave)];
+        double response = static_cast<double>(sim_->Now() - started);
+        double& ewma = ewma_response_us_[static_cast<size_t>(slave)];
+        ewma = ewma == 0.0
+                   ? response
+                   : (1.0 - options_.ewma_alpha) * ewma +
+                         options_.ewma_alpha * response;
+        done(std::move(result));
+      });
+}
+
+void ReadWriteSplitProxy::ExecuteAuto(const std::string& sql,
+                                      SimDuration cpu_cost, Callback done) {
+  auto parsed = db::ParseSql(sql);
+  bool is_read = parsed.ok() && !db::IsWriteStatement(*parsed) &&
+                 !db::IsTransactionControl(*parsed);
+  Execute(sql, is_read, cpu_cost, std::move(done));
+}
+
+int64_t ReadWriteSplitProxy::total_reads_routed() const {
+  int64_t total = 0;
+  for (int64_t r : reads_routed_) total += r;
+  return total;
+}
+
+int ReadWriteSplitProxy::PickSlave() {
+  size_t n = slave_pools_.size();
+  size_t active_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (active_[i]) ++active_count;
+  }
+  if (active_count == 0) return -1;
+  switch (options_.policy) {
+    case BalancePolicy::kRoundRobin: {
+      // Advance past deactivated replicas.
+      for (size_t attempts = 0; attempts < n; ++attempts) {
+        size_t pick = round_robin_next_ % n;
+        ++round_robin_next_;
+        if (active_[pick]) return static_cast<int>(pick);
+      }
+      return -1;
+    }
+    case BalancePolicy::kLeastOutstanding: {
+      int best = -1;
+      for (size_t i = 0; i < n; ++i) {
+        if (!active_[i]) continue;
+        if (best < 0 || outstanding_[i] < outstanding_[static_cast<size_t>(best)]) {
+          best = static_cast<int>(i);
+        }
+      }
+      return best;
+    }
+    case BalancePolicy::kLatencyWeighted: {
+      // Prefer unmeasured slaves, then the lowest expected completion time
+      // (EWMA response scaled by queue depth).
+      int best = -1;
+      double best_score = -1.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!active_[i]) continue;
+        if (ewma_response_us_[i] == 0.0) return static_cast<int>(i);
+        double score = ewma_response_us_[i] *
+                       static_cast<double>(outstanding_[i] + 1);
+        if (best_score < 0.0 || score < best_score) {
+          best_score = score;
+          best = static_cast<int>(i);
+        }
+      }
+      return best;
+    }
+  }
+  return -1;
+}
+
+}  // namespace clouddb::client

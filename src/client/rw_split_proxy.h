@@ -1,0 +1,109 @@
+#ifndef CLOUDDB_CLIENT_RW_SPLIT_PROXY_H_
+#define CLOUDDB_CLIENT_RW_SPLIT_PROXY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "client/connection_pool.h"
+#include "repl/master_node.h"
+#include "repl/slave_node.h"
+
+namespace clouddb::client {
+
+/// How read statements are spread over slaves.
+enum class BalancePolicy {
+  /// Cycle through slaves in order (MySQL Connector/J's default; what the
+  /// paper deploys).
+  kRoundRobin,
+  /// Send to the slave with the fewest outstanding requests.
+  kLeastOutstanding,
+  /// Send to the slave with the lowest EWMA response time — the paper's
+  /// §IV-B.2 suggestion of "a smart load balancer which is able of balancing
+  /// the operations based on estimated processing time".
+  kLatencyWeighted,
+};
+
+const char* BalancePolicyToString(BalancePolicy policy);
+
+struct ProxyOptions {
+  BalancePolicy policy = BalancePolicy::kRoundRobin;
+  ConnectionPoolOptions pool;
+  /// EWMA smoothing for kLatencyWeighted.
+  double ewma_alpha = 0.2;
+};
+
+/// The application-side statement router (the paper's MySQL Connector/J
+/// replication proxy): "all write operations are sent to the master while
+/// all read operations are distributed among slaves". One connection pool
+/// per backend.
+class ReadWriteSplitProxy {
+ public:
+  using Callback = Connection::Callback;
+
+  ReadWriteSplitProxy(sim::Simulation* sim, net::Network* network,
+                      net::NodeId client_node, repl::MasterNode* master,
+                      std::vector<repl::SlaveNode*> slaves,
+                      const ProxyOptions& options);
+
+  /// Routes `sql`: is_read -> a slave per the balancing policy (the master
+  /// serves reads only when there are no slaves); otherwise -> the master.
+  void Execute(const std::string& sql, bool is_read, SimDuration cpu_cost,
+               Callback done);
+
+  /// Convenience: determines read vs write by parsing `sql`.
+  void ExecuteAuto(const std::string& sql, SimDuration cpu_cost,
+                   Callback done);
+
+  /// Adds a freshly attached replica to the read rotation (the
+  /// application-managed elasticity the paper motivates: the application
+  /// reconfigures its own proxy when it scales the database tier).
+  void AddSlave(repl::SlaveNode* slave);
+
+  /// Repoints writes at a new master (after a failover promotion). A fresh
+  /// connection pool is created; in-flight requests to the old master fail
+  /// with Unavailable and are the application's to retry.
+  void ReplaceMaster(repl::MasterNode* master);
+
+  /// Removes a replica from the read rotation without invalidating
+  /// in-flight requests (the pool stays alive until the proxy is destroyed).
+  /// Used when a slave is promoted to master or decommissioned.
+  void DeactivateSlave(int slave_index);
+  bool IsSlaveActive(int slave_index) const {
+    return active_[static_cast<size_t>(slave_index)];
+  }
+
+  int num_slaves() const { return static_cast<int>(slave_pools_.size()); }
+  int64_t writes_routed() const { return writes_routed_; }
+  int64_t reads_routed(int slave_index) const {
+    return reads_routed_[static_cast<size_t>(slave_index)];
+  }
+  int64_t total_reads_routed() const;
+  ConnectionPool& master_pool() { return *master_pool_; }
+  ConnectionPool& slave_pool(int i) {
+    return *slave_pools_[static_cast<size_t>(i)];
+  }
+
+ private:
+  int PickSlave();
+
+  sim::Simulation* sim_;
+  net::Network* network_;
+  net::NodeId client_node_;
+  ProxyOptions options_;
+  std::unique_ptr<ConnectionPool> master_pool_;
+  /// Pools for replaced masters, kept alive for in-flight requests.
+  std::vector<std::unique_ptr<ConnectionPool>> old_master_pools_;
+  std::vector<std::unique_ptr<ConnectionPool>> slave_pools_;
+  // Balancing state:
+  size_t round_robin_next_ = 0;
+  std::vector<bool> active_;
+  std::vector<int64_t> outstanding_;
+  std::vector<double> ewma_response_us_;
+  std::vector<int64_t> reads_routed_;
+  int64_t writes_routed_ = 0;
+};
+
+}  // namespace clouddb::client
+
+#endif  // CLOUDDB_CLIENT_RW_SPLIT_PROXY_H_

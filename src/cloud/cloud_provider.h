@@ -1,0 +1,86 @@
+#ifndef CLOUDDB_CLOUD_CLOUD_PROVIDER_H_
+#define CLOUDDB_CLOUD_CLOUD_PROVIDER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/instance.h"
+#include "cloud/placement.h"
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace clouddb::cloud {
+
+/// Tunable characteristics of the simulated cloud.
+struct CloudOptions {
+  /// Coefficient of variation of instance CPU speed (Schad et al. [13]
+  /// measured 0.21 for EC2 small instances). Speed factors are clamped to
+  /// [min_speed_factor, max_speed_factor].
+  double cpu_speed_cov = 0.21;
+  double min_speed_factor = 0.45;
+  double max_speed_factor = 1.60;
+
+  /// One-way network latency by proximity class (means) and the lognormal
+  /// jitter sigma applied multiplicatively. Defaults reproduce the paper's
+  /// measured ½-RTTs of 16 / 21 / 173 ms.
+  SimDuration same_zone_one_way = Millis(16);
+  SimDuration different_zone_one_way = Millis(21);
+  SimDuration different_region_one_way = Millis(173);
+  double latency_jitter_sigma = 0.08;
+  /// Loopback / intra-instance latency.
+  SimDuration loopback_one_way = Micros(50);
+
+  /// Clock model: initial offsets uniform in ±max, drift uniform in ±max.
+  /// ±18 ppm per instance gives up to ~36 ppm relative drift — the paper's
+  /// Fig. 4 observes ~43 ms of divergence over 20 min (~36 ppm).
+  SimDuration max_initial_clock_offset = Millis(4);
+  double max_clock_drift_ppm = 18.0;
+};
+
+/// Launches instances and provides the network that connects them. One-way
+/// delays between instances are determined by their placements' proximity
+/// class plus multiplicative lognormal jitter.
+class CloudProvider : public net::LatencyModel {
+ public:
+  CloudProvider(sim::Simulation* sim, const CloudOptions& options,
+                uint64_t seed);
+
+  CloudProvider(const CloudProvider&) = delete;
+  CloudProvider& operator=(const CloudProvider&) = delete;
+
+  /// Launches a new instance. The returned pointer is owned by the provider
+  /// and valid for the provider's lifetime.
+  Instance* Launch(const std::string& name, InstanceType type,
+                   const Placement& placement);
+
+  /// The message-passing fabric between launched instances.
+  net::Network& network() { return *network_; }
+  sim::Simulation& simulation() { return *sim_; }
+  const CloudOptions& options() const { return options_; }
+
+  const std::vector<std::unique_ptr<Instance>>& instances() const {
+    return instances_;
+  }
+  /// Instance owning `node`, or nullptr.
+  Instance* FindByNode(net::NodeId node) const;
+
+  // net::LatencyModel:
+  SimDuration SampleOneWay(net::NodeId from, net::NodeId to) override;
+
+  /// Mean one-way delay for a proximity class (without jitter).
+  SimDuration BaseOneWay(Proximity p) const;
+
+ private:
+  sim::Simulation* sim_;
+  CloudOptions options_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Instance>> instances_;
+  std::unique_ptr<net::Network> network_;
+};
+
+}  // namespace clouddb::cloud
+
+#endif  // CLOUDDB_CLOUD_CLOUD_PROVIDER_H_

@@ -1,0 +1,75 @@
+#ifndef CLOUDDB_CLOUD_INSTANCE_H_
+#define CLOUDDB_CLOUD_INSTANCE_H_
+
+#include <memory>
+#include <string>
+
+#include "cloud/placement.h"
+#include "net/network.h"
+#include "sim/cpu_scheduler.h"
+#include "sim/local_clock.h"
+#include "sim/simulation.h"
+
+namespace clouddb::cloud {
+
+/// EC2-style instance sizes. The paper runs the master and all slaves on
+/// *small* instances ("so that saturation is expected to be observed early")
+/// and the benchmark driver on a *large* instance.
+enum class InstanceType {
+  kSmall,
+  kLarge,
+};
+
+const char* InstanceTypeToString(InstanceType t);
+
+/// Nominal core count / per-core speed for an instance type.
+struct InstanceSpec {
+  int cores;
+  double base_speed;
+};
+
+InstanceSpec SpecFor(InstanceType type);
+
+/// A launched virtual machine: compute (CpuScheduler), a drifting local clock,
+/// a network endpoint, and a placement. The actual per-instance speed deviates
+/// from the type's nominal speed by the sampled performance-variation factor
+/// (paper §IV-A: poor-performing instances "are launched randomly and can
+/// largely affect application performance").
+class Instance {
+ public:
+  Instance(sim::Simulation* sim, std::string name, InstanceType type,
+           Placement placement, net::NodeId node_id, double speed_factor,
+           SimDuration clock_offset, double clock_drift_ppm);
+
+  Instance(const Instance&) = delete;
+  Instance& operator=(const Instance&) = delete;
+
+  const std::string& name() const { return name_; }
+  InstanceType type() const { return type_; }
+  const Placement& placement() const { return placement_; }
+  net::NodeId node_id() const { return node_id_; }
+
+  /// Effective speed: nominal speed for the type times the sampled variation.
+  double speed_factor() const { return cpu_.speed_factor(); }
+
+  sim::CpuScheduler& cpu() { return cpu_; }
+  const sim::CpuScheduler& cpu() const { return cpu_; }
+  sim::LocalClock& clock() { return clock_; }
+  const sim::LocalClock& clock() const { return clock_; }
+
+  /// Local wall time right now (µs); what applications on this instance see.
+  int64_t LocalNowMicros() const { return clock_.NowMicros(sim_->Now()); }
+
+ private:
+  sim::Simulation* sim_;
+  std::string name_;
+  InstanceType type_;
+  Placement placement_;
+  net::NodeId node_id_;
+  sim::CpuScheduler cpu_;
+  sim::LocalClock clock_;
+};
+
+}  // namespace clouddb::cloud
+
+#endif  // CLOUDDB_CLOUD_INSTANCE_H_

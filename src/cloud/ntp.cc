@@ -1,0 +1,63 @@
+#include "cloud/ntp.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace clouddb::cloud {
+
+NtpClient::NtpClient(sim::Simulation* sim, Instance* instance,
+                     const NtpOptions& options, uint64_t seed)
+    : sim_(sim), instance_(instance), options_(options), rng_(seed) {
+  assert(sim != nullptr && instance != nullptr);
+  bias_ms_ = options_.fixed_bias_ms.has_value()
+                 ? *options_.fixed_bias_ms
+                 : rng_.Uniform(-options_.max_bias_ms, options_.max_bias_ms);
+}
+
+void NtpClient::SyncOnce() {
+  ++syncs_performed_;
+  SimTime now = sim_->Now();
+  double error_ms = bias_ms_ + rng_.Normal(0.0, options_.residual_noise_ms);
+  instance_->clock().StepTo(now, now + MillisF(error_ms));
+}
+
+void NtpClient::StartPeriodic() {
+  running_ = true;
+  Tick();
+}
+
+void NtpClient::Stop() {
+  running_ = false;
+  pending_.Cancel();
+}
+
+void NtpClient::Tick() {
+  if (!running_) return;
+  SyncOnce();
+  pending_ = sim_->ScheduleAfter(options_.sync_interval, [this] { Tick(); });
+}
+
+ClockComparison::ClockComparison(sim::Simulation* sim, const Instance* a,
+                                 const Instance* b)
+    : sim_(sim), a_(a), b_(b) {
+  assert(sim != nullptr && a != nullptr && b != nullptr);
+}
+
+void ClockComparison::Start(SimDuration interval, int count) {
+  interval_ = interval;
+  remaining_ = count;
+  diffs_ms_.reserve(static_cast<size_t>(count));
+  SampleOnce();
+}
+
+void ClockComparison::SampleOnce() {
+  if (remaining_ <= 0) return;
+  --remaining_;
+  int64_t diff = a_->LocalNowMicros() - b_->LocalNowMicros();
+  diffs_ms_.push_back(std::abs(ToMillis(diff)));
+  if (remaining_ > 0) {
+    sim_->ScheduleAfter(interval_, [this] { SampleOnce(); });
+  }
+}
+
+}  // namespace clouddb::cloud

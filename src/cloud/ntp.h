@@ -1,0 +1,97 @@
+#ifndef CLOUDDB_CLOUD_NTP_H_
+#define CLOUDDB_CLOUD_NTP_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cloud/instance.h"
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "sim/simulation.h"
+
+namespace clouddb::cloud {
+
+/// NTP client behaviour knobs.
+struct NtpOptions {
+  /// How often the daemon re-synchronizes. The paper contrasts syncing once
+  /// at the beginning of the experiment with syncing every second
+  /// ("we set the NTP protocol to synchronize with multiple time servers
+  /// every second to have a better resolution").
+  SimDuration sync_interval = Seconds(1);
+
+  /// Per-sync measurement noise (std-dev, ms): network jitter on the NTP
+  /// exchange leaves this residual error after each step.
+  double residual_noise_ms = 0.85;
+
+  /// Per-instance systematic bias (uniform in ±max_bias_ms): asymmetric
+  /// network paths make an instance consistently early or late relative to
+  /// the reference even right after a sync.
+  double max_bias_ms = 2.5;
+
+  /// When set, use exactly this bias instead of sampling one — a calibration
+  /// hook for reproducing a specific measured instance pair (Fig. 4).
+  std::optional<double> fixed_bias_ms;
+};
+
+/// Simulated NTP daemon for one instance. On each sync it measures the offset
+/// to true (reference) time — imperfectly — and steps the instance clock.
+/// Between syncs the clock drifts at the instance's intrinsic rate; Amazon
+/// itself synchronizes "in a very relaxed manner — every couple of hours"
+/// (paper §IV-B.1), which we model as no background sync at all within a run.
+class NtpClient {
+ public:
+  NtpClient(sim::Simulation* sim, Instance* instance, const NtpOptions& options,
+            uint64_t seed);
+
+  /// Performs a single synchronization right now.
+  void SyncOnce();
+
+  /// Synchronizes now and then every `options.sync_interval` until `Stop()`.
+  void StartPeriodic();
+  void Stop();
+
+  int64_t syncs_performed() const { return syncs_performed_; }
+  /// The sampled systematic bias for this client, ms.
+  double bias_ms() const { return bias_ms_; }
+
+ private:
+  void Tick();
+
+  sim::Simulation* sim_;
+  Instance* instance_;
+  NtpOptions options_;
+  Rng rng_;
+  double bias_ms_;
+  bool running_ = false;
+  int64_t syncs_performed_ = 0;
+  sim::Simulation::EventHandle pending_;
+};
+
+/// Samples the reading difference between two instances' clocks at a fixed
+/// cadence — the measurement behind the paper's Fig. 4 ("measured time
+/// differences between two instances", ms).
+class ClockComparison {
+ public:
+  ClockComparison(sim::Simulation* sim, const Instance* a, const Instance* b);
+
+  /// Schedules `count` samples spaced `interval` apart, starting now.
+  void Start(SimDuration interval, int count);
+
+  /// |clock_a - clock_b| in ms per sample, in sampling order.
+  const std::vector<double>& differences_ms() const { return diffs_ms_; }
+
+ private:
+  void SampleOnce();
+
+  sim::Simulation* sim_;
+  const Instance* a_;
+  const Instance* b_;
+  SimDuration interval_ = 0;
+  int remaining_ = 0;
+  std::vector<double> diffs_ms_;
+};
+
+}  // namespace clouddb::cloud
+
+#endif  // CLOUDDB_CLOUD_NTP_H_

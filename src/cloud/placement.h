@@ -1,0 +1,58 @@
+#ifndef CLOUDDB_CLOUD_PLACEMENT_H_
+#define CLOUDDB_CLOUD_PLACEMENT_H_
+
+#include <string>
+
+namespace clouddb::cloud {
+
+/// Where an instance lives: a region (geographic area, e.g. "us-west") and an
+/// availability zone within it (e.g. "us-west-1a"). Mirrors the EC2 notions
+/// the paper's experiment configurations are built from: *same zone*,
+/// *different zone* (same region), *different region*.
+struct Placement {
+  std::string region;
+  std::string zone;
+
+  friend bool operator==(const Placement& a, const Placement& b) {
+    return a.region == b.region && a.zone == b.zone;
+  }
+
+  std::string ToString() const { return region + "/" + zone; }
+};
+
+/// Relationship between two placements, ordered by increasing distance.
+enum class Proximity {
+  kSameZone = 0,
+  kDifferentZone = 1,   // same region, different availability zone
+  kDifferentRegion = 2,
+};
+
+inline Proximity ClassifyProximity(const Placement& a, const Placement& b) {
+  if (a.region != b.region) return Proximity::kDifferentRegion;
+  if (a.zone != b.zone) return Proximity::kDifferentZone;
+  return Proximity::kSameZone;
+}
+
+inline const char* ProximityToString(Proximity p) {
+  switch (p) {
+    case Proximity::kSameZone:
+      return "same zone";
+    case Proximity::kDifferentZone:
+      return "different zone";
+    case Proximity::kDifferentRegion:
+      return "different region";
+  }
+  return "?";
+}
+
+/// The placements used throughout the paper's experiments.
+/// (Figure captions place the master in us-west-1a; slaves are in us-west-1a,
+/// us-west-1b, or eu-west-1a depending on the configuration.)
+inline Placement MasterPlacement() { return {"us-west", "us-west-1a"}; }
+inline Placement SameZonePlacement() { return {"us-west", "us-west-1a"}; }
+inline Placement DifferentZonePlacement() { return {"us-west", "us-west-1b"}; }
+inline Placement DifferentRegionPlacement() { return {"eu-west", "eu-west-1a"}; }
+
+}  // namespace clouddb::cloud
+
+#endif  // CLOUDDB_CLOUD_PLACEMENT_H_

@@ -1,0 +1,77 @@
+#ifndef CLOUDDB_COMMON_RESULT_H_
+#define CLOUDDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace clouddb {
+
+/// A value-or-error type (StatusOr-style). Holds either a `T` or a non-OK
+/// `Status`. Construction from a value yields an OK result; construction from
+/// a non-OK Status yields an error result. Accessing `value()` on an error
+/// result aborts the process (library code must check `ok()` first).
+template <typename T>
+class Result {
+ public:
+  /// Implicit so that `return value;` and `return status;` both work.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in the error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace clouddb
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, or returns its
+/// status from the enclosing function.
+#define CLOUDDB_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto CLOUDDB_CONCAT_(_res_, __LINE__) = (expr);        \
+  if (!CLOUDDB_CONCAT_(_res_, __LINE__).ok())            \
+    return CLOUDDB_CONCAT_(_res_, __LINE__).status();    \
+  lhs = std::move(CLOUDDB_CONCAT_(_res_, __LINE__)).value()
+
+#define CLOUDDB_CONCAT_(a, b) CLOUDDB_CONCAT_IMPL_(a, b)
+#define CLOUDDB_CONCAT_IMPL_(a, b) a##b
+
+#endif  // CLOUDDB_COMMON_RESULT_H_

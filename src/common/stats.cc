@@ -1,0 +1,136 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace clouddb {
+
+void Sample::AddAll(const std::vector<double>& vs) {
+  values_.insert(values_.end(), vs.begin(), vs.end());
+}
+
+double Sample::Sum() const {
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s;
+}
+
+double Sample::Mean() const {
+  if (values_.empty()) return 0.0;
+  return Sum() / static_cast<double>(values_.size());
+}
+
+double Sample::Min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Sample::Max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Sample::StdDev() const {
+  if (values_.size() < 2) return 0.0;
+  double m = Mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size()));
+}
+
+double Sample::Percentile(double q) const {
+  if (values_.empty()) return 0.0;
+  if (q <= 0.0) return Min();
+  if (q >= 1.0) return Max();
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double Sample::TrimmedMean(double fraction) const {
+  assert(fraction >= 0.0 && fraction < 0.5);
+  if (values_.size() < 3 || fraction == 0.0) return Mean();
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  size_t cut = static_cast<size_t>(fraction * static_cast<double>(sorted.size()));
+  size_t n = sorted.size() - 2 * cut;
+  if (n == 0) return Mean();
+  double s = 0.0;
+  for (size_t i = cut; i < sorted.size() - cut; ++i) s += sorted[i];
+  return s / static_cast<double>(n);
+}
+
+Histogram::Histogram(double first_upper, double base, int num_buckets)
+    : first_upper_(first_upper), base_(base) {
+  assert(first_upper > 0 && base > 1.0 && num_buckets >= 1);
+  counts_.assign(static_cast<size_t>(num_buckets) + 1, 0);  // +1 overflow
+}
+
+double Histogram::UpperBound(int bucket) const {
+  return first_upper_ * std::pow(base_, bucket);
+}
+
+void Histogram::Add(double v) {
+  ++total_;
+  for (size_t b = 0; b + 1 < counts_.size(); ++b) {
+    if (v < UpperBound(static_cast<int>(b))) {
+      ++counts_[b];
+      return;
+    }
+  }
+  ++counts_.back();  // overflow bucket
+}
+
+void Histogram::Merge(const Histogram& other) {
+  assert(counts_.size() == other.counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double Histogram::ApproxPercentile(double q) const {
+  if (total_ == 0) return 0.0;
+  int64_t target = static_cast<int64_t>(q * static_cast<double>(total_));
+  int64_t acc = 0;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    acc += counts_[b];
+    if (acc > target) {
+      return UpperBound(static_cast<int>(b));
+    }
+  }
+  return UpperBound(static_cast<int>(counts_.size()) - 1);
+}
+
+std::string Histogram::ToString() const {
+  std::string out;
+  double lo = 0.0;
+  char buf[128];
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    double hi = b + 1 == counts_.size()
+                    ? std::numeric_limits<double>::infinity()
+                    : UpperBound(static_cast<int>(b));
+    if (counts_[b] > 0) {
+      std::snprintf(buf, sizeof(buf), "[%.3g, %.3g) %lld\n", lo, hi,
+                    static_cast<long long>(counts_[b]));
+      out += buf;
+    }
+    lo = hi;
+  }
+  return out;
+}
+
+double RateCounter::RatePerSecond(int64_t window_start_us,
+                                  int64_t window_end_us) const {
+  if (window_end_us <= window_start_us) return 0.0;
+  double secs =
+      static_cast<double>(window_end_us - window_start_us) / 1'000'000.0;
+  return static_cast<double>(count_) / secs;
+}
+
+}  // namespace clouddb

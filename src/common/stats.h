@@ -1,0 +1,101 @@
+#ifndef CLOUDDB_COMMON_STATS_H_
+#define CLOUDDB_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace clouddb {
+
+/// Accumulates a sample of doubles and computes summary statistics.
+/// Used for latencies, replication delays and throughput series.
+///
+/// The paper trims the top and bottom 5 % of replication-delay samples before
+/// averaging ("because of network fluctuation"); `TrimmedMean(0.05)`
+/// implements exactly that.
+class Sample {
+ public:
+  Sample() = default;
+
+  void Add(double v) { values_.push_back(v); }
+  void AddAll(const std::vector<double>& vs);
+  void Clear() { values_.clear(); }
+
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  const std::vector<double>& values() const { return values_; }
+
+  double Sum() const;
+  double Mean() const;
+  double Min() const;
+  double Max() const;
+  /// Population standard deviation; 0 for fewer than 2 samples.
+  double StdDev() const;
+  /// Linear-interpolated quantile, q in [0, 1].
+  double Percentile(double q) const;
+  double Median() const { return Percentile(0.5); }
+
+  /// Mean after removing the lowest and highest `fraction` of samples
+  /// (two-sided trim). fraction in [0, 0.5). With fewer than 3 samples the
+  /// plain mean is returned.
+  double TrimmedMean(double fraction) const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Fixed set of log-spaced buckets for latency-style distributions;
+/// cheap to merge and render.
+class Histogram {
+ public:
+  /// Buckets are powers of `base` starting at `first_upper` (values below go
+  /// to bucket 0), e.g. base=2, first_upper=1ms covers 1ms..~17min in 20
+  /// buckets.
+  Histogram(double first_upper, double base, int num_buckets);
+
+  void Add(double v);
+  void Merge(const Histogram& other);
+
+  int64_t TotalCount() const { return total_; }
+  /// Approximate quantile from bucket boundaries.
+  double ApproxPercentile(double q) const;
+  /// One line per non-empty bucket: "[lo, hi) count".
+  std::string ToString() const;
+
+  const std::vector<int64_t>& counts() const { return counts_; }
+
+ private:
+  double UpperBound(int bucket) const;
+
+  double first_upper_;
+  double base_;
+  std::vector<int64_t> counts_;
+  int64_t total_ = 0;
+};
+
+/// Counts events over simulated time to produce rates (e.g. operations per
+/// second in the steady-state measurement window).
+class RateCounter {
+ public:
+  RateCounter() = default;
+
+  void Record(int64_t timestamp_us) {
+    ++count_;
+    if (count_ == 1) first_us_ = timestamp_us;
+    last_us_ = timestamp_us;
+  }
+
+  int64_t count() const { return count_; }
+  /// Events per second over [window_start_us, window_end_us].
+  double RatePerSecond(int64_t window_start_us, int64_t window_end_us) const;
+
+ private:
+  int64_t count_ = 0;
+  int64_t first_us_ = 0;
+  int64_t last_us_ = 0;
+};
+
+}  // namespace clouddb
+
+#endif  // CLOUDDB_COMMON_STATS_H_

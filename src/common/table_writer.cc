@@ -1,0 +1,89 @@
+#include "common/table_writer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <fstream>
+
+#include "common/str_util.h"
+
+namespace clouddb {
+
+void TableWriter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TableWriter::AddNumericRow(const std::vector<double>& row,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) {
+    cells.push_back(StrFormat("%.*f", precision, v));
+  }
+  AddRow(std::move(cells));
+}
+
+std::string TableWriter::ToAscii() const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto render_sep = [&] {
+    std::string s = "+";
+    for (size_t w : widths) s += std::string(w + 2, '-') + "+";
+    s += "\n";
+    return s;
+  };
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string s = "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      s += " " + row[i] + std::string(widths[i] - row[i].size(), ' ') + " |";
+    }
+    s += "\n";
+    return s;
+  };
+  std::string out = render_sep() + render_row(header_) + render_sep();
+  for (const auto& row : rows_) out += render_row(row);
+  out += render_sep();
+  return out;
+}
+
+namespace {
+std::string CsvEscape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+}  // namespace
+
+std::string TableWriter::ToCsv() const {
+  std::string out;
+  std::vector<std::string> escaped;
+  escaped.reserve(header_.size());
+  for (const auto& h : header_) escaped.push_back(CsvEscape(h));
+  out += StrJoin(escaped, ",") + "\n";
+  for (const auto& row : rows_) {
+    escaped.clear();
+    for (const auto& cell : row) escaped.push_back(CsvEscape(cell));
+    out += StrJoin(escaped, ",") + "\n";
+  }
+  return out;
+}
+
+bool TableWriter::WriteCsvFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << ToCsv();
+  return static_cast<bool>(f);
+}
+
+}  // namespace clouddb

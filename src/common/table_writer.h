@@ -1,0 +1,42 @@
+#ifndef CLOUDDB_COMMON_TABLE_WRITER_H_
+#define CLOUDDB_COMMON_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace clouddb {
+
+/// Accumulates rows of strings and renders them either as an aligned ASCII
+/// table (for terminal output of reproduced figures) or as CSV (for plotting
+/// the series against the paper's charts).
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends a row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each double with `precision` digits.
+  void AddNumericRow(const std::vector<double>& row, int precision = 2);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders an aligned, boxed ASCII table.
+  std::string ToAscii() const;
+
+  /// Renders RFC-4180-ish CSV (quotes fields containing commas/quotes).
+  std::string ToCsv() const;
+
+  /// Writes CSV to `path`; returns false on I/O failure.
+  bool WriteCsvFile(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace clouddb
+
+#endif  // CLOUDDB_COMMON_TABLE_WRITER_H_

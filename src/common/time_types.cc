@@ -1,0 +1,27 @@
+#include "common/time_types.h"
+
+#include <cstdio>
+
+namespace clouddb {
+
+std::string FormatDuration(SimDuration d) {
+  char buf[64];
+  const char* sign = d < 0 ? "-" : "";
+  int64_t abs = d < 0 ? -d : d;
+  if (abs >= kMinute) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fmin", sign,
+                  static_cast<double>(abs) / kMinute);
+  } else if (abs >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fs", sign,
+                  static_cast<double>(abs) / kSecond);
+  } else if (abs >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%s%.2fms", sign,
+                  static_cast<double>(abs) / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%lldus", sign,
+                  static_cast<long long>(abs));
+  }
+  return buf;
+}
+
+}  // namespace clouddb

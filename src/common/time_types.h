@@ -1,0 +1,51 @@
+#ifndef CLOUDDB_COMMON_TIME_TYPES_H_
+#define CLOUDDB_COMMON_TIME_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace clouddb {
+
+/// Simulated time, in microseconds since the start of the simulation.
+/// All latencies, service times and clocks in the library are expressed in
+/// this unit; helpers below convert from human-friendly units.
+using SimTime = int64_t;
+
+/// A duration in simulated microseconds.
+using SimDuration = int64_t;
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000;
+inline constexpr SimDuration kSecond = 1000 * kMillisecond;
+inline constexpr SimDuration kMinute = 60 * kSecond;
+inline constexpr SimDuration kHour = 60 * kMinute;
+
+constexpr SimDuration Micros(int64_t n) { return n; }
+constexpr SimDuration Millis(int64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(int64_t n) { return n * kSecond; }
+constexpr SimDuration Minutes(int64_t n) { return n * kMinute; }
+
+/// Converts a floating-point number of seconds/milliseconds to SimDuration,
+/// rounding to the nearest microsecond.
+constexpr SimDuration SecondsF(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond) + 0.5);
+}
+constexpr SimDuration MillisF(double ms) {
+  return static_cast<SimDuration>(ms * static_cast<double>(kMillisecond) +
+                                  0.5);
+}
+
+constexpr double ToSeconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+constexpr double ToMillis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Formats a duration as a compact human-readable string, e.g. "1.50s",
+/// "340ms", "25us".
+std::string FormatDuration(SimDuration d);
+
+}  // namespace clouddb
+
+#endif  // CLOUDDB_COMMON_TIME_TYPES_H_

@@ -1,0 +1,18 @@
+#include "db/binlog.h"
+
+#include <utility>
+
+namespace clouddb::db {
+
+int64_t Binlog::Append(std::vector<std::string> statements,
+                       int64_t commit_micros) {
+  BinlogEvent ev;
+  ev.index = static_cast<int64_t>(events_.size());
+  ev.statements = std::move(statements);
+  ev.commit_micros = commit_micros;
+  events_.push_back(std::move(ev));
+  if (listener_) listener_(events_.back());
+  return events_.back().index;
+}
+
+}  // namespace clouddb::db

@@ -1,0 +1,50 @@
+#ifndef CLOUDDB_DB_BINLOG_H_
+#define CLOUDDB_DB_BINLOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace clouddb::db {
+
+/// One committed transaction in the statement-based binary log. The event
+/// carries the SQL *text* of every write statement in commit order — slaves
+/// re-parse and re-execute it, which is what makes non-deterministic
+/// functions (NOW_MICROS) evaluate per replica.
+struct BinlogEvent {
+  int64_t index = 0;  // position in the log, 0-based and dense
+  std::vector<std::string> statements;
+  int64_t commit_micros = 0;  // committing server's local clock at commit
+};
+
+/// Append-only, in-memory statement-based binary log.
+class Binlog {
+ public:
+  Binlog() = default;
+  Binlog(const Binlog&) = delete;
+  Binlog& operator=(const Binlog&) = delete;
+
+  /// Appends an event; returns its index.
+  int64_t Append(std::vector<std::string> statements, int64_t commit_micros);
+
+  int64_t size() const { return static_cast<int64_t>(events_.size()); }
+  /// Event at `index` in [0, size()).
+  const BinlogEvent& At(int64_t index) const {
+    return events_[static_cast<size_t>(index)];
+  }
+
+  /// Called after every append — replication masters use this to push new
+  /// events to connected dump threads.
+  void SetAppendListener(std::function<void(const BinlogEvent&)> listener) {
+    listener_ = std::move(listener);
+  }
+
+ private:
+  std::vector<BinlogEvent> events_;
+  std::function<void(const BinlogEvent&)> listener_;
+};
+
+}  // namespace clouddb::db
+
+#endif  // CLOUDDB_DB_BINLOG_H_

@@ -1,0 +1,136 @@
+#ifndef CLOUDDB_DB_DATABASE_H_
+#define CLOUDDB_DB_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "db/binlog.h"
+#include "db/functions.h"
+#include "db/sql_ast.h"
+#include "db/table.h"
+#include "db/transaction.h"
+
+namespace clouddb::db {
+
+/// Result of executing one statement.
+struct ExecResult {
+  std::vector<std::string> column_names;  // SELECT only
+  std::vector<Row> rows;                  // SELECT only
+  int64_t rows_affected = 0;              // writes: rows touched
+  int64_t rows_examined = 0;              // rows visited while planning/filtering
+  std::string plan;  // access path chosen: "pk_eq", "index_range(col)", ...
+  /// Column whose index supplied the rows in ascending order (empty for
+  /// table scans). Lets ORDER BY on that column skip sorting.
+  std::string scan_ordered_by;
+};
+
+/// Engine configuration.
+struct DatabaseOptions {
+  /// Clock behind NOW_MICROS(). Replication nodes bind this to their
+  /// instance's drifting local clock; defaults to a constant-0 source.
+  std::function<int64_t()> now_micros;
+
+  /// Whether committed write statements are appended to the binlog. Masters
+  /// keep this on; slaves apply replicated events with logging off
+  /// (MySQL's default: no log-slave-updates).
+  bool enable_binlog = true;
+};
+
+/// A single-node relational database: catalog, SQL execution, table-level
+/// 2PL transactions with rollback, and a statement-based binlog.
+///
+/// Typical use:
+///
+///   Database database(options);
+///   auto session = database.CreateSession();
+///   auto result = database.Execute("SELECT * FROM t WHERE id = 7",
+///                                  session.get());
+///
+/// `Execute(sql)` without a session runs the statement on an internal
+/// autocommit session.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Creates an independent session (connection context).
+  std::unique_ptr<Session> CreateSession();
+
+  /// Parses and executes one statement on `session` (nullptr = the internal
+  /// autocommit session). On statement failure inside an explicit
+  /// transaction the whole transaction is rolled back (no savepoints).
+  Result<ExecResult> Execute(const std::string& sql, Session* session = nullptr);
+
+  /// Executes an already-parsed statement. `sql_text` is the statement text
+  /// recorded in the binlog if this is a write.
+  Result<ExecResult> ExecuteParsed(const Statement& stmt,
+                                   const std::string& sql_text,
+                                   Session* session);
+
+  // --- Introspection -------------------------------------------------------
+  Table* GetTable(const std::string& name);
+  const Table* GetTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  Binlog& binlog() { return binlog_; }
+  const Binlog& binlog() const { return binlog_; }
+  FunctionRegistry& functions() { return functions_; }
+  LockManager& lock_manager() { return lock_manager_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  /// Replaces the NOW_MICROS time source (also updates options()).
+  void SetTimeSource(std::function<int64_t()> now_micros);
+
+  /// Temporarily disables binlog appends (used when bulk pre-loading every
+  /// replica with identical data; the load must not replicate again).
+  void set_binlog_suppressed(bool suppressed) {
+    binlog_suppressed_ = suppressed;
+  }
+  bool binlog_suppressed() const { return binlog_suppressed_; }
+
+  /// Turns binary logging on or off permanently (a promoted slave enables
+  /// logging when it becomes the master).
+  void set_binlog_enabled(bool enabled) { options_.enable_binlog = enabled; }
+
+  /// True when every table's indexes are internally consistent (test hook).
+  bool ValidateAllIndexes(std::string* error) const;
+
+  /// Deep content equality of two databases (same tables, same row
+  /// multisets) — the master/slave convergence check. Tables named in
+  /// `ignore_tables` are excluded: statement-based replication re-evaluates
+  /// non-deterministic functions per replica, so tables like the heartbeat
+  /// table (whose NOW_MICROS() column *intentionally* differs per replica)
+  /// must be skipped.
+  static bool ContentsEqual(const Database& a, const Database& b,
+                            const std::vector<std::string>& ignore_tables = {});
+
+ private:
+  friend class Executor;
+
+  /// Commits `session`: appends pending write statements to the binlog as a
+  /// single event, releases locks, clears transaction state.
+  void CommitSession(Session* session);
+  /// Rolls back `session`: applies the undo log in reverse, releases locks.
+  void RollbackSession(Session* session);
+
+  DatabaseOptions options_;
+  FunctionRegistry functions_;
+  Binlog binlog_;
+  LockManager lock_manager_;
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // keys lower-cased
+  bool binlog_suppressed_ = false;
+  int64_t next_session_id_ = 1;
+  std::unique_ptr<Session> autocommit_session_;
+};
+
+}  // namespace clouddb::db
+
+#endif  // CLOUDDB_DB_DATABASE_H_

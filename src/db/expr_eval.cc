@@ -1,0 +1,222 @@
+#include "db/expr_eval.h"
+
+#include "common/str_util.h"
+
+namespace clouddb::db {
+
+namespace {
+
+Result<Value> EvalArithmetic(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  // String concatenation via '+' is intentionally not supported (use CONCAT).
+  bool both_int =
+      a.type() == ValueType::kInt64 && b.type() == ValueType::kInt64;
+  if (both_int && op != BinaryOp::kDiv) {
+    int64_t x = a.AsInt64();
+    int64_t y = b.AsInt64();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value(x + y);
+      case BinaryOp::kSub:
+        return Value(x - y);
+      case BinaryOp::kMul:
+        return Value(x * y);
+      default:
+        break;
+    }
+  }
+  CLOUDDB_ASSIGN_OR_RETURN(double x, a.ToDouble());
+  CLOUDDB_ASSIGN_OR_RETURN(double y, b.ToDouble());
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value(x + y);
+    case BinaryOp::kSub:
+      return Value(x - y);
+    case BinaryOp::kMul:
+      return Value(x * y);
+    case BinaryOp::kDiv:
+      if (y == 0.0) return Status::InvalidArgument("division by zero");
+      return Value(x / y);
+    default:
+      return Status::Internal("not an arithmetic operator");
+  }
+}
+
+Result<Value> EvalComparison(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();  // UNKNOWN
+  int c = Value::Compare(a, b);
+  bool r = false;
+  switch (op) {
+    case BinaryOp::kEq:
+      r = c == 0;
+      break;
+    case BinaryOp::kNe:
+      r = c != 0;
+      break;
+    case BinaryOp::kLt:
+      r = c < 0;
+      break;
+    case BinaryOp::kLe:
+      r = c <= 0;
+      break;
+    case BinaryOp::kGt:
+      r = c > 0;
+      break;
+    case BinaryOp::kGe:
+      r = c >= 0;
+      break;
+    default:
+      return Status::Internal("not a comparison operator");
+  }
+  return Value(int64_t{r ? 1 : 0});
+}
+
+/// Truth value for three-valued logic: 0=false, 1=true, 2=unknown.
+Result<int> Truth(const Value& v) {
+  if (v.is_null()) return 2;
+  CLOUDDB_ASSIGN_OR_RETURN(double d, v.ToDouble());
+  return d != 0.0 ? 1 : 0;
+}
+
+/// Three-valued AND: false dominates, then NULL, then true.
+Result<Value> EvalAnd(const Value& a, const Value& b) {
+  CLOUDDB_ASSIGN_OR_RETURN(int ta, Truth(a));
+  CLOUDDB_ASSIGN_OR_RETURN(int tb, Truth(b));
+  if (ta == 0 || tb == 0) return Value(int64_t{0});
+  if (ta == 2 || tb == 2) return Value::Null();
+  return Value(int64_t{1});
+}
+
+/// Three-valued OR: true dominates, then NULL, then false.
+Result<Value> EvalOr(const Value& a, const Value& b) {
+  CLOUDDB_ASSIGN_OR_RETURN(int ta, Truth(a));
+  CLOUDDB_ASSIGN_OR_RETURN(int tb, Truth(b));
+  if (ta == 1 || tb == 1) return Value(int64_t{1});
+  if (ta == 2 || tb == 2) return Value::Null();
+  return Value(int64_t{0});
+}
+
+}  // namespace
+
+Result<Value> EvaluateExpr(const Expr& expr, const Schema* schema,
+                           const Row* row,
+                           const FunctionRegistry& functions) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal;
+    case Expr::Kind::kColumnRef: {
+      if (schema == nullptr || row == nullptr) {
+        return Status::InvalidArgument(
+            StrFormat("column '%s' referenced outside a row context",
+                      expr.column.c_str()));
+      }
+      CLOUDDB_ASSIGN_OR_RETURN(size_t idx, schema->ColumnIndex(expr.column));
+      return (*row)[idx];
+    }
+    case Expr::Kind::kFunctionCall: {
+      std::vector<Value> args;
+      args.reserve(expr.args.size());
+      for (const auto& arg : expr.args) {
+        CLOUDDB_ASSIGN_OR_RETURN(Value v,
+                                 EvaluateExpr(*arg, schema, row, functions));
+        args.push_back(std::move(v));
+      }
+      return functions.Call(expr.function, args);
+    }
+    case Expr::Kind::kBinary: {
+      CLOUDDB_ASSIGN_OR_RETURN(Value a,
+                               EvaluateExpr(*expr.lhs, schema, row, functions));
+      CLOUDDB_ASSIGN_OR_RETURN(Value b,
+                               EvaluateExpr(*expr.rhs, schema, row, functions));
+      switch (expr.op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+          return EvalArithmetic(expr.op, a, b);
+        case BinaryOp::kAnd:
+          return EvalAnd(a, b);
+        case BinaryOp::kOr:
+          return EvalOr(a, b);
+        default:
+          return EvalComparison(expr.op, a, b);
+      }
+    }
+    case Expr::Kind::kIsNull: {
+      CLOUDDB_ASSIGN_OR_RETURN(Value v,
+                               EvaluateExpr(*expr.lhs, schema, row, functions));
+      bool is_null = v.is_null();
+      if (expr.is_null_negated) is_null = !is_null;
+      return Value(int64_t{is_null ? 1 : 0});
+    }
+    case Expr::Kind::kNot: {
+      CLOUDDB_ASSIGN_OR_RETURN(Value v,
+                               EvaluateExpr(*expr.lhs, schema, row, functions));
+      CLOUDDB_ASSIGN_OR_RETURN(int t, Truth(v));
+      if (t == 2) return Value::Null();
+      return Value(int64_t{t == 0 ? 1 : 0});
+    }
+    case Expr::Kind::kInList: {
+      CLOUDDB_ASSIGN_OR_RETURN(Value needle,
+                               EvaluateExpr(*expr.lhs, schema, row, functions));
+      if (needle.is_null()) return Value::Null();
+      bool saw_null = false;
+      bool found = false;
+      for (const auto& item : expr.args) {
+        CLOUDDB_ASSIGN_OR_RETURN(
+            Value candidate, EvaluateExpr(*item, schema, row, functions));
+        if (candidate.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (Value::Compare(needle, candidate) == 0) {
+          found = true;
+          break;
+        }
+      }
+      // SQL semantics: x IN (...) is UNKNOWN when not found but the list
+      // contains NULL; NOT IN flips through three-valued negation.
+      if (found) return Value(int64_t{expr.is_null_negated ? 0 : 1});
+      if (saw_null) return Value::Null();
+      return Value(int64_t{expr.is_null_negated ? 1 : 0});
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+Result<bool> EvaluatePredicate(const Expr& expr, const Schema* schema,
+                               const Row* row,
+                               const FunctionRegistry& functions) {
+  CLOUDDB_ASSIGN_OR_RETURN(Value v, EvaluateExpr(expr, schema, row, functions));
+  if (v.is_null()) return false;
+  CLOUDDB_ASSIGN_OR_RETURN(double d, v.ToDouble());
+  return d != 0.0;
+}
+
+bool IsRowIndependent(const Expr& expr) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return true;
+    case Expr::Kind::kColumnRef:
+      return false;
+    case Expr::Kind::kFunctionCall:
+      for (const auto& arg : expr.args) {
+        if (!IsRowIndependent(*arg)) return false;
+      }
+      return true;
+    case Expr::Kind::kBinary:
+      return IsRowIndependent(*expr.lhs) && IsRowIndependent(*expr.rhs);
+    case Expr::Kind::kIsNull:
+    case Expr::Kind::kNot:
+      return IsRowIndependent(*expr.lhs);
+    case Expr::Kind::kInList:
+      if (!IsRowIndependent(*expr.lhs)) return false;
+      for (const auto& item : expr.args) {
+        if (!IsRowIndependent(*item)) return false;
+      }
+      return true;
+  }
+  return false;
+}
+
+}  // namespace clouddb::db

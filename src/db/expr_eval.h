@@ -1,0 +1,31 @@
+#ifndef CLOUDDB_DB_EXPR_EVAL_H_
+#define CLOUDDB_DB_EXPR_EVAL_H_
+
+#include "common/result.h"
+#include "db/functions.h"
+#include "db/schema.h"
+#include "db/sql_ast.h"
+#include "db/value.h"
+
+namespace clouddb::db {
+
+/// Evaluates `expr`. Column references resolve against `row` laid out per
+/// `schema` (both may be null for row-independent expressions, e.g. INSERT
+/// values). Booleans are represented as int64 1/0; SQL three-valued logic
+/// propagates NULL through comparisons and AND.
+Result<Value> EvaluateExpr(const Expr& expr, const Schema* schema,
+                           const Row* row, const FunctionRegistry& functions);
+
+/// Evaluates `expr` as a predicate: true iff the result is non-NULL, numeric
+/// and non-zero (NULL => false, per SQL WHERE semantics).
+Result<bool> EvaluatePredicate(const Expr& expr, const Schema* schema,
+                               const Row* row,
+                               const FunctionRegistry& functions);
+
+/// True if `expr` references no columns (safe to evaluate once per
+/// statement instead of once per row).
+bool IsRowIndependent(const Expr& expr);
+
+}  // namespace clouddb::db
+
+#endif  // CLOUDDB_DB_EXPR_EVAL_H_

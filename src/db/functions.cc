@@ -1,0 +1,91 @@
+#include "db/functions.h"
+
+#include <cmath>
+
+#include "common/str_util.h"
+
+namespace clouddb::db {
+
+namespace {
+
+Status ArityError(const char* name, size_t want, size_t got) {
+  return Status::InvalidArgument(
+      StrFormat("%s expects %zu argument(s), got %zu", name, want, got));
+}
+
+Result<Value> FnAbs(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("ABS", 1, args.size());
+  if (args[0].is_null()) return Value::Null();
+  if (args[0].type() == ValueType::kInt64) {
+    int64_t v = args[0].AsInt64();
+    return Value(v < 0 ? -v : v);
+  }
+  CLOUDDB_ASSIGN_OR_RETURN(double d, args[0].ToDouble());
+  return Value(std::fabs(d));
+}
+
+Result<Value> FnMod(const std::vector<Value>& args) {
+  if (args.size() != 2) return ArityError("MOD", 2, args.size());
+  if (args[0].is_null() || args[1].is_null()) return Value::Null();
+  CLOUDDB_ASSIGN_OR_RETURN(int64_t a, args[0].ToInt64());
+  CLOUDDB_ASSIGN_OR_RETURN(int64_t b, args[1].ToInt64());
+  if (b == 0) return Status::InvalidArgument("MOD by zero");
+  return Value(a % b);
+}
+
+Result<Value> FnLength(const std::vector<Value>& args) {
+  if (args.size() != 1) return ArityError("LENGTH", 1, args.size());
+  if (args[0].is_null()) return Value::Null();
+  if (args[0].type() != ValueType::kString) {
+    return Status::InvalidArgument("LENGTH expects a string");
+  }
+  return Value(static_cast<int64_t>(args[0].AsString().size()));
+}
+
+Result<Value> FnConcat(const std::vector<Value>& args) {
+  std::string out;
+  for (const Value& v : args) {
+    if (v.is_null()) return Value::Null();
+    out += v.ToString();
+  }
+  return Value(std::move(out));
+}
+
+}  // namespace
+
+FunctionRegistry::FunctionRegistry(std::function<int64_t()> now_micros) {
+  Register("ABS", FnAbs);
+  Register("MOD", FnMod);
+  Register("LENGTH", FnLength);
+  Register("CONCAT", FnConcat);
+  SetTimeSource(std::move(now_micros));
+}
+
+void FunctionRegistry::Register(const std::string& name, Fn fn) {
+  fns_[ToUpper(name)] = std::move(fn);
+}
+
+Result<Value> FunctionRegistry::Call(const std::string& name,
+                                     const std::vector<Value>& args) const {
+  auto it = fns_.find(ToUpper(name));
+  if (it == fns_.end()) {
+    return Status::NotFound(StrFormat("no function named %s", name.c_str()));
+  }
+  return it->second(args);
+}
+
+bool FunctionRegistry::Has(const std::string& name) const {
+  return fns_.count(ToUpper(name)) > 0;
+}
+
+void FunctionRegistry::SetTimeSource(std::function<int64_t()> now_micros) {
+  auto src = now_micros ? std::move(now_micros) : [] { return int64_t{0}; };
+  Register("NOW_MICROS",
+           [src = std::move(src)](const std::vector<Value>& args)
+               -> Result<Value> {
+             if (!args.empty()) return ArityError("NOW_MICROS", 0, args.size());
+             return Value(src());
+           });
+}
+
+}  // namespace clouddb::db

@@ -1,0 +1,52 @@
+#ifndef CLOUDDB_DB_FUNCTIONS_H_
+#define CLOUDDB_DB_FUNCTIONS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "db/value.h"
+
+namespace clouddb::db {
+
+/// Scalar SQL functions available to the executor.
+///
+/// Note on replication: statement-based replication re-executes statement
+/// *text* on every replica, so functions are re-evaluated per replica.
+/// NOW_MICROS() deliberately exploits this — it reads the local instance
+/// clock, which is how the paper's heartbeat mechanism obtains a per-replica
+/// commit timestamp (master inserts its local time; each slave overwrites the
+/// expression result with its own local time on re-execution).
+class FunctionRegistry {
+ public:
+  using Fn = std::function<Result<Value>(const std::vector<Value>&)>;
+
+  /// Creates a registry with the built-ins: ABS, MOD, LENGTH, CONCAT,
+  /// and NOW_MICROS bound to `now_micros` (defaults to a constant 0 source,
+  /// which standalone/unit-test databases use).
+  explicit FunctionRegistry(std::function<int64_t()> now_micros = nullptr);
+
+  /// Registers (or replaces) a function under `name` (case-insensitive).
+  void Register(const std::string& name, Fn fn);
+
+  /// Invokes `name` with `args`. NotFound if unregistered.
+  Result<Value> Call(const std::string& name,
+                     const std::vector<Value>& args) const;
+
+  bool Has(const std::string& name) const;
+
+  /// Rebinds the NOW_MICROS time source (the replication node layer binds it
+  /// to the instance's drifting local clock).
+  void SetTimeSource(std::function<int64_t()> now_micros);
+
+ private:
+  std::map<std::string, Fn> fns_;  // keys upper-cased
+};
+
+}  // namespace clouddb::db
+
+#endif  // CLOUDDB_DB_FUNCTIONS_H_

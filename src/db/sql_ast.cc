@@ -1,0 +1,170 @@
+#include "db/sql_ast.h"
+
+#include "common/str_util.h"
+
+namespace clouddb::db {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "!=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+  }
+  return "?";
+}
+
+const char* AggregateFnToString(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCountStar:
+      return "COUNT";
+    case AggregateFn::kMin:
+      return "MIN";
+    case AggregateFn::kMax:
+      return "MAX";
+    case AggregateFn::kSum:
+      return "SUM";
+    case AggregateFn::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+std::unique_ptr<Expr> Expr::MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeColumn(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumnRef;
+  e->column = std::move(name);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeFunction(
+    std::string name, std::vector<std::unique_ptr<Expr>> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kFunctionCall;
+  e->function = ToUpper(name);
+  e->args = std::move(args);
+  return e;
+}
+
+std::unique_ptr<Expr> Expr::MakeBinary(BinaryOp op, std::unique_ptr<Expr> lhs,
+                                       std::unique_ptr<Expr> rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = op;
+  e->lhs = std::move(lhs);
+  e->rhs = std::move(rhs);
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToSqlLiteral();
+    case Kind::kColumnRef:
+      return column;
+    case Kind::kFunctionCall: {
+      std::string out = function + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case Kind::kBinary:
+      return StrFormat("(%s %s %s)", lhs->ToString().c_str(),
+                       BinaryOpToString(op), rhs->ToString().c_str());
+    case Kind::kIsNull:
+      return StrFormat("(%s IS %sNULL)", lhs->ToString().c_str(),
+                       is_null_negated ? "NOT " : "");
+    case Kind::kNot:
+      return StrFormat("(NOT %s)", lhs->ToString().c_str());
+    case Kind::kInList: {
+      std::string out = StrFormat("(%s %sIN (", lhs->ToString().c_str(),
+                                  is_null_negated ? "NOT " : "");
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToString();
+      }
+      out += "))";
+      return out;
+    }
+  }
+  return "?";
+}
+
+ExprPtr CloneExpr(const Expr& expr) {
+  auto out = std::make_unique<Expr>();
+  out->kind = expr.kind;
+  out->literal = expr.literal;
+  out->column = expr.column;
+  out->function = expr.function;
+  out->op = expr.op;
+  out->is_null_negated = expr.is_null_negated;
+  for (const auto& arg : expr.args) out->args.push_back(CloneExpr(*arg));
+  if (expr.lhs != nullptr) out->lhs = CloneExpr(*expr.lhs);
+  if (expr.rhs != nullptr) out->rhs = CloneExpr(*expr.rhs);
+  return out;
+}
+
+bool IsWriteStatement(const Statement& stmt) {
+  return std::holds_alternative<CreateTableStatement>(stmt) ||
+         std::holds_alternative<CreateIndexStatement>(stmt) ||
+         std::holds_alternative<DropTableStatement>(stmt) ||
+         std::holds_alternative<TruncateStatement>(stmt) ||
+         std::holds_alternative<InsertStatement>(stmt) ||
+         std::holds_alternative<UpdateStatement>(stmt) ||
+         std::holds_alternative<DeleteStatement>(stmt);
+}
+
+bool IsTransactionControl(const Statement& stmt) {
+  return std::holds_alternative<BeginStatement>(stmt) ||
+         std::holds_alternative<CommitStatement>(stmt) ||
+         std::holds_alternative<RollbackStatement>(stmt);
+}
+
+const char* StatementKindName(const Statement& stmt) {
+  struct Visitor {
+    const char* operator()(const CreateTableStatement&) { return "CREATE TABLE"; }
+    const char* operator()(const CreateIndexStatement&) { return "CREATE INDEX"; }
+    const char* operator()(const DropTableStatement&) { return "DROP TABLE"; }
+    const char* operator()(const TruncateStatement&) { return "TRUNCATE"; }
+    const char* operator()(const InsertStatement&) { return "INSERT"; }
+    const char* operator()(const SelectStatement&) { return "SELECT"; }
+    const char* operator()(const UpdateStatement&) { return "UPDATE"; }
+    const char* operator()(const DeleteStatement&) { return "DELETE"; }
+    const char* operator()(const BeginStatement&) { return "BEGIN"; }
+    const char* operator()(const CommitStatement&) { return "COMMIT"; }
+    const char* operator()(const RollbackStatement&) { return "ROLLBACK"; }
+  };
+  return std::visit(Visitor{}, stmt);
+}
+
+}  // namespace clouddb::db

@@ -1,0 +1,166 @@
+#ifndef CLOUDDB_DB_SQL_AST_H_
+#define CLOUDDB_DB_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace clouddb::db {
+
+/// Binary operators supported in expressions and WHERE predicates.
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+};
+
+const char* BinaryOpToString(BinaryOp op);
+
+/// Expression tree node. A tagged struct rather than a class hierarchy —
+/// the expression language is small and closed.
+struct Expr {
+  enum class Kind {
+    kLiteral,       // `literal`
+    kColumnRef,     // `column`
+    kFunctionCall,  // `function(args...)`, function upper-cased
+    kBinary,        // `lhs op rhs`
+    kIsNull,        // `lhs IS [NOT] NULL`
+    kNot,           // `NOT lhs`
+    kInList,        // `lhs [NOT] IN (args...)`; is_null_negated = NOT IN
+  };
+
+  Kind kind = Kind::kLiteral;
+  Value literal;
+  std::string column;
+  std::string function;
+  std::vector<std::unique_ptr<Expr>> args;
+  BinaryOp op = BinaryOp::kEq;
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+  bool is_null_negated = false;  // kIsNull/kInList: true for IS NOT NULL / NOT IN
+
+  static std::unique_ptr<Expr> MakeLiteral(Value v);
+  static std::unique_ptr<Expr> MakeColumn(std::string name);
+  static std::unique_ptr<Expr> MakeFunction(
+      std::string name, std::vector<std::unique_ptr<Expr>> args);
+  static std::unique_ptr<Expr> MakeBinary(BinaryOp op,
+                                          std::unique_ptr<Expr> lhs,
+                                          std::unique_ptr<Expr> rhs);
+
+  /// Re-renders as SQL (used in error messages and tests).
+  std::string ToString() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Deep copy of an expression tree.
+ExprPtr CloneExpr(const Expr& expr);
+
+// --- Statements -----------------------------------------------------------
+
+struct CreateTableStatement {
+  std::string table;
+  std::vector<ColumnDef> columns;
+};
+
+struct CreateIndexStatement {
+  std::string index;
+  std::string table;
+  std::string column;
+};
+
+struct DropTableStatement {
+  std::string table;
+};
+
+struct TruncateStatement {
+  std::string table;
+};
+
+struct InsertStatement {
+  std::string table;
+  std::vector<std::string> columns;  // empty = schema order
+  std::vector<ExprPtr> values;
+};
+
+/// Aggregate functions usable in a SELECT list.
+enum class AggregateFn {
+  kCountStar,  // COUNT(*)
+  kMin,
+  kMax,
+  kSum,
+  kAvg,
+};
+
+const char* AggregateFnToString(AggregateFn fn);
+
+/// One item of an aggregate SELECT list, e.g. MIN(age).
+struct AggregateItem {
+  AggregateFn fn = AggregateFn::kCountStar;
+  std::string column;  // empty for COUNT(*)
+};
+
+struct SelectStatement {
+  std::string table;
+  bool star = false;        // SELECT *
+  bool count_star = false;  // SELECT COUNT(*) and nothing else
+  std::vector<std::string> columns;
+  /// Non-empty = aggregate query (mixing aggregates and plain columns is
+  /// rejected by the parser; there is no GROUP BY).
+  std::vector<AggregateItem> aggregates;
+  ExprPtr where;            // may be null
+  std::string order_by;     // empty = unordered
+  bool order_desc = false;
+  std::optional<int64_t> limit;
+};
+
+struct UpdateStatement {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // may be null
+};
+
+struct DeleteStatement {
+  std::string table;
+  ExprPtr where;  // may be null
+};
+
+struct BeginStatement {};
+struct CommitStatement {};
+struct RollbackStatement {};
+
+/// A parsed SQL statement. Move-only (expressions own their children).
+using Statement =
+    std::variant<CreateTableStatement, CreateIndexStatement,
+                 DropTableStatement, TruncateStatement, InsertStatement,
+                 SelectStatement, UpdateStatement, DeleteStatement,
+                 BeginStatement, CommitStatement, RollbackStatement>;
+
+/// True for statements that modify data or schema (and therefore must be
+/// written to the binlog and routed to the master).
+bool IsWriteStatement(const Statement& stmt);
+
+/// True for transaction-control statements (BEGIN/COMMIT/ROLLBACK).
+bool IsTransactionControl(const Statement& stmt);
+
+/// Short statement-kind name for diagnostics ("INSERT", "SELECT", ...).
+const char* StatementKindName(const Statement& stmt);
+
+}  // namespace clouddb::db
+
+#endif  // CLOUDDB_DB_SQL_AST_H_

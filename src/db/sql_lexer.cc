@@ -1,0 +1,180 @@
+#include "db/sql_lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/str_util.h"
+
+namespace clouddb::db {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "CREATE", "TABLE",  "INDEX",  "ON",     "INSERT", "INTO",   "VALUES",
+      "SELECT", "FROM",   "WHERE",  "ORDER",  "BY",     "ASC",    "DESC",
+      "LIMIT",  "UPDATE", "SET",    "DELETE", "AND",    "NOT",    "NULL",
+      "PRIMARY", "KEY",   "INT",    "BIGINT", "DOUBLE", "TEXT",   "VARCHAR",
+      "TIMESTAMP", "BEGIN", "COMMIT", "ROLLBACK", "COUNT", "TRUNCATE",
+      "IS",     "DROP",   "OR",     "IN",     "BETWEEN",
+      "MIN",    "MAX",    "SUM",    "AVG",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kKeyword && text == kw;
+}
+
+bool Token::IsSymbol(const char* sym) const {
+  return type == TokenType::kSymbol && text == sym;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      std::string word = sql.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      Token t;
+      t.offset = start;
+      if (Keywords().count(upper) > 0) {
+        t.type = TokenType::kKeyword;
+        t.text = upper;
+      } else {
+        t.type = TokenType::kIdentifier;
+        t.text = std::move(word);
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j < n && sql[j] == '.') {
+        is_double = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      if (j < n && (sql[j] == 'e' || sql[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (sql[k] == '+' || sql[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(sql[k]))) {
+          is_double = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+            ++j;
+          }
+        }
+      }
+      std::string text = sql.substr(i, j - i);
+      Token t;
+      t.offset = start;
+      t.text = text;
+      if (is_double) {
+        t.type = TokenType::kDouble;
+        t.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.type = TokenType::kInteger;
+        errno = 0;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+          return Status::InvalidArgument(
+              StrFormat("integer literal out of range at offset %zu", start));
+        }
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // '' escape
+            value += '\'';
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value += sql[j];
+        ++j;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at offset %zu", start));
+      }
+      Token t;
+      t.type = TokenType::kString;
+      t.text = std::move(value);
+      t.offset = start;
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Multi-char symbols first.
+    auto symbol = [&](const char* sym) {
+      Token t;
+      t.type = TokenType::kSymbol;
+      t.text = sym;
+      t.offset = start;
+      out.push_back(std::move(t));
+    };
+    if (c == '<' && i + 1 < n && sql[i + 1] == '=') {
+      symbol("<=");
+      i += 2;
+    } else if (c == '>' && i + 1 < n && sql[i + 1] == '=') {
+      symbol(">=");
+      i += 2;
+    } else if (c == '<' && i + 1 < n && sql[i + 1] == '>') {
+      symbol("<>");
+      i += 2;
+    } else if (c == '!' && i + 1 < n && sql[i + 1] == '=') {
+      symbol("!=");
+      i += 2;
+    } else if (std::string("(),*=<>+-/.;").find(c) != std::string::npos) {
+      char buf[2] = {c, 0};
+      symbol(buf);
+      ++i;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace clouddb::db

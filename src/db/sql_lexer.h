@@ -1,0 +1,40 @@
+#ifndef CLOUDDB_DB_SQL_LEXER_H_
+#define CLOUDDB_DB_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace clouddb::db {
+
+/// Token kinds produced by the SQL lexer.
+enum class TokenType {
+  kKeyword,     // recognized SQL keyword, normalized to upper case
+  kIdentifier,  // table/column/index names
+  kInteger,     // 64-bit integer literal
+  kDouble,      // floating-point literal
+  kString,      // 'single quoted', '' escapes a quote
+  kSymbol,      // ( ) , * = != <> < <= > >= + - / .
+  kEnd,         // end of input
+};
+
+struct Token {
+  TokenType type;
+  std::string text;   // keyword/symbol spelling or identifier/literal text
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  size_t offset = 0;  // byte offset in the source, for error messages
+
+  bool IsKeyword(const char* kw) const;
+  bool IsSymbol(const char* sym) const;
+};
+
+/// Tokenizes `sql`. Keywords are case-insensitive. Returns the token list
+/// terminated by a kEnd token, or an error pointing at the offending byte.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace clouddb::db
+
+#endif  // CLOUDDB_DB_SQL_LEXER_H_

@@ -1,0 +1,37 @@
+#ifndef CLOUDDB_DB_SQL_PARSER_H_
+#define CLOUDDB_DB_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "db/sql_ast.h"
+
+namespace clouddb::db {
+
+/// Parses one SQL statement (an optional trailing ';' is accepted).
+///
+/// Supported grammar (keywords case-insensitive):
+///
+///   CREATE TABLE t (col TYPE [PRIMARY KEY | NOT NULL], ...)
+///   CREATE INDEX idx ON t (col)
+///   DROP TABLE t
+///   TRUNCATE t                    -- or TRUNCATE TABLE t
+///   INSERT INTO t [(cols)] VALUES (expr, ...)
+///   SELECT * | COUNT(*) | cols FROM t [WHERE pred] [ORDER BY col [ASC|DESC]]
+///       [LIMIT n]
+///   UPDATE t SET col = expr [, ...] [WHERE pred]
+///   DELETE FROM t [WHERE pred]
+///   BEGIN | COMMIT | ROLLBACK
+///
+/// TYPE is INT | BIGINT | TIMESTAMP (64-bit int), DOUBLE,
+/// TEXT | VARCHAR[(n)] (string).
+///
+/// pred is a conjunction: comparison (AND comparison)*, where comparison is
+/// expr (= | != | <> | < | <= | > | >=) expr, or expr IS [NOT] NULL.
+/// Expressions support +, -, *, / with the usual precedence, parentheses,
+/// column references, literals, and function calls (e.g. NOW_MICROS()).
+Result<Statement> ParseSql(const std::string& sql);
+
+}  // namespace clouddb::db
+
+#endif  // CLOUDDB_DB_SQL_PARSER_H_

@@ -1,0 +1,306 @@
+#include "db/table.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace clouddb::db {
+
+Table::Table(std::string name, Schema schema)
+    : name_(std::move(name)), schema_(std::move(schema)) {
+  if (schema_.primary_key_index().has_value()) {
+    primary_ = std::make_unique<BPlusTree<Value, RowId>>();
+  }
+}
+
+Result<RowId> Table::Insert(Row row) {
+  CLOUDDB_RETURN_IF_ERROR(schema_.CoerceRow(&row));
+  if (primary_ != nullptr) {
+    const Value& pk = row[*schema_.primary_key_index()];
+    if (primary_->Contains(pk)) {
+      return Status::AlreadyExists(
+          StrFormat("duplicate primary key %s in table '%s'",
+                    pk.ToSqlLiteral().c_str(), name_.c_str()));
+    }
+  }
+  RowId id = next_row_id_++;
+  Status st = IndexInsert(id, row);
+  if (!st.ok()) return st;
+  rows_.emplace(id, std::move(row));
+  return id;
+}
+
+Status Table::Delete(RowId id) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound(StrFormat("row %lld not found in table '%s'",
+                                      static_cast<long long>(id),
+                                      name_.c_str()));
+  }
+  IndexErase(id, it->second);
+  rows_.erase(it);
+  return Status::Ok();
+}
+
+Status Table::Update(RowId id, Row new_row) {
+  auto it = rows_.find(id);
+  if (it == rows_.end()) {
+    return Status::NotFound(StrFormat("row %lld not found in table '%s'",
+                                      static_cast<long long>(id),
+                                      name_.c_str()));
+  }
+  CLOUDDB_RETURN_IF_ERROR(schema_.CoerceRow(&new_row));
+  if (primary_ != nullptr) {
+    size_t pk_col = *schema_.primary_key_index();
+    const Value& old_pk = it->second[pk_col];
+    const Value& new_pk = new_row[pk_col];
+    if (old_pk != new_pk && primary_->Contains(new_pk)) {
+      return Status::AlreadyExists(
+          StrFormat("duplicate primary key %s in table '%s'",
+                    new_pk.ToSqlLiteral().c_str(), name_.c_str()));
+    }
+  }
+  IndexErase(id, it->second);
+  it->second = std::move(new_row);
+  Status st = IndexInsert(id, it->second);
+  if (!st.ok()) return st;  // unreachable after the checks above
+  return Status::Ok();
+}
+
+Status Table::RestoreRow(RowId id, Row row) {
+  if (rows_.count(id) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("row %lld is live in table '%s'", static_cast<long long>(id),
+                  name_.c_str()));
+  }
+  CLOUDDB_RETURN_IF_ERROR(schema_.CoerceRow(&row));
+  if (primary_ != nullptr) {
+    const Value& pk = row[*schema_.primary_key_index()];
+    if (primary_->Contains(pk)) {
+      return Status::AlreadyExists("duplicate primary key on restore");
+    }
+  }
+  CLOUDDB_RETURN_IF_ERROR(IndexInsert(id, row));
+  rows_.emplace(id, std::move(row));
+  if (id >= next_row_id_) next_row_id_ = id + 1;
+  return Status::Ok();
+}
+
+const Row* Table::Get(RowId id) const {
+  auto it = rows_.find(id);
+  return it == rows_.end() ? nullptr : &it->second;
+}
+
+Result<RowId> Table::FindByPrimaryKey(const Value& key) const {
+  if (primary_ == nullptr) {
+    return Status::FailedPrecondition(
+        StrFormat("table '%s' has no primary key", name_.c_str()));
+  }
+  const RowId* id = primary_->Find(key);
+  if (id == nullptr) {
+    return Status::NotFound(StrFormat("primary key %s not found",
+                                      key.ToSqlLiteral().c_str()));
+  }
+  return *id;
+}
+
+Status Table::CreateIndex(const std::string& index_name,
+                          const std::string& column) {
+  if (HasIndexNamed(index_name)) {
+    return Status::AlreadyExists(
+        StrFormat("index '%s' already exists", index_name.c_str()));
+  }
+  CLOUDDB_ASSIGN_OR_RETURN(size_t col, schema_.ColumnIndex(column));
+  SecondaryIndex idx;
+  idx.name = index_name;
+  idx.column = col;
+  idx.tree = std::make_unique<BPlusTree<SecondaryKey, RowId>>();
+  for (const auto& [id, row] : rows_) {
+    idx.tree->Insert(SecondaryKey{row[col], id}, id);
+  }
+  secondary_.push_back(std::move(idx));
+  return Status::Ok();
+}
+
+bool Table::HasIndexOn(size_t column_index) const {
+  if (primary_ != nullptr && schema_.primary_key_index() == column_index) {
+    return true;
+  }
+  return std::any_of(secondary_.begin(), secondary_.end(),
+                     [&](const SecondaryIndex& i) {
+                       return i.column == column_index;
+                     });
+}
+
+bool Table::HasIndexNamed(const std::string& index_name) const {
+  return std::any_of(secondary_.begin(), secondary_.end(),
+                     [&](const SecondaryIndex& i) {
+                       return EqualsIgnoreCase(i.name, index_name);
+                     });
+}
+
+std::vector<std::pair<std::string, std::string>> Table::SecondaryIndexes()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(secondary_.size());
+  for (const SecondaryIndex& idx : secondary_) {
+    out.emplace_back(idx.name, schema_.columns()[idx.column].name);
+  }
+  return out;
+}
+
+Status Table::ScanIndex(size_t column_index, const Value* lo,
+                        bool lo_inclusive, const Value* hi, bool hi_inclusive,
+                        const std::function<bool(RowId)>& visit) const {
+  // Prefer the primary index when the column is the PK.
+  if (primary_ != nullptr && schema_.primary_key_index() == column_index) {
+    return ScanPrimary(lo, lo_inclusive, hi, hi_inclusive, visit);
+  }
+  const SecondaryIndex* idx = nullptr;
+  for (const auto& i : secondary_) {
+    if (i.column == column_index) {
+      idx = &i;
+      break;
+    }
+  }
+  if (idx == nullptr) {
+    return Status::FailedPrecondition(
+        StrFormat("no index on column %zu of table '%s'", column_index,
+                  name_.c_str()));
+  }
+  // Bounds on Value map to bounds on SecondaryKey via RowId extremes.
+  SecondaryKey lo_key, hi_key;
+  const SecondaryKey* lo_ptr = nullptr;
+  const SecondaryKey* hi_ptr = nullptr;
+  if (lo != nullptr) {
+    lo_key = SecondaryKey{*lo, lo_inclusive ? INT64_MIN : INT64_MAX};
+    lo_ptr = &lo_key;
+  }
+  if (hi != nullptr) {
+    hi_key = SecondaryKey{*hi, hi_inclusive ? INT64_MAX : INT64_MIN};
+    hi_ptr = &hi_key;
+  }
+  idx->tree->Scan(lo_ptr, /*lo_inclusive=*/true, hi_ptr, hi_inclusive,
+                  [&](const SecondaryKey&, const RowId& id) {
+                    return visit(id);
+                  });
+  return Status::Ok();
+}
+
+Status Table::ScanPrimary(const Value* lo, bool lo_inclusive, const Value* hi,
+                          bool hi_inclusive,
+                          const std::function<bool(RowId)>& visit) const {
+  if (primary_ == nullptr) {
+    return Status::FailedPrecondition(
+        StrFormat("table '%s' has no primary key", name_.c_str()));
+  }
+  primary_->Scan(lo, lo_inclusive, hi, hi_inclusive,
+                 [&](const Value&, const RowId& id) { return visit(id); });
+  return Status::Ok();
+}
+
+void Table::ScanAll(
+    const std::function<bool(RowId, const Row&)>& visit) const {
+  for (const auto& [id, row] : rows_) {
+    if (!visit(id, row)) return;
+  }
+}
+
+void Table::Truncate() {
+  rows_.clear();
+  if (primary_ != nullptr) primary_->Clear();
+  for (auto& idx : secondary_) idx.tree->Clear();
+}
+
+bool Table::ContentsEqual(const Table& a, const Table& b) {
+  if (a.schema_.num_columns() != b.schema_.num_columns()) return false;
+  if (a.rows_.size() != b.rows_.size()) return false;
+  // Compare as sorted multisets of rows (RowIds may differ between replicas
+  // only if statements interleave differently; contents are what matter).
+  std::vector<const Row*> ra, rb;
+  ra.reserve(a.rows_.size());
+  rb.reserve(b.rows_.size());
+  for (const auto& [id, row] : a.rows_) ra.push_back(&row);
+  for (const auto& [id, row] : b.rows_) rb.push_back(&row);
+  auto row_less = [](const Row* x, const Row* y) {
+    for (size_t i = 0; i < std::min(x->size(), y->size()); ++i) {
+      int c = Value::Compare((*x)[i], (*y)[i]);
+      if (c != 0) return c < 0;
+    }
+    return x->size() < y->size();
+  };
+  std::sort(ra.begin(), ra.end(), row_less);
+  std::sort(rb.begin(), rb.end(), row_less);
+  for (size_t i = 0; i < ra.size(); ++i) {
+    if (ra[i]->size() != rb[i]->size()) return false;
+    for (size_t j = 0; j < ra[i]->size(); ++j) {
+      if ((*ra[i])[j] != (*rb[i])[j]) return false;
+    }
+  }
+  return true;
+}
+
+bool Table::ValidateIndexes(std::string* error) const {
+  auto fail = [&](const std::string& msg) {
+    if (error) *error = msg;
+    return false;
+  };
+  if (primary_ != nullptr) {
+    std::string tree_err;
+    if (!primary_->Validate(&tree_err)) {
+      return fail("primary tree invalid: " + tree_err);
+    }
+    if (primary_->size() != rows_.size()) {
+      return fail("primary index size mismatch");
+    }
+    size_t pk_col = *schema_.primary_key_index();
+    for (const auto& [id, row] : rows_) {
+      const RowId* found = primary_->Find(row[pk_col]);
+      if (found == nullptr || *found != id) {
+        return fail("row missing from primary index");
+      }
+    }
+  }
+  for (const auto& idx : secondary_) {
+    std::string tree_err;
+    if (!idx.tree->Validate(&tree_err)) {
+      return fail("secondary tree invalid: " + tree_err);
+    }
+    if (idx.tree->size() != rows_.size()) {
+      return fail(StrFormat("secondary index '%s' size mismatch",
+                            idx.name.c_str()));
+    }
+    for (const auto& [id, row] : rows_) {
+      const RowId* found = idx.tree->Find(SecondaryKey{row[idx.column], id});
+      if (found == nullptr || *found != id) {
+        return fail(StrFormat("row missing from secondary index '%s'",
+                              idx.name.c_str()));
+      }
+    }
+  }
+  return true;
+}
+
+Status Table::IndexInsert(RowId id, const Row& row) {
+  if (primary_ != nullptr) {
+    const Value& pk = row[*schema_.primary_key_index()];
+    if (!primary_->Insert(pk, id)) {
+      return Status::AlreadyExists("duplicate primary key");
+    }
+  }
+  for (auto& idx : secondary_) {
+    idx.tree->Insert(SecondaryKey{row[idx.column], id}, id);
+  }
+  return Status::Ok();
+}
+
+void Table::IndexErase(RowId id, const Row& row) {
+  if (primary_ != nullptr) {
+    primary_->Erase(row[*schema_.primary_key_index()]);
+  }
+  for (auto& idx : secondary_) {
+    idx.tree->Erase(SecondaryKey{row[idx.column], id});
+  }
+}
+
+}  // namespace clouddb::db

@@ -1,0 +1,135 @@
+#ifndef CLOUDDB_DB_TABLE_H_
+#define CLOUDDB_DB_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "db/bplus_tree.h"
+#include "db/schema.h"
+#include "db/value.h"
+
+namespace clouddb::db {
+
+/// Internal row identifier; stable for the life of the row.
+using RowId = int64_t;
+
+/// Composite key for secondary (non-unique) indexes: the indexed value plus
+/// the row id as a tiebreaker, making every key unique in the B+Tree.
+struct SecondaryKey {
+  Value value;
+  RowId row_id;
+
+  friend bool operator<(const SecondaryKey& a, const SecondaryKey& b) {
+    int c = Value::Compare(a.value, b.value);
+    if (c != 0) return c < 0;
+    return a.row_id < b.row_id;
+  }
+};
+
+/// A heap of rows plus indexes.
+///
+/// - Rows live in an id-addressed store; RowIds are assigned monotonically.
+/// - If the schema declares a PRIMARY KEY, a unique B+Tree index over it is
+///   maintained automatically and uniqueness is enforced.
+/// - Any column can get a secondary (non-unique) B+Tree index.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Validates and inserts `row`; enforces PK uniqueness. Returns the new
+  /// RowId.
+  Result<RowId> Insert(Row row);
+
+  /// Deletes by RowId. Returns NotFound if absent.
+  Status Delete(RowId id);
+
+  /// Replaces the row's contents (all indexes updated). The primary key may
+  /// change as long as it stays unique.
+  Status Update(RowId id, Row new_row);
+
+  /// Re-inserts a previously deleted row under its original RowId (used by
+  /// transaction rollback). Fails if the id is live or the primary key
+  /// duplicates a live row.
+  Status RestoreRow(RowId id, Row row);
+
+  /// Row access (nullptr if the id is dead).
+  const Row* Get(RowId id) const;
+
+  /// Looks up by primary key. Requires a declared primary key.
+  Result<RowId> FindByPrimaryKey(const Value& key) const;
+  bool HasPrimaryKey() const {
+    return schema_.primary_key_index().has_value();
+  }
+
+  /// Creates a secondary index on `column` (named `index_name`). Fails if the
+  /// name exists or the column is unknown. Backfills existing rows.
+  Status CreateIndex(const std::string& index_name, const std::string& column);
+  bool HasIndexOn(size_t column_index) const;
+  bool HasIndexNamed(const std::string& index_name) const;
+  /// (index name, column name) of every secondary index, in creation order.
+  std::vector<std::pair<std::string, std::string>> SecondaryIndexes() const;
+
+  /// Visits RowIds whose `column` value is within [lo, hi] (either bound
+  /// optional). Uses the secondary index on that column — callers check
+  /// `HasIndexOn` first; returns FailedPrecondition otherwise.
+  /// Visitor: bool(RowId) — return false to stop.
+  Status ScanIndex(size_t column_index, const Value* lo, bool lo_inclusive,
+                   const Value* hi, bool hi_inclusive,
+                   const std::function<bool(RowId)>& visit) const;
+
+  /// Visits RowIds whose primary key is within the given bounds, in key
+  /// order. Requires a primary key.
+  Status ScanPrimary(const Value* lo, bool lo_inclusive, const Value* hi,
+                     bool hi_inclusive,
+                     const std::function<bool(RowId)>& visit) const;
+
+  /// Visits every live row in RowId order. Visitor: bool(RowId, const Row&).
+  void ScanAll(const std::function<bool(RowId, const Row&)>& visit) const;
+
+  /// Removes all rows (indexes cleared; schema and index definitions kept).
+  void Truncate();
+
+  /// Deep equality of contents (schemas equal, same multiset of rows);
+  /// used to assert master/slave convergence.
+  static bool ContentsEqual(const Table& a, const Table& b);
+
+  /// Internal-consistency check for tests: every row is present in every
+  /// index exactly once and vice versa.
+  bool ValidateIndexes(std::string* error) const;
+
+ private:
+  struct SecondaryIndex {
+    std::string name;
+    size_t column;
+    std::unique_ptr<BPlusTree<SecondaryKey, RowId>> tree;
+  };
+
+  Status IndexInsert(RowId id, const Row& row);
+  void IndexErase(RowId id, const Row& row);
+
+  std::string name_;
+  Schema schema_;
+  RowId next_row_id_ = 1;
+  // std::map keeps ScanAll deterministic in RowId order.
+  std::map<RowId, Row> rows_;
+  std::unique_ptr<BPlusTree<Value, RowId>> primary_;  // null if no PK
+  std::vector<SecondaryIndex> secondary_;
+};
+
+}  // namespace clouddb::db
+
+#endif  // CLOUDDB_DB_TABLE_H_

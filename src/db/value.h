@@ -1,0 +1,97 @@
+#ifndef CLOUDDB_DB_VALUE_H_
+#define CLOUDDB_DB_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace clouddb::db {
+
+/// Column data types supported by the engine.
+enum class ValueType {
+  kNull,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeToString(ValueType t);
+
+/// A single SQL value: NULL, 64-bit integer, double, or string.
+/// Ordered: NULL < numerics < strings; int64 and double compare numerically.
+class Value {
+ public:
+  /// NULL value.
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  /// Typed accessors; must match `type()`.
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric coercion: int64 or double -> double. Fails on other types.
+  Result<double> ToDouble() const;
+  /// int64 passes through; double truncates. Fails on other types.
+  Result<int64_t> ToInt64() const;
+
+  /// SQL-literal rendering: NULL, 42, 3.14, 'escaped''string'.
+  /// Round-trips through the lexer — this is how statement-based replication
+  /// serializes evaluated values.
+  std::string ToSqlLiteral() const;
+  /// Human-readable rendering (strings unquoted).
+  std::string ToString() const;
+
+  /// Total ordering across types (see class comment). NULLs compare equal
+  /// here (needed for index keys); SQL three-valued logic is handled by the
+  /// executor before comparing.
+  friend bool operator==(const Value& a, const Value& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return Compare(a, b) < 0;
+  }
+  friend bool operator<=(const Value& a, const Value& b) {
+    return Compare(a, b) <= 0;
+  }
+  friend bool operator>(const Value& a, const Value& b) {
+    return Compare(a, b) > 0;
+  }
+  friend bool operator>=(const Value& a, const Value& b) {
+    return Compare(a, b) >= 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) {
+    return Compare(a, b) != 0;
+  }
+
+  /// -1 / 0 / +1 three-way comparison.
+  static int Compare(const Value& a, const Value& b);
+
+  /// Stable 64-bit hash (for hash joins / duplicate detection in tests).
+  uint64_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+/// A tuple of values; the engine's row representation.
+using Row = std::vector<Value>;
+
+/// Renders a row as "(v1, v2, ...)" using SQL literals.
+std::string RowToString(const Row& row);
+
+}  // namespace clouddb::db
+
+#endif  // CLOUDDB_DB_VALUE_H_

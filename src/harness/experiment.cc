@@ -1,0 +1,155 @@
+#include "harness/experiment.h"
+
+#include <memory>
+
+#include "cloud/ntp.h"
+#include "cloudstone/schema.h"
+#include "common/str_util.h"
+#include "repl/delay_monitor.h"
+
+namespace clouddb::harness {
+
+const char* LocationConfigToString(LocationConfig location) {
+  switch (location) {
+    case LocationConfig::kSameZone:
+      return "same zone (us-west-1a)";
+    case LocationConfig::kDifferentZone:
+      return "different zone (us-west-1b)";
+    case LocationConfig::kDifferentRegion:
+      return "different region (eu-west-1a)";
+  }
+  return "?";
+}
+
+cloud::Placement SlavePlacementFor(LocationConfig location) {
+  switch (location) {
+    case LocationConfig::kSameZone:
+      return cloud::SameZonePlacement();
+    case LocationConfig::kDifferentZone:
+      return cloud::DifferentZonePlacement();
+    case LocationConfig::kDifferentRegion:
+      return cloud::DifferentRegionPlacement();
+  }
+  return cloud::SameZonePlacement();
+}
+
+Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
+  Rng seeder(config.seed);
+  sim::Simulation sim;
+  uint64_t derived_placement_seed = seeder.NextU64();
+  cloud::CloudProvider provider(
+      &sim, config.cloud,
+      config.placement_seed.value_or(derived_placement_seed));
+
+  // L2/L3: the replication tier.
+  repl::ClusterConfig cluster_config;
+  cluster_config.num_slaves = config.num_slaves;
+  cluster_config.slave_placement = SlavePlacementFor(config.location);
+  cluster_config.cost_model =
+      cloudstone::MakeWorkloadCostModel(config.costs, config.apply_factor);
+  cluster_config.synchronous_replication = config.synchronous_replication;
+  repl::ReplicationCluster cluster(&provider, cluster_config);
+
+  // L1: the benchmark driver instance — a large instance in the master's
+  // zone ("the benchmark is deployed in a large instance to avoid any
+  // overload on the application tier").
+  cloud::Instance* bench_instance = provider.Launch(
+      "cloudstone", cloud::InstanceType::kLarge, cluster_config.master_placement);
+
+  // NTP daemons, synchronizing every second.
+  std::vector<std::unique_ptr<cloud::NtpClient>> ntp_clients;
+  if (config.enable_ntp) {
+    for (const auto& instance : provider.instances()) {
+      ntp_clients.push_back(std::make_unique<cloud::NtpClient>(
+          &sim, instance.get(), config.ntp, seeder.NextU64()));
+      ntp_clients.back()->StartPeriodic();
+    }
+  }
+
+  // Pre-load every replica with identical data.
+  cloudstone::WorkloadState state;
+  uint64_t load_seed = seeder.NextU64();
+  Status load_status = cloudstone::LoadInitialData(
+      [&](const std::string& sql) {
+        return cluster.ExecuteEverywhereDirect(sql);
+      },
+      config.data_scale, load_seed, &state);
+  if (!load_status.ok()) return load_status;
+
+  // Heartbeat probe.
+  repl::HeartbeatPlugin heartbeat(&sim, cluster.master(), config.heartbeat);
+  CLOUDDB_RETURN_IF_ERROR(heartbeat.CreateTable());
+  heartbeat.Start();
+
+  // Idle window: heartbeats with no workload.
+  sim.RunUntil(sim.Now() + config.idle_window);
+  int64_t idle_max_id = heartbeat.next_id() - 1;
+
+  // The proxy (Connector/J-style) runs inside the benchmark process.
+  client::ProxyOptions proxy_options;
+  proxy_options.policy = config.policy;
+  proxy_options.pool.max_active = std::max(8, config.num_users);
+  std::vector<repl::SlaveNode*> slaves;
+  for (int i = 0; i < cluster.num_slaves(); ++i) slaves.push_back(cluster.slave(i));
+  client::ReadWriteSplitProxy proxy(&sim, &provider.network(),
+                                    bench_instance->node_id(),
+                                    cluster.master(), slaves, proxy_options);
+
+  cloudstone::OperationGenerator generator(
+      config.mix, config.costs, &state,
+      [bench_instance] { return bench_instance->LocalNowMicros(); });
+  cloudstone::BenchmarkOptions bench_options = config.benchmark;
+  bench_options.num_users = config.num_users;
+  bench_options.seed = seeder.NextU64();
+  cloudstone::BenchmarkDriver driver(&sim, &proxy, &cluster, &generator,
+                                     bench_options);
+  driver.Start();
+
+  // Record which heartbeat ids fall inside the steady window.
+  int64_t loaded_min_id = 0;
+  int64_t loaded_max_id = 0;
+  sim.ScheduleAt(driver.steady_start(),
+                 [&] { loaded_min_id = heartbeat.next_id(); });
+  sim.ScheduleAt(driver.steady_end(),
+                 [&] { loaded_max_id = heartbeat.next_id() - 1; });
+
+  sim.RunUntil(driver.end_time());
+  heartbeat.Stop();
+  for (auto& ntp : ntp_clients) ntp->Stop();
+  // Drain: outstanding operations complete and relay logs apply fully.
+  sim.Run();
+
+  ExperimentResult result;
+  result.benchmark = driver.Report();
+  result.heartbeats_issued = heartbeat.next_id() - 1;
+  result.binlog_events = cluster.master()->database().binlog().size();
+  result.fully_replicated = cluster.FullyReplicated();
+  result.converged = cluster.Converged();
+
+  const db::Database& master_db = cluster.master()->database();
+  double sum_relative = 0.0;
+  for (int i = 0; i < cluster.num_slaves(); ++i) {
+    const db::Database& slave_db = cluster.slave(i)->database();
+    std::vector<double> idle = repl::HeartbeatDelaysMs(
+        master_db, slave_db, 1, idle_max_id, config.heartbeat.table);
+    std::vector<double> loaded =
+        repl::HeartbeatDelaysMs(master_db, slave_db, loaded_min_id,
+                                loaded_max_id, config.heartbeat.table);
+    Sample idle_sample;
+    idle_sample.AddAll(idle);
+    Sample loaded_sample;
+    loaded_sample.AddAll(loaded);
+    double relative = repl::AverageRelativeDelayMs(loaded, idle);
+    result.idle_delay_ms.push_back(idle_sample.TrimmedMean(0.05));
+    result.loaded_delay_ms.push_back(loaded_sample.TrimmedMean(0.05));
+    result.relative_delay_ms.push_back(relative);
+    sum_relative += relative;
+  }
+  if (cluster.num_slaves() > 0) {
+    result.mean_relative_delay_ms =
+        sum_relative / static_cast<double>(cluster.num_slaves());
+  }
+  return result;
+}
+
+}  // namespace clouddb::harness

@@ -1,0 +1,64 @@
+#ifndef CLOUDDB_HARNESS_SWEEP_H_
+#define CLOUDDB_HARNESS_SWEEP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/table_writer.h"
+#include "harness/experiment.h"
+
+namespace clouddb::harness {
+
+/// A grid of runs: "multiple runs are conducted by compounding different
+/// workloads and numbers of slaves" (§III-B).
+struct SweepConfig {
+  ExperimentConfig base;
+  std::vector<int> slave_counts;
+  std::vector<int> user_counts;
+  /// Offset folded into each run's seed so repeated sweeps can differ.
+  uint64_t seed_salt = 0;
+};
+
+struct SweepCell {
+  int slaves = 0;
+  int users = 0;
+  ExperimentResult result;
+};
+
+/// All cells of a sweep plus the paper's derived readouts.
+class SweepResult {
+ public:
+  void Add(SweepCell cell) { cells_.push_back(std::move(cell)); }
+  const std::vector<SweepCell>& cells() const { return cells_; }
+  const SweepCell* Find(int slaves, int users) const;
+
+  /// End-to-end throughput (ops/s), NaN-safe 0 when missing.
+  double Throughput(int slaves, int users) const;
+  /// Mean average-relative-replication-delay across slaves, ms.
+  double RelativeDelay(int slaves, int users) const;
+
+  /// The paper's saturation point for a slave count: "the point right after
+  /// the observed maximum throughput". Returns 0 if the curve is still
+  /// rising at the largest measured workload.
+  int SaturationUsers(int slaves, const std::vector<int>& user_counts) const;
+
+  /// Figure-series tables: one row per workload, one column per slave count.
+  TableWriter ThroughputTable(const std::vector<int>& slave_counts,
+                              const std::vector<int>& user_counts) const;
+  TableWriter DelayTable(const std::vector<int>& slave_counts,
+                         const std::vector<int>& user_counts) const;
+
+ private:
+  std::vector<SweepCell> cells_;
+};
+
+/// Runs every (slaves, users) combination. `progress` (optional) is invoked
+/// after each run completes.
+Result<SweepResult> RunSweep(
+    const SweepConfig& config,
+    const std::function<void(const SweepCell&)>& progress = nullptr);
+
+}  // namespace clouddb::harness
+
+#endif  // CLOUDDB_HARNESS_SWEEP_H_

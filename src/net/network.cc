@@ -1,0 +1,75 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <utility>
+
+namespace clouddb::net {
+
+StaticLatencyModel::StaticLatencyModel(
+    std::vector<std::vector<SimDuration>> matrix)
+    : matrix_(std::move(matrix)) {
+  for (const auto& row : matrix_) {
+    assert(row.size() == matrix_.size());
+    (void)row;
+  }
+}
+
+SimDuration StaticLatencyModel::SampleOneWay(NodeId from, NodeId to) {
+  assert(from >= 0 && static_cast<size_t>(from) < matrix_.size());
+  assert(to >= 0 && static_cast<size_t>(to) < matrix_.size());
+  return matrix_[static_cast<size_t>(from)][static_cast<size_t>(to)];
+}
+
+Network::Network(sim::Simulation* sim, LatencyModel* latency)
+    : sim_(sim), latency_(latency) {
+  assert(sim != nullptr && latency != nullptr);
+}
+
+void Network::Send(NodeId from, NodeId to, int64_t size_bytes,
+                   std::function<void()> on_delivery) {
+  ++messages_sent_;
+  bytes_sent_ += size_bytes;
+  SimDuration delay = latency_->SampleOneWay(from, to);
+  assert(delay >= 0);
+  SimTime arrival = sim_->Now() + delay;
+  SimTime& last = last_arrival_[{from, to}];
+  if (arrival <= last) arrival = last + 1;  // FIFO per path, like TCP
+  last = arrival;
+  sim_->ScheduleAt(arrival, std::move(on_delivery));
+}
+
+void Network::Ping(NodeId from, NodeId to,
+                   std::function<void(SimDuration)> on_reply) {
+  SimTime sent_at = sim_->Now();
+  Send(from, to, /*size_bytes=*/64, [this, from, to, sent_at,
+                                     on_reply = std::move(on_reply)]() mutable {
+    Send(to, from, /*size_bytes=*/64,
+         [this, sent_at, on_reply = std::move(on_reply)]() {
+           on_reply(sim_->Now() - sent_at);
+         });
+  });
+}
+
+PingProbe::PingProbe(sim::Simulation* sim, Network* network, NodeId from,
+                     NodeId to)
+    : sim_(sim), network_(network), from_(from), to_(to) {}
+
+void PingProbe::Start(SimDuration interval, int count) {
+  interval_ = interval;
+  remaining_ = count;
+  half_rtt_ms_.reserve(static_cast<size_t>(count));
+  SendOne();
+}
+
+void PingProbe::SendOne() {
+  if (remaining_ <= 0) return;
+  --remaining_;
+  network_->Ping(from_, to_, [this](SimDuration rtt) {
+    half_rtt_ms_.push_back(ToMillis(rtt) / 2.0);
+  });
+  if (remaining_ > 0) {
+    sim_->ScheduleAfter(interval_, [this] { SendOne(); });
+  }
+}
+
+}  // namespace clouddb::net

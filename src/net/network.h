@@ -1,0 +1,109 @@
+#ifndef CLOUDDB_NET_NETWORK_H_
+#define CLOUDDB_NET_NETWORK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/time_types.h"
+#include "sim/simulation.h"
+
+namespace clouddb::net {
+
+/// Identifies an endpoint (an instance's NIC) on the simulated network.
+using NodeId = int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Produces one-way packet delays between endpoints. Implementations may be
+/// stochastic (each call samples a fresh delay) — the jitter is what makes
+/// the paper's ping measurements fluctuate.
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// One-way delay for a message sent now from `from` to `to`, in µs.
+  /// Must be >= 0. Loopback (from == to) should be ~0.
+  virtual SimDuration SampleOneWay(NodeId from, NodeId to) = 0;
+};
+
+/// Fixed-matrix latency model (no jitter); handy for tests.
+class StaticLatencyModel : public LatencyModel {
+ public:
+  /// `matrix[from][to]` is the one-way delay in µs. Must be square.
+  explicit StaticLatencyModel(std::vector<std::vector<SimDuration>> matrix);
+
+  SimDuration SampleOneWay(NodeId from, NodeId to) override;
+
+ private:
+  std::vector<std::vector<SimDuration>> matrix_;
+};
+
+/// Message-passing network: delivers callbacks after a sampled one-way delay.
+/// Bandwidth is not modelled (the paper's workload is latency- and
+/// CPU-bound, not bandwidth-bound); message size only feeds statistics.
+///
+/// Delivery is FIFO per directed (from, to) pair: jitter never reorders two
+/// messages on the same path. This models the TCP streams everything in the
+/// real deployment runs over — in particular the binlog stream, whose events
+/// *must* arrive in order (an INSERT overtaking its CREATE TABLE would stop
+/// a slave's SQL thread).
+class Network {
+ public:
+  Network(sim::Simulation* sim, LatencyModel* latency);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Delivers `on_delivery` at the destination after a sampled one-way
+  /// delay, no earlier than any previously sent (from, to) message.
+  void Send(NodeId from, NodeId to, int64_t size_bytes,
+            std::function<void()> on_delivery);
+
+  /// ICMP-echo-style round trip: samples both directions and invokes
+  /// `on_reply(rtt_us)` after the full round trip.
+  void Ping(NodeId from, NodeId to, std::function<void(SimDuration)> on_reply);
+
+  int64_t messages_sent() const { return messages_sent_; }
+  int64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  sim::Simulation* sim_;
+  LatencyModel* latency_;
+  int64_t messages_sent_ = 0;
+  int64_t bytes_sent_ = 0;
+  /// Latest scheduled arrival per directed path, for FIFO enforcement.
+  std::map<std::pair<NodeId, NodeId>, SimTime> last_arrival_;
+};
+
+/// Repeatedly pings a target and records half-RTT samples. Reproduces the
+/// paper's §IV-B.2 measurement: "running ping command every second for a
+/// 20-minute period" to estimate the ½ round-trip time per placement.
+class PingProbe {
+ public:
+  PingProbe(sim::Simulation* sim, Network* network, NodeId from, NodeId to);
+
+  /// Schedules `count` pings spaced `interval` apart, starting now.
+  void Start(SimDuration interval, int count);
+
+  /// Half-RTT samples collected so far, in milliseconds.
+  const std::vector<double>& half_rtt_ms() const { return half_rtt_ms_; }
+
+ private:
+  void SendOne();
+
+  sim::Simulation* sim_;
+  Network* network_;
+  NodeId from_;
+  NodeId to_;
+  SimDuration interval_ = 0;
+  int remaining_ = 0;
+  std::vector<double> half_rtt_ms_;
+};
+
+}  // namespace clouddb::net
+
+#endif  // CLOUDDB_NET_NETWORK_H_

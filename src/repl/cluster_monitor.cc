@@ -1,0 +1,120 @@
+#include "repl/cluster_monitor.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/str_util.h"
+
+namespace clouddb::repl {
+
+ClusterMonitor::ClusterMonitor(sim::Simulation* sim, MasterNode* master,
+                               std::vector<SlaveNode*> slaves,
+                               SimDuration interval)
+    : sim_(sim),
+      master_(master),
+      slaves_(std::move(slaves)),
+      interval_(interval) {
+  assert(interval > 0);
+}
+
+void ClusterMonitor::Start() {
+  running_ = true;
+  last_master_busy_ = master_->instance().cpu().CumulativeBusyMicros();
+  last_slave_busy_.clear();
+  for (SlaveNode* slave : slaves_) {
+    last_slave_busy_.push_back(slave->instance().cpu().CumulativeBusyMicros());
+  }
+  pending_ = sim_->ScheduleAfter(interval_, [this] { Tick(); });
+}
+
+void ClusterMonitor::Stop() {
+  running_ = false;
+  pending_.Cancel();
+}
+
+void ClusterMonitor::Tick() {
+  if (!running_) return;
+  MonitorSample sample;
+  sample.at = sim_->Now();
+  sample.binlog_size = master_->database().binlog().size();
+  double window = static_cast<double>(interval_);
+
+  // Busy time is accounted when a job *completes*, so a job spanning a
+  // sample boundary lands entirely in the later window; clamp to 100%.
+  auto utilization = [](int64_t delta, double window_core_us) {
+    double u = static_cast<double>(delta) / window_core_us;
+    return u > 1.0 ? 1.0 : u;
+  };
+  int64_t master_busy = master_->instance().cpu().CumulativeBusyMicros();
+  sample.master_cpu =
+      utilization(master_busy - last_master_busy_,
+                  window * master_->instance().cpu().num_cores());
+  last_master_busy_ = master_busy;
+
+  for (size_t i = 0; i < slaves_.size(); ++i) {
+    SlaveNode* slave = slaves_[i];
+    int64_t busy = slave->instance().cpu().CumulativeBusyMicros();
+    sample.slave_cpu.push_back(
+        utilization(busy - last_slave_busy_[i],
+                    window * slave->instance().cpu().num_cores()));
+    last_slave_busy_[i] = busy;
+    sample.relay_backlog.push_back(slave->relay_backlog());
+    sample.lag_events.push_back(sample.binlog_size - 1 -
+                                slave->applied_index());
+  }
+  samples_.push_back(std::move(sample));
+  pending_ = sim_->ScheduleAfter(interval_, [this] { Tick(); });
+}
+
+int64_t ClusterMonitor::MaxLagEvents() const {
+  int64_t max_lag = 0;
+  for (const MonitorSample& sample : samples_) {
+    for (int64_t lag : sample.lag_events) max_lag = std::max(max_lag, lag);
+  }
+  return max_lag;
+}
+
+double ClusterMonitor::MeanMasterCpu() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0.0;
+  for (const MonitorSample& sample : samples_) total += sample.master_cpu;
+  return total / static_cast<double>(samples_.size());
+}
+
+double ClusterMonitor::SlaveSaturatedFraction(int slave_index,
+                                              double threshold) const {
+  if (samples_.empty()) return 0.0;
+  size_t idx = static_cast<size_t>(slave_index);
+  int64_t hot = 0;
+  for (const MonitorSample& sample : samples_) {
+    if (idx < sample.slave_cpu.size() && sample.slave_cpu[idx] > threshold) {
+      ++hot;
+    }
+  }
+  return static_cast<double>(hot) / static_cast<double>(samples_.size());
+}
+
+TableWriter ClusterMonitor::ToTable() const {
+  std::vector<std::string> header = {"t", "master_cpu"};
+  for (size_t i = 0; i < slaves_.size(); ++i) {
+    header.push_back(StrFormat("slave%zu_cpu", i + 1));
+    header.push_back(StrFormat("slave%zu_backlog", i + 1));
+  }
+  TableWriter table(std::move(header));
+  for (const MonitorSample& sample : samples_) {
+    std::vector<std::string> row = {FormatDuration(sample.at),
+                                    StrFormat("%.2f", sample.master_cpu)};
+    for (size_t i = 0; i < slaves_.size(); ++i) {
+      row.push_back(i < sample.slave_cpu.size()
+                        ? StrFormat("%.2f", sample.slave_cpu[i])
+                        : "-");
+      row.push_back(i < sample.relay_backlog.size()
+                        ? StrFormat("%zu", sample.relay_backlog[i])
+                        : "-");
+    }
+    table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace clouddb::repl

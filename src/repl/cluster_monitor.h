@@ -1,0 +1,73 @@
+#ifndef CLOUDDB_REPL_CLUSTER_MONITOR_H_
+#define CLOUDDB_REPL_CLUSTER_MONITOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/table_writer.h"
+#include "common/time_types.h"
+#include "repl/master_node.h"
+#include "repl/slave_node.h"
+#include "sim/simulation.h"
+
+namespace clouddb::repl {
+
+/// One sampling instant of the replication tier's health.
+struct MonitorSample {
+  SimTime at = 0;
+  /// CPU utilization over the interval ending at `at`, in [0, 1].
+  double master_cpu = 0.0;
+  std::vector<double> slave_cpu;
+  /// Relay-log events received but not yet applied, per slave.
+  std::vector<size_t> relay_backlog;
+  /// Replication lag in binlog events (master size - 1 - applied index).
+  std::vector<int64_t> lag_events;
+  int64_t binlog_size = 0;
+};
+
+/// Periodic sampler of the whole tier: per-instance CPU utilization,
+/// relay-log backlogs and event lag. This is the observability an operator
+/// of the paper's deployment would run to *see* the saturation-point
+/// movement of §IV-A (slave CPUs pinning first, then the master) instead of
+/// inferring it from throughput curves.
+class ClusterMonitor {
+ public:
+  ClusterMonitor(sim::Simulation* sim, MasterNode* master,
+                 std::vector<SlaveNode*> slaves, SimDuration interval);
+
+  ClusterMonitor(const ClusterMonitor&) = delete;
+  ClusterMonitor& operator=(const ClusterMonitor&) = delete;
+
+  /// Starts sampling; the first sample lands one interval from now.
+  void Start();
+  void Stop();
+
+  const std::vector<MonitorSample>& samples() const { return samples_; }
+
+  /// Peak lag (in events) any slave reached over the recorded window.
+  int64_t MaxLagEvents() const;
+  /// Mean master utilization over the recorded window.
+  double MeanMasterCpu() const;
+  /// Fraction of samples where slave `i` was above `threshold` utilization.
+  double SlaveSaturatedFraction(int slave_index, double threshold) const;
+
+  /// One row per sample: time, master cpu, each slave's cpu and backlog.
+  TableWriter ToTable() const;
+
+ private:
+  void Tick();
+
+  sim::Simulation* sim_;
+  MasterNode* master_;
+  std::vector<SlaveNode*> slaves_;
+  SimDuration interval_;
+  bool running_ = false;
+  int64_t last_master_busy_ = 0;
+  std::vector<int64_t> last_slave_busy_;
+  std::vector<MonitorSample> samples_;
+  sim::Simulation::EventHandle pending_;
+};
+
+}  // namespace clouddb::repl
+
+#endif  // CLOUDDB_REPL_CLUSTER_MONITOR_H_

@@ -1,0 +1,79 @@
+#include "repl/db_node.h"
+
+#include "db/sql_parser.h"
+
+namespace clouddb::repl {
+
+DbNode::DbNode(sim::Simulation* sim, net::Network* network,
+               cloud::Instance* instance, CostModel cost_model,
+               bool enable_binlog)
+    : sim_(sim),
+      network_(network),
+      instance_(instance),
+      cost_model_(std::move(cost_model)) {
+  db::DatabaseOptions options;
+  options.enable_binlog = enable_binlog;
+  options.now_micros = [this] { return instance_->LocalNowMicros(); };
+  database_ = std::make_unique<db::Database>(std::move(options));
+}
+
+DbNode::DbNode(sim::Simulation* sim, net::Network* network,
+               cloud::Instance* instance, CostModel cost_model,
+               std::unique_ptr<db::Database> adopted, bool enable_binlog)
+    : sim_(sim),
+      network_(network),
+      instance_(instance),
+      cost_model_(std::move(cost_model)),
+      database_(std::move(adopted)) {
+  database_->set_binlog_enabled(enable_binlog);
+  // The adopted database's clock must follow *this* node's instance (the
+  // previous owner's lambda would dangle).
+  database_->SetTimeSource([this] { return instance_->LocalNowMicros(); });
+}
+
+std::unique_ptr<db::Database> DbNode::ReleaseDatabase() {
+  online_ = false;
+  return std::move(database_);
+}
+
+void DbNode::Submit(const std::string& sql, SimDuration cpu_cost,
+                    QueryCallback done) {
+  if (!online_ || database_ == nullptr) {
+    // Connection refused: the caller hears back after its network round
+    // trip, with no CPU consumed here.
+    sim_->ScheduleAfter(0, [done = std::move(done)] {
+      done(Status::Unavailable("database node is offline"));
+    });
+    return;
+  }
+  if (cpu_cost < 0) {
+    // Parsing for cost estimation is not charged: real servers spend a
+    // negligible fraction of statement time in the parser.
+    auto parsed = db::ParseSql(sql);
+    cpu_cost = parsed.ok() ? cost_model_.EstimateStatement(*parsed)
+                           : SimDuration{0};
+  }
+  instance_->cpu().Submit(cpu_cost, [this, sql, done = std::move(done)]() mutable {
+    ExecuteAndRespond(sql, std::move(done));
+  });
+}
+
+Result<db::ExecResult> DbNode::ExecuteDirect(const std::string& sql) {
+  return ExecuteNow(sql);
+}
+
+Result<db::ExecResult> DbNode::ExecuteNow(const std::string& sql) {
+  if (!online_ || database_ == nullptr) {
+    ++queries_failed_;
+    return Status::Unavailable("database node is offline");
+  }
+  Result<db::ExecResult> result = database_->Execute(sql);
+  if (result.ok()) {
+    ++queries_completed_;
+  } else {
+    ++queries_failed_;
+  }
+  return result;
+}
+
+}  // namespace clouddb::repl

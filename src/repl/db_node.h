@@ -1,0 +1,103 @@
+#ifndef CLOUDDB_REPL_DB_NODE_H_
+#define CLOUDDB_REPL_DB_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "cloud/instance.h"
+#include "common/result.h"
+#include "db/database.h"
+#include "net/network.h"
+#include "repl/cost_model.h"
+#include "sim/simulation.h"
+
+namespace clouddb::repl {
+
+/// A database server process running on a cloud instance. Queries are
+/// charged to the instance's CPU (FCFS) before executing against the embedded
+/// `db::Database`; the database's NOW_MICROS() reads the instance's drifting
+/// local clock, exactly like the paper's user-defined µs-resolution time
+/// function (MySQL Bug #8523 workaround).
+class DbNode {
+ public:
+  using QueryCallback = std::function<void(Result<db::ExecResult>)>;
+
+  DbNode(sim::Simulation* sim, net::Network* network,
+         cloud::Instance* instance, CostModel cost_model, bool enable_binlog);
+
+  /// Adoption constructor: runs the node on `instance` over an *existing*
+  /// database (used when promoting a slave: the new master adopts the
+  /// promoted replica's data in place). Rebinds the database's NOW_MICROS
+  /// to this node's instance clock.
+  DbNode(sim::Simulation* sim, net::Network* network,
+         cloud::Instance* instance, CostModel cost_model,
+         std::unique_ptr<db::Database> adopted, bool enable_binlog);
+
+  virtual ~DbNode() = default;
+
+  DbNode(const DbNode&) = delete;
+  DbNode& operator=(const DbNode&) = delete;
+
+  /// Queues `sql` on the node's CPU with nominal cost `cpu_cost`
+  /// (< 0 = use the cost model's per-kind default) and executes it when the
+  /// CPU reaches it. `done` fires on this node at completion; callers on
+  /// other instances talk to the node through `client::Connection`, which
+  /// adds the network hops.
+  void Submit(const std::string& sql, SimDuration cpu_cost,
+              QueryCallback done);
+
+  /// Executes immediately, bypassing CPU accounting and the network —
+  /// for test setup and bulk pre-loading ("both the master and slaves
+  /// should start with a pre-loaded, fully-synchronized database").
+  Result<db::ExecResult> ExecuteDirect(const std::string& sql);
+
+  db::Database& database() { return *database_; }
+  const db::Database& database() const { return *database_; }
+  cloud::Instance& instance() { return *instance_; }
+  const cloud::Instance& instance() const { return *instance_; }
+  net::NodeId node_id() const { return instance_->node_id(); }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  int64_t queries_completed() const { return queries_completed_; }
+  int64_t queries_failed() const { return queries_failed_; }
+
+  /// Simulated process/instance failure. An offline node refuses queries
+  /// (the caller gets Unavailable after the usual CPU-free turnaround) and
+  /// does not answer health probes. Bringing a node back online does *not*
+  /// resynchronize it — that is the failover manager's job.
+  void set_online(bool online) { online_ = online; }
+  bool online() const { return online_; }
+
+  /// Detaches the node's database (promotion: the new master adopts it).
+  /// The node goes offline; any further queries are refused.
+  std::unique_ptr<db::Database> ReleaseDatabase();
+
+ protected:
+  sim::Simulation* sim() { return sim_; }
+  net::Network* network() { return network_; }
+
+  /// Parses and executes on the autocommit session; updates counters.
+  Result<db::ExecResult> ExecuteNow(const std::string& sql);
+
+  /// Runs once the CPU reaches the query: executes and delivers the result.
+  /// MasterNode overrides this to defer the response in synchronous
+  /// replication mode.
+  virtual void ExecuteAndRespond(const std::string& sql, QueryCallback done) {
+    done(ExecuteNow(sql));
+  }
+
+  sim::Simulation* sim_;
+  net::Network* network_;
+  cloud::Instance* instance_;
+  CostModel cost_model_;
+  std::unique_ptr<db::Database> database_;
+  bool online_ = true;
+  int64_t queries_completed_ = 0;
+  int64_t queries_failed_ = 0;
+};
+
+}  // namespace clouddb::repl
+
+#endif  // CLOUDDB_REPL_DB_NODE_H_

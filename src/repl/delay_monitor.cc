@@ -1,0 +1,50 @@
+#include "repl/delay_monitor.h"
+
+namespace clouddb::repl {
+
+std::map<int64_t, int64_t> ReadHeartbeats(const db::Database& database,
+                                          const std::string& table) {
+  std::map<int64_t, int64_t> out;
+  const db::Table* t = database.GetTable(table);
+  if (t == nullptr) return out;
+  auto id_col = t->schema().ColumnIndex("hb_id");
+  auto ts_col = t->schema().ColumnIndex("ts");
+  if (!id_col.ok() || !ts_col.ok()) return out;
+  t->ScanAll([&](db::RowId, const db::Row& row) {
+    const db::Value& id = row[*id_col];
+    const db::Value& ts = row[*ts_col];
+    if (!id.is_null() && !ts.is_null()) {
+      out[id.AsInt64()] = ts.AsInt64();
+    }
+    return true;
+  });
+  return out;
+}
+
+std::vector<double> HeartbeatDelaysMs(const db::Database& master,
+                                      const db::Database& slave,
+                                      int64_t min_id, int64_t max_id,
+                                      const std::string& table) {
+  std::map<int64_t, int64_t> m = ReadHeartbeats(master, table);
+  std::map<int64_t, int64_t> s = ReadHeartbeats(slave, table);
+  std::vector<double> delays;
+  for (const auto& [id, master_ts] : m) {
+    if (id < min_id || id > max_id) continue;
+    auto it = s.find(id);
+    if (it == s.end()) continue;  // not yet replicated
+    delays.push_back(static_cast<double>(it->second - master_ts) / 1000.0);
+  }
+  return delays;
+}
+
+double AverageRelativeDelayMs(const std::vector<double>& loaded_delays_ms,
+                              const std::vector<double>& idle_delays_ms,
+                              double trim_fraction) {
+  Sample loaded;
+  loaded.AddAll(loaded_delays_ms);
+  Sample idle;
+  idle.AddAll(idle_delays_ms);
+  return loaded.TrimmedMean(trim_fraction) - idle.TrimmedMean(trim_fraction);
+}
+
+}  // namespace clouddb::repl

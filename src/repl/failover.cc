@@ -1,0 +1,149 @@
+#include "repl/failover.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/str_util.h"
+
+namespace clouddb::repl {
+
+Status ResyncDatabase(const db::Database& source, db::Database* target) {
+  // Drop everything the target has...
+  for (const std::string& name : target->TableNames()) {
+    auto dropped = target->Execute(StrFormat("DROP TABLE %s", name.c_str()));
+    if (!dropped.ok()) return dropped.status();
+  }
+  // ...and rebuild it from the source: schema, rows, secondary indexes.
+  for (const std::string& name : source.TableNames()) {
+    const db::Table* table = source.GetTable(name);
+    auto created = target->Execute(StrFormat(
+        "CREATE TABLE %s %s", name.c_str(), table->schema().ToString().c_str()));
+    if (!created.ok()) return created.status();
+    Status insert_status;
+    table->ScanAll([&](db::RowId, const db::Row& row) {
+      auto inserted = target->Execute(
+          StrFormat("INSERT INTO %s VALUES %s", name.c_str(),
+                    db::RowToString(row).c_str()));
+      if (!inserted.ok()) {
+        insert_status = inserted.status();
+        return false;
+      }
+      return true;
+    });
+    if (!insert_status.ok()) return insert_status;
+    for (const auto& [index_name, column] : table->SecondaryIndexes()) {
+      auto indexed = target->Execute(StrFormat(
+          "CREATE INDEX %s ON %s (%s)", index_name.c_str(), name.c_str(),
+          column.c_str()));
+      if (!indexed.ok()) return indexed.status();
+    }
+  }
+  return Status::Ok();
+}
+
+FailoverManager::FailoverManager(sim::Simulation* sim, net::Network* network,
+                                 net::NodeId monitor_node, MasterNode* master,
+                                 std::vector<SlaveNode*> slaves,
+                                 const FailoverOptions& options)
+    : sim_(sim),
+      network_(network),
+      monitor_node_(monitor_node),
+      master_(master),
+      slaves_(std::move(slaves)),
+      options_(options) {
+  assert(options.failures_to_trip >= 1);
+}
+
+void FailoverManager::Start() {
+  running_ = true;
+  Probe();
+}
+
+void FailoverManager::Stop() {
+  running_ = false;
+  next_probe_.Cancel();
+}
+
+MasterNode* FailoverManager::current_master() { return master_; }
+
+void FailoverManager::Probe() {
+  if (!running_) return;
+  ++probes_sent_;
+  auto answered = std::make_shared<bool>(false);
+  MasterNode* target = master_;
+  network_->Send(
+      monitor_node_, target->node_id(), /*size_bytes=*/32,
+      [this, target, answered] {
+        if (!target->online()) return;  // a dead node never replies
+        network_->Send(target->node_id(), monitor_node_, /*size_bytes=*/32,
+                       [this, answered] {
+                         if (*answered) return;
+                         *answered = true;
+                         OnProbeResult(true);
+                       });
+      });
+  sim_->ScheduleAfter(options_.probe_timeout, [this, answered] {
+    if (*answered) return;
+    *answered = true;
+    OnProbeResult(false);
+  });
+}
+
+void FailoverManager::OnProbeResult(bool alive) {
+  if (!running_) return;
+  if (alive) {
+    consecutive_failures_ = 0;
+  } else {
+    ++probes_failed_;
+    ++consecutive_failures_;
+    if (consecutive_failures_ >= options_.failures_to_trip) {
+      PerformFailover();
+      consecutive_failures_ = 0;
+    }
+  }
+  next_probe_ = sim_->ScheduleAfter(options_.check_interval, [this] { Probe(); });
+}
+
+void FailoverManager::PerformFailover() {
+  // 1. Elect the most-up-to-date healthy slave.
+  SlaveNode* winner = nullptr;
+  for (SlaveNode* slave : slaves_) {
+    if (!slave->online() || slave->replication_broken()) continue;
+    if (winner == nullptr || slave->applied_index() > winner->applied_index()) {
+      winner = slave;
+    }
+  }
+  if (winner == nullptr) return;  // nothing to promote; keep probing
+
+  // Were there committed-but-unshipped writes on the dead master? (We can
+  // see its binlog in the simulator; a real system only discovers this from
+  // the wreckage later.)
+  if (master_->binlog_size() - 1 > winner->applied_index()) {
+    lost_writes_possible_ = true;
+  }
+
+  // 2. Promote: a new MasterNode on the winner's instance adopts its data.
+  promoted_slave_ = winner;
+  owned_masters_.push_back(std::make_unique<MasterNode>(
+      sim_, network_, &winner->instance(), winner->cost_model(),
+      winner->ReleaseDatabase()));
+  MasterNode* new_master = owned_masters_.back().get();
+
+  // 3. Resynchronize the other survivors and re-attach them to the new
+  //    binlog timeline.
+  std::vector<SlaveNode*> survivors;
+  for (SlaveNode* slave : slaves_) {
+    if (slave == winner || !slave->online()) continue;
+    Status resynced = ResyncDatabase(new_master->database(),
+                                     &slave->database());
+    if (!resynced.ok()) continue;  // leave it detached; operators page in
+    slave->ReattachToNewTimeline(new_master);
+    new_master->AttachSlave(slave);
+    survivors.push_back(slave);
+  }
+  slaves_ = std::move(survivors);
+  master_ = new_master;
+  if (listener_) listener_(new_master);
+}
+
+}  // namespace clouddb::repl

@@ -1,0 +1,107 @@
+#ifndef CLOUDDB_REPL_FAILOVER_H_
+#define CLOUDDB_REPL_FAILOVER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/network.h"
+#include "repl/master_node.h"
+#include "repl/slave_node.h"
+#include "sim/simulation.h"
+
+namespace clouddb::repl {
+
+/// Replaces `target`'s entire contents with a copy of `source`: schemas,
+/// rows and secondary indexes. The re-clone step of failover and of replica
+/// provisioning.
+Status ResyncDatabase(const db::Database& source, db::Database* target);
+
+/// Failover behaviour knobs.
+struct FailoverOptions {
+  /// Health-probe cadence and per-probe timeout.
+  SimDuration check_interval = Seconds(1);
+  SimDuration probe_timeout = Seconds(2);
+  /// Consecutive probe failures before the master is declared dead.
+  int failures_to_trip = 3;
+};
+
+/// Automatic failover management — the capability the paper names as the
+/// reason the replication architecture "is running behind-the-scenes ...
+/// to enable automatic failover management and ensure high availability"
+/// (§I).
+///
+/// The manager runs on a monitor instance, pings the master over the
+/// network, and on `failures_to_trip` consecutive probe timeouts performs a
+/// failover:
+///
+///  1. elect the most-up-to-date surviving slave (max applied binlog index);
+///  2. promote it: its database is adopted by a new MasterNode on the same
+///     instance, with binary logging enabled (a fresh binlog timeline);
+///  3. resynchronize every other surviving slave from the promoted copy
+///     (asynchronous replication can leave them behind the winner; in
+///     production this is the re-clone step) and re-attach them;
+///  4. report the new master so the application can repoint its proxy.
+///
+/// Writes that the old master committed but had not shipped are *lost* —
+/// the inherent asynchronous-replication risk the paper's §II describes
+/// ("once the updated replica goes offline before duplicating data, data
+/// loss may occur"). `lost_writes_possible()` reports whether that happened.
+class FailoverManager {
+ public:
+  FailoverManager(sim::Simulation* sim, net::Network* network,
+                  net::NodeId monitor_node, MasterNode* master,
+                  std::vector<SlaveNode*> slaves,
+                  const FailoverOptions& options);
+
+  /// Starts periodic health checks.
+  void Start();
+  void Stop();
+
+  /// The currently active master: the original one, or the promoted node
+  /// after a failover.
+  MasterNode* current_master();
+
+  bool failover_performed() const { return !owned_masters_.empty(); }
+  /// The slave that won the election (null before failover).
+  SlaveNode* promoted_slave() const { return promoted_slave_; }
+  /// Surviving slaves attached to the current master.
+  const std::vector<SlaveNode*>& active_slaves() const { return slaves_; }
+  int64_t probes_sent() const { return probes_sent_; }
+  int64_t probes_failed() const { return probes_failed_; }
+  /// True if the old master's binlog had events the promoted slave never
+  /// applied (committed-but-unreplicated writes vanished).
+  bool lost_writes_possible() const { return lost_writes_possible_; }
+
+  /// Invoked (if set) right after a failover completes, with the new master.
+  void SetFailoverListener(std::function<void(MasterNode*)> listener) {
+    listener_ = std::move(listener);
+  }
+
+ private:
+  void Probe();
+  void OnProbeResult(bool alive);
+  void PerformFailover();
+
+  sim::Simulation* sim_;
+  net::Network* network_;
+  net::NodeId monitor_node_;
+  MasterNode* master_;
+  std::vector<SlaveNode*> slaves_;
+  FailoverOptions options_;
+  bool running_ = false;
+  int consecutive_failures_ = 0;
+  int64_t probes_sent_ = 0;
+  int64_t probes_failed_ = 0;
+  bool lost_writes_possible_ = false;
+  /// Masters created by promotions (kept alive for the manager's lifetime;
+  /// repeated failovers are supported).
+  std::vector<std::unique_ptr<MasterNode>> owned_masters_;
+  SlaveNode* promoted_slave_ = nullptr;
+  std::function<void(MasterNode*)> listener_;
+  sim::Simulation::EventHandle next_probe_;
+};
+
+}  // namespace clouddb::repl
+
+#endif  // CLOUDDB_REPL_FAILOVER_H_

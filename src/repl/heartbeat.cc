@@ -1,0 +1,39 @@
+#include "repl/heartbeat.h"
+
+#include "common/str_util.h"
+
+namespace clouddb::repl {
+
+HeartbeatPlugin::HeartbeatPlugin(sim::Simulation* sim, MasterNode* master,
+                                 HeartbeatOptions options)
+    : sim_(sim), master_(master), options_(std::move(options)) {}
+
+Status HeartbeatPlugin::CreateTable() {
+  auto result = master_->ExecuteDirect(
+      StrFormat("CREATE TABLE %s (hb_id BIGINT PRIMARY KEY, ts BIGINT)",
+                options_.table.c_str()));
+  return result.ok() ? Status::Ok() : result.status();
+}
+
+void HeartbeatPlugin::Start() {
+  running_ = true;
+  Tick();
+}
+
+void HeartbeatPlugin::Stop() {
+  running_ = false;
+  pending_.Cancel();
+}
+
+void HeartbeatPlugin::Tick() {
+  if (!running_) return;
+  std::string sql =
+      StrFormat("INSERT INTO %s (hb_id, ts) VALUES (%lld, NOW_MICROS())",
+                options_.table.c_str(), static_cast<long long>(next_id_));
+  ++next_id_;
+  master_->Submit(sql, options_.insert_cost,
+                  [](Result<db::ExecResult>) { /* fire-and-forget */ });
+  pending_ = sim_->ScheduleAfter(options_.period, [this] { Tick(); });
+}
+
+}  // namespace clouddb::repl

@@ -1,0 +1,61 @@
+#ifndef CLOUDDB_REPL_HEARTBEAT_H_
+#define CLOUDDB_REPL_HEARTBEAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "common/time_types.h"
+#include "repl/master_node.h"
+#include "sim/simulation.h"
+
+namespace clouddb::repl {
+
+/// Heartbeat configuration.
+struct HeartbeatOptions {
+  /// Insert cadence ("insert a new row with a global id and a local time
+  /// stamp to the master periodically", §III-A).
+  SimDuration period = Seconds(1);
+  /// CPU cost of the heartbeat insert on the master (tiny table).
+  SimDuration insert_cost = Millis(4);
+  std::string table = "heartbeat";
+};
+
+/// The paper's replication-delay probe. A Heartbeats table is synchronized
+/// in SQL-statement form across replicas; each row stores a global id and
+/// NOW_MICROS(). Because statement-based replication re-evaluates
+/// NOW_MICROS() per replica, the master's table holds master-local commit
+/// times and each slave's table holds that slave's local apply times; the
+/// per-id difference is the replication delay (plus the clock offset, which
+/// the *relative* delay computation cancels — see delay_monitor.h).
+class HeartbeatPlugin {
+ public:
+  HeartbeatPlugin(sim::Simulation* sim, MasterNode* master,
+                  HeartbeatOptions options);
+
+  /// Creates the heartbeat table on the master (replicated to slaves through
+  /// the binlog like any DDL).
+  Status CreateTable();
+
+  /// Starts periodic inserts (first one immediately).
+  void Start();
+  void Stop();
+
+  /// Id that the next heartbeat will use; ids issued so far are [1, next-1].
+  int64_t next_id() const { return next_id_; }
+  const HeartbeatOptions& options() const { return options_; }
+
+ private:
+  void Tick();
+
+  sim::Simulation* sim_;
+  MasterNode* master_;
+  HeartbeatOptions options_;
+  bool running_ = false;
+  int64_t next_id_ = 1;
+  sim::Simulation::EventHandle pending_;
+};
+
+}  // namespace clouddb::repl
+
+#endif  // CLOUDDB_REPL_HEARTBEAT_H_

@@ -1,0 +1,86 @@
+#include "repl/master_node.h"
+
+#include <cassert>
+
+#include "repl/slave_node.h"
+
+namespace clouddb::repl {
+
+namespace {
+
+int64_t EventWireSize(const db::BinlogEvent& event) {
+  int64_t size = 32;  // header
+  for (const auto& s : event.statements) {
+    size += static_cast<int64_t>(s.size());
+  }
+  return size;
+}
+
+}  // namespace
+
+MasterNode::MasterNode(sim::Simulation* sim, net::Network* network,
+                       cloud::Instance* instance, CostModel cost_model)
+    : DbNode(sim, network, instance, std::move(cost_model),
+             /*enable_binlog=*/true) {
+  database_->binlog().SetAppendListener(
+      [this](const db::BinlogEvent& event) { OnBinlogAppend(event); });
+}
+
+MasterNode::MasterNode(sim::Simulation* sim, net::Network* network,
+                       cloud::Instance* instance, CostModel cost_model,
+                       std::unique_ptr<db::Database> adopted)
+    : DbNode(sim, network, instance, std::move(cost_model),
+             std::move(adopted), /*enable_binlog=*/true) {
+  database_->binlog().SetAppendListener(
+      [this](const db::BinlogEvent& event) { OnBinlogAppend(event); });
+}
+
+void MasterNode::AttachSlave(SlaveNode* slave) {
+  slaves_.push_back(slave);
+  slave->SetMaster(this);
+}
+
+void MasterNode::ExecuteAndRespond(const std::string& sql,
+                                   QueryCallback done) {
+  int64_t before = database_->binlog().size();
+  Result<db::ExecResult> result = ExecuteNow(sql);
+  int64_t after = database_->binlog().size();
+  // Asynchronous replication (the default): respond as soon as the master
+  // commits. Synchronous: hold the response until all slaves ack the event.
+  if (!synchronous_ || slaves_.empty() || after == before || !result.ok()) {
+    done(std::move(result));
+    return;
+  }
+  sync_waiters_.push_back(SyncWaiter{after - 1,
+                                     static_cast<int>(slaves_.size()),
+                                     std::move(done), std::move(result)});
+}
+
+void MasterNode::OnSlaveAck(net::NodeId /*slave_node*/, int64_t index) {
+  for (auto it = sync_waiters_.begin(); it != sync_waiters_.end(); ++it) {
+    if (it->index == index) {
+      if (--it->remaining == 0) {
+        QueryCallback done = std::move(it->done);
+        Result<db::ExecResult> result = std::move(it->result);
+        sync_waiters_.erase(it);
+        done(std::move(result));
+      }
+      return;
+    }
+  }
+}
+
+void MasterNode::OnBinlogAppend(const db::BinlogEvent& event) {
+  for (SlaveNode* slave : slaves_) {
+    PushEventTo(slave, event);
+  }
+}
+
+void MasterNode::PushEventTo(SlaveNode* slave, const db::BinlogEvent& event) {
+  ++events_pushed_;
+  // Copy the event into the message; delivery invokes the slave's IO thread.
+  network_->Send(node_id(), slave->node_id(), EventWireSize(event),
+                 [slave, event] { slave->OnBinlogEvent(event); });
+}
+
+}  // namespace clouddb::repl

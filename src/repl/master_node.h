@@ -1,0 +1,73 @@
+#ifndef CLOUDDB_REPL_MASTER_NODE_H_
+#define CLOUDDB_REPL_MASTER_NODE_H_
+
+#include <deque>
+#include <vector>
+
+#include "repl/db_node.h"
+
+namespace clouddb::repl {
+
+class SlaveNode;
+
+/// The replication master. All writes execute here; every committed
+/// transaction is appended to the binlog and pushed (a "binlog dump thread"
+/// per slave) over the network to each attached slave.
+///
+/// Replication is asynchronous by default, exactly as in the paper: the
+/// client's write completes as soon as the master commits, and writesets
+/// propagate later. Synchronous mode (the §II trade-off, available as an
+/// ablation) holds the client response until every slave acknowledges the
+/// event's application.
+class MasterNode : public DbNode {
+ public:
+  MasterNode(sim::Simulation* sim, net::Network* network,
+             cloud::Instance* instance, CostModel cost_model);
+
+  /// Promotion constructor: becomes the master over an adopted database (a
+  /// promoted slave's data), enabling binary logging on it. The new binlog
+  /// starts empty; slaves attach from index 0 of the *new* timeline.
+  MasterNode(sim::Simulation* sim, net::Network* network,
+             cloud::Instance* instance, CostModel cost_model,
+             std::unique_ptr<db::Database> adopted);
+
+  /// Starts streaming binlog events with index >= the current binlog size to
+  /// `slave` (events appended before attachment are assumed pre-loaded).
+  void AttachSlave(SlaveNode* slave);
+
+  void SetSynchronousReplication(bool sync) { synchronous_ = sync; }
+  bool synchronous() const { return synchronous_; }
+
+  const std::vector<SlaveNode*>& slaves() const { return slaves_; }
+  int64_t binlog_size() const { return database_->binlog().size(); }
+
+  /// Ack from a slave that it applied event `index` (synchronous mode).
+  /// Invoked via a network message from the slave.
+  void OnSlaveAck(net::NodeId slave_node, int64_t index);
+
+  int64_t events_pushed() const { return events_pushed_; }
+
+ protected:
+  // DbNode:
+  void ExecuteAndRespond(const std::string& sql, QueryCallback done) override;
+
+ private:
+  struct SyncWaiter {
+    int64_t index;
+    int remaining;
+    QueryCallback done;
+    Result<db::ExecResult> result;
+  };
+
+  void OnBinlogAppend(const db::BinlogEvent& event);
+  void PushEventTo(SlaveNode* slave, const db::BinlogEvent& event);
+
+  std::vector<SlaveNode*> slaves_;
+  bool synchronous_ = false;
+  std::deque<SyncWaiter> sync_waiters_;
+  int64_t events_pushed_ = 0;
+};
+
+}  // namespace clouddb::repl
+
+#endif  // CLOUDDB_REPL_MASTER_NODE_H_

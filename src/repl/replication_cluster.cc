@@ -1,0 +1,69 @@
+#include "repl/replication_cluster.h"
+
+#include "common/str_util.h"
+#include "db/sql_parser.h"
+
+namespace clouddb::repl {
+
+ReplicationCluster::ReplicationCluster(cloud::CloudProvider* provider,
+                                       const ClusterConfig& config)
+    : provider_(provider), config_(config) {
+  sim::Simulation* sim = &provider->simulation();
+  net::Network* network = &provider->network();
+
+  cloud::Instance* master_instance = provider->Launch(
+      "master", config.master_type, config.master_placement);
+  master_ = std::make_unique<MasterNode>(sim, network, master_instance,
+                                         config.cost_model);
+  master_->SetSynchronousReplication(config.synchronous_replication);
+
+  for (int i = 0; i < config.num_slaves; ++i) {
+    cloud::Instance* slave_instance =
+        provider->Launch(StrFormat("slave-%d", i + 1), config.slave_type,
+                         config.slave_placement);
+    auto slave = std::make_unique<SlaveNode>(sim, network, slave_instance,
+                                             config.cost_model);
+    master_->AttachSlave(slave.get());
+    slaves_.push_back(std::move(slave));
+  }
+}
+
+Status ReplicationCluster::ExecuteEverywhereDirect(const std::string& sql) {
+  // Parse once, execute everywhere (bulk loads run this for tens of
+  // thousands of statements across up to a dozen replicas).
+  CLOUDDB_ASSIGN_OR_RETURN(db::Statement stmt, db::ParseSql(sql));
+  // Suppress binlogging of the pre-load on the master: slaves are loaded
+  // identically and must not re-apply these statements.
+  master_->database().set_binlog_suppressed(true);
+  auto result = master_->database().ExecuteParsed(stmt, sql, nullptr);
+  master_->database().set_binlog_suppressed(false);
+  if (!result.ok()) return result.status();
+  for (auto& slave : slaves_) {
+    auto slave_result = slave->database().ExecuteParsed(stmt, sql, nullptr);
+    if (!slave_result.ok()) return slave_result.status();
+  }
+  return Status::Ok();
+}
+
+bool ReplicationCluster::FullyReplicated() const {
+  int64_t size = master_->database().binlog().size();
+  for (const auto& slave : slaves_) {
+    if (slave->applied_index() != size - 1) return false;
+    if (slave->relay_backlog() != 0) return false;
+  }
+  return true;
+}
+
+bool ReplicationCluster::Converged() const {
+  for (const auto& slave : slaves_) {
+    // The heartbeat table intentionally diverges: NOW_MICROS() re-evaluates
+    // per replica (that divergence *is* the delay measurement).
+    if (!db::Database::ContentsEqual(master_->database(), slave->database(),
+                                     {"heartbeat"})) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace clouddb::repl

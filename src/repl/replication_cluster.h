@@ -1,0 +1,60 @@
+#ifndef CLOUDDB_REPL_REPLICATION_CLUSTER_H_
+#define CLOUDDB_REPL_REPLICATION_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_provider.h"
+#include "common/status.h"
+#include "repl/cost_model.h"
+#include "repl/master_node.h"
+#include "repl/slave_node.h"
+
+namespace clouddb::repl {
+
+/// Deployment description for a master/slave replication tier.
+struct ClusterConfig {
+  int num_slaves = 1;
+  cloud::Placement master_placement = cloud::MasterPlacement();
+  cloud::Placement slave_placement = cloud::SameZonePlacement();
+  /// The paper runs master and slaves on small instances "so that saturation
+  /// is expected to be observed early".
+  cloud::InstanceType master_type = cloud::InstanceType::kSmall;
+  cloud::InstanceType slave_type = cloud::InstanceType::kSmall;
+  CostModel cost_model;
+  bool synchronous_replication = false;
+};
+
+/// Launches instances on the given cloud and wires a master plus N slaves
+/// into a replication tier (the paper's "second layer" / "third layer").
+class ReplicationCluster {
+ public:
+  ReplicationCluster(cloud::CloudProvider* provider, const ClusterConfig& config);
+
+  MasterNode* master() { return master_.get(); }
+  SlaveNode* slave(int i) { return slaves_[static_cast<size_t>(i)].get(); }
+  int num_slaves() const { return static_cast<int>(slaves_.size()); }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Runs `sql` directly on every replica (master and slaves), bypassing CPU
+  /// and replication — identical pre-loading of all copies.
+  Status ExecuteEverywhereDirect(const std::string& sql);
+
+  /// True when every slave has applied the whole master binlog.
+  bool FullyReplicated() const;
+
+  /// True when all replicas hold identical data (deep content equality) —
+  /// the eventual-consistency convergence check.
+  bool Converged() const;
+
+ private:
+  cloud::CloudProvider* provider_;
+  ClusterConfig config_;
+  std::unique_ptr<MasterNode> master_;
+  std::vector<std::unique_ptr<SlaveNode>> slaves_;
+};
+
+}  // namespace clouddb::repl
+
+#endif  // CLOUDDB_REPL_REPLICATION_CLUSTER_H_

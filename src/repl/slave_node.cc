@@ -1,0 +1,62 @@
+#include "repl/slave_node.h"
+
+#include <cassert>
+
+#include "db/sql_parser.h"
+#include "repl/master_node.h"
+
+namespace clouddb::repl {
+
+SlaveNode::SlaveNode(sim::Simulation* sim, net::Network* network,
+                     cloud::Instance* instance, CostModel cost_model)
+    : DbNode(sim, network, instance, std::move(cost_model),
+             /*enable_binlog=*/false) {}
+
+void SlaveNode::OnBinlogEvent(db::BinlogEvent event) {
+  if (broken_ || !online()) return;
+  relay_log_.push_back(std::move(event));
+  MaybeStartApply();
+}
+
+void SlaveNode::MaybeStartApply() {
+  if (applying_ || broken_ || relay_log_.empty()) return;
+  applying_ = true;
+  db::BinlogEvent event = std::move(relay_log_.front());
+  relay_log_.pop_front();
+
+  // Cost the whole transaction's re-execution.
+  SimDuration cost = 0;
+  for (const std::string& sql : event.statements) {
+    auto parsed = db::ParseSql(sql);
+    if (parsed.ok()) cost += cost_model_.EstimateApply(*parsed);
+  }
+
+  instance_->cpu().Submit(cost, [this, event = std::move(event)]() mutable {
+    // Apply the event atomically (it was one transaction on the master).
+    for (const std::string& sql : event.statements) {
+      Result<db::ExecResult> result = ExecuteNow(sql);
+      if (!result.ok()) {
+        // MySQL stops the SQL thread on an apply error; replication on this
+        // slave halts until an operator intervenes.
+        broken_ = true;
+        applying_ = false;
+        return;
+      }
+    }
+    applied_index_ = event.index;
+    ++events_applied_;
+    if (master_ != nullptr && master_->synchronous()) {
+      int64_t index = event.index;
+      MasterNode* master = master_;
+      network_->Send(node_id(), master->node_id(), /*size_bytes=*/48,
+                     [master, this, index] {
+                       master->OnSlaveAck(node_id(), index);
+                     });
+    }
+    if (apply_listener_) apply_listener_(event);
+    applying_ = false;
+    MaybeStartApply();
+  });
+}
+
+}  // namespace clouddb::repl

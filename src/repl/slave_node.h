@@ -1,0 +1,73 @@
+#ifndef CLOUDDB_REPL_SLAVE_NODE_H_
+#define CLOUDDB_REPL_SLAVE_NODE_H_
+
+#include <deque>
+#include <functional>
+
+#include "db/binlog.h"
+#include "repl/db_node.h"
+
+namespace clouddb::repl {
+
+class MasterNode;
+
+/// A replication slave. Two logical threads, as in MySQL:
+///
+/// - the *IO thread* receives binlog events from the master's dump thread
+///   and appends them to the relay log (no CPU charge — network I/O);
+/// - the *SQL apply thread* pops relay-log events in order and re-executes
+///   their statements, one event at a time, charged to the same CPU that
+///   serves read queries. This shared FCFS queue is the resource contention
+///   the paper identifies: increasing read load delays writeset application
+///   and vice versa, inflating the replication delay.
+class SlaveNode : public DbNode {
+ public:
+  SlaveNode(sim::Simulation* sim, net::Network* network,
+            cloud::Instance* instance, CostModel cost_model);
+
+  /// Records the master (for synchronous-mode acks). Called by
+  /// MasterNode::AttachSlave.
+  void SetMaster(MasterNode* master) { master_ = master; }
+
+  /// IO thread entry: a binlog event arrived from the master.
+  void OnBinlogEvent(db::BinlogEvent event);
+
+  /// Index of the last fully applied event (-1 if none).
+  int64_t applied_index() const { return applied_index_; }
+  int64_t events_applied() const { return events_applied_; }
+  /// Relay-log events received but not yet applied.
+  size_t relay_backlog() const { return relay_log_.size() + (applying_ ? 1 : 0); }
+  /// True if an apply error stopped replication (MySQL stops the SQL thread).
+  bool replication_broken() const { return broken_; }
+
+  /// Instrumentation hook: fires after each event is applied.
+  void SetApplyListener(std::function<void(const db::BinlogEvent&)> listener) {
+    apply_listener_ = std::move(listener);
+  }
+
+  /// Rebases the slave onto a *new* master's (empty) binlog timeline after a
+  /// failover: drops any relay-log remnants of the old timeline, clears a
+  /// broken SQL thread, and expects events from index 0. The caller is
+  /// responsible for having resynchronized the data first.
+  void ReattachToNewTimeline(MasterNode* new_master) {
+    relay_log_.clear();
+    applied_index_ = -1;
+    broken_ = false;
+    master_ = new_master;
+  }
+
+ private:
+  void MaybeStartApply();
+
+  MasterNode* master_ = nullptr;
+  std::deque<db::BinlogEvent> relay_log_;
+  bool applying_ = false;
+  bool broken_ = false;
+  int64_t applied_index_ = -1;
+  int64_t events_applied_ = 0;
+  std::function<void(const db::BinlogEvent&)> apply_listener_;
+};
+
+}  // namespace clouddb::repl
+
+#endif  // CLOUDDB_REPL_SLAVE_NODE_H_

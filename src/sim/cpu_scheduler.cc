@@ -1,0 +1,47 @@
+#include "sim/cpu_scheduler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace clouddb::sim {
+
+CpuScheduler::CpuScheduler(Simulation* sim, int num_cores, double speed_factor)
+    : sim_(sim), num_cores_(num_cores), speed_factor_(speed_factor) {
+  assert(sim != nullptr);
+  assert(num_cores >= 1);
+  assert(speed_factor > 0.0);
+}
+
+void CpuScheduler::Submit(SimDuration cost, Callback done) {
+  assert(cost >= 0);
+  if (busy_cores_ < num_cores_) {
+    StartJob(Job{cost, std::move(done)});
+  } else {
+    queue_.push_back(Job{cost, std::move(done)});
+  }
+}
+
+void CpuScheduler::StartJob(Job job) {
+  ++busy_cores_;
+  SimDuration service =
+      static_cast<SimDuration>(static_cast<double>(job.cost) / speed_factor_);
+  if (service < 1) service = 1;  // every job takes at least one tick
+  auto done = std::move(job.done);
+  sim_->ScheduleAfter(service, [this, service, done = std::move(done)]() mutable {
+    OnJobDone(service, std::move(done));
+  });
+}
+
+void CpuScheduler::OnJobDone(SimDuration service_time, Callback done) {
+  --busy_cores_;
+  busy_micros_ += service_time;
+  ++jobs_completed_;
+  if (!queue_.empty()) {
+    Job next = std::move(queue_.front());
+    queue_.pop_front();
+    StartJob(std::move(next));
+  }
+  if (done) done();
+}
+
+}  // namespace clouddb::sim

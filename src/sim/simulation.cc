@@ -1,0 +1,54 @@
+#include "sim/simulation.h"
+
+#include <cassert>
+#include <utility>
+
+namespace clouddb::sim {
+
+Simulation::EventHandle Simulation::ScheduleAt(SimTime when, Callback cb) {
+  if (when < now_) when = now_;
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(cb), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+bool Simulation::Step() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the callback is moved out via const_cast,
+    // which is safe because the element is popped immediately afterwards.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    ++events_executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+void Simulation::Run() {
+  while (Step()) {
+  }
+}
+
+void Simulation::RunUntil(SimTime deadline) {
+  while (!queue_.empty()) {
+    // Skip cancelled events without advancing time.
+    if (*queue_.top().cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (queue_.top().when > deadline) break;
+    Step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulation::FastForwardTo(SimTime t) {
+  assert(queue_.empty() || queue_.top().when >= t);
+  if (t > now_) now_ = t;
+}
+
+}  // namespace clouddb::sim

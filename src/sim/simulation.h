@@ -1,0 +1,103 @@
+#ifndef CLOUDDB_SIM_SIMULATION_H_
+#define CLOUDDB_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace clouddb::sim {
+
+/// Discrete-event simulation kernel.
+///
+/// The entire system (clients, proxy, database nodes, network, NTP) runs as
+/// callbacks on a single event queue, which makes every experiment
+/// deterministic: events at equal timestamps fire in scheduling order
+/// (FIFO tie-break by sequence number). There are no real threads; simulated
+/// "threads" (e.g. a slave's SQL apply thread) are event-driven state
+/// machines.
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Handle to a scheduled event; allows cancellation (e.g. timeouts).
+  class EventHandle {
+   public:
+    EventHandle() = default;
+
+    /// Cancels the event if it has not fired yet. Idempotent.
+    void Cancel() {
+      if (cancelled_) *cancelled_ = true;
+    }
+    bool valid() const { return cancelled_ != nullptr; }
+
+   private:
+    friend class Simulation;
+    explicit EventHandle(std::shared_ptr<bool> cancelled)
+        : cancelled_(std::move(cancelled)) {}
+    std::shared_ptr<bool> cancelled_;
+  };
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time in microseconds.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute simulated time `when` (clamped to
+  /// `Now()` if in the past). Returns a cancellable handle.
+  EventHandle ScheduleAt(SimTime when, Callback cb);
+
+  /// Schedules `cb` to run `delay` microseconds from now.
+  EventHandle ScheduleAfter(SimDuration delay, Callback cb) {
+    return ScheduleAt(now_ + (delay < 0 ? 0 : delay), std::move(cb));
+  }
+
+  /// Runs until the queue is empty.
+  void Run();
+
+  /// Runs until the queue is empty or simulated time would exceed `deadline`.
+  /// Events at exactly `deadline` are executed. Afterwards `Now()` is
+  /// min(deadline, time of last executed event) — call `FastForwardTo` to pin
+  /// the clock at the deadline if needed.
+  void RunUntil(SimTime deadline);
+
+  /// Advances `Now()` to `t` without executing events (requires that no
+  /// pending event is earlier than `t`; used by tests).
+  void FastForwardTo(SimTime t);
+
+  /// Number of events executed so far.
+  int64_t events_executed() const { return events_executed_; }
+  /// Number of events currently pending.
+  size_t pending_events() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    int64_t seq;
+    Callback cb;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops and executes the earliest event. Returns false if queue empty.
+  bool Step();
+
+  SimTime now_ = 0;
+  int64_t next_seq_ = 0;
+  int64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace clouddb::sim
+
+#endif  // CLOUDDB_SIM_SIMULATION_H_

@@ -1,0 +1,168 @@
+#include "cloud/cloud_provider.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/placement.h"
+#include "common/stats.h"
+#include "sim/simulation.h"
+
+namespace clouddb::cloud {
+namespace {
+
+TEST(PlacementTest, ProximityClassification) {
+  EXPECT_EQ(ClassifyProximity(MasterPlacement(), SameZonePlacement()),
+            Proximity::kSameZone);
+  EXPECT_EQ(ClassifyProximity(MasterPlacement(), DifferentZonePlacement()),
+            Proximity::kDifferentZone);
+  EXPECT_EQ(ClassifyProximity(MasterPlacement(), DifferentRegionPlacement()),
+            Proximity::kDifferentRegion);
+}
+
+TEST(PlacementTest, PaperPlacements) {
+  EXPECT_EQ(MasterPlacement().zone, "us-west-1a");
+  EXPECT_EQ(DifferentZonePlacement().zone, "us-west-1b");
+  EXPECT_EQ(DifferentZonePlacement().region, "us-west");
+  EXPECT_EQ(DifferentRegionPlacement().region, "eu-west");
+}
+
+TEST(InstanceSpecTest, TypesHaveExpectedShape) {
+  InstanceSpec small = SpecFor(InstanceType::kSmall);
+  InstanceSpec large = SpecFor(InstanceType::kLarge);
+  EXPECT_EQ(small.cores, 1);
+  EXPECT_GT(large.cores, small.cores);
+  EXPECT_GT(large.base_speed, small.base_speed);
+}
+
+class CloudProviderTest : public ::testing::Test {
+ protected:
+  sim::Simulation sim_;
+  CloudOptions options_;
+};
+
+TEST_F(CloudProviderTest, LaunchAssignsSequentialNodeIds) {
+  CloudProvider provider(&sim_, options_, 1);
+  Instance* a = provider.Launch("a", InstanceType::kSmall, MasterPlacement());
+  Instance* b = provider.Launch("b", InstanceType::kSmall, MasterPlacement());
+  EXPECT_EQ(a->node_id(), 0);
+  EXPECT_EQ(b->node_id(), 1);
+  EXPECT_EQ(provider.FindByNode(0), a);
+  EXPECT_EQ(provider.FindByNode(1), b);
+  EXPECT_EQ(provider.FindByNode(99), nullptr);
+  EXPECT_EQ(provider.instances().size(), 2u);
+}
+
+TEST_F(CloudProviderTest, SpeedFactorsWithinConfiguredBounds) {
+  CloudProvider provider(&sim_, options_, 2);
+  for (int i = 0; i < 50; ++i) {
+    Instance* inst =
+        provider.Launch("x", InstanceType::kSmall, MasterPlacement());
+    EXPECT_GE(inst->speed_factor(), options_.min_speed_factor);
+    EXPECT_LE(inst->speed_factor(), options_.max_speed_factor);
+  }
+}
+
+TEST_F(CloudProviderTest, SpeedFactorsVaryAcrossInstances) {
+  // The paper: "the coefficient of variation of CPU of small instances is
+  // 21%"; our instances must actually differ.
+  CloudProvider provider(&sim_, options_, 3);
+  Sample speeds;
+  for (int i = 0; i < 200; ++i) {
+    speeds.Add(provider
+                   .Launch("x", InstanceType::kSmall, MasterPlacement())
+                   ->speed_factor());
+  }
+  EXPECT_NEAR(speeds.Mean(), 1.0, 0.05);
+  EXPECT_GT(speeds.StdDev(), 0.1);
+  EXPECT_LT(speeds.StdDev(), 0.3);
+}
+
+TEST_F(CloudProviderTest, PerfVariationCanBeDisabled) {
+  options_.cpu_speed_cov = 0.0;
+  CloudProvider provider(&sim_, options_, 4);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(
+        provider.Launch("x", InstanceType::kSmall, MasterPlacement())
+            ->speed_factor(),
+        1.0);
+  }
+}
+
+TEST_F(CloudProviderTest, DeterministicUnderSeed) {
+  CloudProvider p1(&sim_, options_, 42);
+  CloudProvider p2(&sim_, options_, 42);
+  for (int i = 0; i < 10; ++i) {
+    Instance* a = p1.Launch("x", InstanceType::kSmall, MasterPlacement());
+    Instance* b = p2.Launch("x", InstanceType::kSmall, MasterPlacement());
+    EXPECT_DOUBLE_EQ(a->speed_factor(), b->speed_factor());
+    EXPECT_EQ(a->clock().drift_ppm(), b->clock().drift_ppm());
+  }
+}
+
+TEST_F(CloudProviderTest, LatencyOrderedByProximity) {
+  options_.latency_jitter_sigma = 0.0;  // deterministic for this test
+  CloudProvider provider(&sim_, options_, 5);
+  Instance* master =
+      provider.Launch("m", InstanceType::kSmall, MasterPlacement());
+  Instance* same =
+      provider.Launch("s1", InstanceType::kSmall, SameZonePlacement());
+  Instance* zone =
+      provider.Launch("s2", InstanceType::kSmall, DifferentZonePlacement());
+  Instance* region =
+      provider.Launch("s3", InstanceType::kSmall, DifferentRegionPlacement());
+  SimDuration d_same = provider.SampleOneWay(master->node_id(), same->node_id());
+  SimDuration d_zone = provider.SampleOneWay(master->node_id(), zone->node_id());
+  SimDuration d_region =
+      provider.SampleOneWay(master->node_id(), region->node_id());
+  // Defaults reproduce the paper's 16 / 21 / 173 ms half-RTTs.
+  EXPECT_EQ(d_same, Millis(16));
+  EXPECT_EQ(d_zone, Millis(21));
+  EXPECT_EQ(d_region, Millis(173));
+  EXPECT_LT(d_same, d_zone);
+  EXPECT_LT(d_zone, d_region);
+}
+
+TEST_F(CloudProviderTest, LoopbackIsCheap) {
+  CloudProvider provider(&sim_, options_, 6);
+  Instance* a = provider.Launch("a", InstanceType::kSmall, MasterPlacement());
+  EXPECT_EQ(provider.SampleOneWay(a->node_id(), a->node_id()),
+            options_.loopback_one_way);
+}
+
+TEST_F(CloudProviderTest, JitterProducesVariation) {
+  CloudProvider provider(&sim_, options_, 7);
+  Instance* a = provider.Launch("a", InstanceType::kSmall, MasterPlacement());
+  Instance* b =
+      provider.Launch("b", InstanceType::kSmall, DifferentRegionPlacement());
+  Sample delays;
+  for (int i = 0; i < 200; ++i) {
+    delays.Add(static_cast<double>(
+        provider.SampleOneWay(a->node_id(), b->node_id())));
+  }
+  EXPECT_GT(delays.StdDev(), 0.0);
+  // Mean within 10% of the configured base.
+  EXPECT_NEAR(delays.Mean(), static_cast<double>(Millis(173)),
+              static_cast<double>(Millis(173)) * 0.1);
+}
+
+TEST_F(CloudProviderTest, InstanceClockOffsetsWithinBounds) {
+  CloudProvider provider(&sim_, options_, 8);
+  for (int i = 0; i < 50; ++i) {
+    Instance* inst =
+        provider.Launch("x", InstanceType::kSmall, MasterPlacement());
+    EXPECT_LE(std::abs(inst->clock().OffsetAt(0)),
+              options_.max_initial_clock_offset);
+    EXPECT_LE(std::abs(inst->clock().drift_ppm()),
+              options_.max_clock_drift_ppm);
+  }
+}
+
+TEST_F(CloudProviderTest, LocalNowUsesInstanceClock) {
+  CloudProvider provider(&sim_, options_, 9);
+  Instance* inst =
+      provider.Launch("x", InstanceType::kSmall, MasterPlacement());
+  sim_.FastForwardTo(Seconds(10));
+  EXPECT_EQ(inst->LocalNowMicros(), inst->clock().NowMicros(Seconds(10)));
+}
+
+}  // namespace
+}  // namespace clouddb::cloud

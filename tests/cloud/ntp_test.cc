@@ -1,0 +1,157 @@
+#include "cloud/ntp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cloud/cloud_provider.h"
+#include "common/stats.h"
+#include "sim/simulation.h"
+
+namespace clouddb::cloud {
+namespace {
+
+class NtpTest : public ::testing::Test {
+ protected:
+  NtpTest() : provider_(&sim_, options_, 77) {
+    a_ = provider_.Launch("a", InstanceType::kSmall, MasterPlacement());
+    b_ = provider_.Launch("b", InstanceType::kSmall, MasterPlacement());
+  }
+
+  sim::Simulation sim_;
+  CloudOptions options_;
+  CloudProvider provider_{&sim_, options_, 77};
+  Instance* a_;
+  Instance* b_;
+};
+
+TEST_F(NtpTest, SyncOnceStepsClockNearTruth) {
+  NtpOptions ntp;
+  NtpClient client(&sim_, a_, ntp, 1);
+  client.SyncOnce();
+  // After a sync the offset is bias + noise: bounded by a few ms.
+  double offset_ms = std::abs(static_cast<double>(a_->clock().OffsetAt(0))) /
+                     1000.0;
+  EXPECT_LT(offset_ms, ntp.max_bias_ms + 5 * ntp.residual_noise_ms);
+  EXPECT_EQ(client.syncs_performed(), 1);
+}
+
+TEST_F(NtpTest, PeriodicSyncRunsEverySecond) {
+  NtpOptions ntp;
+  NtpClient client(&sim_, a_, ntp, 2);
+  client.StartPeriodic();
+  sim_.RunUntil(Seconds(10));
+  client.Stop();
+  sim_.Run();
+  // Syncs at t=0..10s inclusive boundaries: 11 ticks.
+  EXPECT_EQ(client.syncs_performed(), 11);
+}
+
+TEST_F(NtpTest, StopCancelsFutureSyncs) {
+  NtpOptions ntp;
+  NtpClient client(&sim_, a_, ntp, 3);
+  client.StartPeriodic();
+  sim_.RunUntil(Seconds(2));
+  client.Stop();
+  int64_t count = client.syncs_performed();
+  sim_.RunUntil(Seconds(60));
+  sim_.Run();
+  EXPECT_EQ(client.syncs_performed(), count);
+}
+
+TEST_F(NtpTest, SyncOnceThenDriftGrowsDifference) {
+  // The Fig. 4 "sync once at beginning" scenario: the difference between two
+  // instances grows roughly linearly with time.
+  NtpOptions ntp;
+  NtpClient ca(&sim_, a_, ntp, 4);
+  NtpClient cb(&sim_, b_, ntp, 5);
+  ca.SyncOnce();
+  cb.SyncOnce();
+  ClockComparison comparison(&sim_, a_, b_);
+  comparison.Start(Seconds(60), 21);  // every minute for 20 minutes
+  sim_.Run();
+  const auto& diffs = comparison.differences_ms();
+  ASSERT_EQ(diffs.size(), 21u);
+  double relative_drift_ppm =
+      std::abs(a_->clock().drift_ppm() - b_->clock().drift_ppm());
+  if (relative_drift_ppm > 5.0) {
+    // Later samples must exceed earlier ones by roughly drift * elapsed.
+    EXPECT_GT(diffs.back(), diffs.front());
+    double expected_growth_ms = relative_drift_ppm * 1e-6 * 1200.0 * 1000.0;
+    EXPECT_NEAR(diffs.back() - diffs.front(), expected_growth_ms,
+                expected_growth_ms * 0.2 + 1.0);
+  }
+}
+
+TEST_F(NtpTest, PeriodicSyncKeepsDifferenceBounded) {
+  // The Fig. 4 "sync every second" scenario: differences stay within a few
+  // milliseconds for the whole 20 minutes.
+  NtpOptions ntp;
+  NtpClient ca(&sim_, a_, ntp, 6);
+  NtpClient cb(&sim_, b_, ntp, 7);
+  ca.StartPeriodic();
+  cb.StartPeriodic();
+  ClockComparison comparison(&sim_, a_, b_);
+  comparison.Start(Seconds(1), 1200);
+  sim_.RunUntil(Minutes(20) + Seconds(1));
+  ca.Stop();
+  cb.Stop();
+  sim_.Run();
+  Sample diffs;
+  diffs.AddAll(comparison.differences_ms());
+  ASSERT_EQ(diffs.count(), 1200u);
+  // Bounded: max difference well under what drift alone would produce.
+  EXPECT_LT(diffs.Max(), 2.0 * (2.0 * ntp.max_bias_ms) + 10.0);
+  // And the median is a few ms (paper: 3.30 ms).
+  EXPECT_LT(diffs.Median(), 10.0);
+}
+
+TEST_F(NtpTest, PeriodicBeatsSyncOnceOverTwentyMinutes) {
+  // Head-to-head comparison backing Fig. 4's conclusion.
+  NtpOptions ntp;
+  // Force meaningful relative drift so the sync-once case degrades.
+  a_->clock().set_drift_ppm(18.0);
+  b_->clock().set_drift_ppm(-18.0);
+
+  NtpClient ca(&sim_, a_, ntp, 8);
+  NtpClient cb(&sim_, b_, ntp, 9);
+  ca.SyncOnce();
+  cb.SyncOnce();
+  ClockComparison once(&sim_, a_, b_);
+  once.Start(Seconds(1), 1200);
+  sim_.RunUntil(Minutes(20) + Seconds(1));
+  Sample once_sample;
+  once_sample.AddAll(once.differences_ms());
+
+  // Now enable per-second sync and measure again.
+  ca.StartPeriodic();
+  cb.StartPeriodic();
+  ClockComparison periodic(&sim_, a_, b_);
+  periodic.Start(Seconds(1), 1200);
+  sim_.RunUntil(Minutes(40) + Seconds(2));
+  ca.Stop();
+  cb.Stop();
+  sim_.Run();
+  Sample periodic_sample;
+  periodic_sample.AddAll(periodic.differences_ms());
+
+  EXPECT_GT(once_sample.Max(), periodic_sample.Max());
+  EXPECT_GT(once_sample.StdDev(), periodic_sample.StdDev());
+}
+
+TEST_F(NtpTest, ClockComparisonSamplesAbsoluteDifference) {
+  a_->clock().StepTo(0, Millis(10));
+  b_->clock().StepTo(0, Millis(-5));
+  a_->clock().set_drift_ppm(0);
+  b_->clock().set_drift_ppm(0);
+  ClockComparison comparison(&sim_, a_, b_);
+  comparison.Start(Seconds(1), 3);
+  sim_.Run();
+  ASSERT_EQ(comparison.differences_ms().size(), 3u);
+  for (double d : comparison.differences_ms()) {
+    EXPECT_NEAR(d, 15.0, 0.2);
+  }
+}
+
+}  // namespace
+}  // namespace clouddb::cloud

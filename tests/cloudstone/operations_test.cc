@@ -1,0 +1,158 @@
+#include "cloudstone/operations.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cloudstone/schema.h"
+#include "db/database.h"
+#include "db/sql_parser.h"
+
+namespace clouddb::cloudstone {
+namespace {
+
+Status ExecuteOn(db::Database* database, const std::string& sql) {
+  auto r = database->Execute(sql);
+  return r.ok() ? Status::Ok() : r.status();
+}
+
+class OperationsTest : public ::testing::Test {
+ protected:
+  OperationsTest() {
+    EXPECT_TRUE(LoadInitialData(
+                    [&](const std::string& sql) {
+                      return ExecuteOn(&db_, sql);
+                    },
+                    40, 11, &state_)
+                    .ok());
+  }
+
+  db::Database db_;
+  WorkloadState state_;
+};
+
+TEST_F(OperationsTest, MixReadFractionRespected) {
+  for (auto [mix, expect] :
+       {std::pair{WorkloadMix::FiftyFifty(), 0.5},
+        std::pair{WorkloadMix::EightyTwenty(), 0.8}}) {
+    OperationGenerator gen(mix, OperationCosts{}, &state_);
+    Rng rng(5);
+    int reads = 0;
+    const int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i) {
+      if (gen.Next(rng).is_read) ++reads;
+    }
+    EXPECT_NEAR(static_cast<double>(reads) / kDraws, expect, 0.02);
+  }
+}
+
+TEST_F(OperationsTest, GeneratedSqlParsesAndExecutes) {
+  OperationGenerator gen(WorkloadMix::FiftyFifty(), OperationCosts{}, &state_);
+  Rng rng(6);
+  for (int i = 0; i < 2000; ++i) {
+    GeneratedOp op = gen.Next(rng);
+    ASSERT_TRUE(db::ParseSql(op.sql).ok()) << op.sql;
+    auto r = db_.Execute(op.sql);
+    ASSERT_TRUE(r.ok()) << op.sql << " -> " << r.status().ToString();
+  }
+  std::string err;
+  EXPECT_TRUE(db_.ValidateAllIndexes(&err)) << err;
+}
+
+TEST_F(OperationsTest, WriteIdsNeverCollideAcrossUsers) {
+  OperationGenerator gen(WorkloadMix::EightyTwenty(), OperationCosts{},
+                         &state_);
+  // Two "users" with independent rngs share the generator/state.
+  Rng rng1(1);
+  Rng rng2(2);
+  std::set<std::string> write_sql;
+  for (int i = 0; i < 3000; ++i) {
+    GeneratedOp op1 = gen.Next(rng1);
+    GeneratedOp op2 = gen.Next(rng2);
+    for (const auto& op : {op1, op2}) {
+      if (!op.is_read) {
+        // INSERT statements must be unique (ids allocated centrally).
+        EXPECT_TRUE(write_sql.insert(op.sql).second) << op.sql;
+      }
+    }
+  }
+}
+
+TEST_F(OperationsTest, CostsMatchOpTypes) {
+  OperationCosts costs;
+  OperationGenerator gen(WorkloadMix::FiftyFifty(), costs, &state_);
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    GeneratedOp op = gen.Next(rng);
+    EXPECT_EQ(op.cpu_cost, costs.CostOf(op.type));
+    EXPECT_EQ(op.is_read, IsReadOp(op.type));
+  }
+}
+
+TEST_F(OperationsTest, ReadsUseIndexablePredicates) {
+  OperationGenerator gen(WorkloadMix::EightyTwenty(), OperationCosts{},
+                         &state_);
+  Rng rng(8);
+  int checked = 0;
+  for (int i = 0; i < 300 && checked < 50; ++i) {
+    GeneratedOp op = gen.Next(rng);
+    if (!op.is_read) continue;
+    auto r = db_.Execute(op.sql);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NE(r->plan, "table_scan") << op.sql;
+    ++checked;
+  }
+  EXPECT_GE(checked, 50);
+}
+
+TEST_F(OperationsTest, ExpectedCostsOrderedByMix) {
+  // The 50/50 mix deliberately has heavier reads than the 80/20 mix
+  // (that is what positions the paper's saturation points).
+  WorkloadMix heavy = WorkloadMix::FiftyFifty();
+  WorkloadMix light = WorkloadMix::EightyTwenty();
+  EXPECT_GT(heavy.ExpectedReadCost(), light.ExpectedReadCost());
+  EXPECT_GT(heavy.ExpectedReadCost(), Millis(100));
+  EXPECT_GT(light.ExpectedWriteCost(), Millis(50));
+}
+
+TEST_F(OperationsTest, MakeWorkloadCostModelHasTableOverrides) {
+  repl::CostModel model = MakeWorkloadCostModel(OperationCosts{}, 0.5);
+  EXPECT_EQ(model.apply_cost_by_table.count("events"), 1u);
+  EXPECT_EQ(model.apply_cost_by_table.count("attendees"), 1u);
+  EXPECT_EQ(model.apply_cost_by_table.count("event_tags"), 1u);
+  EXPECT_EQ(model.apply_cost_by_table.count("comments"), 1u);
+  EXPECT_EQ(model.apply_cost_by_table.count("heartbeat"), 1u);
+  OperationCosts costs;
+  EXPECT_EQ(model.apply_cost_by_table["events"],
+            static_cast<SimDuration>(0.5 * static_cast<double>(costs.create)));
+}
+
+TEST_F(OperationsTest, TimestampSourceEmbedsLiterals) {
+  int64_t now = 987654;
+  OperationGenerator gen(WorkloadMix::FiftyFifty(), OperationCosts{}, &state_,
+                         [&] { return now; });
+  Rng rng(9);
+  bool saw_create = false;
+  for (int i = 0; i < 200 && !saw_create; ++i) {
+    GeneratedOp op = gen.Next(rng);
+    if (op.type == OpType::kCreateEvent) {
+      saw_create = true;
+      EXPECT_NE(op.sql.find("987654"), std::string::npos) << op.sql;
+      EXPECT_EQ(op.sql.find("NOW_MICROS"), std::string::npos) << op.sql;
+    }
+  }
+  EXPECT_TRUE(saw_create);
+}
+
+TEST(OpTypeTest, NamesAndClassification) {
+  EXPECT_STREQ(OpTypeToString(OpType::kBrowseEvents), "browse_events");
+  EXPECT_STREQ(OpTypeToString(OpType::kCreateEvent), "create_event");
+  EXPECT_TRUE(IsReadOp(OpType::kSearchEvents));
+  EXPECT_TRUE(IsReadOp(OpType::kViewEvent));
+  EXPECT_FALSE(IsReadOp(OpType::kJoinEvent));
+  EXPECT_FALSE(IsReadOp(OpType::kAddComment));
+  EXPECT_FALSE(IsReadOp(OpType::kTagEvent));
+}
+
+}  // namespace
+}  // namespace clouddb::cloudstone

@@ -1,0 +1,132 @@
+#include "cloudstone/schema.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "db/database.h"
+
+namespace clouddb::cloudstone {
+namespace {
+
+Status ExecuteOn(db::Database* database, const std::string& sql) {
+  auto r = database->Execute(sql);
+  return r.ok() ? Status::Ok() : r.status();
+}
+
+TEST(SchemaStatementsTest, AllStatementsExecute) {
+  db::Database database;
+  for (const std::string& sql : SchemaStatements()) {
+    EXPECT_TRUE(ExecuteOn(&database, sql).ok()) << sql;
+  }
+  EXPECT_NE(database.GetTable("users"), nullptr);
+  EXPECT_NE(database.GetTable("events"), nullptr);
+  EXPECT_NE(database.GetTable("tags"), nullptr);
+  EXPECT_NE(database.GetTable("event_tags"), nullptr);
+  EXPECT_NE(database.GetTable("attendees"), nullptr);
+  EXPECT_NE(database.GetTable("comments"), nullptr);
+  // The read paths are indexed.
+  auto date_col = database.GetTable("events")->schema().ColumnIndex("event_date");
+  ASSERT_TRUE(date_col.ok());
+  EXPECT_TRUE(database.GetTable("events")->HasIndexOn(*date_col));
+}
+
+TEST(DataProfileTest, ScalesWithParameter) {
+  DataProfile p300 = DataProfile::FromScale(300);
+  DataProfile p600 = DataProfile::FromScale(600);
+  EXPECT_EQ(p300.users, 300);
+  EXPECT_EQ(p300.events, 600);
+  EXPECT_EQ(p600.users, 600);
+  EXPECT_EQ(p600.events, 1200);
+  EXPECT_GT(p300.tags, 0);
+}
+
+TEST(LoadInitialDataTest, PopulatesTablesAndState) {
+  db::Database database;
+  WorkloadState state;
+  ASSERT_TRUE(LoadInitialData(
+                  [&](const std::string& sql) {
+                    return ExecuteOn(&database, sql);
+                  },
+                  50, /*seed=*/1, &state)
+                  .ok());
+  DataProfile profile = DataProfile::FromScale(50);
+  EXPECT_EQ(database.GetTable("users")->num_rows(),
+            static_cast<size_t>(profile.users));
+  EXPECT_EQ(database.GetTable("events")->num_rows(),
+            static_cast<size_t>(profile.events));
+  EXPECT_EQ(database.GetTable("tags")->num_rows(),
+            static_cast<size_t>(profile.tags));
+  EXPECT_EQ(database.GetTable("attendees")->num_rows(),
+            static_cast<size_t>(profile.events * profile.attendees_per_event));
+  EXPECT_EQ(database.GetTable("comments")->num_rows(),
+            static_cast<size_t>(profile.events * profile.comments_per_event));
+  EXPECT_EQ(state.num_users, profile.users);
+  EXPECT_EQ(state.next_event_id, profile.events + 1);
+  EXPECT_GT(state.next_attendee_id, 1);
+  EXPECT_GT(state.next_comment_id, 1);
+  std::string err;
+  EXPECT_TRUE(database.ValidateAllIndexes(&err)) << err;
+}
+
+TEST(LoadInitialDataTest, DeterministicUnderSeed) {
+  db::Database a;
+  db::Database b;
+  WorkloadState state_a, state_b;
+  ASSERT_TRUE(LoadInitialData([&](const std::string& sql) {
+                return ExecuteOn(&a, sql);
+              }, 30, 7, &state_a).ok());
+  ASSERT_TRUE(LoadInitialData([&](const std::string& sql) {
+                return ExecuteOn(&b, sql);
+              }, 30, 7, &state_b).ok());
+  EXPECT_TRUE(db::Database::ContentsEqual(a, b));
+  EXPECT_EQ(state_a.next_event_id, state_b.next_event_id);
+}
+
+TEST(LoadInitialDataTest, DifferentSeedsDifferentContents) {
+  db::Database a;
+  db::Database b;
+  WorkloadState state;
+  ASSERT_TRUE(LoadInitialData([&](const std::string& sql) {
+                return ExecuteOn(&a, sql);
+              }, 30, 1, &state).ok());
+  ASSERT_TRUE(LoadInitialData([&](const std::string& sql) {
+                return ExecuteOn(&b, sql);
+              }, 30, 2, &state).ok());
+  EXPECT_FALSE(db::Database::ContentsEqual(a, b));
+}
+
+TEST(LoadInitialDataTest, PropagatesExecutionErrors) {
+  int calls = 0;
+  WorkloadState state;
+  Status st = LoadInitialData(
+      [&](const std::string&) {
+        ++calls;
+        return calls > 3 ? Status::Internal("boom") : Status::Ok();
+      },
+      10, 1, &state);
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(WorkloadStateTest, RandomIdsWithinRanges) {
+  WorkloadState state;
+  state.num_users = 10;
+  state.num_tags = 5;
+  state.next_event_id = 21;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t u = state.RandomUserId(rng);
+    int64_t e = state.RandomEventId(rng);
+    int64_t t = state.RandomTagId(rng);
+    ASSERT_GE(u, 1);
+    ASSERT_LE(u, 10);
+    ASSERT_GE(e, 1);
+    ASSERT_LE(e, 20);
+    ASSERT_GE(t, 1);
+    ASSERT_LE(t, 5);
+  }
+}
+
+}  // namespace
+}  // namespace clouddb::cloudstone

@@ -1,0 +1,145 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace clouddb {
+namespace {
+
+TEST(SampleTest, EmptySampleIsSafe) {
+  Sample s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Median(), 0.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+  EXPECT_EQ(s.Min(), 0.0);
+  EXPECT_EQ(s.Max(), 0.0);
+}
+
+TEST(SampleTest, BasicMoments) {
+  Sample s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 2.0);  // classic population-stddev example
+  EXPECT_EQ(s.Min(), 2.0);
+  EXPECT_EQ(s.Max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(SampleTest, MedianOddAndEven) {
+  Sample odd;
+  for (double v : {3.0, 1.0, 2.0}) odd.Add(v);
+  EXPECT_DOUBLE_EQ(odd.Median(), 2.0);
+
+  Sample even;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) even.Add(v);
+  EXPECT_DOUBLE_EQ(even.Median(), 2.5);
+}
+
+TEST(SampleTest, PercentileInterpolates) {
+  Sample s;
+  for (int i = 0; i <= 100; ++i) s.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 100.0);
+  EXPECT_NEAR(s.Percentile(0.95), 95.0, 1e-9);
+  EXPECT_NEAR(s.Percentile(0.5), 50.0, 1e-9);
+}
+
+TEST(SampleTest, TrimmedMeanDropsOutliers) {
+  Sample s;
+  // 18 well-behaved values plus two wild outliers.
+  for (int i = 0; i < 18; ++i) s.Add(10.0);
+  s.Add(100000.0);
+  s.Add(-100000.0);
+  // 5% two-sided trim on 20 samples drops exactly one from each end.
+  EXPECT_DOUBLE_EQ(s.TrimmedMean(0.05), 10.0);
+  EXPECT_NE(s.Mean(), 10.0);
+}
+
+TEST(SampleTest, TrimmedMeanZeroFractionIsMean) {
+  Sample s;
+  for (double v : {1.0, 2.0, 3.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.TrimmedMean(0.0), s.Mean());
+}
+
+TEST(SampleTest, TrimmedMeanTinySampleFallsBackToMean) {
+  Sample s;
+  s.Add(5.0);
+  s.Add(100.0);
+  EXPECT_DOUBLE_EQ(s.TrimmedMean(0.05), s.Mean());
+}
+
+TEST(SampleTest, AddAllAppends) {
+  Sample s;
+  s.AddAll({1.0, 2.0});
+  s.AddAll({3.0});
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.Sum(), 6.0);
+}
+
+TEST(HistogramTest, BucketsCountCorrectly) {
+  Histogram h(1.0, 2.0, 10);  // buckets: <1, <2, <4, <8, ...
+  h.Add(0.5);
+  h.Add(1.5);
+  h.Add(3.0);
+  h.Add(3.9);
+  EXPECT_EQ(h.TotalCount(), 4);
+  EXPECT_EQ(h.counts()[0], 1);
+  EXPECT_EQ(h.counts()[1], 1);
+  EXPECT_EQ(h.counts()[2], 2);
+}
+
+TEST(HistogramTest, OverflowBucket) {
+  Histogram h(1.0, 2.0, 3);  // <1, <2, <4, overflow
+  h.Add(100.0);
+  EXPECT_EQ(h.counts().back(), 1);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a(1.0, 2.0, 4);
+  Histogram b(1.0, 2.0, 4);
+  a.Add(0.5);
+  b.Add(0.5);
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.TotalCount(), 3);
+  EXPECT_EQ(a.counts()[0], 2);
+}
+
+TEST(HistogramTest, ApproxPercentile) {
+  Histogram h(1.0, 10.0, 5);
+  for (int i = 0; i < 99; ++i) h.Add(0.5);
+  h.Add(5000.0);
+  // p50 falls in the first bucket, p999 in a later one.
+  EXPECT_LE(h.ApproxPercentile(0.5), 1.0);
+  EXPECT_GT(h.ApproxPercentile(0.999), 100.0);
+}
+
+TEST(HistogramTest, ToStringListsNonEmptyBuckets) {
+  Histogram h(1.0, 2.0, 4);
+  h.Add(0.2);
+  h.Add(3.0);
+  std::string s = h.ToString();
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_FALSE(s.empty());
+}
+
+TEST(RateCounterTest, RateOverWindow) {
+  RateCounter c;
+  for (int i = 0; i < 100; ++i) c.Record(i * 10000);
+  // 100 events over a 1-second window.
+  EXPECT_DOUBLE_EQ(c.RatePerSecond(0, 1000000), 100.0);
+  EXPECT_EQ(c.count(), 100);
+}
+
+TEST(RateCounterTest, DegenerateWindowIsZero) {
+  RateCounter c;
+  c.Record(5);
+  EXPECT_EQ(c.RatePerSecond(10, 10), 0.0);
+  EXPECT_EQ(c.RatePerSecond(10, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace clouddb

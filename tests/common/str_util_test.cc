@@ -1,0 +1,66 @@
+#include "common/str_util.h"
+
+#include <gtest/gtest.h>
+
+namespace clouddb {
+namespace {
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 42, "x", 3.14159), "42-x-3.14");
+  EXPECT_EQ(StrFormat("no args"), "no args");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StrFormatTest, LongOutput) {
+  std::string long_arg(5000, 'a');
+  std::string out = StrFormat("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 5002u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+TEST(StrSplitTest, SplitsAndKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(StrSplit("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(StrSplit(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StrJoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+  EXPECT_EQ(StrJoin({"only"}, ","), "only");
+}
+
+TEST(CaseTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("SeLeCt *"), "select *");
+  EXPECT_EQ(ToUpper("SeLeCt *"), "SELECT *");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  x  "), "x");
+  EXPECT_EQ(StripWhitespace("\t\nabc\r "), "abc");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("abc"), "abc");
+}
+
+TEST(PrefixSuffixTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("SELECT 1", "SELECT"));
+  EXPECT_FALSE(StartsWith("SEL", "SELECT"));
+  EXPECT_TRUE(EndsWith("a.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", ".csv"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(EqualsIgnoreCaseTest, Comparisons) {
+  EXPECT_TRUE(EqualsIgnoreCase("select", "SELECT"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+}  // namespace
+}  // namespace clouddb

@@ -1,0 +1,55 @@
+#include "common/time_types.h"
+
+#include <gtest/gtest.h>
+
+namespace clouddb {
+namespace {
+
+TEST(TimeTypesTest, UnitConversions) {
+  EXPECT_EQ(Micros(5), 5);
+  EXPECT_EQ(Millis(2), 2000);
+  EXPECT_EQ(Seconds(3), 3000000);
+  EXPECT_EQ(Minutes(1), 60000000);
+  EXPECT_EQ(kHour, 60 * kMinute);
+}
+
+TEST(TimeTypesTest, FloatingConversionsRound) {
+  EXPECT_EQ(SecondsF(1.5), 1500000);
+  EXPECT_EQ(MillisF(0.5), 500);
+  EXPECT_EQ(MillisF(3.3), 3300);
+  // Rounds to nearest microsecond.
+  EXPECT_EQ(MillisF(0.0004), 0);
+  EXPECT_EQ(MillisF(0.0006), 1);
+}
+
+TEST(TimeTypesTest, BackConversions) {
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(2)), 2.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(7)), 7.0);
+  EXPECT_DOUBLE_EQ(ToSeconds(Millis(500)), 0.5);
+}
+
+struct FormatCase {
+  SimDuration d;
+  const char* expected;
+};
+
+class FormatDurationTest : public ::testing::TestWithParam<FormatCase> {};
+
+TEST_P(FormatDurationTest, Formats) {
+  EXPECT_EQ(FormatDuration(GetParam().d), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, FormatDurationTest,
+    ::testing::Values(FormatCase{0, "0us"}, FormatCase{25, "25us"},
+                      FormatCase{Millis(1), "1.00ms"},
+                      FormatCase{MillisF(2.5), "2.50ms"},
+                      FormatCase{Seconds(1), "1.00s"},
+                      FormatCase{SecondsF(1.75), "1.75s"},
+                      FormatCase{Minutes(2), "2.00min"},
+                      FormatCase{Minutes(90), "90.00min"},
+                      FormatCase{-Millis(3), "-3.00ms"},
+                      FormatCase{-Seconds(2), "-2.00s"}));
+
+}  // namespace
+}  // namespace clouddb

@@ -1,0 +1,254 @@
+#include "db/bplus_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace clouddb::db {
+namespace {
+
+using Tree = BPlusTree<int, int>;
+
+TEST(BPlusTreeTest, EmptyTree) {
+  Tree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Find(5), nullptr);
+  EXPECT_FALSE(tree.Erase(5));
+  EXPECT_EQ(tree.Height(), 1u);
+  std::string err;
+  EXPECT_TRUE(tree.Validate(&err)) << err;
+}
+
+TEST(BPlusTreeTest, InsertAndFind) {
+  Tree tree;
+  EXPECT_TRUE(tree.Insert(5, 50));
+  EXPECT_TRUE(tree.Insert(3, 30));
+  EXPECT_TRUE(tree.Insert(7, 70));
+  EXPECT_EQ(tree.size(), 3u);
+  ASSERT_NE(tree.Find(5), nullptr);
+  EXPECT_EQ(*tree.Find(5), 50);
+  EXPECT_EQ(*tree.Find(3), 30);
+  EXPECT_EQ(*tree.Find(7), 70);
+  EXPECT_EQ(tree.Find(4), nullptr);
+}
+
+TEST(BPlusTreeTest, DuplicateInsertFails) {
+  Tree tree;
+  EXPECT_TRUE(tree.Insert(1, 10));
+  EXPECT_FALSE(tree.Insert(1, 99));
+  EXPECT_EQ(*tree.Find(1), 10);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTreeTest, InsertOrAssignOverwrites) {
+  Tree tree;
+  EXPECT_TRUE(tree.InsertOrAssign(1, 10));
+  EXPECT_FALSE(tree.InsertOrAssign(1, 20));
+  EXPECT_EQ(*tree.Find(1), 20);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTreeTest, EraseLeavesOthersIntact) {
+  Tree tree;
+  for (int i = 0; i < 10; ++i) tree.Insert(i, i * 10);
+  EXPECT_TRUE(tree.Erase(4));
+  EXPECT_FALSE(tree.Contains(4));
+  EXPECT_EQ(tree.size(), 9u);
+  for (int i = 0; i < 10; ++i) {
+    if (i != 4) {
+      EXPECT_TRUE(tree.Contains(i)) << i;
+    }
+  }
+  EXPECT_FALSE(tree.Erase(4));
+}
+
+TEST(BPlusTreeTest, GrowsAndShrinksThroughSplitsAndMerges) {
+  Tree tree;
+  const int kN = 5000;
+  for (int i = 0; i < kN; ++i) ASSERT_TRUE(tree.Insert(i, i));
+  EXPECT_GT(tree.Height(), 2u);
+  std::string err;
+  ASSERT_TRUE(tree.Validate(&err)) << err;
+  for (int i = 0; i < kN; ++i) ASSERT_TRUE(tree.Erase(i));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Height(), 1u);
+  ASSERT_TRUE(tree.Validate(&err)) << err;
+}
+
+TEST(BPlusTreeTest, ReverseOrderInsertionValid) {
+  Tree tree;
+  for (int i = 2000; i >= 0; --i) ASSERT_TRUE(tree.Insert(i, i));
+  std::string err;
+  ASSERT_TRUE(tree.Validate(&err)) << err;
+  int expected = 0;
+  tree.ScanAll([&](const int& k, const int&) {
+    EXPECT_EQ(k, expected++);
+    return true;
+  });
+  EXPECT_EQ(expected, 2001);
+}
+
+TEST(BPlusTreeTest, ScanAllInOrder) {
+  Tree tree;
+  for (int i : {5, 1, 9, 3, 7}) tree.Insert(i, i);
+  std::vector<int> keys;
+  tree.ScanAll([&](const int& k, const int&) {
+    keys.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(BPlusTreeTest, ScanRangeBounds) {
+  Tree tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(i, i);
+  auto collect = [&](const int* lo, bool li, const int* hi, bool hi_inc) {
+    std::vector<int> keys;
+    tree.Scan(lo, li, hi, hi_inc, [&](const int& k, const int&) {
+      keys.push_back(k);
+      return true;
+    });
+    return keys;
+  };
+  int lo = 10, hi = 13;
+  EXPECT_EQ(collect(&lo, true, &hi, true), (std::vector<int>{10, 11, 12, 13}));
+  EXPECT_EQ(collect(&lo, false, &hi, true), (std::vector<int>{11, 12, 13}));
+  EXPECT_EQ(collect(&lo, true, &hi, false), (std::vector<int>{10, 11, 12}));
+  EXPECT_EQ(collect(&lo, false, &hi, false), (std::vector<int>{11, 12}));
+  // Open-ended scans.
+  int lo2 = 97;
+  EXPECT_EQ(collect(&lo2, true, nullptr, true), (std::vector<int>{97, 98, 99}));
+  int hi2 = 2;
+  EXPECT_EQ(collect(nullptr, true, &hi2, true), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(BPlusTreeTest, ScanEarlyStop) {
+  Tree tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(i, i);
+  int visited = 0;
+  tree.ScanAll([&](const int&, const int&) { return ++visited < 5; });
+  EXPECT_EQ(visited, 5);
+}
+
+TEST(BPlusTreeTest, ScanEmptyRange) {
+  Tree tree;
+  for (int i = 0; i < 10; ++i) tree.Insert(i * 10, i);
+  int lo = 11, hi = 19;
+  int visited = 0;
+  tree.Scan(&lo, true, &hi, true, [&](const int&, const int&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 0);
+}
+
+TEST(BPlusTreeTest, ClearResets) {
+  Tree tree;
+  for (int i = 0; i < 1000; ++i) tree.Insert(i, i);
+  tree.Clear();
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Find(1), nullptr);
+  EXPECT_TRUE(tree.Insert(1, 1));
+}
+
+TEST(BPlusTreeTest, StringKeys) {
+  BPlusTree<std::string, int> tree;
+  tree.Insert("banana", 1);
+  tree.Insert("apple", 2);
+  tree.Insert("cherry", 3);
+  std::vector<std::string> keys;
+  tree.ScanAll([&](const std::string& k, const int&) {
+    keys.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<std::string>{"apple", "banana", "cherry"}));
+}
+
+// ---- Property-based testing against a std::map reference model ----------
+
+class BPlusTreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BPlusTreePropertyTest, MatchesReferenceModelUnderRandomOps) {
+  Rng rng(GetParam());
+  BPlusTree<int, int, std::less<int>, 8> tree;  // small fan-out: deep trees
+  std::map<int, int> model;
+  std::string err;
+  for (int step = 0; step < 4000; ++step) {
+    int key = static_cast<int>(rng.UniformInt(0, 300));
+    double action = rng.NextDouble();
+    if (action < 0.5) {
+      int value = static_cast<int>(rng.UniformInt(0, 1 << 30));
+      bool inserted_tree = tree.Insert(key, value);
+      bool inserted_model = model.emplace(key, value).second;
+      ASSERT_EQ(inserted_tree, inserted_model);
+    } else if (action < 0.85) {
+      bool erased_tree = tree.Erase(key);
+      bool erased_model = model.erase(key) > 0;
+      ASSERT_EQ(erased_tree, erased_model);
+    } else {
+      const int* found = tree.Find(key);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        ASSERT_EQ(found, nullptr);
+      } else {
+        ASSERT_NE(found, nullptr);
+        ASSERT_EQ(*found, it->second);
+      }
+    }
+    if (step % 500 == 0) {
+      ASSERT_TRUE(tree.Validate(&err)) << "step " << step << ": " << err;
+    }
+  }
+  ASSERT_TRUE(tree.Validate(&err)) << err;
+  ASSERT_EQ(tree.size(), model.size());
+  auto it = model.begin();
+  tree.ScanAll([&](const int& k, const int& v) {
+    EXPECT_EQ(k, it->first);
+    EXPECT_EQ(v, it->second);
+    ++it;
+    return true;
+  });
+  EXPECT_EQ(it, model.end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(BPlusTreePropertyTest, RangeScansMatchModelAfterChurn) {
+  Rng rng(99);
+  BPlusTree<int, int, std::less<int>, 6> tree;
+  std::map<int, int> model;
+  for (int step = 0; step < 3000; ++step) {
+    int key = static_cast<int>(rng.UniformInt(0, 500));
+    if (rng.Bernoulli(0.6)) {
+      tree.Insert(key, key);
+      model.emplace(key, key);
+    } else {
+      tree.Erase(key);
+      model.erase(key);
+    }
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    int lo = static_cast<int>(rng.UniformInt(0, 500));
+    int hi = lo + static_cast<int>(rng.UniformInt(0, 100));
+    std::vector<int> tree_keys;
+    tree.Scan(&lo, true, &hi, true, [&](const int& k, const int&) {
+      tree_keys.push_back(k);
+      return true;
+    });
+    std::vector<int> model_keys;
+    for (auto it = model.lower_bound(lo);
+         it != model.end() && it->first <= hi; ++it) {
+      model_keys.push_back(it->first);
+    }
+    ASSERT_EQ(tree_keys, model_keys) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+}  // namespace
+}  // namespace clouddb::db

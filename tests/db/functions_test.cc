@@ -1,0 +1,83 @@
+#include "db/functions.h"
+
+#include <gtest/gtest.h>
+
+namespace clouddb::db {
+namespace {
+
+TEST(FunctionRegistryTest, BuiltinsPresent) {
+  FunctionRegistry funcs;
+  EXPECT_TRUE(funcs.Has("ABS"));
+  EXPECT_TRUE(funcs.Has("abs"));  // case-insensitive
+  EXPECT_TRUE(funcs.Has("MOD"));
+  EXPECT_TRUE(funcs.Has("LENGTH"));
+  EXPECT_TRUE(funcs.Has("CONCAT"));
+  EXPECT_TRUE(funcs.Has("NOW_MICROS"));
+  EXPECT_FALSE(funcs.Has("NOPE"));
+}
+
+TEST(FunctionRegistryTest, AbsIntAndDouble) {
+  FunctionRegistry funcs;
+  EXPECT_EQ(*funcs.Call("ABS", {Value(int64_t{-3})}), Value(int64_t{3}));
+  EXPECT_EQ(*funcs.Call("ABS", {Value(-2.5)}), Value(2.5));
+  EXPECT_TRUE(funcs.Call("ABS", {Value::Null()})->is_null());
+  EXPECT_FALSE(funcs.Call("ABS", {}).ok());
+  EXPECT_FALSE(funcs.Call("ABS", {Value("x")}).ok());
+}
+
+TEST(FunctionRegistryTest, Mod) {
+  FunctionRegistry funcs;
+  EXPECT_EQ(*funcs.Call("MOD", {Value(int64_t{7}), Value(int64_t{3})}),
+            Value(int64_t{1}));
+  EXPECT_FALSE(funcs.Call("MOD", {Value(int64_t{7}), Value(int64_t{0})}).ok());
+  EXPECT_TRUE(
+      funcs.Call("MOD", {Value::Null(), Value(int64_t{3})})->is_null());
+}
+
+TEST(FunctionRegistryTest, LengthAndConcat) {
+  FunctionRegistry funcs;
+  EXPECT_EQ(*funcs.Call("LENGTH", {Value("hello")}), Value(int64_t{5}));
+  EXPECT_FALSE(funcs.Call("LENGTH", {Value(int64_t{5})}).ok());
+  EXPECT_EQ(*funcs.Call("CONCAT", {Value("a"), Value(int64_t{1}), Value("b")}),
+            Value("a1b"));
+  EXPECT_EQ(*funcs.Call("CONCAT", {}), Value(""));
+  EXPECT_TRUE(funcs.Call("CONCAT", {Value("a"), Value::Null()})->is_null());
+}
+
+TEST(FunctionRegistryTest, NowMicrosDefaultsToZero) {
+  FunctionRegistry funcs;
+  EXPECT_EQ(*funcs.Call("NOW_MICROS", {}), Value(int64_t{0}));
+  EXPECT_FALSE(funcs.Call("NOW_MICROS", {Value(int64_t{1})}).ok());
+}
+
+TEST(FunctionRegistryTest, NowMicrosUsesTimeSource) {
+  int64_t now = 12345;
+  FunctionRegistry funcs([&] { return now; });
+  EXPECT_EQ(*funcs.Call("NOW_MICROS", {}), Value(int64_t{12345}));
+  now = 99;
+  EXPECT_EQ(*funcs.Call("NOW_MICROS", {}), Value(int64_t{99}));
+}
+
+TEST(FunctionRegistryTest, SetTimeSourceRebinds) {
+  FunctionRegistry funcs;
+  funcs.SetTimeSource([] { return int64_t{7}; });
+  EXPECT_EQ(*funcs.Call("NOW_MICROS", {}), Value(int64_t{7}));
+}
+
+TEST(FunctionRegistryTest, CustomRegistration) {
+  FunctionRegistry funcs;
+  funcs.Register("TWICE", [](const std::vector<Value>& args) -> Result<Value> {
+    return Value(args[0].AsInt64() * 2);
+  });
+  EXPECT_EQ(*funcs.Call("twice", {Value(int64_t{21})}), Value(int64_t{42}));
+}
+
+TEST(FunctionRegistryTest, UnknownFunctionIsNotFound) {
+  FunctionRegistry funcs;
+  auto r = funcs.Call("MISSING", {});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace clouddb::db

@@ -1,0 +1,114 @@
+#include "db/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace clouddb::db {
+namespace {
+
+Schema MakeSchema() {
+  auto schema = Schema::Create({
+      {"id", ValueType::kInt64, false, true},
+      {"name", ValueType::kString, true, false},
+      {"score", ValueType::kDouble, false, false},
+  });
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+TEST(SchemaTest, CreateValidSchema) {
+  Schema s = MakeSchema();
+  EXPECT_EQ(s.num_columns(), 3u);
+  ASSERT_TRUE(s.primary_key_index().has_value());
+  EXPECT_EQ(*s.primary_key_index(), 0u);
+  // PK implies NOT NULL.
+  EXPECT_TRUE(s.columns()[0].not_null);
+}
+
+TEST(SchemaTest, RejectsEmptyColumnList) {
+  EXPECT_FALSE(Schema::Create({}).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateNamesCaseInsensitive) {
+  auto r = Schema::Create({{"id", ValueType::kInt64, false, false},
+                           {"ID", ValueType::kString, false, false}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsTwoPrimaryKeys) {
+  auto r = Schema::Create({{"a", ValueType::kInt64, false, true},
+                           {"b", ValueType::kInt64, false, true}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SchemaTest, RejectsNullType) {
+  auto r = Schema::Create({{"a", ValueType::kNull, false, false}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  auto r = Schema::Create({{"", ValueType::kInt64, false, false}});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SchemaTest, ColumnIndexIsCaseInsensitive) {
+  Schema s = MakeSchema();
+  ASSERT_TRUE(s.ColumnIndex("NAME").ok());
+  EXPECT_EQ(*s.ColumnIndex("NAME"), 1u);
+  EXPECT_FALSE(s.ColumnIndex("missing").ok());
+  EXPECT_TRUE(s.HasColumn("Score"));
+  EXPECT_FALSE(s.HasColumn("other"));
+}
+
+TEST(SchemaTest, ValidateRowHappyPath) {
+  Schema s = MakeSchema();
+  EXPECT_TRUE(
+      s.ValidateRow({Value(int64_t{1}), Value("x"), Value(1.5)}).ok());
+  // Int accepted where double declared.
+  EXPECT_TRUE(
+      s.ValidateRow({Value(int64_t{1}), Value("x"), Value(int64_t{2})}).ok());
+  // Nullable column may be null.
+  EXPECT_TRUE(
+      s.ValidateRow({Value(int64_t{1}), Value("x"), Value::Null()}).ok());
+}
+
+TEST(SchemaTest, ValidateRowRejectsArityMismatch) {
+  Schema s = MakeSchema();
+  EXPECT_FALSE(s.ValidateRow({Value(int64_t{1})}).ok());
+  EXPECT_FALSE(s.ValidateRow({}).ok());
+}
+
+TEST(SchemaTest, ValidateRowRejectsNullInNotNull) {
+  Schema s = MakeSchema();
+  EXPECT_FALSE(
+      s.ValidateRow({Value::Null(), Value("x"), Value(1.0)}).ok());
+  EXPECT_FALSE(
+      s.ValidateRow({Value(int64_t{1}), Value::Null(), Value(1.0)}).ok());
+}
+
+TEST(SchemaTest, ValidateRowRejectsTypeMismatch) {
+  Schema s = MakeSchema();
+  EXPECT_FALSE(s.ValidateRow({Value("str"), Value("x"), Value(1.0)}).ok());
+  EXPECT_FALSE(
+      s.ValidateRow({Value(int64_t{1}), Value(int64_t{2}), Value(1.0)}).ok());
+  // Double NOT accepted where int declared.
+  EXPECT_FALSE(s.ValidateRow({Value(1.5), Value("x"), Value(1.0)}).ok());
+}
+
+TEST(SchemaTest, CoerceWidensIntToDouble) {
+  Schema s = MakeSchema();
+  Row row = {Value(int64_t{1}), Value("x"), Value(int64_t{3})};
+  ASSERT_TRUE(s.CoerceRow(&row).ok());
+  EXPECT_EQ(row[2].type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(row[2].AsDouble(), 3.0);
+}
+
+TEST(SchemaTest, ToStringMentionsEveryColumn) {
+  std::string s = MakeSchema().ToString();
+  EXPECT_NE(s.find("id"), std::string::npos);
+  EXPECT_NE(s.find("PRIMARY KEY"), std::string::npos);
+  EXPECT_NE(s.find("NOT NULL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clouddb::db

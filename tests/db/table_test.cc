@@ -1,0 +1,282 @@
+#include "db/table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace clouddb::db {
+namespace {
+
+Schema UserSchema() {
+  auto schema = Schema::Create({
+      {"id", ValueType::kInt64, false, true},
+      {"name", ValueType::kString, true, false},
+      {"age", ValueType::kInt64, false, false},
+  });
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+Row MakeUser(int64_t id, const std::string& name, int64_t age) {
+  return {Value(id), Value(name), Value(age)};
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest() : table_("users", UserSchema()) {}
+  Table table_;
+};
+
+TEST_F(TableTest, InsertAndGet) {
+  auto id = table_.Insert(MakeUser(1, "ann", 30));
+  ASSERT_TRUE(id.ok());
+  const Row* row = table_.Get(*id);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ((*row)[1].AsString(), "ann");
+  EXPECT_EQ(table_.num_rows(), 1u);
+}
+
+TEST_F(TableTest, InsertRejectsDuplicatePk) {
+  ASSERT_TRUE(table_.Insert(MakeUser(1, "ann", 30)).ok());
+  auto dup = table_.Insert(MakeUser(1, "bob", 25));
+  EXPECT_FALSE(dup.ok());
+  EXPECT_TRUE(dup.status().IsAlreadyExists());
+  EXPECT_EQ(table_.num_rows(), 1u);
+}
+
+TEST_F(TableTest, InsertRejectsBadRow) {
+  EXPECT_FALSE(table_.Insert({Value(int64_t{1})}).ok());          // arity
+  EXPECT_FALSE(
+      table_.Insert({Value(int64_t{1}), Value::Null(), Value::Null()}).ok());
+}
+
+TEST_F(TableTest, FindByPrimaryKey) {
+  ASSERT_TRUE(table_.Insert(MakeUser(5, "eve", 20)).ok());
+  auto found = table_.FindByPrimaryKey(Value(int64_t{5}));
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ((*table_.Get(*found))[1].AsString(), "eve");
+  EXPECT_TRUE(table_.FindByPrimaryKey(Value(int64_t{6})).status().IsNotFound());
+}
+
+TEST_F(TableTest, DeleteRemovesRowAndIndexEntries) {
+  auto id = table_.Insert(MakeUser(1, "ann", 30));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(table_.Delete(*id).ok());
+  EXPECT_EQ(table_.Get(*id), nullptr);
+  EXPECT_TRUE(table_.FindByPrimaryKey(Value(int64_t{1})).status().IsNotFound());
+  EXPECT_TRUE(table_.Delete(*id).IsNotFound());
+  // PK is reusable after delete.
+  EXPECT_TRUE(table_.Insert(MakeUser(1, "ann2", 31)).ok());
+}
+
+TEST_F(TableTest, UpdateChangesContentAndIndexes) {
+  auto id = table_.Insert(MakeUser(1, "ann", 30));
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(table_.Update(*id, MakeUser(2, "ann", 31)).ok());
+  EXPECT_TRUE(table_.FindByPrimaryKey(Value(int64_t{1})).status().IsNotFound());
+  ASSERT_TRUE(table_.FindByPrimaryKey(Value(int64_t{2})).ok());
+  std::string err;
+  EXPECT_TRUE(table_.ValidateIndexes(&err)) << err;
+}
+
+TEST_F(TableTest, UpdateRejectsPkCollision) {
+  auto a = table_.Insert(MakeUser(1, "a", 1));
+  ASSERT_TRUE(table_.Insert(MakeUser(2, "b", 2)).ok());
+  auto st = table_.Update(*a, MakeUser(2, "a", 1));
+  EXPECT_TRUE(st.IsAlreadyExists());
+  // Original row unharmed.
+  EXPECT_TRUE(table_.FindByPrimaryKey(Value(int64_t{1})).ok());
+  std::string err;
+  EXPECT_TRUE(table_.ValidateIndexes(&err)) << err;
+}
+
+TEST_F(TableTest, UpdateSamePkAllowed) {
+  auto a = table_.Insert(MakeUser(1, "a", 1));
+  EXPECT_TRUE(table_.Update(*a, MakeUser(1, "renamed", 2)).ok());
+  EXPECT_EQ((*table_.Get(*a))[1].AsString(), "renamed");
+}
+
+TEST_F(TableTest, SecondaryIndexScan) {
+  ASSERT_TRUE(table_.CreateIndex("idx_age", "age").ok());
+  for (int64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(table_.Insert(MakeUser(i, "u", i * 10)).ok());
+  }
+  std::vector<int64_t> ages;
+  Value lo(int64_t{30});
+  Value hi(int64_t{50});
+  ASSERT_TRUE(table_
+                  .ScanIndex(2, &lo, true, &hi, true,
+                             [&](RowId id) {
+                               ages.push_back((*table_.Get(id))[2].AsInt64());
+                               return true;
+                             })
+                  .ok());
+  EXPECT_EQ(ages, (std::vector<int64_t>{30, 40, 50}));
+}
+
+TEST_F(TableTest, SecondaryIndexHandlesDuplicateValues) {
+  ASSERT_TRUE(table_.CreateIndex("idx_age", "age").ok());
+  for (int64_t i = 1; i <= 5; ++i) {
+    ASSERT_TRUE(table_.Insert(MakeUser(i, "u", 99)).ok());
+  }
+  int count = 0;
+  Value target(int64_t{99});
+  ASSERT_TRUE(table_
+                  .ScanIndex(2, &target, true, &target, true,
+                             [&](RowId) {
+                               ++count;
+                               return true;
+                             })
+                  .ok());
+  EXPECT_EQ(count, 5);
+}
+
+TEST_F(TableTest, CreateIndexBackfillsExistingRows) {
+  for (int64_t i = 1; i <= 3; ++i) {
+    ASSERT_TRUE(table_.Insert(MakeUser(i, "u", i)).ok());
+  }
+  ASSERT_TRUE(table_.CreateIndex("idx_age", "age").ok());
+  int count = 0;
+  ASSERT_TRUE(table_
+                  .ScanIndex(2, nullptr, true, nullptr, true,
+                             [&](RowId) {
+                               ++count;
+                               return true;
+                             })
+                  .ok());
+  EXPECT_EQ(count, 3);
+  std::string err;
+  EXPECT_TRUE(table_.ValidateIndexes(&err)) << err;
+}
+
+TEST_F(TableTest, CreateIndexRejectsDuplicatesAndUnknownColumns) {
+  ASSERT_TRUE(table_.CreateIndex("idx", "age").ok());
+  EXPECT_TRUE(table_.CreateIndex("idx", "name").IsAlreadyExists());
+  EXPECT_FALSE(table_.CreateIndex("idx2", "missing").ok());
+  EXPECT_TRUE(table_.HasIndexNamed("IDX"));  // case-insensitive
+  EXPECT_TRUE(table_.HasIndexOn(2));
+  EXPECT_FALSE(table_.HasIndexOn(1));
+  EXPECT_TRUE(table_.HasIndexOn(0));  // the PK
+}
+
+TEST_F(TableTest, ScanPrimaryRange) {
+  for (int64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(table_.Insert(MakeUser(i, "u", i)).ok());
+  }
+  std::vector<int64_t> ids;
+  Value lo(int64_t{4});
+  ASSERT_TRUE(table_
+                  .ScanPrimary(&lo, false, nullptr, true,
+                               [&](RowId id) {
+                                 ids.push_back((*table_.Get(id))[0].AsInt64());
+                                 return ids.size() < 3;
+                               })
+                  .ok());
+  EXPECT_EQ(ids, (std::vector<int64_t>{5, 6, 7}));
+}
+
+TEST_F(TableTest, ScanAllVisitsEveryRow) {
+  for (int64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(table_.Insert(MakeUser(i, "u", i)).ok());
+  }
+  int visited = 0;
+  table_.ScanAll([&](RowId, const Row&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 4);
+}
+
+TEST_F(TableTest, TruncateClearsRowsKeepsIndexes) {
+  ASSERT_TRUE(table_.CreateIndex("idx_age", "age").ok());
+  for (int64_t i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(table_.Insert(MakeUser(i, "u", i)).ok());
+  }
+  table_.Truncate();
+  EXPECT_EQ(table_.num_rows(), 0u);
+  ASSERT_TRUE(table_.Insert(MakeUser(1, "u", 1)).ok());
+  std::string err;
+  EXPECT_TRUE(table_.ValidateIndexes(&err)) << err;
+}
+
+TEST_F(TableTest, RestoreRowReinstatesExactRowId) {
+  auto id = table_.Insert(MakeUser(1, "ann", 30));
+  ASSERT_TRUE(id.ok());
+  Row saved = *table_.Get(*id);
+  ASSERT_TRUE(table_.Delete(*id).ok());
+  ASSERT_TRUE(table_.RestoreRow(*id, saved).ok());
+  EXPECT_NE(table_.Get(*id), nullptr);
+  EXPECT_TRUE(table_.FindByPrimaryKey(Value(int64_t{1})).ok());
+  std::string err;
+  EXPECT_TRUE(table_.ValidateIndexes(&err)) << err;
+}
+
+TEST_F(TableTest, RestoreRowRejectsLiveIdAndDuplicatePk) {
+  auto id = table_.Insert(MakeUser(1, "ann", 30));
+  ASSERT_TRUE(id.ok());
+  EXPECT_TRUE(table_.RestoreRow(*id, MakeUser(9, "x", 1)).IsAlreadyExists());
+  // Delete then try restoring with a PK owned by another row.
+  ASSERT_TRUE(table_.Insert(MakeUser(2, "bob", 25)).ok());
+  Row saved = *table_.Get(*id);
+  ASSERT_TRUE(table_.Delete(*id).ok());
+  EXPECT_TRUE(table_.RestoreRow(*id, MakeUser(2, "x", 1)).IsAlreadyExists());
+  EXPECT_TRUE(table_.RestoreRow(*id, saved).ok());
+}
+
+TEST_F(TableTest, ContentsEqualIgnoresRowIds) {
+  Table other("users", UserSchema());
+  ASSERT_TRUE(table_.Insert(MakeUser(1, "a", 1)).ok());
+  ASSERT_TRUE(table_.Insert(MakeUser(2, "b", 2)).ok());
+  // Insert in the opposite order: different RowIds, same contents.
+  ASSERT_TRUE(other.Insert(MakeUser(2, "b", 2)).ok());
+  ASSERT_TRUE(other.Insert(MakeUser(1, "a", 1)).ok());
+  EXPECT_TRUE(Table::ContentsEqual(table_, other));
+  ASSERT_TRUE(other.Insert(MakeUser(3, "c", 3)).ok());
+  EXPECT_FALSE(Table::ContentsEqual(table_, other));
+}
+
+TEST_F(TableTest, IndexConsistencyUnderRandomChurn) {
+  ASSERT_TRUE(table_.CreateIndex("idx_age", "age").ok());
+  Rng rng(7);
+  std::vector<RowId> live;
+  for (int step = 0; step < 2000; ++step) {
+    double action = rng.NextDouble();
+    if (action < 0.5 || live.empty()) {
+      auto id = table_.Insert(MakeUser(rng.UniformInt(0, 1 << 30), "u",
+                                       rng.UniformInt(0, 100)));
+      if (id.ok()) live.push_back(*id);
+    } else if (action < 0.75) {
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      ASSERT_TRUE(table_.Delete(live[pick]).ok());
+      live.erase(live.begin() + static_cast<ptrdiff_t>(pick));
+    } else {
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      Row updated = *table_.Get(live[pick]);
+      updated[2] = Value(rng.UniformInt(0, 100));
+      ASSERT_TRUE(table_.Update(live[pick], updated).ok());
+    }
+  }
+  std::string err;
+  EXPECT_TRUE(table_.ValidateIndexes(&err)) << err;
+  EXPECT_EQ(table_.num_rows(), live.size());
+}
+
+TEST(TableNoPkTest, TablesWithoutPrimaryKeyWork) {
+  auto schema = Schema::Create({{"a", ValueType::kInt64, false, false}});
+  ASSERT_TRUE(schema.ok());
+  Table table("t", std::move(schema).value());
+  EXPECT_FALSE(table.HasPrimaryKey());
+  ASSERT_TRUE(table.Insert({Value(int64_t{1})}).ok());
+  ASSERT_TRUE(table.Insert({Value(int64_t{1})}).ok());  // duplicates fine
+  EXPECT_EQ(table.num_rows(), 2u);
+  EXPECT_TRUE(
+      table.FindByPrimaryKey(Value(int64_t{1})).status().IsFailedPrecondition());
+  EXPECT_TRUE(table.ScanPrimary(nullptr, true, nullptr, true, [](RowId) {
+    return true;
+  }).IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace clouddb::db

@@ -1,0 +1,125 @@
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace clouddb::harness {
+namespace {
+
+/// A short-but-real experiment configuration (minutes instead of the paper's
+/// 35-minute runs; the machinery exercised is identical).
+ExperimentConfig QuickConfig() {
+  ExperimentConfig config;
+  config.data_scale = 40;
+  config.num_slaves = 1;
+  config.num_users = 20;
+  config.idle_window = Seconds(40);
+  config.benchmark.ramp_up = Seconds(60);
+  config.benchmark.steady = Seconds(180);
+  config.benchmark.ramp_down = Seconds(30);
+  config.benchmark.think_time_mean = Seconds(5);
+  config.seed = 1234;
+  return config;
+}
+
+TEST(ExperimentTest, QuickRunProducesSaneMetrics) {
+  auto outcome = RunExperiment(QuickConfig());
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  const ExperimentResult& r = *outcome;
+  EXPECT_GT(r.benchmark.throughput_ops, 1.0);
+  EXPECT_LT(r.benchmark.throughput_ops, 10.0);
+  EXPECT_TRUE(r.fully_replicated);
+  EXPECT_TRUE(r.converged);
+  EXPECT_GT(r.heartbeats_issued, 200);  // roughly one per second of run
+  EXPECT_GT(r.binlog_events, 0);
+  ASSERT_EQ(r.relative_delay_ms.size(), 1u);
+  // Low load: relative delay is modest but the loaded window shows *some*
+  // extra queueing over idle.
+  EXPECT_GT(r.loaded_delay_ms[0], r.idle_delay_ms[0]);
+  EXPECT_LT(r.relative_delay_ms[0], 5000.0);
+  EXPECT_DOUBLE_EQ(r.mean_relative_delay_ms, r.relative_delay_ms[0]);
+}
+
+TEST(ExperimentTest, DeterministicUnderSeed) {
+  auto a = RunExperiment(QuickConfig());
+  auto b = RunExperiment(QuickConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->benchmark.throughput_ops, b->benchmark.throughput_ops);
+  EXPECT_DOUBLE_EQ(a->mean_relative_delay_ms, b->mean_relative_delay_ms);
+  EXPECT_EQ(a->binlog_events, b->binlog_events);
+}
+
+TEST(ExperimentTest, DifferentSeedsDiffer) {
+  ExperimentConfig config = QuickConfig();
+  auto a = RunExperiment(config);
+  config.seed = 4321;
+  auto b = RunExperiment(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->benchmark.throughput_ops, b->benchmark.throughput_ops);
+}
+
+TEST(ExperimentTest, MoreSlavesReduceRelativeDelayUnderLoad) {
+  // The paper's core delay finding: "as the number of slaves increases, the
+  // replication delay decreases". Use a load that saturates one slave.
+  ExperimentConfig config = QuickConfig();
+  config.num_users = 80;
+  config.num_slaves = 1;
+  auto one = RunExperiment(config);
+  config.num_slaves = 3;
+  auto three = RunExperiment(config);
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(three.ok());
+  EXPECT_GT(one->mean_relative_delay_ms, three->mean_relative_delay_ms);
+}
+
+TEST(ExperimentTest, MoreUsersIncreaseRelativeDelay) {
+  // "...as the number of workload increases, the replication delay
+  // increases."
+  ExperimentConfig config = QuickConfig();
+  config.num_users = 10;
+  auto light = RunExperiment(config);
+  config.num_users = 90;
+  auto heavy = RunExperiment(config);
+  ASSERT_TRUE(light.ok());
+  ASSERT_TRUE(heavy.ok());
+  EXPECT_GT(heavy->mean_relative_delay_ms, light->mean_relative_delay_ms);
+  EXPECT_GT(heavy->benchmark.throughput_ops, light->benchmark.throughput_ops);
+}
+
+TEST(ExperimentTest, DifferentRegionLowersThroughputAtFixedWorkload) {
+  // Sub-saturation: longer read round trips slow the closed loop.
+  ExperimentConfig config = QuickConfig();
+  config.num_users = 20;
+  config.location = LocationConfig::kSameZone;
+  auto near = RunExperiment(config);
+  config.location = LocationConfig::kDifferentRegion;
+  auto far = RunExperiment(config);
+  ASSERT_TRUE(near.ok());
+  ASSERT_TRUE(far.ok());
+  EXPECT_GT(near->benchmark.throughput_ops, far->benchmark.throughput_ops);
+}
+
+TEST(ExperimentTest, SynchronousReplicationStillConverges) {
+  ExperimentConfig config = QuickConfig();
+  config.synchronous_replication = true;
+  config.num_users = 10;
+  auto r = RunExperiment(config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->converged);
+  EXPECT_GT(r->benchmark.throughput_ops, 0.5);
+}
+
+TEST(ExperimentTest, LocationHelpers) {
+  EXPECT_EQ(SlavePlacementFor(LocationConfig::kSameZone),
+            cloud::SameZonePlacement());
+  EXPECT_EQ(SlavePlacementFor(LocationConfig::kDifferentZone),
+            cloud::DifferentZonePlacement());
+  EXPECT_EQ(SlavePlacementFor(LocationConfig::kDifferentRegion),
+            cloud::DifferentRegionPlacement());
+  EXPECT_NE(std::string(LocationConfigToString(LocationConfig::kSameZone)),
+            std::string(LocationConfigToString(LocationConfig::kDifferentRegion)));
+}
+
+}  // namespace
+}  // namespace clouddb::harness

@@ -1,0 +1,88 @@
+#include "harness/sweep.h"
+
+#include <gtest/gtest.h>
+
+namespace clouddb::harness {
+namespace {
+
+SweepConfig QuickSweep() {
+  SweepConfig sweep;
+  sweep.base.data_scale = 30;
+  sweep.base.idle_window = Seconds(30);
+  sweep.base.benchmark.ramp_up = Seconds(30);
+  sweep.base.benchmark.steady = Seconds(120);
+  sweep.base.benchmark.ramp_down = Seconds(15);
+  sweep.base.benchmark.think_time_mean = Seconds(5);
+  sweep.base.seed = 5;
+  sweep.slave_counts = {1, 2};
+  sweep.user_counts = {10, 40};
+  return sweep;
+}
+
+TEST(SweepTest, RunsEveryCellAndReportsProgress) {
+  SweepConfig sweep = QuickSweep();
+  int progress_calls = 0;
+  auto result = RunSweep(sweep, [&](const SweepCell&) { ++progress_calls; });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(progress_calls, 4);
+  EXPECT_EQ(result->cells().size(), 4u);
+  for (int s : sweep.slave_counts) {
+    for (int u : sweep.user_counts) {
+      ASSERT_NE(result->Find(s, u), nullptr);
+      EXPECT_GT(result->Throughput(s, u), 0.0);
+    }
+  }
+  EXPECT_EQ(result->Find(9, 9), nullptr);
+  EXPECT_EQ(result->Throughput(9, 9), 0.0);
+}
+
+TEST(SweepTest, ThroughputGrowsWithUsersBelowSaturation) {
+  auto result = RunSweep(QuickSweep());
+  ASSERT_TRUE(result.ok());
+  for (int s : {1, 2}) {
+    EXPECT_GT(result->Throughput(s, 40), result->Throughput(s, 10));
+  }
+}
+
+TEST(SweepTest, TablesHaveOneRowPerWorkload) {
+  SweepConfig sweep = QuickSweep();
+  auto result = RunSweep(sweep);
+  ASSERT_TRUE(result.ok());
+  TableWriter throughput =
+      result->ThroughputTable(sweep.slave_counts, sweep.user_counts);
+  EXPECT_EQ(throughput.num_rows(), sweep.user_counts.size());
+  std::string csv = throughput.ToCsv();
+  EXPECT_NE(csv.find("users,1 slave,2 slaves"), std::string::npos);
+  TableWriter delay = result->DelayTable(sweep.slave_counts,
+                                         sweep.user_counts);
+  EXPECT_EQ(delay.num_rows(), sweep.user_counts.size());
+}
+
+TEST(SweepTest, SaturationDetection) {
+  // Synthetic sweep result: throughput rises then flattens after 100 users.
+  SweepResult result;
+  auto add = [&](int slaves, int users, double tput) {
+    SweepCell cell;
+    cell.slaves = slaves;
+    cell.users = users;
+    cell.result.benchmark.throughput_ops = tput;
+    result.Add(std::move(cell));
+  };
+  std::vector<int> users = {50, 75, 100, 125, 150};
+  add(1, 50, 5.0);
+  add(1, 75, 8.0);
+  add(1, 100, 10.0);
+  add(1, 125, 9.6);
+  add(1, 150, 9.5);
+  EXPECT_EQ(result.SaturationUsers(1, users), 125);
+  // Still rising at the end: no saturation observed.
+  add(2, 50, 5.0);
+  add(2, 75, 8.0);
+  add(2, 100, 10.0);
+  add(2, 125, 12.0);
+  add(2, 150, 14.0);
+  EXPECT_EQ(result.SaturationUsers(2, users), 0);
+}
+
+}  // namespace
+}  // namespace clouddb::harness

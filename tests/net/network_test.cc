@@ -1,0 +1,136 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time_types.h"
+#include "sim/simulation.h"
+
+namespace clouddb::net {
+namespace {
+
+std::vector<std::vector<SimDuration>> SymmetricMatrix(SimDuration self,
+                                                      SimDuration cross) {
+  return {{self, cross}, {cross, self}};
+}
+
+TEST(StaticLatencyModelTest, ReturnsMatrixEntries) {
+  StaticLatencyModel model({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  EXPECT_EQ(model.SampleOneWay(0, 2), 3);
+  EXPECT_EQ(model.SampleOneWay(2, 0), 7);
+  EXPECT_EQ(model.SampleOneWay(1, 1), 5);
+}
+
+TEST(NetworkTest, DeliversAfterOneWayDelay) {
+  sim::Simulation sim;
+  StaticLatencyModel model(SymmetricMatrix(0, Millis(10)));
+  Network network(&sim, &model);
+  SimTime delivered_at = -1;
+  network.Send(0, 1, 100, [&] { delivered_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(delivered_at, Millis(10));
+  EXPECT_EQ(network.messages_sent(), 1);
+  EXPECT_EQ(network.bytes_sent(), 100);
+}
+
+TEST(NetworkTest, ConcurrentMessagesAllDelivered) {
+  sim::Simulation sim;
+  StaticLatencyModel model(SymmetricMatrix(0, Millis(5)));
+  Network network(&sim, &model);
+  int delivered = 0;
+  for (int i = 0; i < 10; ++i) {
+    network.Send(0, 1, 10, [&] { ++delivered; });
+  }
+  sim.Run();
+  EXPECT_EQ(delivered, 10);
+  // FIFO enforcement nudges equal arrivals apart by 1us each; no
+  // serialization beyond that (bandwidth is not modelled).
+  EXPECT_EQ(sim.Now(), Millis(5) + 9);
+}
+
+TEST(NetworkTest, PingMeasuresRoundTrip) {
+  sim::Simulation sim;
+  StaticLatencyModel model(SymmetricMatrix(0, Millis(16)));
+  Network network(&sim, &model);
+  SimDuration rtt = -1;
+  network.Ping(0, 1, [&](SimDuration r) { rtt = r; });
+  sim.Run();
+  EXPECT_EQ(rtt, Millis(32));
+}
+
+TEST(NetworkTest, AsymmetricPathsSumInPing) {
+  sim::Simulation sim;
+  StaticLatencyModel model({{0, Millis(10)}, {Millis(30), 0}});
+  Network network(&sim, &model);
+  SimDuration rtt = -1;
+  network.Ping(0, 1, [&](SimDuration r) { rtt = r; });
+  sim.Run();
+  EXPECT_EQ(rtt, Millis(40));
+}
+
+TEST(PingProbeTest, CollectsRequestedSamples) {
+  sim::Simulation sim;
+  StaticLatencyModel model(SymmetricMatrix(0, Millis(16)));
+  Network network(&sim, &model);
+  PingProbe probe(&sim, &network, 0, 1);
+  probe.Start(Seconds(1), 20);
+  sim.Run();
+  ASSERT_EQ(probe.half_rtt_ms().size(), 20u);
+  for (double half : probe.half_rtt_ms()) {
+    EXPECT_DOUBLE_EQ(half, 16.0);
+  }
+  // 20 pings spaced 1 s: last sent at t=19s, reply at 19s+32ms.
+  EXPECT_EQ(sim.Now(), Seconds(19) + Millis(32));
+}
+
+/// Latency model whose delay shrinks on every call — without FIFO
+/// enforcement, later messages would overtake earlier ones.
+class ShrinkingLatencyModel : public LatencyModel {
+ public:
+  SimDuration SampleOneWay(NodeId, NodeId) override {
+    return next_ > Millis(1) ? next_ -= Millis(20) : next_;
+  }
+
+ private:
+  SimDuration next_ = Millis(200);
+};
+
+TEST(NetworkTest, FifoDeliveryPerPathDespiteJitter) {
+  // Regression test: binlog events must never be reordered in flight (an
+  // INSERT overtaking its CREATE TABLE breaks the slave's SQL thread).
+  sim::Simulation sim;
+  ShrinkingLatencyModel model;
+  Network network(&sim, &model);
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    network.Send(0, 1, 10, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(NetworkTest, FifoOrderingIsPerDirectedPath) {
+  sim::Simulation sim;
+  // Path 0->1 is slow, path 0->2 fast: messages to different destinations
+  // are not serialized against each other.
+  StaticLatencyModel model(
+      {{0, Millis(100), Millis(1)}, {0, 0, 0}, {0, 0, 0}});
+  Network network(&sim, &model);
+  std::vector<int> order;
+  network.Send(0, 1, 10, [&] { order.push_back(1); });
+  network.Send(0, 2, 10, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(PingProbeTest, ZeroCountIsSafe) {
+  sim::Simulation sim;
+  StaticLatencyModel model(SymmetricMatrix(0, Millis(1)));
+  Network network(&sim, &model);
+  PingProbe probe(&sim, &network, 0, 1);
+  probe.Start(Seconds(1), 0);
+  sim.Run();
+  EXPECT_TRUE(probe.half_rtt_ms().empty());
+}
+
+}  // namespace
+}  // namespace clouddb::net

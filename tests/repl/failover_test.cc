@@ -1,0 +1,240 @@
+#include "repl/failover.h"
+
+#include <gtest/gtest.h>
+
+#include "client/rw_split_proxy.h"
+#include "cloud/cloud_provider.h"
+#include "common/str_util.h"
+#include "repl/replication_cluster.h"
+
+namespace clouddb::repl {
+namespace {
+
+class FailoverTest : public ::testing::Test {
+ protected:
+  FailoverTest() {
+    options_.latency_jitter_sigma = 0.0;
+    options_.cpu_speed_cov = 0.0;
+    options_.max_initial_clock_offset = 0;
+    options_.max_clock_drift_ppm = 0.0;
+  }
+
+  void Deploy(int slaves) {
+    provider_ = std::make_unique<cloud::CloudProvider>(&sim_, options_, 1);
+    ClusterConfig config;
+    config.num_slaves = slaves;
+    cluster_ = std::make_unique<ReplicationCluster>(provider_.get(), config);
+    monitor_ = provider_->Launch("monitor", cloud::InstanceType::kSmall,
+                                 cloud::MasterPlacement());
+    std::vector<SlaveNode*> slave_ptrs;
+    for (int i = 0; i < slaves; ++i) slave_ptrs.push_back(cluster_->slave(i));
+    manager_ = std::make_unique<FailoverManager>(
+        &sim_, &provider_->network(), monitor_->node_id(), cluster_->master(),
+        slave_ptrs, FailoverOptions{});
+    ASSERT_TRUE(cluster_->master()
+                    ->ExecuteDirect("CREATE TABLE t (a INT PRIMARY KEY)")
+                    .ok());
+    sim_.Run();
+  }
+
+  sim::Simulation sim_;
+  cloud::CloudOptions options_;
+  std::unique_ptr<cloud::CloudProvider> provider_;
+  std::unique_ptr<ReplicationCluster> cluster_;
+  cloud::Instance* monitor_ = nullptr;
+  std::unique_ptr<FailoverManager> manager_;
+};
+
+TEST_F(FailoverTest, HealthyMasterNeverTrips) {
+  Deploy(2);
+  manager_->Start();
+  sim_.RunUntil(Minutes(2));
+  manager_->Stop();
+  sim_.Run();
+  EXPECT_FALSE(manager_->failover_performed());
+  EXPECT_GT(manager_->probes_sent(), 100);
+  EXPECT_EQ(manager_->probes_failed(), 0);
+  EXPECT_EQ(manager_->current_master(), cluster_->master());
+}
+
+TEST_F(FailoverTest, OfflineNodeRefusesQueries) {
+  Deploy(1);
+  cluster_->master()->set_online(false);
+  Status seen;
+  cluster_->master()->Submit("SELECT COUNT(*) FROM t", Millis(1),
+                             [&](Result<db::ExecResult> r) {
+                               seen = r.status();
+                             });
+  sim_.Run();
+  EXPECT_TRUE(seen.IsUnavailable());
+}
+
+TEST_F(FailoverTest, DetectsCrashAndPromotes) {
+  Deploy(3);
+  // Commit some writes and let them replicate.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster_->master()
+                    ->ExecuteDirect(StrFormat("INSERT INTO t VALUES (%d)", i))
+                    .ok());
+  }
+  sim_.Run();
+  manager_->Start();
+  sim_.RunUntil(Seconds(5));
+  // Crash the master.
+  cluster_->master()->set_online(false);
+  sim_.RunUntil(Seconds(30));
+  manager_->Stop();
+  sim_.Run();
+
+  ASSERT_TRUE(manager_->failover_performed());
+  MasterNode* new_master = manager_->current_master();
+  ASSERT_NE(new_master, cluster_->master());
+  // The promoted node serves the replicated data.
+  auto count = new_master->database().Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->rows[0][0].AsInt64(), 10);
+  // No writes were in flight: nothing lost.
+  EXPECT_FALSE(manager_->lost_writes_possible());
+  // Two survivors re-attached.
+  EXPECT_EQ(manager_->active_slaves().size(), 2u);
+}
+
+TEST_F(FailoverTest, WritesReplicateAfterFailover) {
+  Deploy(3);
+  manager_->Start();
+  sim_.RunUntil(Seconds(2));
+  cluster_->master()->set_online(false);
+  sim_.RunUntil(Seconds(30));
+  ASSERT_TRUE(manager_->failover_performed());
+  MasterNode* new_master = manager_->current_master();
+
+  for (int i = 0; i < 5; ++i) {
+    new_master->Submit(StrFormat("INSERT INTO t VALUES (%d)", 100 + i),
+                       Millis(5), [](Result<db::ExecResult> r) {
+                         ASSERT_TRUE(r.ok());
+                       });
+  }
+  manager_->Stop();
+  sim_.Run();
+  for (SlaveNode* slave : manager_->active_slaves()) {
+    EXPECT_FALSE(slave->replication_broken());
+    auto r = slave->database().Execute("SELECT COUNT(*) FROM t");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->rows[0][0].AsInt64(), 5);
+    EXPECT_TRUE(db::Database::ContentsEqual(new_master->database(),
+                                            slave->database()));
+  }
+}
+
+TEST_F(FailoverTest, ElectsMostUpToDateSlave) {
+  Deploy(2);
+  // Slave 1 lags: take it offline during the writes, then bring it back.
+  cluster_->slave(1)->set_online(false);
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(cluster_->master()
+                    ->ExecuteDirect(StrFormat("INSERT INTO t VALUES (%d)", i))
+                    .ok());
+  }
+  sim_.Run();
+  cluster_->slave(1)->set_online(true);  // back, but missing 6 events
+  EXPECT_GT(cluster_->slave(0)->applied_index(),
+            cluster_->slave(1)->applied_index());
+
+  manager_->Start();
+  cluster_->master()->set_online(false);
+  sim_.RunUntil(Seconds(30));
+  manager_->Stop();
+  sim_.Run();
+  ASSERT_TRUE(manager_->failover_performed());
+  EXPECT_EQ(manager_->promoted_slave(), cluster_->slave(0));
+  // The lagging slave was resynced from the winner.
+  EXPECT_TRUE(db::Database::ContentsEqual(
+      manager_->current_master()->database(),
+      cluster_->slave(1)->database()));
+}
+
+TEST_F(FailoverTest, DetectsPossibleWriteLoss) {
+  Deploy(1);
+  manager_->Start();
+  sim_.RunUntil(Seconds(2));
+  // Commit on the master while the slave is unreachable (network partition),
+  // then crash the master: the committed event never lands anywhere.
+  cluster_->slave(0)->set_online(false);
+  ASSERT_TRUE(
+      cluster_->master()->ExecuteDirect("INSERT INTO t VALUES (42)").ok());
+  cluster_->master()->set_online(false);
+  sim_.RunUntil(Seconds(5));
+  cluster_->slave(0)->set_online(true);  // partition heals, too late
+  sim_.RunUntil(Seconds(30));
+  manager_->Stop();
+  sim_.Run();
+  ASSERT_TRUE(manager_->failover_performed());
+  // §II: "once the updated replica goes offline before duplicating data,
+  // data loss may occur."
+  EXPECT_TRUE(manager_->lost_writes_possible());
+  auto r = manager_->current_master()->database().Execute(
+      "SELECT COUNT(*) FROM t");
+  EXPECT_EQ(r->rows[0][0].AsInt64(), 0);
+}
+
+TEST_F(FailoverTest, ProxyRepointsAfterFailover) {
+  Deploy(2);
+  cloud::Instance* app = provider_->Launch("app", cloud::InstanceType::kLarge,
+                                           cloud::MasterPlacement());
+  client::ReadWriteSplitProxy proxy(
+      &sim_, &provider_->network(), app->node_id(), cluster_->master(),
+      {cluster_->slave(0), cluster_->slave(1)}, client::ProxyOptions{});
+  manager_->SetFailoverListener([&](MasterNode* new_master) {
+    proxy.ReplaceMaster(new_master);
+    // The promoted node left the read rotation.
+    for (int i = 0; i < 2; ++i) {
+      if (cluster_->slave(i) == manager_->promoted_slave()) {
+        proxy.DeactivateSlave(i);
+      }
+    }
+  });
+  manager_->Start();
+  sim_.RunUntil(Seconds(2));
+  cluster_->master()->set_online(false);
+  // A write during the outage fails with Unavailable.
+  Status during_outage;
+  proxy.Execute("INSERT INTO t VALUES (1)", false, Millis(5),
+                [&](Result<db::ExecResult> r) { during_outage = r.status(); });
+  sim_.RunUntil(Seconds(30));
+  EXPECT_TRUE(during_outage.IsUnavailable());
+  ASSERT_TRUE(manager_->failover_performed());
+  // Writes and reads work again through the repointed proxy.
+  int ok_count = 0;
+  proxy.Execute("INSERT INTO t VALUES (2)", false, Millis(5),
+                [&](Result<db::ExecResult> r) { ok_count += r.ok(); });
+  proxy.Execute("SELECT COUNT(*) FROM t", true, Millis(5),
+                [&](Result<db::ExecResult> r) { ok_count += r.ok(); });
+  manager_->Stop();
+  sim_.Run();
+  EXPECT_EQ(ok_count, 2);
+}
+
+TEST_F(FailoverTest, ResyncDatabaseCopiesEverything) {
+  db::Database source;
+  ASSERT_TRUE(source
+                  .Execute("CREATE TABLE a (id INT PRIMARY KEY, v TEXT, "
+                           "d DOUBLE)")
+                  .ok());
+  ASSERT_TRUE(source.Execute("CREATE INDEX idx_v ON a (v)").ok());
+  ASSERT_TRUE(source.Execute("INSERT INTO a VALUES (1, 'x', 1.5)").ok());
+  ASSERT_TRUE(source.Execute("INSERT INTO a VALUES (2, NULL, NULL)").ok());
+  db::Database target;
+  ASSERT_TRUE(target.Execute("CREATE TABLE junk (z INT)").ok());
+  ASSERT_TRUE(ResyncDatabase(source, &target).ok());
+  EXPECT_TRUE(db::Database::ContentsEqual(source, target));
+  EXPECT_EQ(target.GetTable("junk"), nullptr);
+  // Secondary indexes recreated.
+  auto v_col = target.GetTable("a")->schema().ColumnIndex("v");
+  ASSERT_TRUE(v_col.ok());
+  EXPECT_TRUE(target.GetTable("a")->HasIndexOn(*v_col));
+  std::string err;
+  EXPECT_TRUE(target.ValidateAllIndexes(&err)) << err;
+}
+
+}  // namespace
+}  // namespace clouddb::repl

@@ -1,0 +1,221 @@
+// End-to-end property tests: a randomized mixed workload (DDL, DML,
+// transactions, rollbacks, failures) runs against a full replicated
+// deployment; afterwards every replica must converge to the master and all
+// index structures must validate. Also: bitwise-deterministic replay and a
+// parser robustness fuzz.
+
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_provider.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "db/sql_parser.h"
+#include "repl/replication_cluster.h"
+
+namespace clouddb::repl {
+namespace {
+
+/// Generates a random statement against a small ledger schema. Some
+/// statements intentionally fail (duplicate keys, missing rows) — failures
+/// must not replicate and must not break anything.
+class StatementFuzzer {
+ public:
+  explicit StatementFuzzer(uint64_t seed) : rng_(seed) {}
+
+  std::string Next() {
+    double pick = rng_.NextDouble();
+    if (pick < 0.45) {
+      // Insert, ~20% duplicate-key failures.
+      int64_t key = rng_.UniformInt(0, 200);
+      return StrFormat(
+          "INSERT INTO ledger (id, owner, amount) VALUES (%lld, 'u%lld', %lld)",
+          static_cast<long long>(key),
+          static_cast<long long>(rng_.UniformInt(1, 10)),
+          static_cast<long long>(rng_.UniformInt(-50, 50)));
+    }
+    if (pick < 0.70) {
+      return StrFormat(
+          "UPDATE ledger SET amount = amount + %lld WHERE id %s %lld",
+          static_cast<long long>(rng_.UniformInt(-5, 5)),
+          rng_.Bernoulli(0.5) ? "=" : ">",
+          static_cast<long long>(rng_.UniformInt(0, 200)));
+    }
+    if (pick < 0.85) {
+      return StrFormat("DELETE FROM ledger WHERE id = %lld",
+                       static_cast<long long>(rng_.UniformInt(0, 200)));
+    }
+    if (pick < 0.95) {
+      return StrFormat("SELECT COUNT(*) FROM ledger WHERE amount >= %lld",
+                       static_cast<long long>(rng_.UniformInt(-50, 50)));
+    }
+    return StrFormat("SELECT SUM(amount), MIN(id), MAX(id) FROM ledger "
+                     "WHERE id BETWEEN %lld AND %lld",
+                     static_cast<long long>(rng_.UniformInt(0, 100)),
+                     static_cast<long long>(rng_.UniformInt(100, 200)));
+  }
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+struct RunDigest {
+  int64_t binlog_events = 0;
+  int64_t ok_statements = 0;
+  int64_t failed_statements = 0;
+  int64_t final_sum = 0;
+  int64_t final_count = 0;
+  bool converged = false;
+  bool indexes_valid = true;
+};
+
+RunDigest RunRandomWorkload(uint64_t seed, int num_slaves, int statements,
+                            bool with_transactions) {
+  sim::Simulation sim;
+  cloud::CloudOptions cloud_options;
+  cloud::CloudProvider provider(&sim, cloud_options, seed);
+  ClusterConfig config;
+  config.num_slaves = num_slaves;
+  ReplicationCluster cluster(&provider, config);
+  EXPECT_TRUE(cluster.master()
+                  ->ExecuteDirect(
+                      "CREATE TABLE ledger (id BIGINT PRIMARY KEY, "
+                      "owner TEXT NOT NULL, amount BIGINT)")
+                  .ok());
+  EXPECT_TRUE(cluster.master()
+                  ->ExecuteDirect("CREATE INDEX idx_owner ON ledger (owner)")
+                  .ok());
+
+  StatementFuzzer fuzzer(seed * 31 + 7);
+  RunDigest digest;
+  auto session = cluster.master()->database().CreateSession();
+  int txn_depth = 0;
+  for (int i = 0; i < statements; ++i) {
+    // Occasionally wrap stretches in explicit transactions, some of which
+    // roll back.
+    if (with_transactions && txn_depth == 0 && fuzzer.rng().Bernoulli(0.1)) {
+      EXPECT_TRUE(cluster.master()
+                      ->database()
+                      .Execute("BEGIN", session.get())
+                      .ok());
+      txn_depth = static_cast<int>(fuzzer.rng().UniformInt(1, 5));
+    }
+    auto result =
+        cluster.master()->database().Execute(fuzzer.Next(), session.get());
+    if (result.ok()) {
+      ++digest.ok_statements;
+    } else {
+      ++digest.failed_statements;
+    }
+    if (txn_depth > 0 && --txn_depth == 0) {
+      const char* end = fuzzer.rng().Bernoulli(0.3) ? "ROLLBACK" : "COMMIT";
+      EXPECT_TRUE(
+          cluster.master()->database().Execute(end, session.get()).ok());
+    }
+    // Let replication make progress between statements now and then.
+    if (i % 50 == 0) sim.RunUntil(sim.Now() + Seconds(1));
+  }
+  if (session->in_explicit_transaction()) {
+    EXPECT_TRUE(
+        cluster.master()->database().Execute("COMMIT", session.get()).ok());
+  }
+  sim.Run();  // drain replication fully
+
+  digest.binlog_events = cluster.master()->database().binlog().size();
+  digest.converged = cluster.Converged() && cluster.FullyReplicated();
+  std::string err;
+  digest.indexes_valid =
+      cluster.master()->database().ValidateAllIndexes(&err);
+  for (int i = 0; i < num_slaves; ++i) {
+    digest.indexes_valid = digest.indexes_valid &&
+                           cluster.slave(i)->database().ValidateAllIndexes(&err);
+  }
+  EXPECT_TRUE(digest.indexes_valid) << err;
+  auto sum = cluster.master()->database().Execute(
+      "SELECT SUM(amount), COUNT(*) FROM ledger");
+  EXPECT_TRUE(sum.ok());
+  if (sum.ok()) {
+    digest.final_sum =
+        sum->rows[0][0].is_null() ? 0 : sum->rows[0][0].AsInt64();
+    digest.final_count = sum->rows[0][1].AsInt64();
+  }
+  return digest;
+}
+
+class ReplicationFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReplicationFuzzTest, RandomWorkloadConvergesOnAllReplicas) {
+  RunDigest digest = RunRandomWorkload(GetParam(), 3, 1500,
+                                       /*with_transactions=*/true);
+  EXPECT_TRUE(digest.converged);
+  EXPECT_TRUE(digest.indexes_valid);
+  EXPECT_GT(digest.ok_statements, 0);
+  EXPECT_GT(digest.failed_statements, 0);  // the fuzz does produce failures
+  EXPECT_GT(digest.binlog_events, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplicationFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ReplicationReplayTest, IdenticalSeedsProduceIdenticalDigests) {
+  RunDigest a = RunRandomWorkload(77, 2, 800, true);
+  RunDigest b = RunRandomWorkload(77, 2, 800, true);
+  EXPECT_EQ(a.binlog_events, b.binlog_events);
+  EXPECT_EQ(a.ok_statements, b.ok_statements);
+  EXPECT_EQ(a.failed_statements, b.failed_statements);
+  EXPECT_EQ(a.final_sum, b.final_sum);
+  EXPECT_EQ(a.final_count, b.final_count);
+}
+
+TEST(ReplicationReplayTest, DifferentSeedsDiverge) {
+  RunDigest a = RunRandomWorkload(101, 1, 500, false);
+  RunDigest b = RunRandomWorkload(202, 1, 500, false);
+  // Overwhelmingly likely to differ in at least one digest field.
+  EXPECT_TRUE(a.binlog_events != b.binlog_events ||
+              a.final_sum != b.final_sum || a.final_count != b.final_count);
+}
+
+// ---- Parser robustness fuzz ------------------------------------------------
+
+TEST(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  const char* kFragments[] = {
+      "SELECT", "INSERT", "UPDATE", "DELETE", "FROM",  "WHERE", "AND",
+      "OR",     "NOT",    "IN",     "BETWEEN", "NULL", "IS",    "VALUES",
+      "INTO",   "SET",    "ORDER",  "BY",     "LIMIT", "(",     ")",
+      ",",      "*",      "=",      "<",      ">=",    "+",     "-",
+      "'str'",  "42",     "3.14",   "tbl",    "col",   ";",     "COUNT",
+      "MIN(",   "BEGIN",  "COMMIT", "PRIMARY", "KEY",  "TABLE", "CREATE",
+  };
+  Rng rng(555);
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 20000; ++trial) {
+    std::string sql;
+    int len = static_cast<int>(rng.UniformInt(1, 12));
+    for (int i = 0; i < len; ++i) {
+      sql += kFragments[rng.UniformInt(
+          0, static_cast<int64_t>(std::size(kFragments)) - 1)];
+      sql += " ";
+    }
+    auto result = db::ParseSql(sql);  // must never crash or hang
+    if (result.ok()) ++parsed_ok;
+  }
+  // Some soup accidentally forms valid SQL; most does not.
+  EXPECT_LT(parsed_ok, 2000);
+}
+
+TEST(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(777);
+  for (int trial = 0; trial < 5000; ++trial) {
+    std::string sql;
+    int len = static_cast<int>(rng.UniformInt(0, 60));
+    for (int i = 0; i < len; ++i) {
+      sql += static_cast<char>(rng.UniformInt(1, 127));
+    }
+    (void)db::ParseSql(sql);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace clouddb::repl

@@ -1,0 +1,358 @@
+#include <gtest/gtest.h>
+
+#include "cloud/cloud_provider.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/str_util.h"
+#include "repl/delay_monitor.h"
+#include "repl/heartbeat.h"
+#include "repl/master_node.h"
+#include "repl/replication_cluster.h"
+#include "repl/slave_node.h"
+
+namespace clouddb::repl {
+namespace {
+
+/// A cluster on a deterministic cloud with jitter and variance disabled
+/// unless a test opts in.
+class ReplicationTest : public ::testing::Test {
+ protected:
+  ReplicationTest() {
+    options_.latency_jitter_sigma = 0.0;
+    options_.cpu_speed_cov = 0.0;
+    options_.max_initial_clock_offset = 0;
+    options_.max_clock_drift_ppm = 0.0;
+  }
+
+  std::unique_ptr<ReplicationCluster> MakeCluster(int slaves,
+                                                  bool sync = false) {
+    provider_ = std::make_unique<cloud::CloudProvider>(&sim_, options_, 1);
+    ClusterConfig config;
+    config.num_slaves = slaves;
+    config.synchronous_replication = sync;
+    return std::make_unique<ReplicationCluster>(provider_.get(), config);
+  }
+
+  sim::Simulation sim_;
+  cloud::CloudOptions options_;
+  std::unique_ptr<cloud::CloudProvider> provider_;
+};
+
+TEST_F(ReplicationTest, WritesPropagateToAllSlaves) {
+  auto cluster = MakeCluster(3);
+  ASSERT_TRUE(cluster->master()
+                  ->ExecuteDirect("CREATE TABLE t (a INT PRIMARY KEY)")
+                  .ok());
+  ASSERT_TRUE(
+      cluster->master()->ExecuteDirect("INSERT INTO t VALUES (1)").ok());
+  sim_.Run();  // drain replication
+  EXPECT_TRUE(cluster->FullyReplicated());
+  EXPECT_TRUE(cluster->Converged());
+  for (int i = 0; i < 3; ++i) {
+    auto r = cluster->slave(i)->database().Execute("SELECT COUNT(*) FROM t");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->rows[0][0].AsInt64(), 1);
+  }
+}
+
+TEST_F(ReplicationTest, ReadsDoNotReplicate) {
+  auto cluster = MakeCluster(1);
+  ASSERT_TRUE(
+      cluster->master()->ExecuteDirect("CREATE TABLE t (a INT)").ok());
+  sim_.Run();
+  int64_t size = cluster->master()->database().binlog().size();
+  ASSERT_TRUE(cluster->master()->ExecuteDirect("SELECT * FROM t").ok());
+  sim_.Run();
+  EXPECT_EQ(cluster->master()->database().binlog().size(), size);
+  EXPECT_EQ(cluster->slave(0)->events_applied(), size);
+}
+
+TEST_F(ReplicationTest, EventsApplyInOrder) {
+  auto cluster = MakeCluster(1);
+  ASSERT_TRUE(cluster->master()
+                  ->ExecuteDirect("CREATE TABLE t (a INT PRIMARY KEY, b INT)")
+                  .ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(cluster->master()
+                    ->ExecuteDirect(StrFormat("INSERT INTO t VALUES (%d, %d)",
+                                              i, i))
+                    .ok());
+    ASSERT_TRUE(cluster->master()
+                    ->ExecuteDirect(StrFormat(
+                        "UPDATE t SET b = b * 2 + 1 WHERE a = %d", i))
+                    .ok());
+  }
+  sim_.Run();
+  EXPECT_TRUE(cluster->Converged());
+  EXPECT_EQ(cluster->slave(0)->applied_index(),
+            cluster->master()->database().binlog().size() - 1);
+}
+
+TEST_F(ReplicationTest, AsyncWriteCompletesBeforeSlaveApplies) {
+  auto cluster = MakeCluster(1);
+  ASSERT_TRUE(
+      cluster->master()->ExecuteDirect("CREATE TABLE t (a INT)").ok());
+  sim_.Run();
+  bool responded = false;
+  cluster->master()->Submit("INSERT INTO t VALUES (1)", Millis(10),
+                            [&](Result<db::ExecResult> r) {
+                              ASSERT_TRUE(r.ok());
+                              responded = true;
+                              // Asynchronous: the slave cannot have applied
+                              // yet (one-way latency alone exceeds 0).
+                              EXPECT_LT(cluster->slave(0)->events_applied(),
+                                        cluster->master()->binlog_size());
+                            });
+  sim_.Run();
+  EXPECT_TRUE(responded);
+  EXPECT_TRUE(cluster->Converged());
+}
+
+TEST_F(ReplicationTest, SyncWriteWaitsForAllSlaveAcks) {
+  auto cluster = MakeCluster(2, /*sync=*/true);
+  ASSERT_TRUE(
+      cluster->master()->ExecuteDirect("CREATE TABLE t (a INT)").ok());
+  sim_.Run();
+  SimTime responded_at = -1;
+  cluster->master()->Submit("INSERT INTO t VALUES (1)", Millis(10),
+                            [&](Result<db::ExecResult> r) {
+                              ASSERT_TRUE(r.ok());
+                              responded_at = sim_.Now();
+                              // Both slaves must already have applied.
+                              EXPECT_EQ(cluster->slave(0)->events_applied(),
+                                        cluster->master()->binlog_size());
+                              EXPECT_EQ(cluster->slave(1)->events_applied(),
+                                        cluster->master()->binlog_size());
+                            });
+  sim_.Run();
+  ASSERT_GT(responded_at, 0);
+  // Response time covers master exec + one-way push + apply + ack.
+  EXPECT_GE(responded_at, Millis(10) + 2 * options_.same_zone_one_way);
+}
+
+TEST_F(ReplicationTest, SyncModeSlowerThanAsyncForTheClient) {
+  SimTime async_done = 0;
+  SimTime sync_done = 0;
+  for (bool sync : {false, true}) {
+    sim::Simulation sim;
+    auto provider = std::make_unique<cloud::CloudProvider>(&sim, options_, 1);
+    ClusterConfig config;
+    config.num_slaves = 3;
+    config.synchronous_replication = sync;
+    ReplicationCluster cluster(provider.get(), config);
+    ASSERT_TRUE(
+        cluster.master()->ExecuteDirect("CREATE TABLE t (a INT)").ok());
+    sim.Run();
+    SimTime start = sim.Now();
+    SimTime done = 0;
+    cluster.master()->Submit("INSERT INTO t VALUES (1)", Millis(10),
+                             [&](Result<db::ExecResult>) { done = sim.Now(); });
+    sim.Run();
+    (sync ? sync_done : async_done) = done - start;
+  }
+  EXPECT_GT(sync_done, async_done);
+}
+
+TEST_F(ReplicationTest, FailedStatementsDoNotReplicate) {
+  auto cluster = MakeCluster(1);
+  ASSERT_TRUE(cluster->master()
+                  ->ExecuteDirect("CREATE TABLE t (a INT PRIMARY KEY)")
+                  .ok());
+  ASSERT_TRUE(
+      cluster->master()->ExecuteDirect("INSERT INTO t VALUES (1)").ok());
+  EXPECT_FALSE(
+      cluster->master()->ExecuteDirect("INSERT INTO t VALUES (1)").ok());
+  sim_.Run();
+  EXPECT_TRUE(cluster->Converged());
+  auto r = cluster->slave(0)->database().Execute("SELECT COUNT(*) FROM t");
+  EXPECT_EQ(r->rows[0][0].AsInt64(), 1);
+}
+
+TEST_F(ReplicationTest, SlaveAppliesChargeCpu) {
+  auto cluster = MakeCluster(1);
+  ASSERT_TRUE(
+      cluster->master()->ExecuteDirect("CREATE TABLE t (a INT)").ok());
+  sim_.Run();
+  int64_t busy_before = cluster->slave(0)->instance().cpu().CumulativeBusyMicros();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(cluster->master()
+                    ->ExecuteDirect(StrFormat("INSERT INTO t VALUES (%d)", i))
+                    .ok());
+  }
+  sim_.Run();
+  int64_t busy_after = cluster->slave(0)->instance().cpu().CumulativeBusyMicros();
+  // 10 inserts at apply cost = 0.5 * insert_cost (30ms) = 150ms.
+  CostModel defaults;
+  EXPECT_EQ(busy_after - busy_before,
+            10 * static_cast<int64_t>(defaults.apply_factor *
+                                      static_cast<double>(defaults.insert_cost)));
+}
+
+TEST_F(ReplicationTest, BrokenSlaveStopsApplying) {
+  auto cluster = MakeCluster(1);
+  ASSERT_TRUE(cluster->master()
+                  ->ExecuteDirect("CREATE TABLE t (a INT PRIMARY KEY)")
+                  .ok());
+  sim_.Run();
+  // Sabotage: insert a conflicting row directly on the slave (out-of-band
+  // write — the classic way operators break MySQL replication).
+  ASSERT_TRUE(
+      cluster->slave(0)->database().Execute("INSERT INTO t VALUES (7)").ok());
+  ASSERT_TRUE(
+      cluster->master()->ExecuteDirect("INSERT INTO t VALUES (7)").ok());
+  ASSERT_TRUE(
+      cluster->master()->ExecuteDirect("INSERT INTO t VALUES (8)").ok());
+  sim_.Run();
+  EXPECT_TRUE(cluster->slave(0)->replication_broken());
+  // The event after the failure was never applied.
+  auto r = cluster->slave(0)->database().Execute(
+      "SELECT COUNT(*) FROM t WHERE a = 8");
+  EXPECT_EQ(r->rows[0][0].AsInt64(), 0);
+  EXPECT_FALSE(cluster->FullyReplicated());
+}
+
+TEST_F(ReplicationTest, ExecuteEverywhereDirectDoesNotReplicate) {
+  auto cluster = MakeCluster(2);
+  ASSERT_TRUE(
+      cluster->ExecuteEverywhereDirect("CREATE TABLE t (a INT)").ok());
+  ASSERT_TRUE(cluster->ExecuteEverywhereDirect("INSERT INTO t VALUES (1)").ok());
+  sim_.Run();
+  // Nothing went through the binlog; contents equal by direct loading.
+  EXPECT_EQ(cluster->master()->database().binlog().size(), 0);
+  EXPECT_TRUE(cluster->Converged());
+  EXPECT_TRUE(cluster->FullyReplicated());  // trivially: empty binlog
+}
+
+TEST_F(ReplicationTest, TransactionAppliesAtomicallyOnSlave) {
+  auto cluster = MakeCluster(1);
+  ASSERT_TRUE(
+      cluster->master()->ExecuteDirect("CREATE TABLE t (a INT PRIMARY KEY)").ok());
+  auto session = cluster->master()->database().CreateSession();
+  ASSERT_TRUE(cluster->master()->database().Execute("BEGIN", session.get()).ok());
+  ASSERT_TRUE(cluster->master()
+                  ->database()
+                  .Execute("INSERT INTO t VALUES (1)", session.get())
+                  .ok());
+  ASSERT_TRUE(cluster->master()
+                  ->database()
+                  .Execute("INSERT INTO t VALUES (2)", session.get())
+                  .ok());
+  ASSERT_TRUE(
+      cluster->master()->database().Execute("COMMIT", session.get()).ok());
+  sim_.Run();
+  EXPECT_TRUE(cluster->Converged());
+  // One binlog event carried both statements.
+  const db::Binlog& binlog = cluster->master()->database().binlog();
+  EXPECT_EQ(binlog.At(binlog.size() - 1).statements.size(), 2u);
+}
+
+// ---- Heartbeat & delay monitor -------------------------------------------
+
+class HeartbeatTest : public ReplicationTest {};
+
+TEST_F(HeartbeatTest, HeartbeatsReplicateWithLocalTimestamps) {
+  auto cluster = MakeCluster(1);
+  HeartbeatOptions options;
+  HeartbeatPlugin heartbeat(&sim_, cluster->master(), options);
+  ASSERT_TRUE(heartbeat.CreateTable().ok());
+  heartbeat.Start();
+  sim_.RunUntil(Seconds(10));
+  heartbeat.Stop();
+  sim_.Run();
+
+  auto master_hb =
+      ReadHeartbeats(cluster->master()->database(), options.table);
+  auto slave_hb = ReadHeartbeats(cluster->slave(0)->database(), options.table);
+  EXPECT_EQ(master_hb.size(), 11u);  // t = 0..10 inclusive
+  EXPECT_EQ(slave_hb.size(), 11u);
+  // Slave apply timestamps trail master commit timestamps (no clock skew in
+  // this fixture): delay = network + apply CPU > 0 for every heartbeat.
+  for (const auto& [id, master_ts] : master_hb) {
+    ASSERT_TRUE(slave_hb.count(id) > 0);
+    EXPECT_GT(slave_hb[id], master_ts) << "heartbeat " << id;
+  }
+}
+
+TEST_F(HeartbeatTest, DelaysReflectNetworkPlusApply) {
+  auto cluster = MakeCluster(1);
+  HeartbeatOptions options;
+  HeartbeatPlugin heartbeat(&sim_, cluster->master(), options);
+  ASSERT_TRUE(heartbeat.CreateTable().ok());
+  heartbeat.Start();
+  sim_.RunUntil(Seconds(30));
+  heartbeat.Stop();
+  sim_.Run();
+  std::vector<double> delays =
+      HeartbeatDelaysMs(cluster->master()->database(),
+                        cluster->slave(0)->database(), 1,
+                        heartbeat.next_id() - 1, options.table);
+  ASSERT_GT(delays.size(), 20u);
+  for (double d : delays) {
+    // One-way 16ms + apply 4ms (idle slave), plus the master-side insert.
+    EXPECT_GT(d, 16.0);
+    EXPECT_LT(d, 40.0);
+  }
+}
+
+TEST_F(HeartbeatTest, RelativeDelayCancelsClockOffset) {
+  // Give the slave instance a large fixed clock offset; the relative delay
+  // computation must cancel it.
+  auto cluster = MakeCluster(1);
+  cluster->slave(0)->instance().clock().StepTo(0, Millis(500));
+
+  HeartbeatOptions options;
+  HeartbeatPlugin heartbeat(&sim_, cluster->master(), options);
+  ASSERT_TRUE(heartbeat.CreateTable().ok());
+  heartbeat.Start();
+  sim_.RunUntil(Seconds(20));
+  int64_t idle_max = heartbeat.next_id() - 1;
+  // "Load": occupy the slave CPU with reads so applies queue behind them.
+  for (int i = 0; i < 200; ++i) {
+    cluster->slave(0)->Submit("SELECT COUNT(*) FROM heartbeat", Millis(50),
+                              [](Result<db::ExecResult>) {});
+  }
+  sim_.RunUntil(Seconds(40));
+  heartbeat.Stop();
+  sim_.Run();
+
+  std::vector<double> idle =
+      HeartbeatDelaysMs(cluster->master()->database(),
+                        cluster->slave(0)->database(), 1, idle_max);
+  std::vector<double> loaded = HeartbeatDelaysMs(
+      cluster->master()->database(), cluster->slave(0)->database(),
+      idle_max + 1, heartbeat.next_id() - 1);
+  ASSERT_FALSE(idle.empty());
+  ASSERT_FALSE(loaded.empty());
+  // Raw delays carry the 500ms offset...
+  Sample idle_sample;
+  idle_sample.AddAll(idle);
+  EXPECT_GT(idle_sample.Mean(), 400.0);
+  // ...but the relative delay cancels it and reflects pure queueing.
+  double relative = AverageRelativeDelayMs(loaded, idle);
+  EXPECT_GT(relative, 100.0);    // queueing behind 200 x 50ms reads
+  EXPECT_LT(relative, 20000.0);  // and no runaway offset contamination
+}
+
+TEST_F(HeartbeatTest, MoreHeartbeatsWithShorterPeriod) {
+  auto cluster = MakeCluster(1);
+  HeartbeatOptions fast;
+  fast.period = Millis(200);
+  HeartbeatPlugin heartbeat(&sim_, cluster->master(), fast);
+  ASSERT_TRUE(heartbeat.CreateTable().ok());
+  heartbeat.Start();
+  sim_.RunUntil(Seconds(10));
+  heartbeat.Stop();
+  sim_.Run();
+  EXPECT_EQ(heartbeat.next_id() - 1, 51);  // t=0,0.2,...,10.0
+}
+
+TEST_F(HeartbeatTest, DelayMonitorHandlesMissingTables) {
+  db::Database a;
+  db::Database b;
+  EXPECT_TRUE(ReadHeartbeats(a, "heartbeat").empty());
+  EXPECT_TRUE(HeartbeatDelaysMs(a, b, 1, 100).empty());
+  EXPECT_EQ(AverageRelativeDelayMs({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace clouddb::repl

@@ -1,0 +1,137 @@
+#include "sim/cpu_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace clouddb::sim {
+namespace {
+
+TEST(CpuSchedulerTest, SingleJobTakesItsCost) {
+  Simulation sim;
+  CpuScheduler cpu(&sim, 1, 1.0);
+  SimTime done_at = -1;
+  cpu.Submit(1000, [&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, 1000);
+  EXPECT_EQ(cpu.JobsCompleted(), 1);
+  EXPECT_EQ(cpu.CumulativeBusyMicros(), 1000);
+}
+
+TEST(CpuSchedulerTest, SpeedFactorScalesServiceTime) {
+  Simulation sim;
+  CpuScheduler cpu(&sim, 1, 2.0);
+  SimTime done_at = -1;
+  cpu.Submit(1000, [&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, 500);
+}
+
+TEST(CpuSchedulerTest, SlowInstanceTakesLonger) {
+  Simulation sim;
+  CpuScheduler cpu(&sim, 1, 0.5);
+  SimTime done_at = -1;
+  cpu.Submit(1000, [&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, 2000);
+}
+
+TEST(CpuSchedulerTest, FcfsOrderOnOneCore) {
+  Simulation sim;
+  CpuScheduler cpu(&sim, 1, 1.0);
+  std::vector<int> order;
+  std::vector<SimTime> times;
+  for (int i = 0; i < 3; ++i) {
+    cpu.Submit(100, [&, i] {
+      order.push_back(i);
+      times.push_back(sim.Now());
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(times, (std::vector<SimTime>{100, 200, 300}));
+}
+
+TEST(CpuSchedulerTest, TwoCoresRunInParallel) {
+  Simulation sim;
+  CpuScheduler cpu(&sim, 2, 1.0);
+  std::vector<SimTime> times;
+  for (int i = 0; i < 4; ++i) {
+    cpu.Submit(100, [&] { times.push_back(sim.Now()); });
+  }
+  sim.Run();
+  // Jobs 1&2 finish at t=100, jobs 3&4 at t=200.
+  ASSERT_EQ(times.size(), 4u);
+  EXPECT_EQ(times[0], 100);
+  EXPECT_EQ(times[1], 100);
+  EXPECT_EQ(times[2], 200);
+  EXPECT_EQ(times[3], 200);
+}
+
+TEST(CpuSchedulerTest, QueueLengthAndBusyCores) {
+  Simulation sim;
+  CpuScheduler cpu(&sim, 1, 1.0);
+  EXPECT_TRUE(cpu.Idle());
+  cpu.Submit(100, [] {});
+  cpu.Submit(100, [] {});
+  cpu.Submit(100, [] {});
+  EXPECT_EQ(cpu.BusyCores(), 1);
+  EXPECT_EQ(cpu.QueueLength(), 2u);
+  EXPECT_FALSE(cpu.Idle());
+  sim.Run();
+  EXPECT_TRUE(cpu.Idle());
+  EXPECT_EQ(cpu.QueueLength(), 0u);
+}
+
+TEST(CpuSchedulerTest, ZeroCostJobStillTakesATick) {
+  Simulation sim;
+  CpuScheduler cpu(&sim, 1, 1.0);
+  SimTime done_at = -1;
+  cpu.Submit(0, [&] { done_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(done_at, 1);
+}
+
+TEST(CpuSchedulerTest, UtilizationAccountingUnderSaturation) {
+  Simulation sim;
+  CpuScheduler cpu(&sim, 1, 1.0);
+  // Offered: 20 jobs x 100us = 2000us of work, submitted at t=0.
+  for (int i = 0; i < 20; ++i) cpu.Submit(100, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.Now(), 2000);
+  EXPECT_EQ(cpu.CumulativeBusyMicros(), 2000);  // 100% busy
+}
+
+TEST(CpuSchedulerTest, CompletionCallbackCanResubmit) {
+  Simulation sim;
+  CpuScheduler cpu(&sim, 1, 1.0);
+  int chain = 0;
+  std::function<void()> again = [&] {
+    if (++chain < 5) cpu.Submit(10, again);
+  };
+  cpu.Submit(10, again);
+  sim.Run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_EQ(cpu.JobsCompleted(), 5);
+  EXPECT_EQ(sim.Now(), 50);
+}
+
+class CpuCoreCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CpuCoreCountTest, ThroughputScalesWithCores) {
+  int cores = GetParam();
+  Simulation sim;
+  CpuScheduler cpu(&sim, cores, 1.0);
+  const int kJobs = 120;
+  for (int i = 0; i < kJobs; ++i) cpu.Submit(100, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.Now(), kJobs * 100 / cores);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, CpuCoreCountTest,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+}  // namespace
+}  // namespace clouddb::sim

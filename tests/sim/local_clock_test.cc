@@ -1,0 +1,66 @@
+#include "sim/local_clock.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time_types.h"
+
+namespace clouddb::sim {
+namespace {
+
+TEST(LocalClockTest, NoOffsetNoDriftTracksTrueTime) {
+  LocalClock clock(0, 0.0);
+  EXPECT_EQ(clock.NowMicros(0), 0);
+  EXPECT_EQ(clock.NowMicros(1000000), 1000000);
+  EXPECT_EQ(clock.OffsetAt(123456), 0);
+}
+
+TEST(LocalClockTest, InitialOffsetApplies) {
+  LocalClock clock(Millis(5), 0.0);
+  EXPECT_EQ(clock.NowMicros(0), Millis(5));
+  EXPECT_EQ(clock.OffsetAt(Seconds(100)), Millis(5));
+}
+
+TEST(LocalClockTest, DriftAccumulates) {
+  // +100 ppm: gains 100us per second of true time.
+  LocalClock clock(0, 100.0);
+  EXPECT_EQ(clock.OffsetAt(Seconds(1)), 100);
+  EXPECT_EQ(clock.OffsetAt(Seconds(10)), 1000);
+  EXPECT_EQ(clock.OffsetAt(Minutes(20)), 120000);  // 120 ms over 20 min
+}
+
+TEST(LocalClockTest, NegativeDriftFallsBehind) {
+  LocalClock clock(0, -50.0);
+  EXPECT_EQ(clock.OffsetAt(Seconds(10)), -500);
+}
+
+TEST(LocalClockTest, StepToResetsReading) {
+  LocalClock clock(Millis(10), 200.0);
+  SimTime t = Seconds(5);
+  clock.StepTo(t, t + Millis(1));  // step to 1ms ahead of true
+  EXPECT_EQ(clock.NowMicros(t), t + Millis(1));
+  // Drift resumes from the new anchor.
+  EXPECT_EQ(clock.OffsetAt(t + Seconds(1)), Millis(1) + 200);
+}
+
+TEST(LocalClockTest, MonotoneForPositiveElapsed) {
+  LocalClock clock(Millis(3), 37.0);
+  int64_t prev = clock.NowMicros(0);
+  for (SimTime t = 1000; t <= Seconds(10); t += 1000) {
+    int64_t now = clock.NowMicros(t);
+    ASSERT_GT(now, prev);
+    prev = now;
+  }
+}
+
+TEST(LocalClockTest, TwoClocksDivergeAtRelativeDrift) {
+  // The Fig. 4 scenario: synced once at t=0, then drifting apart.
+  LocalClock a(0, 18.0);
+  LocalClock b(0, -18.0);
+  SimTime twenty_min = Minutes(20);
+  int64_t diff = a.NowMicros(twenty_min) - b.NowMicros(twenty_min);
+  // 36 ppm relative drift over 1200 s = 43.2 ms.
+  EXPECT_NEAR(static_cast<double>(diff), 43200.0 * 1000.0 / 1000.0, 100.0);
+}
+
+}  // namespace
+}  // namespace clouddb::sim

@@ -1,0 +1,142 @@
+#include "sim/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace clouddb::sim {
+namespace {
+
+TEST(SimulationTest, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.Now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulationTest, ExecutesInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.ScheduleAt(300, [&] { order.push_back(3); });
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.ScheduleAt(200, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 300);
+  EXPECT_EQ(sim.events_executed(), 3);
+}
+
+TEST(SimulationTest, TiesBreakInSchedulingOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.ScheduleAt(50, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulationTest, ScheduleAfterUsesCurrentTime) {
+  Simulation sim;
+  SimTime seen = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAfter(50, [&] { seen = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(SimulationTest, PastDeadlineClampsToNow) {
+  Simulation sim;
+  SimTime seen = -1;
+  sim.ScheduleAt(100, [&] {
+    sim.ScheduleAt(10, [&] { seen = sim.Now(); });  // in the past
+  });
+  sim.Run();
+  EXPECT_EQ(seen, 100);
+}
+
+TEST(SimulationTest, NegativeDelayClampsToZero) {
+  Simulation sim;
+  SimTime seen = -1;
+  sim.ScheduleAfter(-100, [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 0);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool ran = false;
+  auto handle = sim.ScheduleAt(10, [&] { ran = true; });
+  handle.Cancel();
+  sim.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SimulationTest, CancelIsIdempotentAndSafeAfterRun) {
+  Simulation sim;
+  int runs = 0;
+  auto handle = sim.ScheduleAt(10, [&] { ++runs; });
+  sim.Run();
+  handle.Cancel();  // already executed; must be harmless
+  handle.Cancel();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(SimulationTest, RunUntilStopsAtDeadline) {
+  Simulation sim;
+  std::vector<SimTime> fired;
+  sim.ScheduleAt(100, [&] { fired.push_back(100); });
+  sim.ScheduleAt(200, [&] { fired.push_back(200); });
+  sim.ScheduleAt(300, [&] { fired.push_back(300); });
+  sim.RunUntil(200);
+  EXPECT_EQ(fired, (std::vector<SimTime>{100, 200}));
+  EXPECT_EQ(sim.Now(), 200);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockWhenQueueEmpty) {
+  Simulation sim;
+  sim.RunUntil(5000);
+  EXPECT_EQ(sim.Now(), 5000);
+}
+
+TEST(SimulationTest, EventsScheduledDuringRunExecute) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.ScheduleAfter(10, recurse);
+  };
+  sim.ScheduleAt(0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), 40);
+}
+
+TEST(SimulationTest, FastForwardMovesClock) {
+  Simulation sim;
+  sim.FastForwardTo(123);
+  EXPECT_EQ(sim.Now(), 123);
+  sim.FastForwardTo(50);  // backwards is a no-op
+  EXPECT_EQ(sim.Now(), 123);
+}
+
+TEST(SimulationTest, ManyEventsStressOrdering) {
+  Simulation sim;
+  SimTime last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 10000; ++i) {
+    SimTime when = (i * 7919) % 10007;  // pseudo-shuffled times
+    sim.ScheduleAt(when, [&, when] {
+      if (when < last) monotone = false;
+      last = when;
+    });
+  }
+  sim.Run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.events_executed(), 10000);
+}
+
+}  // namespace
+}  // namespace clouddb::sim
