@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_balancer_policy.dir/ablation_balancer_policy.cc.o"
+  "CMakeFiles/ablation_balancer_policy.dir/ablation_balancer_policy.cc.o.d"
+  "ablation_balancer_policy"
+  "ablation_balancer_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_balancer_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

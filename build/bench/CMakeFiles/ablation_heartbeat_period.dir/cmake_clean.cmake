@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_heartbeat_period.dir/ablation_heartbeat_period.cc.o"
+  "CMakeFiles/ablation_heartbeat_period.dir/ablation_heartbeat_period.cc.o.d"
+  "ablation_heartbeat_period"
+  "ablation_heartbeat_period.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heartbeat_period.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_perf_variation.dir/ablation_perf_variation.cc.o"
+  "CMakeFiles/ablation_perf_variation.dir/ablation_perf_variation.cc.o.d"
+  "ablation_perf_variation"
+  "ablation_perf_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_perf_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_throughput_5050.dir/fig2_throughput_5050.cc.o"
+  "CMakeFiles/fig2_throughput_5050.dir/fig2_throughput_5050.cc.o.d"
+  "fig2_throughput_5050"
+  "fig2_throughput_5050.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_throughput_5050.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

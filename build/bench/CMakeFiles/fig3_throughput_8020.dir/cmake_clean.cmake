@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_throughput_8020.dir/fig3_throughput_8020.cc.o"
+  "CMakeFiles/fig3_throughput_8020.dir/fig3_throughput_8020.cc.o.d"
+  "fig3_throughput_8020"
+  "fig3_throughput_8020.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_throughput_8020.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_throughput_8020.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_clock_sync.dir/fig4_clock_sync.cc.o"
+  "CMakeFiles/fig4_clock_sync.dir/fig4_clock_sync.cc.o.d"
+  "fig4_clock_sync"
+  "fig4_clock_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_clock_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_delay_5050.dir/fig5_delay_5050.cc.o"
+  "CMakeFiles/fig5_delay_5050.dir/fig5_delay_5050.cc.o.d"
+  "fig5_delay_5050"
+  "fig5_delay_5050.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_delay_5050.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_delay_8020.dir/fig6_delay_8020.cc.o"
+  "CMakeFiles/fig6_delay_8020.dir/fig6_delay_8020.cc.o.d"
+  "fig6_delay_8020"
+  "fig6_delay_8020.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_delay_8020.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

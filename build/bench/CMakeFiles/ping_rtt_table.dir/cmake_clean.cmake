@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ping_rtt_table.dir/ping_rtt_table.cc.o"
+  "CMakeFiles/ping_rtt_table.dir/ping_rtt_table.cc.o.d"
+  "ping_rtt_table"
+  "ping_rtt_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ping_rtt_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/saturation_watch.dir/saturation_watch.cpp.o"
+  "CMakeFiles/saturation_watch.dir/saturation_watch.cpp.o.d"
+  "saturation_watch"
+  "saturation_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/saturation_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/social_calendar.dir/social_calendar.cpp.o"
+  "CMakeFiles/social_calendar.dir/social_calendar.cpp.o.d"
+  "social_calendar"
+  "social_calendar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/social_calendar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

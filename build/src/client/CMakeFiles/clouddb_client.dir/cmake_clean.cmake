@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouddb_client.dir/connection.cc.o"
+  "CMakeFiles/clouddb_client.dir/connection.cc.o.d"
+  "CMakeFiles/clouddb_client.dir/connection_pool.cc.o"
+  "CMakeFiles/clouddb_client.dir/connection_pool.cc.o.d"
+  "CMakeFiles/clouddb_client.dir/rw_split_proxy.cc.o"
+  "CMakeFiles/clouddb_client.dir/rw_split_proxy.cc.o.d"
+  "libclouddb_client.a"
+  "libclouddb_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouddb_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

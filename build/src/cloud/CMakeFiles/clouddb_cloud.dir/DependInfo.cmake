@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/cloud_provider.cc" "src/cloud/CMakeFiles/clouddb_cloud.dir/cloud_provider.cc.o" "gcc" "src/cloud/CMakeFiles/clouddb_cloud.dir/cloud_provider.cc.o.d"
+  "/root/repo/src/cloud/ntp.cc" "src/cloud/CMakeFiles/clouddb_cloud.dir/ntp.cc.o" "gcc" "src/cloud/CMakeFiles/clouddb_cloud.dir/ntp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/clouddb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clouddb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clouddb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouddb_cloud.dir/cloud_provider.cc.o"
+  "CMakeFiles/clouddb_cloud.dir/cloud_provider.cc.o.d"
+  "CMakeFiles/clouddb_cloud.dir/ntp.cc.o"
+  "CMakeFiles/clouddb_cloud.dir/ntp.cc.o.d"
+  "libclouddb_cloud.a"
+  "libclouddb_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouddb_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

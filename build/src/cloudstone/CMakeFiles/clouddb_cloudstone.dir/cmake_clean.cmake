@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouddb_cloudstone.dir/benchmark_driver.cc.o"
+  "CMakeFiles/clouddb_cloudstone.dir/benchmark_driver.cc.o.d"
+  "CMakeFiles/clouddb_cloudstone.dir/operations.cc.o"
+  "CMakeFiles/clouddb_cloudstone.dir/operations.cc.o.d"
+  "CMakeFiles/clouddb_cloudstone.dir/schema.cc.o"
+  "CMakeFiles/clouddb_cloudstone.dir/schema.cc.o.d"
+  "libclouddb_cloudstone.a"
+  "libclouddb_cloudstone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouddb_cloudstone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

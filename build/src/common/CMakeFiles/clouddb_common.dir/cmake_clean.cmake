@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouddb_common.dir/rng.cc.o"
+  "CMakeFiles/clouddb_common.dir/rng.cc.o.d"
+  "CMakeFiles/clouddb_common.dir/stats.cc.o"
+  "CMakeFiles/clouddb_common.dir/stats.cc.o.d"
+  "CMakeFiles/clouddb_common.dir/status.cc.o"
+  "CMakeFiles/clouddb_common.dir/status.cc.o.d"
+  "CMakeFiles/clouddb_common.dir/str_util.cc.o"
+  "CMakeFiles/clouddb_common.dir/str_util.cc.o.d"
+  "CMakeFiles/clouddb_common.dir/table_writer.cc.o"
+  "CMakeFiles/clouddb_common.dir/table_writer.cc.o.d"
+  "CMakeFiles/clouddb_common.dir/time_types.cc.o"
+  "CMakeFiles/clouddb_common.dir/time_types.cc.o.d"
+  "libclouddb_common.a"
+  "libclouddb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouddb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/binlog.cc" "src/db/CMakeFiles/clouddb_db.dir/binlog.cc.o" "gcc" "src/db/CMakeFiles/clouddb_db.dir/binlog.cc.o.d"
+  "/root/repo/src/db/database.cc" "src/db/CMakeFiles/clouddb_db.dir/database.cc.o" "gcc" "src/db/CMakeFiles/clouddb_db.dir/database.cc.o.d"
+  "/root/repo/src/db/expr_eval.cc" "src/db/CMakeFiles/clouddb_db.dir/expr_eval.cc.o" "gcc" "src/db/CMakeFiles/clouddb_db.dir/expr_eval.cc.o.d"
+  "/root/repo/src/db/functions.cc" "src/db/CMakeFiles/clouddb_db.dir/functions.cc.o" "gcc" "src/db/CMakeFiles/clouddb_db.dir/functions.cc.o.d"
+  "/root/repo/src/db/schema.cc" "src/db/CMakeFiles/clouddb_db.dir/schema.cc.o" "gcc" "src/db/CMakeFiles/clouddb_db.dir/schema.cc.o.d"
+  "/root/repo/src/db/sql_ast.cc" "src/db/CMakeFiles/clouddb_db.dir/sql_ast.cc.o" "gcc" "src/db/CMakeFiles/clouddb_db.dir/sql_ast.cc.o.d"
+  "/root/repo/src/db/sql_lexer.cc" "src/db/CMakeFiles/clouddb_db.dir/sql_lexer.cc.o" "gcc" "src/db/CMakeFiles/clouddb_db.dir/sql_lexer.cc.o.d"
+  "/root/repo/src/db/sql_parser.cc" "src/db/CMakeFiles/clouddb_db.dir/sql_parser.cc.o" "gcc" "src/db/CMakeFiles/clouddb_db.dir/sql_parser.cc.o.d"
+  "/root/repo/src/db/table.cc" "src/db/CMakeFiles/clouddb_db.dir/table.cc.o" "gcc" "src/db/CMakeFiles/clouddb_db.dir/table.cc.o.d"
+  "/root/repo/src/db/transaction.cc" "src/db/CMakeFiles/clouddb_db.dir/transaction.cc.o" "gcc" "src/db/CMakeFiles/clouddb_db.dir/transaction.cc.o.d"
+  "/root/repo/src/db/value.cc" "src/db/CMakeFiles/clouddb_db.dir/value.cc.o" "gcc" "src/db/CMakeFiles/clouddb_db.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/clouddb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

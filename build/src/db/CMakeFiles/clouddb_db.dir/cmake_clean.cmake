@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouddb_db.dir/binlog.cc.o"
+  "CMakeFiles/clouddb_db.dir/binlog.cc.o.d"
+  "CMakeFiles/clouddb_db.dir/database.cc.o"
+  "CMakeFiles/clouddb_db.dir/database.cc.o.d"
+  "CMakeFiles/clouddb_db.dir/expr_eval.cc.o"
+  "CMakeFiles/clouddb_db.dir/expr_eval.cc.o.d"
+  "CMakeFiles/clouddb_db.dir/functions.cc.o"
+  "CMakeFiles/clouddb_db.dir/functions.cc.o.d"
+  "CMakeFiles/clouddb_db.dir/schema.cc.o"
+  "CMakeFiles/clouddb_db.dir/schema.cc.o.d"
+  "CMakeFiles/clouddb_db.dir/sql_ast.cc.o"
+  "CMakeFiles/clouddb_db.dir/sql_ast.cc.o.d"
+  "CMakeFiles/clouddb_db.dir/sql_lexer.cc.o"
+  "CMakeFiles/clouddb_db.dir/sql_lexer.cc.o.d"
+  "CMakeFiles/clouddb_db.dir/sql_parser.cc.o"
+  "CMakeFiles/clouddb_db.dir/sql_parser.cc.o.d"
+  "CMakeFiles/clouddb_db.dir/table.cc.o"
+  "CMakeFiles/clouddb_db.dir/table.cc.o.d"
+  "CMakeFiles/clouddb_db.dir/transaction.cc.o"
+  "CMakeFiles/clouddb_db.dir/transaction.cc.o.d"
+  "CMakeFiles/clouddb_db.dir/value.cc.o"
+  "CMakeFiles/clouddb_db.dir/value.cc.o.d"
+  "libclouddb_db.a"
+  "libclouddb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouddb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouddb_harness.dir/experiment.cc.o"
+  "CMakeFiles/clouddb_harness.dir/experiment.cc.o.d"
+  "CMakeFiles/clouddb_harness.dir/sweep.cc.o"
+  "CMakeFiles/clouddb_harness.dir/sweep.cc.o.d"
+  "libclouddb_harness.a"
+  "libclouddb_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouddb_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouddb_net.dir/network.cc.o"
+  "CMakeFiles/clouddb_net.dir/network.cc.o.d"
+  "libclouddb_net.a"
+  "libclouddb_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouddb_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libclouddb_net.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/repl/cluster_monitor.cc" "src/repl/CMakeFiles/clouddb_repl.dir/cluster_monitor.cc.o" "gcc" "src/repl/CMakeFiles/clouddb_repl.dir/cluster_monitor.cc.o.d"
+  "/root/repo/src/repl/cost_model.cc" "src/repl/CMakeFiles/clouddb_repl.dir/cost_model.cc.o" "gcc" "src/repl/CMakeFiles/clouddb_repl.dir/cost_model.cc.o.d"
+  "/root/repo/src/repl/db_node.cc" "src/repl/CMakeFiles/clouddb_repl.dir/db_node.cc.o" "gcc" "src/repl/CMakeFiles/clouddb_repl.dir/db_node.cc.o.d"
+  "/root/repo/src/repl/delay_monitor.cc" "src/repl/CMakeFiles/clouddb_repl.dir/delay_monitor.cc.o" "gcc" "src/repl/CMakeFiles/clouddb_repl.dir/delay_monitor.cc.o.d"
+  "/root/repo/src/repl/failover.cc" "src/repl/CMakeFiles/clouddb_repl.dir/failover.cc.o" "gcc" "src/repl/CMakeFiles/clouddb_repl.dir/failover.cc.o.d"
+  "/root/repo/src/repl/heartbeat.cc" "src/repl/CMakeFiles/clouddb_repl.dir/heartbeat.cc.o" "gcc" "src/repl/CMakeFiles/clouddb_repl.dir/heartbeat.cc.o.d"
+  "/root/repo/src/repl/master_node.cc" "src/repl/CMakeFiles/clouddb_repl.dir/master_node.cc.o" "gcc" "src/repl/CMakeFiles/clouddb_repl.dir/master_node.cc.o.d"
+  "/root/repo/src/repl/replication_cluster.cc" "src/repl/CMakeFiles/clouddb_repl.dir/replication_cluster.cc.o" "gcc" "src/repl/CMakeFiles/clouddb_repl.dir/replication_cluster.cc.o.d"
+  "/root/repo/src/repl/slave_node.cc" "src/repl/CMakeFiles/clouddb_repl.dir/slave_node.cc.o" "gcc" "src/repl/CMakeFiles/clouddb_repl.dir/slave_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/db/CMakeFiles/clouddb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/clouddb_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/clouddb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clouddb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clouddb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

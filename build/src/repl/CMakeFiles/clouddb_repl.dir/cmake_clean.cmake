@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouddb_repl.dir/cluster_monitor.cc.o"
+  "CMakeFiles/clouddb_repl.dir/cluster_monitor.cc.o.d"
+  "CMakeFiles/clouddb_repl.dir/cost_model.cc.o"
+  "CMakeFiles/clouddb_repl.dir/cost_model.cc.o.d"
+  "CMakeFiles/clouddb_repl.dir/db_node.cc.o"
+  "CMakeFiles/clouddb_repl.dir/db_node.cc.o.d"
+  "CMakeFiles/clouddb_repl.dir/delay_monitor.cc.o"
+  "CMakeFiles/clouddb_repl.dir/delay_monitor.cc.o.d"
+  "CMakeFiles/clouddb_repl.dir/failover.cc.o"
+  "CMakeFiles/clouddb_repl.dir/failover.cc.o.d"
+  "CMakeFiles/clouddb_repl.dir/heartbeat.cc.o"
+  "CMakeFiles/clouddb_repl.dir/heartbeat.cc.o.d"
+  "CMakeFiles/clouddb_repl.dir/master_node.cc.o"
+  "CMakeFiles/clouddb_repl.dir/master_node.cc.o.d"
+  "CMakeFiles/clouddb_repl.dir/replication_cluster.cc.o"
+  "CMakeFiles/clouddb_repl.dir/replication_cluster.cc.o.d"
+  "CMakeFiles/clouddb_repl.dir/slave_node.cc.o"
+  "CMakeFiles/clouddb_repl.dir/slave_node.cc.o.d"
+  "libclouddb_repl.a"
+  "libclouddb_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouddb_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clouddb_sim.dir/cpu_scheduler.cc.o"
+  "CMakeFiles/clouddb_sim.dir/cpu_scheduler.cc.o.d"
+  "CMakeFiles/clouddb_sim.dir/simulation.cc.o"
+  "CMakeFiles/clouddb_sim.dir/simulation.cc.o.d"
+  "libclouddb_sim.a"
+  "libclouddb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clouddb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_provider_test.dir/cloud/cloud_provider_test.cc.o"
+  "CMakeFiles/cloud_provider_test.dir/cloud/cloud_provider_test.cc.o.d"
+  "cloud_provider_test"
+  "cloud_provider_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

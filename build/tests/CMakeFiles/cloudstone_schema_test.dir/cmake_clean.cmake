@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudstone_schema_test.dir/cloudstone/schema_test.cc.o"
+  "CMakeFiles/cloudstone_schema_test.dir/cloudstone/schema_test.cc.o.d"
+  "cloudstone_schema_test"
+  "cloudstone_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudstone_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

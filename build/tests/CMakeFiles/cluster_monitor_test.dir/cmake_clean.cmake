@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_monitor_test.dir/repl/cluster_monitor_test.cc.o"
+  "CMakeFiles/cluster_monitor_test.dir/repl/cluster_monitor_test.cc.o.d"
+  "cluster_monitor_test"
+  "cluster_monitor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cloudstone/driver_test.cc" "tests/CMakeFiles/driver_test.dir/cloudstone/driver_test.cc.o" "gcc" "tests/CMakeFiles/driver_test.dir/cloudstone/driver_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/clouddb_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudstone/CMakeFiles/clouddb_cloudstone.dir/DependInfo.cmake"
+  "/root/repo/build/src/client/CMakeFiles/clouddb_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/repl/CMakeFiles/clouddb_repl.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/clouddb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/clouddb_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/clouddb_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/clouddb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/clouddb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

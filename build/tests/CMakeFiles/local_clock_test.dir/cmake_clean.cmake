@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_clock_test.dir/sim/local_clock_test.cc.o"
+  "CMakeFiles/local_clock_test.dir/sim/local_clock_test.cc.o.d"
+  "local_clock_test"
+  "local_clock_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntp_test.dir/cloud/ntp_test.cc.o"
+  "CMakeFiles/ntp_test.dir/cloud/ntp_test.cc.o.d"
+  "ntp_test"
+  "ntp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_equivalence_test.dir/db/planner_equivalence_test.cc.o"
+  "CMakeFiles/planner_equivalence_test.dir/db/planner_equivalence_test.cc.o.d"
+  "planner_equivalence_test"
+  "planner_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

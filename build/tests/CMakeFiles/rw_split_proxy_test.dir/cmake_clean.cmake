@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_split_proxy_test.dir/client/rw_split_proxy_test.cc.o"
+  "CMakeFiles/rw_split_proxy_test.dir/client/rw_split_proxy_test.cc.o.d"
+  "rw_split_proxy_test"
+  "rw_split_proxy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_split_proxy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_writer_test.dir/common/table_writer_test.cc.o"
+  "CMakeFiles/table_writer_test.dir/common/table_writer_test.cc.o.d"
+  "table_writer_test"
+  "table_writer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_writer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_types_test.dir/common/time_types_test.cc.o"
+  "CMakeFiles/time_types_test.dir/common/time_types_test.cc.o.d"
+  "time_types_test"
+  "time_types_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
