@@ -40,6 +40,21 @@ Instance::Instance(sim::Simulation* sim, std::string name, InstanceType type,
       cpu_(sim, SpecFor(type).cores, speed_factor),
       clock_(clock_offset, clock_drift_ppm) {}
 
+void Instance::Crash() {
+  if (!running_) return;
+  running_ = false;
+  ++crash_count_;
+  cpu_.Halt();
+  for (const auto& listener : power_listeners_) listener(false);
+}
+
+void Instance::Restart() {
+  if (running_) return;
+  running_ = true;
+  cpu_.Thaw();
+  for (const auto& listener : power_listeners_) listener(true);
+}
+
 CloudProvider::CloudProvider(sim::Simulation* sim, const CloudOptions& options,
                              uint64_t seed)
     : sim_(sim), options_(options), rng_(seed) {
@@ -62,6 +77,13 @@ Instance* CloudProvider::Launch(const std::string& name, InstanceType type,
   instances_.push_back(std::make_unique<Instance>(
       sim_, name, type, placement, node_id, speed, offset, drift));
   return instances_.back().get();
+}
+
+Instance* CloudProvider::FindByName(const std::string& name) const {
+  for (const auto& instance : instances_) {
+    if (instance->name() == name) return instance.get();
+  }
+  return nullptr;
 }
 
 Instance* CloudProvider::FindByNode(net::NodeId node) const {

@@ -66,6 +66,9 @@ class CloudProvider : public net::LatencyModel {
   }
   /// Instance owning `node`, or nullptr.
   Instance* FindByNode(net::NodeId node) const;
+  /// Instance launched under `name`, or nullptr. Names are how fault
+  /// schedules address targets (declarative, resolved at arm time).
+  Instance* FindByName(const std::string& name) const;
 
   // net::LatencyModel:
   SimDuration SampleOneWay(net::NodeId from, net::NodeId to) override;

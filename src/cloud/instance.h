@@ -1,8 +1,10 @@
 #ifndef CLOUDDB_CLOUD_INSTANCE_H_
 #define CLOUDDB_CLOUD_INSTANCE_H_
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cloud/placement.h"
 #include "net/network.h"
@@ -60,6 +62,35 @@ class Instance {
   /// Local wall time right now (µs); what applications on this instance see.
   int64_t LocalNowMicros() const { return clock_.NowMicros(sim_->Now()); }
 
+  // --- Instance-level faults (see clouddb::fault::FaultInjector) ---
+
+  /// True while the VM is powered on. Crashed instances keep their network
+  /// endpoint (messages to them are delivered into processes that check
+  /// `running()`/`online()` and stay silent) but lose all in-flight and
+  /// queued CPU work.
+  bool running() const { return running_; }
+
+  /// Instance failure: halts the CPU (queued and in-flight jobs evaporate)
+  /// and notifies power listeners with `false`. Idempotent. Durable state —
+  /// each DbNode's database, modelling an EBS volume — survives; volatile
+  /// state (relay logs, CPU queues) is the listeners' job to discard.
+  void Crash();
+
+  /// Boots the instance back up: resumes the CPU and notifies power
+  /// listeners with `true`. Idempotent.
+  void Restart();
+
+  /// Registers `listener(running)` to fire on every Crash()/Restart()
+  /// transition. Listeners (the DbNodes hosted here) must outlive the
+  /// instance or never receive an event after their destruction — in
+  /// practice: do not run the simulation after destroying hosted nodes.
+  void AddPowerListener(std::function<void(bool)> listener) {
+    power_listeners_.push_back(std::move(listener));
+  }
+
+  /// Uptime counters: number of crashes survived.
+  int64_t crash_count() const { return crash_count_; }
+
  private:
   sim::Simulation* sim_;
   std::string name_;
@@ -68,6 +99,9 @@ class Instance {
   net::NodeId node_id_;
   sim::CpuScheduler cpu_;
   sim::LocalClock clock_;
+  bool running_ = true;
+  int64_t crash_count_ = 0;
+  std::vector<std::function<void(bool)>> power_listeners_;
 };
 
 }  // namespace clouddb::cloud

@@ -43,7 +43,9 @@ double Sample::StdDev() const {
 
 double Sample::Percentile(double q) const {
   if (values_.empty()) return 0.0;
-  if (q <= 0.0) return Min();
+  // NaN fails both ordered comparisons and would reach the size_t cast
+  // below — undefined behaviour. Treat it (and anything <= 0) as q = 0.
+  if (!(q > 0.0)) return Min();
   if (q >= 1.0) return Max();
   std::vector<double> sorted = values_;
   std::sort(sorted.begin(), sorted.end());
@@ -56,12 +58,16 @@ double Sample::Percentile(double q) const {
 
 double Sample::TrimmedMean(double fraction) const {
   assert(fraction >= 0.0 && fraction < 0.5);
+  // Clamp anyway: with NDEBUG the assert is gone, and a fraction >= 0.5
+  // would underflow the size_t trim arithmetic below.
+  if (!(fraction > 0.0)) fraction = 0.0;  // also normalizes NaN
+  if (fraction >= 0.5) fraction = 0.0;
   if (values_.size() < 3 || fraction == 0.0) return Mean();
   std::vector<double> sorted = values_;
   std::sort(sorted.begin(), sorted.end());
   size_t cut = static_cast<size_t>(fraction * static_cast<double>(sorted.size()));
+  if (2 * cut >= sorted.size()) return Mean();
   size_t n = sorted.size() - 2 * cut;
-  if (n == 0) return Mean();
   double s = 0.0;
   for (size_t i = cut; i < sorted.size() - cut; ++i) s += sorted[i];
   return s / static_cast<double>(n);

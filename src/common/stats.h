@@ -14,6 +14,12 @@ namespace clouddb {
 /// The paper trims the top and bottom 5 % of replication-delay samples before
 /// averaging ("because of network fluctuation"); `TrimmedMean(0.05)`
 /// implements exactly that.
+///
+/// Every statistic is a total function: on an empty sample, Sum/Mean/Min/
+/// Max/StdDev/Percentile/TrimmedMean all return exactly 0.0 — never NaN,
+/// never a read past the end. (Callers that need to distinguish "no data"
+/// from "all zeros" check `empty()` first; the harness does this when a
+/// measurement window ends up with no samples.)
 class Sample {
  public:
   Sample() = default;
@@ -32,13 +38,14 @@ class Sample {
   double Max() const;
   /// Population standard deviation; 0 for fewer than 2 samples.
   double StdDev() const;
-  /// Linear-interpolated quantile, q in [0, 1].
+  /// Linear-interpolated quantile; q is clamped to [0, 1] (NaN acts as 0).
   double Percentile(double q) const;
   double Median() const { return Percentile(0.5); }
 
   /// Mean after removing the lowest and highest `fraction` of samples
-  /// (two-sided trim). fraction in [0, 0.5). With fewer than 3 samples the
-  /// plain mean is returned.
+  /// (two-sided trim). `fraction` is clamped into [0, 0.5) — out-of-range
+  /// values must not underflow the trim arithmetic even in NDEBUG builds.
+  /// With fewer than 3 samples the plain mean is returned.
   double TrimmedMean(double fraction) const;
 
  private:

@@ -1,0 +1,181 @@
+#include "fault/fault_injector.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace clouddb::fault {
+
+FaultInjector::FaultInjector(sim::Simulation* sim,
+                             cloud::CloudProvider* provider)
+    : sim_(sim), provider_(provider) {}
+
+Status FaultInjector::Validate(const FaultEvent& event) const {
+  if (event.at < 0) {
+    return Status::InvalidArgument(
+        StrFormat("fault '%s': negative start time", event.target.c_str()));
+  }
+  if (event.duration < 0) {
+    return Status::InvalidArgument(
+        StrFormat("fault '%s': negative duration", event.target.c_str()));
+  }
+  if (provider_->FindByName(event.target) == nullptr) {
+    return Status::InvalidArgument(
+        StrFormat("unknown instance '%s'", event.target.c_str()));
+  }
+  switch (event.kind) {
+    case FaultKind::kPartition:
+    case FaultKind::kLatencySpike:
+    case FaultKind::kPacketLoss:
+      if (provider_->FindByName(event.peer) == nullptr) {
+        return Status::InvalidArgument(
+            StrFormat("unknown instance '%s'", event.peer.c_str()));
+      }
+      if (event.peer == event.target) {
+        return Status::InvalidArgument(StrFormat(
+            "link fault needs two distinct endpoints, got '%s' twice",
+            event.target.c_str()));
+      }
+      break;
+    default:
+      break;
+  }
+  if (event.kind == FaultKind::kSlowdown && event.magnitude <= 0.0) {
+    return Status::InvalidArgument(
+        StrFormat("slowdown factor must be > 0, got %.3f", event.magnitude));
+  }
+  if (event.kind == FaultKind::kPacketLoss &&
+      (event.magnitude < 0.0 || event.magnitude > 1.0)) {
+    return Status::InvalidArgument(StrFormat(
+        "loss probability must be in [0, 1], got %.3f", event.magnitude));
+  }
+  return Status::Ok();
+}
+
+Status FaultInjector::Arm(const FaultSchedule& schedule) {
+  for (const FaultEvent& event : schedule.events()) {
+    CLOUDDB_RETURN_IF_ERROR(Validate(event));
+  }
+  // All valid: schedule everything. Heap copies give the begin/heal lambdas
+  // a stable event to point at across vector growth.
+  for (const FaultEvent& event : schedule.events()) {
+    armed_.push_back(std::make_unique<FaultEvent>(event));
+    const FaultEvent* armed = armed_.back().get();
+    sim_->ScheduleAt(armed->at, [this, armed] { Begin(*armed); });
+    // Clock steps are instantaneous; duration 0 elsewhere means permanent.
+    if (armed->duration > 0 && armed->kind != FaultKind::kClockStep) {
+      sim_->ScheduleAt(armed->at + armed->duration,
+                       [this, armed] { Heal(*armed); });
+    }
+  }
+  return Status::Ok();
+}
+
+void FaultInjector::ForEachDirection(
+    const FaultEvent& event,
+    const std::function<void(net::NodeId, net::NodeId)>& apply) {
+  net::NodeId a = provider_->FindByName(event.target)->node_id();
+  net::NodeId b = provider_->FindByName(event.peer)->node_id();
+  apply(a, b);
+  apply(b, a);
+}
+
+void FaultInjector::Begin(const FaultEvent& event) {
+  cloud::Instance* target = provider_->FindByName(event.target);
+  net::Network& net = provider_->network();
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      target->Crash();
+      break;
+    case FaultKind::kFreeze:
+      target->cpu().Freeze();
+      break;
+    case FaultKind::kSlowdown:
+      // Remember the pre-fault speed once, so overlapping slowdowns on the
+      // same instance heal back to the original, not to an already-degraded
+      // intermediate.
+      saved_speeds_.emplace(event.target, target->cpu().speed_factor());
+      target->cpu().SetSpeedFactor(saved_speeds_[event.target] *
+                                   event.magnitude);
+      break;
+    case FaultKind::kPartition:
+      ForEachDirection(event, [&net](net::NodeId from, net::NodeId to) {
+        net.SetLinkDown(from, to, true);
+      });
+      break;
+    case FaultKind::kIsolate:
+      net.SetNodeIsolated(target->node_id(), true);
+      break;
+    case FaultKind::kLatencySpike:
+      ForEachDirection(event, [&net, &event](net::NodeId from, net::NodeId to) {
+        net.SetLinkExtraLatency(from, to, event.delta);
+      });
+      break;
+    case FaultKind::kPacketLoss:
+      ForEachDirection(event, [&net, &event](net::NodeId from, net::NodeId to) {
+        net.SetLinkLossProbability(from, to, event.magnitude);
+      });
+      break;
+    case FaultKind::kClockStep:
+      target->clock().StepBy(sim_->Now(), event.delta);
+      break;
+  }
+  Record(event, /*begin=*/true);
+}
+
+void FaultInjector::Heal(const FaultEvent& event) {
+  cloud::Instance* target = provider_->FindByName(event.target);
+  net::Network& net = provider_->network();
+  switch (event.kind) {
+    case FaultKind::kCrash:
+      target->Restart();
+      break;
+    case FaultKind::kFreeze:
+      target->cpu().Thaw();
+      break;
+    case FaultKind::kSlowdown: {
+      auto it = saved_speeds_.find(event.target);
+      if (it != saved_speeds_.end()) {
+        target->cpu().SetSpeedFactor(it->second);
+        saved_speeds_.erase(it);
+      }
+      break;
+    }
+    case FaultKind::kPartition:
+      ForEachDirection(event, [&net](net::NodeId from, net::NodeId to) {
+        net.SetLinkDown(from, to, false);
+      });
+      break;
+    case FaultKind::kIsolate:
+      net.SetNodeIsolated(target->node_id(), false);
+      break;
+    case FaultKind::kLatencySpike:
+      ForEachDirection(event, [&net](net::NodeId from, net::NodeId to) {
+        net.SetLinkExtraLatency(from, to, 0);
+      });
+      break;
+    case FaultKind::kPacketLoss:
+      ForEachDirection(event, [&net](net::NodeId from, net::NodeId to) {
+        net.SetLinkLossProbability(from, to, 0.0);
+      });
+      break;
+    case FaultKind::kClockStep:
+      break;  // one-shot, never scheduled
+  }
+  Record(event, /*begin=*/false);
+}
+
+void FaultInjector::Record(const FaultEvent& event, bool begin) {
+  if (begin) {
+    ++faults_begun_;
+  } else {
+    ++faults_healed_;
+  }
+  log_.push_back({sim_->Now(),
+                  StrFormat("%s %s %s", begin ? "begin" : "heal",
+                            FaultKindToString(event.kind),
+                            event.target.c_str())});
+  if (listener_) listener_(event, begin);
+}
+
+}  // namespace clouddb::fault

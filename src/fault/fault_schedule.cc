@@ -1,0 +1,167 @@
+#include "fault/fault_schedule.h"
+
+#include <utility>
+
+#include "common/str_util.h"
+
+namespace clouddb::fault {
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash:
+      return "crash";
+    case FaultKind::kFreeze:
+      return "freeze";
+    case FaultKind::kSlowdown:
+      return "slowdown";
+    case FaultKind::kPartition:
+      return "partition";
+    case FaultKind::kIsolate:
+      return "isolate";
+    case FaultKind::kLatencySpike:
+      return "latency-spike";
+    case FaultKind::kPacketLoss:
+      return "packet-loss";
+    case FaultKind::kClockStep:
+      return "clock-step";
+  }
+  return "?";
+}
+
+std::string FaultEvent::ToString() const {
+  std::string out = StrFormat("t=%s %s %s", FormatDuration(at).c_str(),
+                              FaultKindToString(kind), target.c_str());
+  if (!peer.empty()) out += StrFormat(" <-> %s", peer.c_str());
+  switch (kind) {
+    case FaultKind::kSlowdown:
+      out += StrFormat(" x%.2f", magnitude);
+      break;
+    case FaultKind::kPacketLoss:
+      out += StrFormat(" p=%.2f", magnitude);
+      break;
+    case FaultKind::kLatencySpike:
+      out += StrFormat(" +%s", FormatDuration(delta).c_str());
+      break;
+    case FaultKind::kClockStep:
+      out += StrFormat(" by %s%s", delta < 0 ? "-" : "+",
+                       FormatDuration(delta < 0 ? -delta : delta).c_str());
+      break;
+    default:
+      break;
+  }
+  if (duration > 0) {
+    out += StrFormat(" for %s", FormatDuration(duration).c_str());
+  } else if (kind != FaultKind::kClockStep) {
+    out += " permanently";
+  }
+  return out;
+}
+
+FaultSchedule& FaultSchedule::Crash(SimTime at, std::string instance,
+                                    SimDuration down_for) {
+  FaultEvent e;
+  e.kind = FaultKind::kCrash;
+  e.at = at;
+  e.duration = down_for;
+  e.target = std::move(instance);
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Freeze(SimTime at, std::string instance,
+                                     SimDuration for_duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kFreeze;
+  e.at = at;
+  e.duration = for_duration;
+  e.target = std::move(instance);
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Slowdown(SimTime at, std::string instance,
+                                       double factor,
+                                       SimDuration for_duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kSlowdown;
+  e.at = at;
+  e.duration = for_duration;
+  e.target = std::move(instance);
+  e.magnitude = factor;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Partition(SimTime at, std::string a,
+                                        std::string b,
+                                        SimDuration for_duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kPartition;
+  e.at = at;
+  e.duration = for_duration;
+  e.target = std::move(a);
+  e.peer = std::move(b);
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::Isolate(SimTime at, std::string instance,
+                                      SimDuration for_duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kIsolate;
+  e.at = at;
+  e.duration = for_duration;
+  e.target = std::move(instance);
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::LatencySpike(SimTime at, std::string a,
+                                           std::string b, SimDuration extra,
+                                           SimDuration for_duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kLatencySpike;
+  e.at = at;
+  e.duration = for_duration;
+  e.target = std::move(a);
+  e.peer = std::move(b);
+  e.delta = extra;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::PacketLoss(SimTime at, std::string a,
+                                         std::string b, double probability,
+                                         SimDuration for_duration) {
+  FaultEvent e;
+  e.kind = FaultKind::kPacketLoss;
+  e.at = at;
+  e.duration = for_duration;
+  e.target = std::move(a);
+  e.peer = std::move(b);
+  e.magnitude = probability;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultSchedule& FaultSchedule::ClockStep(SimTime at, std::string instance,
+                                        SimDuration delta) {
+  FaultEvent e;
+  e.kind = FaultKind::kClockStep;
+  e.at = at;
+  e.target = std::move(instance);
+  e.delta = delta;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+std::string FaultSchedule::ToString() const {
+  std::string out;
+  for (const FaultEvent& e : events_) {
+    out += e.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace clouddb::fault

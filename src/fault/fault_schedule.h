@@ -1,0 +1,103 @@
+#ifndef CLOUDDB_FAULT_FAULT_SCHEDULE_H_
+#define CLOUDDB_FAULT_FAULT_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/time_types.h"
+
+namespace clouddb::fault {
+
+/// The fault taxonomy. Each kind maps to hooks on one layer of the stack:
+///
+///   kCrash        cloud::Instance::Crash/Restart   (instance failure)
+///   kFreeze       sim::CpuScheduler::Freeze/Thaw   (stop-the-world straggler)
+///   kSlowdown     sim::CpuScheduler::SetSpeedFactor (degraded/stolen CPU)
+///   kPartition    net::Network::SetLinkDown         (pairwise, both ways)
+///   kIsolate      net::Network::SetNodeIsolated     (cut off from everyone)
+///   kLatencySpike net::Network::SetLinkExtraLatency (slow link window)
+///   kPacketLoss   net::Network::SetLinkLossProbability (grey failure)
+///   kClockStep    sim::LocalClock::StepBy           (bad NTP source, leap)
+enum class FaultKind {
+  kCrash,
+  kFreeze,
+  kSlowdown,
+  kPartition,
+  kIsolate,
+  kLatencySpike,
+  kPacketLoss,
+  kClockStep,
+};
+
+const char* FaultKindToString(FaultKind kind);
+
+/// One timed fault. `duration == 0` means the fault is permanent (never
+/// auto-heals); otherwise the injector schedules the matching heal action
+/// at `at + duration`. Targets are instance *names* (resolved against the
+/// CloudProvider when the schedule is armed), which keeps schedules
+/// declarative and serialisable.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  SimTime at = 0;
+  SimDuration duration = 0;
+  std::string target;     // instance the fault lands on
+  std::string peer;       // second endpoint for link faults, else empty
+  double magnitude = 0.0; // slowdown speed multiplier / loss probability
+  SimDuration delta = 0;  // latency-spike extra delay / clock-step amount
+
+  /// "t=60.00s crash master for 60.00s"-style one-liner.
+  std::string ToString() const;
+};
+
+/// A declarative list of timed fault events. Built once before the run,
+/// armed through a FaultInjector, and executed entirely on the simulation's
+/// event queue — so a given (schedule, seed) pair always produces the exact
+/// same run, which is what makes recovery metrics comparable across
+/// configurations.
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  /// Instance failure at `at`; the instance reboots `down_for` later
+  /// (0 = never restarts).
+  FaultSchedule& Crash(SimTime at, std::string instance,
+                       SimDuration down_for = 0);
+  /// CPU stops dispatching for `for_duration` (jobs queue up, nothing is
+  /// lost) — the hypervisor-pause straggler.
+  FaultSchedule& Freeze(SimTime at, std::string instance,
+                        SimDuration for_duration);
+  /// CPU speed multiplied by `factor` (e.g. 0.25 = four times slower) for
+  /// `for_duration` (0 = permanent).
+  FaultSchedule& Slowdown(SimTime at, std::string instance, double factor,
+                          SimDuration for_duration);
+  /// Bidirectional link cut between two instances for `for_duration`
+  /// (0 = permanent).
+  FaultSchedule& Partition(SimTime at, std::string a, std::string b,
+                           SimDuration for_duration);
+  /// Cuts the instance off from every other endpoint for `for_duration`
+  /// (0 = permanent).
+  FaultSchedule& Isolate(SimTime at, std::string instance,
+                         SimDuration for_duration);
+  /// Adds `extra` µs one-way delay on both directions of the a<->b link.
+  FaultSchedule& LatencySpike(SimTime at, std::string a, std::string b,
+                              SimDuration extra, SimDuration for_duration);
+  /// Drops messages on both directions of a<->b with `probability`.
+  FaultSchedule& PacketLoss(SimTime at, std::string a, std::string b,
+                            double probability, SimDuration for_duration);
+  /// Steps the instance's local clock by `delta` µs (one-shot; no heal).
+  FaultSchedule& ClockStep(SimTime at, std::string instance, SimDuration delta);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  size_t size() const { return events_.size(); }
+
+  /// The whole timeline, one event per line, in insertion order.
+  std::string ToString() const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace clouddb::fault
+
+#endif  // CLOUDDB_FAULT_FAULT_SCHEDULE_H_

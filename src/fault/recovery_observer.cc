@@ -1,0 +1,105 @@
+#include "fault/recovery_observer.h"
+
+#include <algorithm>
+
+#include "common/str_util.h"
+
+namespace clouddb::fault {
+namespace {
+
+SimDuration Between(SimTime from, SimTime to) {
+  if (from < 0 || to < 0) return -1;
+  return to - from;
+}
+
+std::string DurationOrDash(SimDuration d) {
+  return d < 0 ? "-" : FormatDuration(d);
+}
+
+}  // namespace
+
+SimDuration RecoveryReport::TimeToDetect() const {
+  return Between(fault_at, detected_at);
+}
+
+SimDuration RecoveryReport::TimeToPromote() const {
+  return Between(detected_at, promoted_at);
+}
+
+SimDuration RecoveryReport::TimeToReconverge() const {
+  return Between(healed_at, reconverged_at);
+}
+
+std::string RecoveryReport::ToString() const {
+  return StrFormat(
+      "time-to-detect      %s\n"
+      "time-to-promote     %s\n"
+      "lost writes         %lld\n"
+      "peak lag            %lld events\n"
+      "peak relay backlog  %lld events\n"
+      "time-to-reconverge  %s\n",
+      DurationOrDash(TimeToDetect()).c_str(),
+      DurationOrDash(TimeToPromote()).c_str(),
+      static_cast<long long>(lost_writes),
+      static_cast<long long>(peak_lag_events),
+      static_cast<long long>(peak_relay_backlog),
+      DurationOrDash(TimeToReconverge()).c_str());
+}
+
+RecoveryObserver::RecoveryObserver(sim::Simulation* sim,
+                                   repl::FailoverManager* manager,
+                                   std::function<bool()> converged,
+                                   SimDuration poll_interval)
+    : sim_(sim),
+      manager_(manager),
+      converged_(std::move(converged)),
+      poll_interval_(poll_interval) {}
+
+void RecoveryObserver::Start() {
+  if (running_) return;
+  running_ = true;
+  manager_->AddDetectionListener([this] {
+    if (report_.detected_at < 0) report_.detected_at = sim_->Now();
+  });
+  manager_->AddFailoverListener([this](repl::MasterNode*) {
+    if (report_.promoted_at < 0) report_.promoted_at = sim_->Now();
+  });
+  pending_ = sim_->ScheduleAfter(poll_interval_, [this] { Poll(); });
+}
+
+void RecoveryObserver::Stop() {
+  running_ = false;
+  pending_.Cancel();
+}
+
+void RecoveryObserver::NoteFault() {
+  if (report_.fault_at < 0) report_.fault_at = sim_->Now();
+}
+
+void RecoveryObserver::NoteHeal() { report_.healed_at = sim_->Now(); }
+
+void RecoveryObserver::Poll() {
+  if (!running_) return;
+  repl::MasterNode* master = manager_->current_master();
+  bool all_caught_up = true;
+  for (repl::SlaveNode* slave : manager_->active_slaves()) {
+    int64_t lag = master->binlog_size() - 1 - slave->applied_index();
+    if (lag < 0) lag = 0;
+    report_.peak_lag_events = std::max(report_.peak_lag_events, lag);
+    report_.peak_relay_backlog =
+        std::max(report_.peak_relay_backlog,
+                 static_cast<int64_t>(slave->relay_backlog()));
+    if (lag != 0 || slave->relay_backlog() != 0 ||
+        slave->replication_broken()) {
+      all_caught_up = false;
+    }
+  }
+  report_.lost_writes = manager_->lost_writes_count();
+  if (report_.healed_at >= 0 && report_.reconverged_at < 0) {
+    bool converged = converged_ ? converged_() : all_caught_up;
+    if (converged) report_.reconverged_at = sim_->Now();
+  }
+  pending_ = sim_->ScheduleAfter(poll_interval_, [this] { Poll(); });
+}
+
+}  // namespace clouddb::fault

@@ -29,13 +29,72 @@ void Network::Send(NodeId from, NodeId to, int64_t size_bytes,
                    std::function<void()> on_delivery) {
   ++messages_sent_;
   bytes_sent_ += size_bytes;
+  if (IsBlocked(from, to)) {
+    ++messages_dropped_;
+    return;
+  }
+  const LinkFaultState* fault = FindFault(from, to);
+  if (fault != nullptr && fault->loss_probability > 0.0 &&
+      loss_rng_.Bernoulli(fault->loss_probability)) {
+    ++messages_dropped_;
+    return;
+  }
   SimDuration delay = latency_->SampleOneWay(from, to);
   assert(delay >= 0);
+  if (fault != nullptr) delay += fault->extra_latency;
   SimTime arrival = sim_->Now() + delay;
   SimTime& last = last_arrival_[{from, to}];
   if (arrival <= last) arrival = last + 1;  // FIFO per path, like TCP
   last = arrival;
   sim_->ScheduleAt(arrival, std::move(on_delivery));
+}
+
+const LinkFaultState* Network::FindFault(NodeId from, NodeId to) const {
+  auto it = link_faults_.find({from, to});
+  return it == link_faults_.end() ? nullptr : &it->second;
+}
+
+void Network::UpdateFault(NodeId from, NodeId to,
+                          const std::function<void(LinkFaultState*)>& mutate) {
+  auto key = std::make_pair(from, to);
+  LinkFaultState& state = link_faults_[key];
+  mutate(&state);
+  if (!state.down && state.extra_latency == 0 &&
+      state.loss_probability == 0.0) {
+    link_faults_.erase(key);
+  }
+}
+
+void Network::SetLinkDown(NodeId from, NodeId to, bool down) {
+  UpdateFault(from, to, [down](LinkFaultState* s) { s->down = down; });
+}
+
+void Network::SetLinkExtraLatency(NodeId from, NodeId to, SimDuration extra) {
+  assert(extra >= 0);
+  UpdateFault(from, to,
+              [extra](LinkFaultState* s) { s->extra_latency = extra; });
+}
+
+void Network::SetLinkLossProbability(NodeId from, NodeId to, double p) {
+  assert(p >= 0.0 && p <= 1.0);
+  UpdateFault(from, to, [p](LinkFaultState* s) { s->loss_probability = p; });
+}
+
+void Network::SetNodeIsolated(NodeId node, bool isolated) {
+  if (isolated) {
+    isolated_.insert(node);
+  } else {
+    isolated_.erase(node);
+  }
+}
+
+bool Network::IsBlocked(NodeId from, NodeId to) const {
+  if (from != to &&
+      (isolated_.count(from) != 0 || isolated_.count(to) != 0)) {
+    return true;
+  }
+  const LinkFaultState* fault = FindFault(from, to);
+  return fault != nullptr && fault->down;
 }
 
 void Network::Ping(NodeId from, NodeId to,

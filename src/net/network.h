@@ -5,9 +5,11 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <utility>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/time_types.h"
 #include "sim/simulation.h"
 
@@ -42,6 +44,18 @@ class StaticLatencyModel : public LatencyModel {
   std::vector<std::vector<SimDuration>> matrix_;
 };
 
+/// Fault state of one directed link, controlled by the fault-injection
+/// layer (clouddb::fault). All fields compose: a link can simultaneously be
+/// lossy and slow.
+struct LinkFaultState {
+  /// Hard partition: every message on this link is dropped at send time.
+  bool down = false;
+  /// Added to the sampled one-way delay (latency-spike window).
+  SimDuration extra_latency = 0;
+  /// Probability in [0, 1] that a message is dropped (grey failure).
+  double loss_probability = 0.0;
+};
+
 /// Message-passing network: delivers callbacks after a sampled one-way delay.
 /// Bandwidth is not modelled (the paper's workload is latency- and
 /// CPU-bound, not bandwidth-bound); message size only feeds statistics.
@@ -51,6 +65,11 @@ class StaticLatencyModel : public LatencyModel {
 /// real deployment runs over — in particular the binlog stream, whose events
 /// *must* arrive in order (an INSERT overtaking its CREATE TABLE would stop
 /// a slave's SQL thread).
+///
+/// Link faults (partition, latency spike, packet loss, node isolation) are
+/// evaluated at *send* time: a partition raised after a message left does
+/// not claw the message back, exactly like pulling a cable does not destroy
+/// packets already in flight.
 class Network {
  public:
   Network(sim::Simulation* sim, LatencyModel* latency);
@@ -60,6 +79,9 @@ class Network {
 
   /// Delivers `on_delivery` at the destination after a sampled one-way
   /// delay, no earlier than any previously sent (from, to) message.
+  /// Messages on a downed/isolated link, or losing the loss-probability
+  /// draw, are dropped silently — senders discover it via their own
+  /// timeouts, as over real TCP.
   void Send(NodeId from, NodeId to, int64_t size_bytes,
             std::function<void()> on_delivery);
 
@@ -67,16 +89,47 @@ class Network {
   /// `on_reply(rtt_us)` after the full round trip.
   void Ping(NodeId from, NodeId to, std::function<void(SimDuration)> on_reply);
 
+  // --- Link-fault controls (see clouddb::fault::FaultInjector) ---
+
+  /// Raises/heals a hard partition of the directed link from->to.
+  void SetLinkDown(NodeId from, NodeId to, bool down);
+  /// Adds `extra` µs to every delay sampled on from->to (0 = heal).
+  void SetLinkExtraLatency(NodeId from, NodeId to, SimDuration extra);
+  /// Drops messages on from->to with probability `p` in [0, 1] (0 = heal).
+  /// Draws come from a dedicated deterministic stream (`SeedLossRng`), so
+  /// enabling loss on one link never perturbs latency sampling elsewhere.
+  void SetLinkLossProbability(NodeId from, NodeId to, double p);
+  /// Cuts the node off from every other endpoint in both directions
+  /// (instance-level network failure). Loopback is unaffected.
+  void SetNodeIsolated(NodeId node, bool isolated);
+  void SeedLossRng(uint64_t seed) { loss_rng_ = Rng(seed); }
+
+  /// True if a message sent now from->to would be dropped by a partition or
+  /// isolation (loss probability not considered — that is per-message).
+  bool IsBlocked(NodeId from, NodeId to) const;
+
   int64_t messages_sent() const { return messages_sent_; }
   int64_t bytes_sent() const { return bytes_sent_; }
+  /// Messages dropped by partitions, isolation or packet loss.
+  int64_t messages_dropped() const { return messages_dropped_; }
 
  private:
+  const LinkFaultState* FindFault(NodeId from, NodeId to) const;
+  /// Returns the state for the pair, pruning the entry when it resets to
+  /// all-defaults (keeps the map from growing over long chaos runs).
+  void UpdateFault(NodeId from, NodeId to,
+                   const std::function<void(LinkFaultState*)>& mutate);
+
   sim::Simulation* sim_;
   LatencyModel* latency_;
   int64_t messages_sent_ = 0;
   int64_t bytes_sent_ = 0;
+  int64_t messages_dropped_ = 0;
   /// Latest scheduled arrival per directed path, for FIFO enforcement.
   std::map<std::pair<NodeId, NodeId>, SimTime> last_arrival_;
+  std::map<std::pair<NodeId, NodeId>, LinkFaultState> link_faults_;
+  std::set<NodeId> isolated_;
+  Rng loss_rng_{0x10552020};
 };
 
 /// Repeatedly pings a target and records half-RTT samples. Reproduces the

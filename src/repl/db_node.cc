@@ -15,6 +15,7 @@ DbNode::DbNode(sim::Simulation* sim, net::Network* network,
   options.enable_binlog = enable_binlog;
   options.now_micros = [this] { return instance_->LocalNowMicros(); };
   database_ = std::make_unique<db::Database>(std::move(options));
+  instance_->AddPowerListener([this](bool up) { OnPowerEvent(up); });
 }
 
 DbNode::DbNode(sim::Simulation* sim, net::Network* network,
@@ -29,6 +30,7 @@ DbNode::DbNode(sim::Simulation* sim, net::Network* network,
   // The adopted database's clock must follow *this* node's instance (the
   // previous owner's lambda would dangle).
   database_->SetTimeSource([this] { return instance_->LocalNowMicros(); });
+  instance_->AddPowerListener([this](bool up) { OnPowerEvent(up); });
 }
 
 std::unique_ptr<db::Database> DbNode::ReleaseDatabase() {

@@ -66,7 +66,8 @@ class DbNode {
   /// Simulated process/instance failure. An offline node refuses queries
   /// (the caller gets Unavailable after the usual CPU-free turnaround) and
   /// does not answer health probes. Bringing a node back online does *not*
-  /// resynchronize it — that is the failover manager's job.
+  /// resynchronize it — that is the failover manager's job (or, for slaves,
+  /// SlaveNode's auto-resync).
   void set_online(bool online) { online_ = online; }
   bool online() const { return online_; }
 
@@ -87,6 +88,12 @@ class DbNode {
   virtual void ExecuteAndRespond(const std::string& sql, QueryCallback done) {
     done(ExecuteNow(sql));
   }
+
+  /// Fires on every Crash()/Restart() of the hosting instance (registered
+  /// as an instance power listener at construction). The base follows the
+  /// instance's power state; SlaveNode extends it to drop volatile relay
+  /// state on the way down and to reconnect on the way up.
+  virtual void OnPowerEvent(bool up) { online_ = up; }
 
   sim::Simulation* sim_;
   net::Network* network_;

@@ -97,6 +97,7 @@ void FailoverManager::OnProbeResult(bool alive) {
     ++probes_failed_;
     ++consecutive_failures_;
     if (consecutive_failures_ >= options_.failures_to_trip) {
+      for (const auto& listener : detection_listeners_) listener();
       PerformFailover();
       consecutive_failures_ = 0;
     }
@@ -120,6 +121,7 @@ void FailoverManager::PerformFailover() {
   // the wreckage later.)
   if (master_->binlog_size() - 1 > winner->applied_index()) {
     lost_writes_possible_ = true;
+    lost_writes_count_ += master_->binlog_size() - 1 - winner->applied_index();
   }
 
   // 2. Promote: a new MasterNode on the winner's instance adopts its data.
@@ -143,7 +145,7 @@ void FailoverManager::PerformFailover() {
   }
   slaves_ = std::move(survivors);
   master_ = new_master;
-  if (listener_) listener_(new_master);
+  for (const auto& listener : failover_listeners_) listener(new_master);
 }
 
 }  // namespace clouddb::repl

@@ -72,10 +72,27 @@ class FailoverManager {
   /// True if the old master's binlog had events the promoted slave never
   /// applied (committed-but-unreplicated writes vanished).
   bool lost_writes_possible() const { return lost_writes_possible_; }
+  /// Number of committed binlog events the election winner had not applied
+  /// at promotion time, summed over failovers — the writes that vanished.
+  int64_t lost_writes_count() const { return lost_writes_count_; }
 
-  /// Invoked (if set) right after a failover completes, with the new master.
+  /// Invoked (if set) right after a failover completes, with the new
+  /// master. Replaces all previously registered failover listeners.
   void SetFailoverListener(std::function<void(MasterNode*)> listener) {
-    listener_ = std::move(listener);
+    failover_listeners_.clear();
+    AddFailoverListener(std::move(listener));
+  }
+  /// Adds a failover-completion listener without disturbing the ones
+  /// already registered (the RecoveryObserver rides along with the
+  /// application's proxy-repoint listener).
+  void AddFailoverListener(std::function<void(MasterNode*)> listener) {
+    failover_listeners_.push_back(std::move(listener));
+  }
+  /// Adds a listener fired at the moment the manager declares the master
+  /// dead (`failures_to_trip` consecutive probe failures), before any
+  /// promotion work — the "time to detect" instant.
+  void AddDetectionListener(std::function<void()> listener) {
+    detection_listeners_.push_back(std::move(listener));
   }
 
  private:
@@ -94,11 +111,13 @@ class FailoverManager {
   int64_t probes_sent_ = 0;
   int64_t probes_failed_ = 0;
   bool lost_writes_possible_ = false;
+  int64_t lost_writes_count_ = 0;
   /// Masters created by promotions (kept alive for the manager's lifetime;
   /// repeated failovers are supported).
   std::vector<std::unique_ptr<MasterNode>> owned_masters_;
   SlaveNode* promoted_slave_ = nullptr;
-  std::function<void(MasterNode*)> listener_;
+  std::vector<std::function<void(MasterNode*)>> failover_listeners_;
+  std::vector<std::function<void()>> detection_listeners_;
   sim::Simulation::EventHandle next_probe_;
 };
 

@@ -70,6 +70,18 @@ void MasterNode::OnSlaveAck(net::NodeId /*slave_node*/, int64_t index) {
   }
 }
 
+void MasterNode::OnDumpRequest(SlaveNode* slave, int64_t from_index) {
+  if (!online() || database_ == nullptr) return;  // dead masters stay silent
+  ++dump_requests_served_;
+  if (from_index < 0) from_index = 0;
+  int64_t size = binlog_size();
+  network_->Send(node_id(), slave->node_id(), /*size_bytes=*/32,
+                 [slave, size] { slave->OnResyncAck(size); });
+  for (int64_t i = from_index; i < size; ++i) {
+    PushEventTo(slave, database_->binlog().At(i));
+  }
+}
+
 void MasterNode::OnBinlogAppend(const db::BinlogEvent& event) {
   for (SlaveNode* slave : slaves_) {
     PushEventTo(slave, event);

@@ -45,7 +45,15 @@ class MasterNode : public DbNode {
   /// Invoked via a network message from the slave.
   void OnSlaveAck(net::NodeId slave_node, int64_t index);
 
+  /// Catch-up request from a reconnecting slave (arrives over the network):
+  /// re-stream binlog events with index >= `from_index`. The dump ack is
+  /// sent first on the same FIFO path, so the slave sees ack, then events,
+  /// in order. A crashed/offline master stays silent — the slave's backoff
+  /// handles it.
+  void OnDumpRequest(SlaveNode* slave, int64_t from_index);
+
   int64_t events_pushed() const { return events_pushed_; }
+  int64_t dump_requests_served() const { return dump_requests_served_; }
 
  protected:
   // DbNode:
@@ -66,6 +74,7 @@ class MasterNode : public DbNode {
   bool synchronous_ = false;
   std::deque<SyncWaiter> sync_waiters_;
   int64_t events_pushed_ = 0;
+  int64_t dump_requests_served_ = 0;
 };
 
 }  // namespace clouddb::repl

@@ -1,5 +1,6 @@
 #include "repl/slave_node.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "db/sql_parser.h"
@@ -14,6 +15,20 @@ SlaveNode::SlaveNode(sim::Simulation* sim, net::Network* network,
 
 void SlaveNode::OnBinlogEvent(db::BinlogEvent event) {
   if (broken_ || !online()) return;
+  if (event.index < next_expected_) {
+    // Already received (a resync stream overlapping live pushes).
+    ++duplicate_events_dropped_;
+    return;
+  }
+  if (event.index > next_expected_) {
+    // Events went missing on the wire (partition window, packet loss, or a
+    // crash that ate the relay log). Applying past the gap would silently
+    // diverge, so drop and — when enabled — fetch the missing range.
+    ++gap_events_detected_;
+    if (auto_resync_) RequestResync();
+    return;
+  }
+  next_expected_ = event.index + 1;
   relay_log_.push_back(std::move(event));
   MaybeStartApply();
 }
@@ -31,7 +46,10 @@ void SlaveNode::MaybeStartApply() {
     if (parsed.ok()) cost += cost_model_.EstimateApply(*parsed);
   }
 
-  instance_->cpu().Submit(cost, [this, event = std::move(event)]() mutable {
+  int64_t epoch = apply_epoch_;
+  instance_->cpu().Submit(cost, [this, epoch,
+                                 event = std::move(event)]() mutable {
+    if (epoch != apply_epoch_) return;  // rebased while this job was queued
     // Apply the event atomically (it was one transaction on the master).
     for (const std::string& sql : event.statements) {
       Result<db::ExecResult> result = ExecuteNow(sql);
@@ -57,6 +75,108 @@ void SlaveNode::MaybeStartApply() {
     applying_ = false;
     MaybeStartApply();
   });
+}
+
+void SlaveNode::StartAutoResync(const ReconnectOptions& options) {
+  assert(options.keepalive_period > 0 && options.ack_timeout > 0);
+  assert(options.initial_backoff > 0 &&
+         options.max_backoff >= options.initial_backoff);
+  reconnect_ = options;
+  auto_resync_ = true;
+  backoff_ = 0;
+  keepalive_event_.Cancel();
+  keepalive_event_ = sim_->ScheduleAfter(reconnect_.keepalive_period,
+                                         [this] { KeepaliveTick(); });
+}
+
+void SlaveNode::StopAutoResync() {
+  auto_resync_ = false;
+  awaiting_ack_ = false;
+  backoff_ = 0;
+  keepalive_event_.Cancel();
+  retry_event_.Cancel();
+}
+
+void SlaveNode::KeepaliveTick() {
+  if (!auto_resync_) return;
+  // Skip when a request is in flight or a backoff retry is already
+  // scheduled — the keepalive is the steady-state probe, not the retry path.
+  if (!awaiting_ack_ && backoff_ == 0) RequestResync();
+  keepalive_event_ = sim_->ScheduleAfter(reconnect_.keepalive_period,
+                                         [this] { KeepaliveTick(); });
+}
+
+void SlaveNode::RequestResync() {
+  if (awaiting_ack_ || broken_ || !online() || database_ == nullptr ||
+      master_ == nullptr) {
+    return;
+  }
+  awaiting_ack_ = true;
+  int64_t seq = ++resync_seq_;
+  ++resync_requests_sent_;
+  int64_t from = next_expected_;
+  MasterNode* master = master_;
+  network_->Send(node_id(), master->node_id(), /*size_bytes=*/48,
+                 [master, this, from] { master->OnDumpRequest(this, from); });
+  sim_->ScheduleAfter(reconnect_.ack_timeout == 0 ? Seconds(1)
+                                                  : reconnect_.ack_timeout,
+                      [this, seq] { OnAckTimeout(seq); });
+}
+
+void SlaveNode::OnAckTimeout(int64_t seq) {
+  // Stale timeout: the ack arrived, or a newer request superseded this one.
+  if (!awaiting_ack_ || seq != resync_seq_) return;
+  awaiting_ack_ = false;
+  backoff_ = backoff_ == 0
+                 ? reconnect_.initial_backoff
+                 : std::min(backoff_ * 2, reconnect_.max_backoff);
+  retry_event_.Cancel();
+  retry_event_ = sim_->ScheduleAfter(backoff_, [this] {
+    // The retry consumed its backoff slot; clear it so RequestResync's
+    // keepalive gate reopens once this attempt is acked.
+    RequestResync();
+  });
+}
+
+void SlaveNode::OnResyncAck(int64_t master_binlog_size) {
+  (void)master_binlog_size;  // events follow on the same FIFO path
+  if (!awaiting_ack_) return;  // stale ack from a superseded attempt
+  awaiting_ack_ = false;
+  backoff_ = 0;
+  ++resync_acks_received_;
+}
+
+void SlaveNode::OnPowerEvent(bool up) {
+  DbNode::OnPowerEvent(up);
+  if (!up) {
+    // The relay log and the event being applied lived in memory; the CPU
+    // Halt() already invalidated the in-flight apply job (and the epoch
+    // bump covers a plain set_online-style outage without a CPU halt).
+    relay_log_.clear();
+    applying_ = false;
+    ++apply_epoch_;
+    awaiting_ack_ = false;
+    retry_event_.Cancel();
+    return;
+  }
+  // Reboot: resume the stream from the last durably applied position.
+  next_expected_ = applied_index_ + 1;
+  backoff_ = 0;
+  if (auto_resync_ && !broken_) RequestResync();
+}
+
+void SlaveNode::ReattachToNewTimeline(MasterNode* new_master) {
+  relay_log_.clear();
+  applied_index_ = -1;
+  next_expected_ = 0;
+  broken_ = false;
+  applying_ = false;
+  ++apply_epoch_;
+  master_ = new_master;
+  // Abandon any catch-up attempt against the old timeline.
+  awaiting_ack_ = false;
+  backoff_ = 0;
+  retry_event_.Cancel();
 }
 
 }  // namespace clouddb::repl

@@ -11,6 +11,20 @@ namespace clouddb::repl {
 
 class MasterNode;
 
+/// Transient-fault survival knobs for a slave's IO thread (see
+/// SlaveNode::StartAutoResync).
+struct ReconnectOptions {
+  /// Keepalive cadence: how often an idle, connected slave confirms its
+  /// position with the master (MySQL's slave_net_timeout analogue).
+  SimDuration keepalive_period = Seconds(2);
+  /// How long to wait for the master's dump ack before a retry.
+  SimDuration ack_timeout = Seconds(1);
+  /// Exponential-backoff bounds for retries while the master is
+  /// unreachable: initial, doubling per failure, capped.
+  SimDuration initial_backoff = Millis(500);
+  SimDuration max_backoff = Seconds(8);
+};
+
 /// A replication slave. Two logical threads, as in MySQL:
 ///
 /// - the *IO thread* receives binlog events from the master's dump thread
@@ -20,6 +34,14 @@ class MasterNode;
 ///   serves read queries. This shared FCFS queue is the resource contention
 ///   the paper identifies: increasing read load delays writeset application
 ///   and vice versa, inflating the replication delay.
+///
+/// Fault survival: the relay log is volatile (lost on instance crash) but
+/// the applied database models a durable volume. Events dropped by
+/// partitions/packet loss/crashes show up as *gaps* in the dense binlog
+/// index sequence; with auto-resync enabled the slave re-requests the
+/// missing range from the master, retrying with bounded exponential
+/// backoff while the master is unreachable — instead of silently diverging
+/// forever on the first lost event.
 class SlaveNode : public DbNode {
  public:
   SlaveNode(sim::Simulation* sim, net::Network* network,
@@ -30,6 +52,9 @@ class SlaveNode : public DbNode {
   void SetMaster(MasterNode* master) { master_ = master; }
 
   /// IO thread entry: a binlog event arrived from the master.
+  /// Duplicates (index already received) are dropped; a gap (index beyond
+  /// the next expected) is dropped too and, under auto-resync, triggers an
+  /// immediate catch-up request.
   void OnBinlogEvent(db::BinlogEvent event);
 
   /// Index of the last fully applied event (-1 if none).
@@ -45,19 +70,54 @@ class SlaveNode : public DbNode {
     apply_listener_ = std::move(listener);
   }
 
+  // --- Transient-fault survival (IO-thread reconnect) ---
+
+  /// Starts the keepalive/catch-up loop: the slave periodically confirms
+  /// its binlog position with the master and requests any events it is
+  /// missing. While the master is unreachable (crashed, partitioned) the
+  /// request is retried with exponential backoff bounded by
+  /// `options.max_backoff`. Call StopAutoResync() before draining the
+  /// simulation — like ClusterMonitor/HeartbeatPlugin, the keepalive is a
+  /// repeating event.
+  void StartAutoResync(const ReconnectOptions& options = {});
+  void StopAutoResync();
+  bool auto_resync_enabled() const { return auto_resync_; }
+
+  /// One catch-up attempt right now: asks the master to re-stream events
+  /// from this slave's next expected index. No-op while a request is
+  /// already outstanding, the SQL thread is broken, or the node is offline.
+  void RequestResync();
+
+  /// Dump ack from the master (arrives over the network ahead of the
+  /// re-streamed events): the master is reachable and will send events up
+  /// to `master_binlog_size`. Resets the backoff.
+  void OnResyncAck(int64_t master_binlog_size);
+
+  /// Reconnect observability.
+  int64_t resync_requests_sent() const { return resync_requests_sent_; }
+  int64_t resync_acks_received() const { return resync_acks_received_; }
+  int64_t duplicate_events_dropped() const { return duplicate_events_dropped_; }
+  int64_t gap_events_detected() const { return gap_events_detected_; }
+  SimDuration current_backoff() const { return backoff_; }
+
   /// Rebases the slave onto a *new* master's (empty) binlog timeline after a
   /// failover: drops any relay-log remnants of the old timeline, clears a
-  /// broken SQL thread, and expects events from index 0. The caller is
-  /// responsible for having resynchronized the data first.
-  void ReattachToNewTimeline(MasterNode* new_master) {
-    relay_log_.clear();
-    applied_index_ = -1;
-    broken_ = false;
-    master_ = new_master;
-  }
+  /// broken SQL thread and any pending reconnect attempt, and expects events
+  /// from index 0. The caller is responsible for having resynchronized the
+  /// data first.
+  void ReattachToNewTimeline(MasterNode* new_master);
+
+ protected:
+  // DbNode: crash loses the relay log and any half-applied event; restart
+  // rejoins the stream via resync (when enabled).
+  void OnPowerEvent(bool up) override;
 
  private:
   void MaybeStartApply();
+  /// Index of the next event the IO thread expects from the wire.
+  int64_t NextExpectedIndex() const { return next_expected_; }
+  void KeepaliveTick();
+  void OnAckTimeout(int64_t seq);
 
   MasterNode* master_ = nullptr;
   std::deque<db::BinlogEvent> relay_log_;
@@ -65,7 +125,25 @@ class SlaveNode : public DbNode {
   bool broken_ = false;
   int64_t applied_index_ = -1;
   int64_t events_applied_ = 0;
+  int64_t next_expected_ = 0;
+  /// Bumped when the SQL thread's world is rebased (timeline reattach,
+  /// power loss); an in-flight apply job from an older epoch must not touch
+  /// the rebased database when its CPU callback finally fires.
+  int64_t apply_epoch_ = 0;
   std::function<void(const db::BinlogEvent&)> apply_listener_;
+
+  // Reconnect state.
+  bool auto_resync_ = false;
+  ReconnectOptions reconnect_;
+  bool awaiting_ack_ = false;
+  int64_t resync_seq_ = 0;  // matches acks to the latest request
+  SimDuration backoff_ = 0;
+  int64_t resync_requests_sent_ = 0;
+  int64_t resync_acks_received_ = 0;
+  int64_t duplicate_events_dropped_ = 0;
+  int64_t gap_events_detected_ = 0;
+  sim::Simulation::EventHandle keepalive_event_;
+  sim::Simulation::EventHandle retry_event_;
 };
 
 }  // namespace clouddb::repl

@@ -14,11 +14,35 @@ CpuScheduler::CpuScheduler(Simulation* sim, int num_cores, double speed_factor)
 
 void CpuScheduler::Submit(SimDuration cost, Callback done) {
   assert(cost >= 0);
-  if (busy_cores_ < num_cores_) {
+  if (!frozen_ && busy_cores_ < num_cores_) {
     StartJob(Job{cost, std::move(done)});
   } else {
     queue_.push_back(Job{cost, std::move(done)});
   }
+}
+
+void CpuScheduler::Freeze() { frozen_ = true; }
+
+void CpuScheduler::Thaw() {
+  frozen_ = false;
+  while (busy_cores_ < num_cores_ && !queue_.empty()) {
+    Job next = std::move(queue_.front());
+    queue_.pop_front();
+    StartJob(std::move(next));
+  }
+}
+
+void CpuScheduler::Halt() {
+  frozen_ = true;
+  ++epoch_;  // completions of in-flight jobs become no-ops
+  jobs_dropped_ += busy_cores_ + static_cast<int64_t>(queue_.size());
+  busy_cores_ = 0;
+  queue_.clear();
+}
+
+void CpuScheduler::SetSpeedFactor(double factor) {
+  assert(factor > 0.0);
+  speed_factor_ = factor;
 }
 
 void CpuScheduler::StartJob(Job job) {
@@ -27,16 +51,20 @@ void CpuScheduler::StartJob(Job job) {
       static_cast<SimDuration>(static_cast<double>(job.cost) / speed_factor_);
   if (service < 1) service = 1;  // every job takes at least one tick
   auto done = std::move(job.done);
-  sim_->ScheduleAfter(service, [this, service, done = std::move(done)]() mutable {
-    OnJobDone(service, std::move(done));
-  });
+  int64_t epoch = epoch_;
+  sim_->ScheduleAfter(
+      service, [this, epoch, service, done = std::move(done)]() mutable {
+        OnJobDone(epoch, service, std::move(done));
+      });
 }
 
-void CpuScheduler::OnJobDone(SimDuration service_time, Callback done) {
+void CpuScheduler::OnJobDone(int64_t epoch, SimDuration service_time,
+                             Callback done) {
+  if (epoch != epoch_) return;  // the job died in a Halt()
   --busy_cores_;
   busy_micros_ += service_time;
   ++jobs_completed_;
-  if (!queue_.empty()) {
+  if (!frozen_ && !queue_.empty()) {
     Job next = std::move(queue_.front());
     queue_.pop_front();
     StartJob(std::move(next));

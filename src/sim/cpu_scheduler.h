@@ -33,6 +33,26 @@ class CpuScheduler {
   /// fires when the job completes. Jobs run in submission order.
   void Submit(SimDuration cost, Callback done);
 
+  /// Straggler fault: stops dispatching jobs (a vCPU being stolen by the
+  /// hypervisor, a stop-the-world migration pause). Jobs already on a core
+  /// run to completion; everything else — including jobs submitted while
+  /// frozen — waits in the queue until `Thaw()`.
+  void Freeze();
+  /// Ends a freeze and dispatches queued jobs onto free cores.
+  void Thaw();
+  bool frozen() const { return frozen_; }
+
+  /// Power-loss fault: the instance crashed. Queued jobs are dropped and
+  /// jobs currently on a core evaporate (their completion callbacks never
+  /// fire — volatile state is gone). The scheduler stays frozen until
+  /// `Thaw()`, which models the reboot completing.
+  void Halt();
+
+  /// Performance-degradation fault: changes the effective speed for jobs
+  /// started from now on (jobs already on a core keep their old service
+  /// time). Requires factor > 0.
+  void SetSpeedFactor(double factor);
+
   /// Number of queued (not yet running) jobs.
   size_t QueueLength() const { return queue_.size(); }
   /// Number of cores currently executing a job.
@@ -43,6 +63,8 @@ class CpuScheduler {
   /// utilization over [t1,t2] = delta(busy) / ((t2-t1) * cores)).
   int64_t CumulativeBusyMicros() const { return busy_micros_; }
   int64_t JobsCompleted() const { return jobs_completed_; }
+  /// Jobs destroyed by `Halt()` (queued and in-flight).
+  int64_t JobsDropped() const { return jobs_dropped_; }
 
   int num_cores() const { return num_cores_; }
   double speed_factor() const { return speed_factor_; }
@@ -54,14 +76,19 @@ class CpuScheduler {
   };
 
   void StartJob(Job job);
-  void OnJobDone(SimDuration service_time, Callback done);
+  void OnJobDone(int64_t epoch, SimDuration service_time, Callback done);
 
   Simulation* sim_;
   int num_cores_;
   double speed_factor_;
   int busy_cores_ = 0;
+  bool frozen_ = false;
+  /// Bumped by Halt(); completions scheduled under an older epoch are
+  /// ignored (the job they belong to died with the instance).
+  int64_t epoch_ = 0;
   int64_t busy_micros_ = 0;
   int64_t jobs_completed_ = 0;
+  int64_t jobs_dropped_ = 0;
   std::deque<Job> queue_;
 };
 

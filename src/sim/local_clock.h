@@ -40,14 +40,27 @@ class LocalClock {
     anchor_local_ = new_local;
   }
 
+  /// Steps the clock by `delta` at `sim_now` (clock-step fault: a bad NTP
+  /// source, a VM resume after live migration, a leap adjustment). Future
+  /// readings are shifted by `delta`; drift continues unchanged.
+  void StepBy(SimTime sim_now, SimDuration delta) {
+    StepTo(sim_now, NowMicros(sim_now) + delta);
+  }
+
   /// Offset from true time at `sim_now` (local - true), µs.
   int64_t OffsetAt(SimTime sim_now) const { return NowMicros(sim_now) - sim_now; }
 
   double drift_ppm() const { return drift_ppm_; }
-  void set_drift_ppm(double ppm) {
-    // Re-anchor first so past readings are unaffected.
+  /// Changes the drift rate from `sim_now` on, re-anchoring first so
+  /// readings at earlier instants are unaffected.
+  void SetDriftPpm(SimTime sim_now, double ppm) {
+    StepTo(sim_now, NowMicros(sim_now));
     drift_ppm_ = ppm;
   }
+  /// Legacy setter used by setup code at t = 0: changes the rate without
+  /// re-anchoring (equivalent to SetDriftPpm(0, ppm) when nothing has been
+  /// scheduled yet).
+  void set_drift_ppm(double ppm) { drift_ppm_ = ppm; }
 
  private:
   SimTime anchor_sim_;

@@ -18,6 +18,47 @@ TEST(SampleTest, EmptySampleIsSafe) {
   EXPECT_EQ(s.Max(), 0.0);
 }
 
+TEST(SampleTest, EmptySamplePercentilesAndTrimsAreZero) {
+  Sample s;
+  EXPECT_EQ(s.Sum(), 0.0);
+  EXPECT_EQ(s.Percentile(0.0), 0.0);
+  EXPECT_EQ(s.Percentile(0.5), 0.0);
+  EXPECT_EQ(s.Percentile(1.0), 0.0);
+  EXPECT_EQ(s.TrimmedMean(0.05), 0.0);
+  // Never NaN: the contract is an exact 0.0 on no data.
+  EXPECT_FALSE(std::isnan(s.Mean()));
+  EXPECT_FALSE(std::isnan(s.StdDev()));
+}
+
+TEST(SampleTest, SingleElementStatisticsAreThatElement) {
+  Sample s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.25), 42.0);
+  EXPECT_DOUBLE_EQ(s.TrimmedMean(0.05), 42.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+}
+
+TEST(SampleTest, PercentileDegenerateQIsSafe) {
+  Sample s;
+  for (double v : {1.0, 2.0, 3.0}) s.Add(v);
+  // Out-of-range and NaN q clamp instead of indexing out of bounds.
+  EXPECT_DOUBLE_EQ(s.Percentile(-1.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(2.0), 3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(std::nan("")), 1.0);
+}
+
+TEST(SampleTest, ClearResetsToEmpty) {
+  Sample s;
+  s.Add(1.0);
+  s.Clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Mean(), 0.0);
+}
+
 TEST(SampleTest, BasicMoments) {
   Sample s;
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);

@@ -214,6 +214,84 @@ TEST_F(FailoverTest, ProxyRepointsAfterFailover) {
   EXPECT_EQ(ok_count, 2);
 }
 
+TEST_F(FailoverTest, CountsLostWritesWhenLaggingSlaveIsPromoted) {
+  Deploy(1);
+  manager_->Start();
+  sim_.RunUntil(Seconds(2));
+  // Three writes commit while the only slave is unreachable; then the
+  // master dies. Whoever wins the election is missing all three.
+  cluster_->slave(0)->set_online(false);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cluster_->master()
+                    ->ExecuteDirect(StrFormat("INSERT INTO t VALUES (%d)", i))
+                    .ok());
+  }
+  cluster_->master()->set_online(false);
+  sim_.RunUntil(Seconds(5));
+  cluster_->slave(0)->set_online(true);
+  sim_.RunUntil(Seconds(30));
+  manager_->Stop();
+  sim_.Run();
+
+  ASSERT_TRUE(manager_->failover_performed());
+  EXPECT_TRUE(manager_->lost_writes_possible());
+  EXPECT_EQ(manager_->lost_writes_count(), 3);
+}
+
+TEST_F(FailoverTest, SurvivorResyncRebuildsSecondaryIndexes) {
+  Deploy(2);
+  // A second table with a secondary index, replicated everywhere, plus a
+  // backlog that slave 2 misses (offline during the writes).
+  ASSERT_TRUE(cluster_->master()
+                  ->ExecuteDirect(
+                      "CREATE TABLE u (id INT PRIMARY KEY, tag TEXT)")
+                  .ok());
+  ASSERT_TRUE(cluster_->master()
+                  ->ExecuteDirect("CREATE INDEX idx_tag ON u (tag)")
+                  .ok());
+  sim_.Run();
+  cluster_->slave(1)->set_online(false);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(
+        cluster_->master()
+            ->ExecuteDirect(StrFormat(
+                "INSERT INTO u VALUES (%d, 'tag-%d')", i, i % 2))
+            .ok());
+  }
+  sim_.Run();
+  cluster_->slave(1)->set_online(true);  // back, lagging 4 events
+
+  manager_->Start();
+  cluster_->master()->set_online(false);
+  sim_.RunUntil(Seconds(30));
+  manager_->Stop();
+  sim_.Run();
+
+  ASSERT_TRUE(manager_->failover_performed());
+  EXPECT_EQ(manager_->promoted_slave(), cluster_->slave(0));
+  // The lagging survivor was re-cloned from the winner: identical contents
+  // AND a working secondary index (ResyncDatabase recreates indexes, not
+  // just rows).
+  ASSERT_EQ(manager_->active_slaves().size(), 1u);
+  SlaveNode* survivor = manager_->active_slaves()[0];
+  EXPECT_TRUE(db::Database::ContentsEqual(
+      manager_->current_master()->database(), survivor->database()));
+  const db::Table* u = survivor->database().GetTable("u");
+  ASSERT_NE(u, nullptr);
+  auto tag_col = u->schema().ColumnIndex("tag");
+  ASSERT_TRUE(tag_col.ok());
+  EXPECT_TRUE(u->HasIndexOn(*tag_col));
+  std::string err;
+  EXPECT_TRUE(survivor->database().ValidateAllIndexes(&err)) << err;
+  // Writes through the promoted master keep replicating to the survivor.
+  ASSERT_TRUE(manager_->current_master()
+                  ->ExecuteDirect("INSERT INTO u VALUES (100, 'tag-x')")
+                  .ok());
+  sim_.Run();
+  EXPECT_TRUE(db::Database::ContentsEqual(
+      manager_->current_master()->database(), survivor->database()));
+}
+
 TEST_F(FailoverTest, ResyncDatabaseCopiesEverything) {
   db::Database source;
   ASSERT_TRUE(source

@@ -118,6 +118,58 @@ TEST(CpuSchedulerTest, CompletionCallbackCanResubmit) {
   EXPECT_EQ(sim.Now(), 50);
 }
 
+TEST(CpuSchedulerTest, FreezeStallsQueueAndThawDrainsIt) {
+  Simulation sim;
+  CpuScheduler cpu(&sim, 1, 1.0);
+  std::vector<SimTime> times;
+  cpu.Submit(100, [&] { times.push_back(sim.Now()); });
+  sim.ScheduleAt(50, [&] { cpu.Freeze(); });
+  // Submitted while frozen: waits for the thaw.
+  sim.ScheduleAt(60, [&] { cpu.Submit(100, [&] { times.push_back(sim.Now()); }); });
+  sim.ScheduleAt(500, [&] { cpu.Thaw(); });
+  sim.Run();
+  ASSERT_EQ(times.size(), 2u);
+  // The in-flight job ran to completion despite the freeze.
+  EXPECT_EQ(times[0], 100);
+  // The queued one only started at thaw time.
+  EXPECT_EQ(times[1], 600);
+  EXPECT_EQ(cpu.JobsCompleted(), 2);
+}
+
+TEST(CpuSchedulerTest, HaltDropsQueuedAndInFlightJobs) {
+  Simulation sim;
+  CpuScheduler cpu(&sim, 1, 1.0);
+  int completions = 0;
+  for (int i = 0; i < 3; ++i) cpu.Submit(100, [&] { ++completions; });
+  sim.ScheduleAt(50, [&] { cpu.Halt(); });  // mid-first-job
+  sim.ScheduleAt(500, [&] { cpu.Thaw(); }); // reboot finishes
+  sim.Run();
+  // Nothing survived: the in-flight job's completion was epoch-invalidated
+  // and the two queued jobs were discarded.
+  EXPECT_EQ(completions, 0);
+  EXPECT_EQ(cpu.JobsDropped(), 3);
+  EXPECT_EQ(cpu.JobsCompleted(), 0);
+  EXPECT_TRUE(cpu.Idle());
+  // The rebooted scheduler works normally.
+  cpu.Submit(100, [&] { ++completions; });
+  sim.Run();
+  EXPECT_EQ(completions, 1);
+}
+
+TEST(CpuSchedulerTest, SetSpeedFactorAffectsOnlyNewJobs) {
+  Simulation sim;
+  CpuScheduler cpu(&sim, 1, 1.0);
+  std::vector<SimTime> times;
+  cpu.Submit(100, [&] { times.push_back(sim.Now()); });
+  cpu.Submit(100, [&] { times.push_back(sim.Now()); });
+  sim.ScheduleAt(10, [&] { cpu.SetSpeedFactor(0.5); });  // halve mid-first-job
+  sim.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], 100);  // in-flight job keeps its old service time
+  EXPECT_EQ(times[1], 300);  // the queued job runs at half speed (200us)
+  EXPECT_DOUBLE_EQ(cpu.speed_factor(), 0.5);
+}
+
 class CpuCoreCountTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(CpuCoreCountTest, ThroughputScalesWithCores) {
