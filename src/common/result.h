@@ -13,8 +13,10 @@ namespace clouddb {
 /// `Status`. Construction from a value yields an OK result; construction from
 /// a non-OK Status yields an error result. Accessing `value()` on an error
 /// result aborts the process (library code must check `ok()` first).
+/// `[[nodiscard]]`: ignoring a returned Result drops an error silently, so
+/// the compiler (and clouddb_lint) reject it; discard with `(void)` if meant.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit so that `return value;` and `return status;` both work.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

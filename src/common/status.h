@@ -30,7 +30,11 @@ const char* StatusCodeToString(StatusCode code);
 /// Lightweight result-of-operation type used throughout the library instead of
 /// exceptions. A `Status` is either OK (the default) or carries a code and a
 /// human-readable message. Cheap to copy in the OK case.
-class Status {
+///
+/// `[[nodiscard]]` on the class makes the compiler flag any call site that
+/// drops a returned Status on the floor; discard deliberately with a
+/// `(void)` cast. clouddb_lint enforces the same rule (clouddb-status).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}

@@ -1,0 +1,6 @@
+// A well-behaved file: simulated time and seeded randomness only.
+#include "common/rng.h"
+#include "sim/simulation.h"
+namespace clouddb {
+double Jitter(Rng& rng) { return rng.Uniform(0.0, 1.0); }
+}  // namespace clouddb

@@ -1,0 +1,3 @@
+#pragma once
+#include "db/b.h"
+struct A {};

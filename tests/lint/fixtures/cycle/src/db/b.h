@@ -1,0 +1,3 @@
+#pragma once
+#include "db/a.h"
+struct B {};

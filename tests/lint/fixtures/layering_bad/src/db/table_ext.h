@@ -1,0 +1,4 @@
+#ifndef FIXTURE_TABLE_EXT_H_
+#define FIXTURE_TABLE_EXT_H_
+#include "repl/failover.h"
+#endif

@@ -1,0 +1,3 @@
+#pragma once
+#include "common/base.h"
+struct Rows {};

@@ -1,0 +1,4 @@
+#pragma once
+#include "common/base.h"
+#include "db/rows.h"
+struct Cluster {};

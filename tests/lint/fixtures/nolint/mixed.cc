@@ -1,0 +1,6 @@
+long A() { return time(nullptr); }  // NOLINT
+long B() { return time(nullptr); }  // NOLINT(clouddb-wallclock)
+// NOLINTNEXTLINE(clouddb-wallclock)
+long C() { return time(nullptr); }
+long D() { return time(nullptr); }  // NOLINT(clouddb-random) -- wrong rule
+long E() { return time(nullptr); }

@@ -1,0 +1,5 @@
+#include <random>
+int A() { return rand(); }
+void B() { srand(7); }
+unsigned C() { std::random_device rd; return rd(); }
+unsigned D() { std::mt19937 gen(1); return gen(); }

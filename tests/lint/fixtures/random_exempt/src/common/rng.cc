@@ -1,0 +1,6 @@
+// Negative fixture: src/common/rng is the sanctioned home of randomness, so
+// clouddb-random must not fire here.
+#include <cstdlib>
+namespace clouddb {
+int Entropy() { return rand(); }
+}  // namespace clouddb

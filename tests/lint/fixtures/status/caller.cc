@@ -1,0 +1,12 @@
+#include "engine.h"
+void Run() {
+  eng::Flush();
+  if (true) eng::Flush();
+  (void)eng::Flush();
+  auto r = eng::ReadRow(1);
+  eng::ReadRow(2);
+  eng::Reset();
+  (void)r;
+}
+eng::Status Again() { return eng::Flush(); }
+bool Chain() { return true; }

@@ -1,0 +1,9 @@
+#pragma once
+namespace eng {
+class Status {};
+template <typename T> class Result {};
+Status Flush();
+Result<int> ReadRow(int id);
+void Reset();
+Status Reset();
+}  // namespace eng

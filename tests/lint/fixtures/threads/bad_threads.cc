@@ -1,0 +1,6 @@
+#include <thread>
+#include <atomic>
+void Spawn() { std::thread t([] {}); t.detach(); }
+void Busy() { std::atomic<int> hits{0}; hits = 1; }
+void Nap() { std::this_thread::sleep_for(100); }
+void Posix() { pthread_mutex_lock(nullptr); }

@@ -1,0 +1,11 @@
+// Negative fixture: thread-like identifiers that are not real-thread
+// primitives must not fire (the rule matches whole tokens only).
+struct ApplyThreadState {
+  int backlog = 0;
+};
+int thread_count();
+void Run() {
+  ApplyThreadState st;
+  st.backlog = thread_count();
+}
+const char* kNote = "the slave SQL apply thread is an event-driven state machine";

@@ -1,0 +1,7 @@
+// Fixture: wall-clock reads, one per line (lines 4-7 must each fire).
+#include <chrono>
+
+long Now1() { return std::chrono::system_clock::now().time_since_epoch().count(); }
+long Now2() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+long Now3() { return time(nullptr); }
+long Now4() { gettimeofday(nullptr, nullptr); return 0; }

@@ -1,0 +1,7 @@
+// Negative fixture: mentions of system_clock / gettimeofday / time( in
+// comments and strings must not fire, nor member calls named time().
+struct Node {
+  long time() const { return 42; }  // simulated clock, not ::time()
+};
+long Use(const Node& n) { return n.time(); }
+const char* kMsg = "never call gettimeofday or std::chrono::system_clock";

@@ -1,0 +1,175 @@
+// Fixture-based tests for clouddb_lint (tools/lint). Each fixture directory
+// under tests/lint/fixtures/ is a miniature scan root with known violations;
+// tests assert the exact file:line:rule diagnostics the analyzer must emit.
+// The tree-wide `clouddb_lint_tree` ctest run skips any directory named
+// "fixtures", so the deliberate violations here never fail CI.
+
+#include "linter.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace clouddb::lint {
+namespace {
+
+LintResult RunOn(const std::string& scenario) {
+  Options opts;
+  opts.root = std::filesystem::path(CLOUDDB_LINT_FIXTURE_DIR) / scenario;
+  return RunLint(opts);
+}
+
+std::vector<std::string> Keys(const LintResult& r) {
+  std::vector<std::string> keys;
+  for (const Diagnostic& d : r.diagnostics) keys.push_back(d.Key());
+  return keys;
+}
+
+using StrVec = std::vector<std::string>;
+
+TEST(WallclockRule, FlagsEveryRealTimeSource) {
+  LintResult r = RunOn("wallclock");
+  EXPECT_EQ(Keys(r), (StrVec{
+                         "bad_clock.cc:4:clouddb-wallclock",
+                         "bad_clock.cc:5:clouddb-wallclock",
+                         "bad_clock.cc:6:clouddb-wallclock",
+                         "bad_clock.cc:7:clouddb-wallclock",
+                     }));
+  ASSERT_FALSE(r.diagnostics.empty());
+  EXPECT_NE(r.diagnostics[0].message.find("Simulation::Now()"),
+            std::string::npos);
+}
+
+TEST(WallclockRule, IgnoresCommentsStringsAndMemberCalls) {
+  LintResult r = RunOn("wallclock_clean");
+  EXPECT_EQ(Keys(r), StrVec{});
+  EXPECT_EQ(r.files_scanned, 1);
+}
+
+TEST(RandomRule, FlagsPlatformRngsAndStdEngines) {
+  LintResult r = RunOn("random");
+  EXPECT_EQ(Keys(r), (StrVec{
+                         "bad_random.cc:2:clouddb-random",
+                         "bad_random.cc:3:clouddb-random",
+                         "bad_random.cc:4:clouddb-random",
+                         "bad_random.cc:5:clouddb-random",
+                     }));
+}
+
+TEST(RandomRule, CommonRngModuleIsExempt) {
+  LintResult r = RunOn("random_exempt");
+  EXPECT_EQ(Keys(r), StrVec{});
+}
+
+TEST(ThreadRule, FlagsThreadsAtomicsSleepsAndPthreads) {
+  LintResult r = RunOn("threads");
+  EXPECT_EQ(Keys(r), (StrVec{
+                         "bad_threads.cc:1:clouddb-thread",
+                         "bad_threads.cc:2:clouddb-thread",
+                         "bad_threads.cc:3:clouddb-thread",
+                         "bad_threads.cc:4:clouddb-thread",
+                         "bad_threads.cc:5:clouddb-thread",
+                         "bad_threads.cc:5:clouddb-thread",
+                         "bad_threads.cc:6:clouddb-thread",
+                     }));
+}
+
+TEST(ThreadRule, IgnoresThreadLikeIdentifiersAndProse) {
+  LintResult r = RunOn("threads_clean");
+  EXPECT_EQ(Keys(r), StrVec{});
+  EXPECT_EQ(r.files_scanned, 1);
+}
+
+TEST(Nolint, SuppressesMatchingRuleOnlyAndIsCounted) {
+  LintResult r = RunOn("nolint");
+  // Lines 1-2 (same-line NOLINT) and 4 (NOLINTNEXTLINE) are suppressed;
+  // line 5 carries a NOLINT for the wrong rule and must still fire.
+  EXPECT_EQ(Keys(r), (StrVec{
+                         "mixed.cc:5:clouddb-wallclock",
+                         "mixed.cc:6:clouddb-wallclock",
+                     }));
+  EXPECT_EQ(r.suppressions_used, 3);
+}
+
+TEST(LayeringRule, RejectsUpwardPeerAndUnregisteredEdges) {
+  LintResult r = RunOn("layering_bad");
+  EXPECT_EQ(Keys(r), (StrVec{
+                         "src/db/table_ext.h:3:clouddb-layering",
+                         "src/net/chan.h:2:clouddb-layering",
+                         "src/widgets/thing.h:1:clouddb-layering",
+                     }));
+  EXPECT_NE(r.diagnostics[0].message.find("strictly downward"),
+            std::string::npos);
+  EXPECT_NE(r.diagnostics[1].message.find("peer modules"), std::string::npos);
+  EXPECT_NE(r.diagnostics[2].message.find("not registered"),
+            std::string::npos);
+}
+
+TEST(LayeringRule, AcceptsDownwardEdges) {
+  LintResult r = RunOn("layering_clean");
+  EXPECT_EQ(Keys(r), StrVec{});
+  EXPECT_EQ(r.files_scanned, 3);
+}
+
+TEST(CycleRule, ReportsIncludeCycleOnce) {
+  LintResult r = RunOn("cycle");
+  EXPECT_EQ(Keys(r), (StrVec{"src/db/b.h:2:clouddb-include-cycle"}));
+  ASSERT_EQ(r.diagnostics.size(), 1u);
+  EXPECT_EQ(r.diagnostics[0].message,
+            "include cycle: src/db/a.h -> src/db/b.h -> src/db/a.h");
+}
+
+TEST(CycleRule, DiamondIncludeGraphIsNotACycle) {
+  // layering_clean is a diamond: cluster.h -> {rows.h, base.h},
+  // rows.h -> base.h. Shared includes must not be reported as cycles.
+  LintResult r = RunOn("layering_clean");
+  EXPECT_EQ(Keys(r), StrVec{});
+}
+
+TEST(StatusRule, FlagsDiscardsButNotChecksCastsOrAmbiguousNames) {
+  LintResult r = RunOn("status");
+  // Line 5 ((void) cast), 6 (assignment), 8 (name also declared void) and
+  // 11 (return) are clean; 3 (bare), 4 (if-body) and 7 discard.
+  EXPECT_EQ(Keys(r), (StrVec{
+                         "caller.cc:3:clouddb-status",
+                         "caller.cc:4:clouddb-status",
+                         "caller.cc:7:clouddb-status",
+                     }));
+}
+
+TEST(CleanTree, ProducesZeroOutput) {
+  LintResult r = RunOn("clean");
+  EXPECT_EQ(Keys(r), StrVec{});
+  EXPECT_EQ(r.files_scanned, 1);
+  EXPECT_EQ(r.suppressions_used, 0);
+}
+
+TEST(StripCommentsAndStrings, PreservesLinesBlanksContent) {
+  std::string src =
+      "int a; // std::thread here\n"
+      "/* rand()\n"
+      "   rand() */ int b;\n"
+      "const char* s = \"mutex\";\n";
+  std::string out = StripCommentsAndStrings(src);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_EQ(out.find("thread"), std::string::npos);
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(out.find("mutex"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int b;"), std::string::npos);
+}
+
+TEST(StripCommentsAndStrings, HandlesRawStringsAndDigitSeparators) {
+  std::string src =
+      "auto r = R\"(std::mutex inside raw)\";\n"
+      "long n = 1'000'000;\n"
+      "char c = 't';\n";
+  std::string out = StripCommentsAndStrings(src);
+  EXPECT_EQ(out.find("mutex"), std::string::npos);
+  EXPECT_NE(out.find("1'000'000"), std::string::npos);
+  EXPECT_NE(out.find("long n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace clouddb::lint

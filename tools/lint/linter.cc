@@ -1,0 +1,811 @@
+#include "linter.h"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <iterator>
+#include <map>
+#include <tuple>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace clouddb::lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kRuleWallclock[] = "clouddb-wallclock";
+constexpr char kRuleRandom[] = "clouddb-random";
+constexpr char kRuleThread[] = "clouddb-thread";
+constexpr char kRuleLayering[] = "clouddb-layering";
+constexpr char kRuleCycle[] = "clouddb-include-cycle";
+constexpr char kRuleStatus[] = "clouddb-status";
+
+/// Module layer ranks. An include edge is legal only if it points at a
+/// strictly lower rank (or stays inside the module). `db` and `net` are
+/// peers and may not include each other; `fault` and `harness` sit at the
+/// top alongside each other. Mirrors the DAG in DESIGN.md — keep in sync.
+const std::map<std::string, int>& LayerRanks() {
+  static const std::map<std::string, int> kRanks = {
+      {"common", 0},     {"sim", 1},   {"db", 2},    {"net", 2},
+      {"cloud", 3},      {"repl", 4},  {"client", 5},
+      {"cloudstone", 6}, {"fault", 7}, {"harness", 7},
+  };
+  return kRanks;
+}
+
+struct TokenRule {
+  std::string_view token;
+  const char* rule;
+  const char* hint;
+  bool call_only = false;  // only when directly followed by '(' and not a
+                           // member call (not preceded by '.' or '->')
+  bool prefix = false;     // match any identifier starting with `token`
+};
+
+const std::vector<TokenRule>& BannedTokens() {
+  static const std::vector<TokenRule> kRules = {
+      // --- clouddb-wallclock: reading real time breaks seeded replay.
+      {"system_clock", kRuleWallclock, "is a wall-clock source"},
+      {"steady_clock", kRuleWallclock, "is a wall-clock source"},
+      {"high_resolution_clock", kRuleWallclock, "is a wall-clock source"},
+      {"file_clock", kRuleWallclock, "is a wall-clock source"},
+      {"utc_clock", kRuleWallclock, "is a wall-clock source"},
+      {"tai_clock", kRuleWallclock, "is a wall-clock source"},
+      {"gps_clock", kRuleWallclock, "is a wall-clock source"},
+      {"gettimeofday", kRuleWallclock, "reads the wall clock"},
+      {"clock_gettime", kRuleWallclock, "reads the wall clock"},
+      {"timespec_get", kRuleWallclock, "reads the wall clock"},
+      {"localtime", kRuleWallclock, "reads the wall clock"},
+      {"localtime_r", kRuleWallclock, "reads the wall clock"},
+      {"gmtime", kRuleWallclock, "reads the wall clock"},
+      {"gmtime_r", kRuleWallclock, "reads the wall clock"},
+      {"mktime", kRuleWallclock, "reads the wall clock"},
+      {"time", kRuleWallclock, "reads the wall clock", /*call_only=*/true},
+      // --- clouddb-random: only common/rng may own randomness.
+      {"random_device", kRuleRandom, "is a nondeterministic entropy source"},
+      {"rand", kRuleRandom, "uses hidden global RNG state", true},
+      {"srand", kRuleRandom, "uses hidden global RNG state", true},
+      {"rand_r", kRuleRandom, "is a platform RNG", true},
+      {"random", kRuleRandom, "uses hidden global RNG state", true},
+      {"drand48", kRuleRandom, "is a platform RNG"},
+      {"erand48", kRuleRandom, "is a platform RNG"},
+      {"lrand48", kRuleRandom, "is a platform RNG"},
+      {"nrand48", kRuleRandom, "is a platform RNG"},
+      {"mrand48", kRuleRandom, "is a platform RNG"},
+      {"jrand48", kRuleRandom, "is a platform RNG"},
+      {"random_shuffle", kRuleRandom, "uses unspecified randomness"},
+      {"mt19937", kRuleRandom, "is a std random engine"},
+      {"mt19937_64", kRuleRandom, "is a std random engine"},
+      {"minstd_rand", kRuleRandom, "is a std random engine"},
+      {"minstd_rand0", kRuleRandom, "is a std random engine"},
+      {"default_random_engine", kRuleRandom, "is a std random engine"},
+      {"knuth_b", kRuleRandom, "is a std random engine"},
+      {"ranlux24", kRuleRandom, "is a std random engine"},
+      {"ranlux24_base", kRuleRandom, "is a std random engine"},
+      {"ranlux48", kRuleRandom, "is a std random engine"},
+      {"ranlux48_base", kRuleRandom, "is a std random engine"},
+      // --- clouddb-thread: the simulator is single-threaded by design.
+      {"thread", kRuleThread, "is a real-thread primitive"},
+      {"jthread", kRuleThread, "is a real-thread primitive"},
+      {"this_thread", kRuleThread, "is a real-thread primitive"},
+      {"pthread_", kRuleThread, "is a real-thread primitive", false, true},
+      {"mutex", kRuleThread, "is a real-thread primitive"},
+      {"shared_mutex", kRuleThread, "is a real-thread primitive"},
+      {"recursive_mutex", kRuleThread, "is a real-thread primitive"},
+      {"timed_mutex", kRuleThread, "is a real-thread primitive"},
+      {"recursive_timed_mutex", kRuleThread, "is a real-thread primitive"},
+      {"condition_variable", kRuleThread, "is a real-thread primitive"},
+      {"condition_variable_any", kRuleThread, "is a real-thread primitive"},
+      {"lock_guard", kRuleThread, "is a real-thread primitive"},
+      {"unique_lock", kRuleThread, "is a real-thread primitive"},
+      {"scoped_lock", kRuleThread, "is a real-thread primitive"},
+      {"shared_lock", kRuleThread, "is a real-thread primitive"},
+      {"atomic", kRuleThread, "implies real threads"},
+      {"atomic_", kRuleThread, "implies real threads", false, true},
+      {"async", kRuleThread, "launches real threads", true},
+      {"sleep_for", kRuleThread, "blocks a real thread"},
+      {"sleep_until", kRuleThread, "blocks a real thread"},
+      {"usleep", kRuleThread, "blocks a real thread"},
+      {"nanosleep", kRuleThread, "blocks a real thread"},
+      {"sleep", kRuleThread, "blocks a real thread", true},
+  };
+  return kRules;
+}
+
+const char* RuleRemedy(std::string_view rule) {
+  if (rule == kRuleWallclock)
+    return "derive time from sim::Simulation::Now() / LocalClock";
+  if (rule == kRuleRandom) return "draw from a seeded clouddb::Rng instead";
+  return "model concurrency as simulation events (sim/simulation.h)";
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsKeyword(std::string_view s) {
+  static const std::set<std::string_view> kKw = {
+      "alignas",  "alignof",  "auto",     "bool",     "break",    "case",
+      "catch",    "char",     "class",    "const",    "constexpr",
+      "continue", "decltype", "default",  "delete",   "do",       "double",
+      "else",     "enum",     "explicit", "extern",   "false",    "float",
+      "for",      "friend",   "goto",     "if",       "inline",   "int",
+      "long",     "mutable",  "namespace", "new",     "noexcept", "nullptr",
+      "operator", "private",  "protected", "public",  "return",   "short",
+      "signed",   "sizeof",   "static",   "struct",   "switch",   "template",
+      "this",     "throw",    "true",     "try",      "typedef",  "typename",
+      "union",    "unsigned", "using",    "virtual",  "void",     "volatile",
+      "while",    "co_await", "co_return", "co_yield", "final",   "override",
+  };
+  return kKw.count(s) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Per-file analysis state.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool ident = false;
+};
+
+struct Include {
+  int line = 0;
+  std::string path;  // the quoted include path, verbatim
+};
+
+struct FileInfo {
+  std::string rel;  // '/'-separated path relative to root
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> stripped_lines;
+  std::vector<Token> tokens;
+  std::vector<Include> includes;
+  // line -> suppressed rule names ("*" = all). NOLINTNEXTLINE is folded in.
+  std::map<int, std::set<std::string>> nolint;
+  std::set<int> directive_lines;  // preprocessor lines incl. continuations
+  bool is_header = false;
+};
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+/// Parses NOLINT / NOLINT(rule, ...) / NOLINTNEXTLINE(...) markers from a raw
+/// source line into `out[target_line]`.
+void ParseNolint(const std::string& raw, int line,
+                 std::map<int, std::set<std::string>>* out) {
+  size_t pos = 0;
+  while ((pos = raw.find("NOLINT", pos)) != std::string::npos) {
+    size_t after = pos + 6;
+    int target = line;
+    if (raw.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
+      after = pos + 14;
+      target = line + 1;
+    }
+    std::set<std::string>& rules = (*out)[target];
+    size_t p = after;
+    while (p < raw.size() && raw[p] == ' ') ++p;
+    if (p < raw.size() && raw[p] == '(') {
+      size_t close = raw.find(')', p);
+      std::string list = raw.substr(
+          p + 1, close == std::string::npos ? std::string::npos : close - p - 1);
+      std::string name;
+      std::istringstream ss(list);
+      while (std::getline(ss, name, ',')) {
+        name.erase(0, name.find_first_not_of(" \t"));
+        name.erase(name.find_last_not_of(" \t") + 1);
+        if (!name.empty()) rules.insert(name);
+      }
+      if (rules.empty()) rules.insert("*");
+    } else {
+      rules.insert("*");  // bare NOLINT silences every rule on the line
+    }
+    pos = after;
+  }
+}
+
+std::vector<Token> Tokenize(const std::vector<std::string>& stripped_lines) {
+  std::vector<Token> toks;
+  for (size_t li = 0; li < stripped_lines.size(); ++li) {
+    const std::string& s = stripped_lines[li];
+    int line = static_cast<int>(li) + 1;
+    size_t i = 0;
+    while (i < s.size()) {
+      char c = s[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < s.size() && IsIdentChar(s[j])) ++j;
+        toks.push_back({s.substr(i, j - i), line, true});
+        i = j;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t j = i;
+        while (j < s.size() && (IsIdentChar(s[j]) || s[j] == '.')) ++j;
+        toks.push_back({s.substr(i, j - i), line, false});
+        i = j;
+        continue;
+      }
+      // Two-char puncts the scanners care about.
+      if (i + 1 < s.size()) {
+        std::string two = s.substr(i, 2);
+        if (two == "::" || two == "->") {
+          toks.push_back({two, line, false});
+          i += 2;
+          continue;
+        }
+      }
+      toks.push_back({std::string(1, c), line, false});
+      ++i;
+    }
+  }
+  return toks;
+}
+
+void ParseIncludes(FileInfo* fi) {
+  for (size_t li = 0; li < fi->raw_lines.size(); ++li) {
+    const std::string& raw = fi->raw_lines[li];
+    size_t p = raw.find_first_not_of(" \t");
+    if (p == std::string::npos || raw[p] != '#') continue;
+    ++p;
+    while (p < raw.size() && (raw[p] == ' ' || raw[p] == '\t')) ++p;
+    if (raw.compare(p, 7, "include") != 0) continue;
+    p += 7;
+    while (p < raw.size() && (raw[p] == ' ' || raw[p] == '\t')) ++p;
+    if (p >= raw.size() || raw[p] != '"') continue;
+    size_t close = raw.find('"', p + 1);
+    if (close == std::string::npos) continue;
+    fi->includes.push_back(
+        {static_cast<int>(li) + 1, raw.substr(p + 1, close - p - 1)});
+  }
+}
+
+void MarkDirectiveLines(FileInfo* fi) {
+  bool continuing = false;
+  for (size_t li = 0; li < fi->raw_lines.size(); ++li) {
+    const std::string& raw = fi->raw_lines[li];
+    size_t p = raw.find_first_not_of(" \t");
+    bool directive = continuing || (p != std::string::npos && raw[p] == '#');
+    if (directive) fi->directive_lines.insert(static_cast<int>(li) + 1);
+    continuing = directive && !raw.empty() && raw.back() == '\\';
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: determinism token scan.
+// ---------------------------------------------------------------------------
+
+bool RandomExempt(const std::string& rel) {
+  // ISSUE rule family 1: common/rng is the one sanctioned home of RNG code.
+  return rel.rfind("src/common/rng", 0) == 0;
+}
+
+void ScanBannedTokens(const FileInfo& fi, std::vector<Diagnostic>* out) {
+  for (size_t li = 0; li < fi.stripped_lines.size(); ++li) {
+    const std::string& s = fi.stripped_lines[li];
+    int line = static_cast<int>(li) + 1;
+    size_t i = 0;
+    while (i < s.size()) {
+      if (!(std::isalpha(static_cast<unsigned char>(s[i])) || s[i] == '_')) {
+        ++i;
+        continue;
+      }
+      if (i > 0 && IsIdentChar(s[i - 1])) {  // mid-identifier, skip
+        ++i;
+        while (i < s.size() && IsIdentChar(s[i])) ++i;
+        continue;
+      }
+      size_t j = i;
+      while (j < s.size() && IsIdentChar(s[j])) ++j;
+      std::string_view ident(&s[i], j - i);
+      for (const TokenRule& tr : BannedTokens()) {
+        bool hit = tr.prefix ? ident.size() > tr.token.size() &&
+                                   ident.substr(0, tr.token.size()) == tr.token
+                             : ident == tr.token;
+        if (!hit) continue;
+        if (tr.rule == std::string_view(kRuleRandom) && RandomExempt(fi.rel))
+          continue;
+        if (tr.call_only) {
+          size_t k = j;
+          while (k < s.size() && s[k] == ' ') ++k;
+          if (k >= s.size() || s[k] != '(') continue;
+          // Member calls like `clock.time()` are the simulated clock, not
+          // the libc function; only flag free / namespace-qualified calls.
+          size_t b = i;
+          while (b > 0 && s[b - 1] == ' ') --b;
+          if (b > 0 && (s[b - 1] == '.' ||
+                        (b > 1 && s[b - 2] == '-' && s[b - 1] == '>')))
+            continue;
+          // An identifier right before is a return type — `long time()` is
+          // a declaration of an unrelated function, not a libc call —
+          // unless it is a statement keyword like `return time(nullptr)`.
+          if (b > 0 && IsIdentChar(s[b - 1])) {
+            size_t st = b;
+            while (st > 0 && IsIdentChar(s[st - 1])) --st;
+            static const std::set<std::string_view> kStmtKeywords = {
+                "return", "co_return", "co_yield", "co_await",
+                "throw",  "else",      "do",       "case",
+            };
+            if (!kStmtKeywords.count(std::string_view(&s[st], b - st)))
+              continue;
+          }
+        }
+        out->push_back({fi.rel, line, tr.rule,
+                        "'" + std::string(ident) + "' " + tr.hint + "; " +
+                            RuleRemedy(tr.rule)});
+        break;
+      }
+      i = j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: module layering + include cycles.
+// ---------------------------------------------------------------------------
+
+/// First path component after "src/", or "" when not an in-tree module file.
+std::string ModuleOf(const std::string& rel) {
+  if (rel.rfind("src/", 0) != 0) return "";
+  size_t slash = rel.find('/', 4);
+  if (slash == std::string::npos) return "";  // file directly under src/
+  return rel.substr(4, slash - 4);
+}
+
+void CheckLayering(const FileInfo& fi, std::vector<Diagnostic>* out) {
+  std::string mod = ModuleOf(fi.rel);
+  if (mod.empty()) return;
+  const auto& ranks = LayerRanks();
+  auto self = ranks.find(mod);
+  if (self == ranks.end()) {
+    out->push_back({fi.rel, 1, kRuleLayering,
+                    "module '" + mod +
+                        "' is not registered in the layer table; add it to "
+                        "LayerRanks() in tools/lint/linter.cc and to the DAG "
+                        "in DESIGN.md"});
+    return;
+  }
+  for (const Include& inc : fi.includes) {
+    size_t slash = inc.path.find('/');
+    if (slash == std::string::npos) continue;  // same-dir include
+    std::string target = inc.path.substr(0, slash);
+    auto it = ranks.find(target);
+    if (it == ranks.end() || target == mod) continue;
+    if (it->second > self->second) {
+      out->push_back({fi.rel, inc.line, kRuleLayering,
+                      "module '" + mod + "' (layer " +
+                          std::to_string(self->second) +
+                          ") may not include '" + target + "' (layer " +
+                          std::to_string(it->second) +
+                          "); dependencies must flow strictly downward"});
+    } else if (it->second == self->second) {
+      out->push_back({fi.rel, inc.line, kRuleLayering,
+                      "'" + mod + "' and '" + target +
+                          "' are peer modules at layer " +
+                          std::to_string(self->second) +
+                          " and may not include each other"});
+    }
+  }
+}
+
+void CheckIncludeCycles(const std::vector<FileInfo>& files,
+                        std::vector<Diagnostic>* out) {
+  // File-level graph over scanned src/ files; include paths resolve against
+  // the src/ include root and against the including file's own directory.
+  std::map<std::string, const FileInfo*> by_rel;
+  for (const FileInfo& fi : files)
+    if (fi.rel.rfind("src/", 0) == 0) by_rel[fi.rel] = &fi;
+
+  struct Edge {
+    std::string to;
+    int line;
+  };
+  std::map<std::string, std::vector<Edge>> adj;
+  for (const auto& [rel, fi] : by_rel) {
+    std::string dir = rel.substr(0, rel.find_last_of('/') + 1);
+    for (const Include& inc : fi->includes) {
+      std::string cand1 = "src/" + inc.path;
+      std::string cand2 = dir + inc.path;
+      if (by_rel.count(cand1))
+        adj[rel].push_back({cand1, inc.line});
+      else if (by_rel.count(cand2))
+        adj[rel].push_back({cand2, inc.line});
+    }
+  }
+
+  // Iterative DFS, reporting each cycle once (keyed by its member set).
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  std::set<std::string> reported;
+  std::function<void(const std::string&)> dfs = [&](const std::string& u) {
+    color[u] = 1;
+    stack.push_back(u);
+    for (const Edge& e : adj[u]) {
+      if (color[e.to] == 1) {
+        auto it = std::find(stack.begin(), stack.end(), e.to);
+        std::vector<std::string> cycle(it, stack.end());
+        std::vector<std::string> key = cycle;
+        std::sort(key.begin(), key.end());
+        std::string key_s;
+        for (const auto& k : key) key_s += k + "|";
+        if (reported.insert(key_s).second) {
+          std::string desc;
+          for (const auto& f : cycle) desc += f + " -> ";
+          desc += e.to;
+          out->push_back({u, e.line, kRuleCycle, "include cycle: " + desc});
+        }
+      } else if (color[e.to] == 0) {
+        dfs(e.to);
+      }
+    }
+    stack.pop_back();
+    color[u] = 2;
+  };
+  for (const auto& [rel, fi] : by_rel)
+    if (color[rel] == 0) dfs(rel);
+}
+
+// ---------------------------------------------------------------------------
+// Rule: discarded Status / Result.
+// ---------------------------------------------------------------------------
+
+size_t MatchForward(const std::vector<Token>& t, size_t open, char oc, char cc) {
+  int depth = 0;
+  for (size_t i = open; i < t.size(); ++i) {
+    if (t[i].text.size() == 1) {
+      if (t[i].text[0] == oc) ++depth;
+      if (t[i].text[0] == cc && --depth == 0) return i;
+    }
+  }
+  return t.size();
+}
+
+size_t MatchBackward(const std::vector<Token>& t, size_t close, char oc,
+                     char cc) {
+  int depth = 0;
+  for (size_t i = close + 1; i-- > 0;) {
+    if (t[i].text.size() == 1) {
+      if (t[i].text[0] == cc) ++depth;
+      if (t[i].text[0] == oc && --depth == 0) return i;
+    }
+  }
+  return 0;
+}
+
+/// Collects names of functions declared in headers with a `Status` or
+/// `Result<...>` return type into `status_names`, and names declared with
+/// any *other* return type into `other_names`. The discard check only fires
+/// on unambiguous names (status minus other): a name shared with e.g. a
+/// void callback-style overload cannot be classified at token level, and the
+/// `[[nodiscard]]` attribute already covers those sites exactly.
+void CollectStatusFunctions(const FileInfo& fi,
+                            std::set<std::string>* status_names,
+                            std::set<std::string>* other_names) {
+  const std::vector<Token>& t = fi.tokens;
+  static const std::set<std::string_view> kTypeKeywords = {
+      "void", "bool", "int",   "long",     "double", "float",
+      "char", "auto", "short", "unsigned", "signed", "size_t",
+  };
+  for (size_t j = 0; j + 1 < t.size(); ++j) {
+    if (!t[j].ident || IsKeyword(t[j].text) || t[j + 1].text != "(") continue;
+    if (j == 0) continue;
+    // Walk back over ref/pointer decorations to the return-type token.
+    size_t p = j - 1;
+    while (p > 0 &&
+           (t[p].text == "&" || t[p].text == "*" || t[p].text == "&&"))
+      --p;
+    if (t[p].text == ">") {
+      size_t open = MatchBackward(t, p, '<', '>');
+      if (open == 0 || !t[open - 1].ident) continue;
+      if (t[open - 1].text == "Result")
+        status_names->insert(t[j].text);
+      else
+        other_names->insert(t[j].text);
+    } else if (t[p].ident) {
+      if (t[p].text == "Status") {
+        status_names->insert(t[j].text);
+      } else if (!IsKeyword(t[p].text) || kTypeKeywords.count(t[p].text)) {
+        other_names->insert(t[j].text);
+      }
+      // Non-type keywords (return, new, else, ...) mean this is a call or
+      // expression, not a declaration — ignore.
+    }
+  }
+}
+
+void CheckDiscardedStatus(const FileInfo& fi,
+                          const std::set<std::string>& names,
+                          std::vector<Diagnostic>* out) {
+  const std::vector<Token>& t = fi.tokens;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (!t[i].ident || !names.count(t[i].text)) continue;
+    if (i + 1 >= t.size() || t[i + 1].text != "(") continue;
+    if (fi.directive_lines.count(t[i].line)) continue;  // macro bodies
+    size_t close = MatchForward(t, i + 1, '(', ')');
+    if (close + 1 >= t.size() || t[close + 1].text != ";") continue;
+
+    // Walk back over the postfix chain (obj.f, p->f, NS::f, g().f, a[i].f)
+    // to the start of the full expression statement.
+    size_t p = i;
+    bool bail = false;
+    while (p > 0) {
+      const std::string& prev = t[p - 1].text;
+      if (prev == "::" || prev == "." || prev == "->") {
+        if (p < 2) {
+          bail = true;
+          break;
+        }
+        const Token& pre = t[p - 2];
+        if (pre.ident) {
+          p -= 2;
+        } else if (pre.text == ")") {
+          size_t open = MatchBackward(t, p - 2, '(', ')');
+          p = (open > 0 && t[open - 1].ident) ? open - 1 : open;
+        } else if (pre.text == "]") {
+          size_t open = MatchBackward(t, p - 2, '[', ']');
+          p = (open > 0 && t[open - 1].ident) ? open - 1 : open;
+        } else {
+          bail = true;
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    if (bail) continue;
+
+    bool discarded = false;
+    if (p == 0) {
+      discarded = true;
+    } else {
+      const Token& before = t[p - 1];
+      if (before.text == ";" || before.text == "{" || before.text == "}") {
+        discarded = true;
+      } else if (before.ident) {
+        // `else Foo();` / `do Foo();` discard; `return Foo();`, declarations
+        // (`Status Foo();`) and everything else consume the value.
+        discarded = before.text == "else" || before.text == "do";
+      } else if (before.text == ")") {
+        size_t open = MatchBackward(t, p - 1, '(', ')');
+        bool void_cast = (p - 1) - open == 2 && t[open + 1].text == "void";
+        if (!void_cast && open > 0 && t[open - 1].ident) {
+          const std::string& kw = t[open - 1].text;
+          // Body of `if (...) Foo();` etc. still discards the result.
+          discarded = kw == "if" || kw == "while" || kw == "for" ||
+                      kw == "switch";
+        }
+      }
+    }
+    if (discarded) {
+      out->push_back({fi.rel, t[i].line, kRuleStatus,
+                      "result of '" + t[i].text +
+                          "' (returns Status/Result) is silently discarded; "
+                          "check it, propagate it, or cast to (void)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// File collection and driver.
+// ---------------------------------------------------------------------------
+
+bool SkipDirName(const std::string& name) {
+  return name == "fixtures" || name == ".git" || name == "CMakeFiles" ||
+         name == "third_party" || name.rfind("build", 0) == 0;
+}
+
+bool LintableExtension(const fs::path& p) {
+  std::string e = p.extension().string();
+  return e == ".h" || e == ".hpp" || e == ".hh" || e == ".cc" ||
+         e == ".cpp" || e == ".cxx";
+}
+
+void CollectFiles(const fs::path& dir, std::vector<fs::path>* out) {
+  if (!fs::exists(dir)) return;
+  if (fs::is_regular_file(dir)) {
+    if (LintableExtension(dir)) out->push_back(dir);
+    return;
+  }
+  std::vector<fs::path> entries;
+  for (const auto& e : fs::directory_iterator(dir)) entries.push_back(e.path());
+  std::sort(entries.begin(), entries.end());
+  for (const fs::path& p : entries) {
+    if (fs::is_directory(p)) {
+      if (!SkipDirName(p.filename().string())) CollectFiles(p, out);
+    } else if (LintableExtension(p)) {
+      out->push_back(p);
+    }
+  }
+}
+
+std::string ReadFile(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+std::string Diagnostic::Key() const {
+  return file + ":" + std::to_string(line) + ":" + rule;
+}
+
+std::string Diagnostic::ToString() const {
+  return file + ":" + std::to_string(line) + ": " + rule + ": " + message;
+}
+
+std::string StripCommentsAndStrings(const std::string& src) {
+  std::string out = src;
+  enum class St { kNormal, kLine, kBlock, kStr, kChar, kRaw };
+  St st = St::kNormal;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (size_t i = 0; i < src.size(); ++i) {
+    char c = src[i];
+    char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (st) {
+      case St::kNormal:
+        if (c == '/' && next == '/') {
+          st = St::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = St::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !IsIdentChar(src[i - 1]))) {
+          size_t open = src.find('(', i + 2);
+          if (open != std::string::npos) {
+            raw_delim = ")" + src.substr(i + 2, open - i - 2) + "\"";
+            for (size_t k = i; k <= open; ++k)
+              if (out[k] != '\n') out[k] = ' ';
+            i = open;
+            st = St::kRaw;
+          }
+        } else if (c == '"') {
+          st = St::kStr;
+        } else if (c == '\'' && i > 0 && IsIdentChar(src[i - 1])) {
+          // digit separator (1'000'000) or suffix — not a char literal
+        } else if (c == '\'') {
+          st = St::kChar;
+        }
+        break;
+      case St::kLine:
+        if (c == '\n')
+          st = St::kNormal;
+        else
+          out[i] = ' ';
+        break;
+      case St::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = out[i + 1] = ' ';
+          st = St::kNormal;
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kStr:
+      case St::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if ((st == St::kStr && c == '"') ||
+                   (st == St::kChar && c == '\'')) {
+          st = St::kNormal;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case St::kRaw:
+        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t k = 0; k < raw_delim.size(); ++k)
+            if (out[i + k] != '\n') out[i + k] = ' ';
+          i += raw_delim.size() - 1;
+          st = St::kNormal;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+LintResult RunLint(const Options& options) {
+  LintResult result;
+  fs::path root = options.root.empty() ? fs::current_path() : options.root;
+
+  std::vector<std::string> dirs = options.dirs;
+  if (dirs.empty()) {
+    for (const char* d : {"src", "bench", "tests", "examples"})
+      if (fs::exists(root / d)) dirs.push_back(d);
+    if (dirs.empty()) dirs.push_back(".");
+  }
+
+  std::vector<fs::path> paths;
+  for (const std::string& d : dirs) CollectFiles(root / d, &paths);
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+
+  std::vector<FileInfo> files;
+  files.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    FileInfo fi;
+    fi.rel = fs::relative(p, root).generic_string();
+    std::string text = ReadFile(p);
+    fi.raw_lines = SplitLines(text);
+    fi.stripped_lines = SplitLines(StripCommentsAndStrings(text));
+    fi.tokens = Tokenize(fi.stripped_lines);
+    std::string ext = p.extension().string();
+    fi.is_header = ext == ".h" || ext == ".hpp" || ext == ".hh";
+    for (size_t li = 0; li < fi.raw_lines.size(); ++li)
+      ParseNolint(fi.raw_lines[li], static_cast<int>(li) + 1, &fi.nolint);
+    ParseIncludes(&fi);
+    MarkDirectiveLines(&fi);
+    files.push_back(std::move(fi));
+  }
+  result.files_scanned = static_cast<int>(files.size());
+
+  std::set<std::string> status_decls, other_decls, status_fns;
+  for (const FileInfo& fi : files)
+    if (fi.is_header) CollectStatusFunctions(fi, &status_decls, &other_decls);
+  std::set_difference(status_decls.begin(), status_decls.end(),
+                      other_decls.begin(), other_decls.end(),
+                      std::inserter(status_fns, status_fns.begin()));
+
+  std::vector<Diagnostic> candidates;
+  for (const FileInfo& fi : files) {
+    ScanBannedTokens(fi, &candidates);
+    CheckLayering(fi, &candidates);
+    CheckDiscardedStatus(fi, status_fns, &candidates);
+  }
+  CheckIncludeCycles(files, &candidates);
+
+  std::map<std::string, const FileInfo*> by_rel;
+  for (const FileInfo& fi : files) by_rel[fi.rel] = &fi;
+  for (Diagnostic& d : candidates) {
+    const FileInfo* fi = by_rel.at(d.file);
+    auto it = fi->nolint.find(d.line);
+    if (it != fi->nolint.end() &&
+        (it->second.count("*") || it->second.count(d.rule))) {
+      ++result.suppressions_used;
+      continue;
+    }
+    result.diagnostics.push_back(std::move(d));
+  }
+
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return result;
+}
+
+}  // namespace clouddb::lint

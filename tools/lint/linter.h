@@ -1,0 +1,54 @@
+#ifndef CLOUDDB_TOOLS_LINT_LINTER_H_
+#define CLOUDDB_TOOLS_LINT_LINTER_H_
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace clouddb::lint {
+
+/// One finding. Rendered as "file:line: rule: message" with `file` relative
+/// to the scan root and '/'-separated on every platform, so fixture tests can
+/// assert diagnostics byte-for-byte.
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;     // e.g. "clouddb-wallclock"
+  std::string message;
+
+  /// "file:line:rule" — the stable identity asserted by the fixture tests.
+  std::string Key() const;
+  /// "file:line: rule: message" — the full human-readable form.
+  std::string ToString() const;
+};
+
+struct Options {
+  /// Directory the scan is anchored at; diagnostics are relative to it.
+  std::filesystem::path root;
+  /// Scan directories relative to `root`. When empty, defaults to whichever
+  /// of {src, bench, tests, examples} exist under `root`; if none do, `root`
+  /// itself is scanned (the mode fixture suites use).
+  std::vector<std::string> dirs;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;  // sorted by (file, line, rule)
+  int files_scanned = 0;
+  /// Number of violations silenced by NOLINT / NOLINTNEXTLINE comments.
+  /// CI runs with --forbid-nolint so merged code needs zero of these.
+  int suppressions_used = 0;
+};
+
+/// Runs every rule family (determinism, layering, status discipline) over
+/// the configured tree. Pure function of the filesystem: same tree, same
+/// result, in deterministic order.
+LintResult RunLint(const Options& options);
+
+/// Replaces the contents of comments and string/char literals with spaces,
+/// preserving line breaks and column positions, so token rules never fire on
+/// prose or literals. Exposed for unit tests.
+std::string StripCommentsAndStrings(const std::string& source);
+
+}  // namespace clouddb::lint
+
+#endif  // CLOUDDB_TOOLS_LINT_LINTER_H_

@@ -1,0 +1,60 @@
+// clouddb_lint — project-specific static analyzer for the clouddb tree.
+//
+// Usage:
+//   clouddb_lint [--root DIR] [--dirs d1,d2,...] [--forbid-nolint] [--quiet]
+//
+// Scans src/, bench/, tests/, examples/ (or --dirs) under --root and prints
+// one "file:line: rule: message" diagnostic per violation. Exit status is 0
+// when clean, 1 when violations were found (or, with --forbid-nolint, when
+// any NOLINT suppression was needed — CI runs in that mode so merged code
+// carries zero suppressions).
+
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "linter.h"
+
+int main(int argc, char** argv) {
+  clouddb::lint::Options opts;
+  bool forbid_nolint = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opts.root = argv[++i];
+    } else if (arg == "--dirs" && i + 1 < argc) {
+      std::istringstream ss(argv[++i]);
+      std::string d;
+      while (std::getline(ss, d, ','))
+        if (!d.empty()) opts.dirs.push_back(d);
+    } else if (arg == "--forbid-nolint") {
+      forbid_nolint = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: clouddb_lint [--root DIR] [--dirs d1,d2,...] "
+                   "[--forbid-nolint] [--quiet]\n";
+      return 0;
+    } else {
+      std::cerr << "clouddb_lint: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+
+  clouddb::lint::LintResult res = clouddb::lint::RunLint(opts);
+  for (const auto& d : res.diagnostics) std::cout << d.ToString() << "\n";
+  if (!quiet) {
+    std::cerr << "clouddb_lint: scanned " << res.files_scanned << " files, "
+              << res.diagnostics.size() << " violation(s), "
+              << res.suppressions_used << " NOLINT suppression(s) used\n";
+  }
+  if (!res.diagnostics.empty()) return 1;
+  if (forbid_nolint && res.suppressions_used > 0) {
+    std::cerr << "clouddb_lint: NOLINT suppressions are forbidden in this "
+                 "mode; remove them before merging\n";
+    return 1;
+  }
+  return 0;
+}
