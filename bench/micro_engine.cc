@@ -1,15 +1,24 @@
 // Microbenchmarks (google-benchmark) for the engine substrates: B+Tree
-// operations, SQL parsing, statement execution, and the simulation kernel.
-// These bound how many simulated operations per wall-clock second the
-// experiment harness can push.
+// operations, SQL parsing, the statement cache, statement execution, and the
+// simulation kernel. These bound how many simulated operations per wall-clock
+// second the experiment harness can push.
+//
+// Usage: micro_engine [--json <path>] [google-benchmark flags]
+// --json writes the standard benchmark JSON report to <path>.
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "db/bplus_tree.h"
 #include "db/database.h"
+#include "db/sql_lexer.h"
 #include "db/sql_parser.h"
+#include "db/statement_cache.h"
 #include "sim/cpu_scheduler.h"
 #include "sim/simulation.h"
 
@@ -93,6 +102,73 @@ void BM_SqlParseInsert(benchmark::State& state) {
 }
 BENCHMARK(BM_SqlParseInsert);
 
+void BM_SqlTokenizeSelect(benchmark::State& state) {
+  const std::string sql =
+      "SELECT event_id, title, event_date FROM events "
+      "WHERE event_date >= 18200 AND created_by = 17 ORDER BY event_date "
+      "LIMIT 10";
+  for (auto _ : state) {
+    auto tokens = db::Tokenize(sql);
+    benchmark::DoNotOptimize(tokens.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SqlTokenizeSelect);
+
+// Hit-path throughput on identical text: one string compare against the
+// last-call memo, no scan, no parse.
+void BM_StatementCachePrepareHit(benchmark::State& state) {
+  db::StatementCache cache;
+  const std::string sql =
+      "SELECT event_id, title, event_date FROM events "
+      "WHERE event_date >= 18200 AND created_by = 17 ORDER BY event_date "
+      "LIMIT 10";
+  (void)cache.Prepare(sql);
+  for (auto _ : state) {
+    auto call = cache.Prepare(sql);
+    benchmark::DoNotOptimize(call.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatementCachePrepareHit);
+
+// Hit-path throughput when the text changes call to call (fresh literals):
+// the fused fingerprint scan + LRU touch + literal binding, still no parse.
+// Compare against BM_SqlParseSelect for the per-statement work removed.
+void BM_StatementCachePrepareScanHit(benchmark::State& state) {
+  db::StatementCache cache;
+  const std::string sql[2] = {
+      "SELECT event_id, title, event_date FROM events "
+      "WHERE event_date >= 18200 AND created_by = 17 ORDER BY event_date "
+      "LIMIT 10",
+      "SELECT event_id, title, event_date FROM events "
+      "WHERE event_date >= 18321 AND created_by = 3 ORDER BY event_date "
+      "LIMIT 10"};
+  (void)cache.Prepare(sql[0]);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto call = cache.Prepare(sql[i ^= 1]);
+    benchmark::DoNotOptimize(call.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatementCachePrepareScanHit);
+
+// Miss path: every statement has a distinct shape, so each Prepare parses a
+// fresh template and (past capacity) evicts.
+void BM_StatementCachePrepareMiss(benchmark::State& state) {
+  db::StatementCache cache(/*capacity=*/64);
+  int64_t i = 0;
+  for (auto _ : state) {
+    auto call = cache.Prepare(
+        StrFormat("SELECT c%lld FROM t WHERE a = 1",
+                  static_cast<long long>(i++ % 1000)));
+    benchmark::DoNotOptimize(call.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatementCachePrepareMiss);
+
 void BM_DatabaseInsert(benchmark::State& state) {
   db::Database database;
   (void)database.Execute("CREATE TABLE t (a BIGINT PRIMARY KEY, b TEXT)");
@@ -148,6 +224,64 @@ void BM_DatabaseIndexRange(benchmark::State& state) {
 }
 BENCHMARK(BM_DatabaseIndexRange);
 
+db::DatabaseOptions EventsDbOptions(bool cache_enabled) {
+  db::DatabaseOptions options;
+  options.statement_cache = cache_enabled;
+  return options;
+}
+
+void FillEventsTable(db::Database& database) {
+  (void)database.Execute(
+      "CREATE TABLE events (event_id BIGINT PRIMARY KEY, title TEXT, "
+      "event_date BIGINT, created_by BIGINT)");
+  for (int64_t i = 0; i < 2048; ++i) {
+    (void)database.Execute(StrFormat(
+        "INSERT INTO events VALUES (%lld, 'release party', %lld, %lld)",
+        static_cast<long long>(i), static_cast<long long>(18200 + i % 365),
+        static_cast<long long>(i % 97)));
+  }
+}
+
+// The PR's headline comparison: end-to-end Execute() throughput of one
+// repeated statement (a fixed point SELECT, as issued by an application's
+// fixed query set) with the statement cache on (cache:1) vs off (cache:0).
+// With the cache on the repeated text resolves to the cached template
+// without a parse; off, it is parsed from scratch every call.
+void BM_DatabaseExecuteRepeated(benchmark::State& state) {
+  const bool cache_enabled = state.range(0) != 0;
+  db::Database database(EventsDbOptions(cache_enabled));
+  FillEventsTable(database);
+  const std::string sql =
+      "SELECT event_id, title, event_date FROM events "
+      "WHERE event_id = 1027 AND event_date >= 18200 AND created_by = 57";
+  for (auto _ : state) {
+    auto r = database.Execute(sql);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(cache_enabled ? "cache_on" : "cache_off");
+}
+BENCHMARK(BM_DatabaseExecuteRepeated)->ArgName("cache")->Arg(0)->Arg(1);
+
+// Same comparison when every call carries a fresh literal: the text differs
+// call to call, so the cache path pays the fingerprint scan but still skips
+// the parse.
+void BM_DatabaseExecuteParamVaried(benchmark::State& state) {
+  const bool cache_enabled = state.range(0) != 0;
+  db::Database database(EventsDbOptions(cache_enabled));
+  FillEventsTable(database);
+  Rng rng(9);
+  for (auto _ : state) {
+    auto r = database.Execute(StrFormat(
+        "SELECT event_id, title, event_date FROM events WHERE event_id = %lld",
+        static_cast<long long>(rng.UniformInt(0, 2047))));
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(cache_enabled ? "cache_on" : "cache_off");
+}
+BENCHMARK(BM_DatabaseExecuteParamVaried)->ArgName("cache")->Arg(0)->Arg(1);
+
 void BM_SimulationEventThroughput(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulation sim;
@@ -178,4 +312,32 @@ BENCHMARK(BM_CpuSchedulerChurn);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus a `--json <path>` convenience flag that expands to
+// --benchmark_out=<path> --benchmark_out_format=json.
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  std::string json_path;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+      continue;
+    }
+    args.emplace_back(argv[i]);
+  }
+  if (!json_path.empty()) {
+    args.push_back("--benchmark_out=" + json_path);
+    args.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> benchmark_argv;
+  benchmark_argv.reserve(args.size());
+  for (std::string& arg : args) benchmark_argv.push_back(arg.data());
+  int benchmark_argc = static_cast<int>(benchmark_argv.size());
+  benchmark::Initialize(&benchmark_argc, benchmark_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(benchmark_argc,
+                                             benchmark_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

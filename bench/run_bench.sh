@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Runs the engine microbenchmarks and writes the google-benchmark JSON report
+# to BENCH_micro_engine.json at the repository root (the committed perf
+# record; see DESIGN.md "Execution pipeline").
+#
+# Usage: bench/run_bench.sh [build_dir] [extra google-benchmark flags...]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+if [[ $# -gt 0 ]]; then shift; fi
+
+bin="${build_dir}/bench/micro_engine"
+if [[ ! -x "${bin}" ]]; then
+  echo "micro_engine not built at ${bin}; build with:" >&2
+  echo "  cmake -B '${build_dir}' -S '${repo_root}' && cmake --build '${build_dir}' --target micro_engine" >&2
+  exit 1
+fi
+
+"${bin}" --json "${repo_root}/BENCH_micro_engine.json" "$@"

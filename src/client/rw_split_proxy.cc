@@ -25,7 +25,7 @@ ReadWriteSplitProxy::ReadWriteSplitProxy(sim::Simulation* sim,
                                          std::vector<repl::SlaveNode*> slaves,
                                          const ProxyOptions& options)
     : sim_(sim), network_(network), client_node_(client_node),
-      options_(options) {
+      options_(options), route_cache_(options.route_cache_capacity) {
   master_pool_ = std::make_unique<ConnectionPool>(sim, network, client_node,
                                                   master, options.pool);
   for (repl::SlaveNode* slave : slaves) {
@@ -80,9 +80,23 @@ void ReadWriteSplitProxy::Execute(const std::string& sql, bool is_read,
 
 void ReadWriteSplitProxy::ExecuteAuto(const std::string& sql,
                                       SimDuration cpu_cost, Callback done) {
-  auto parsed = db::ParseSql(sql);
-  bool is_read = parsed.ok() && !db::IsWriteStatement(*parsed) &&
-                 !db::IsTransactionControl(*parsed);
+  bool is_read = false;
+  bool classified = false;
+  if (options_.route_cache) {
+    // Route from the cached template: after the first sighting of a
+    // statement shape, classification costs a fingerprint, not a parse.
+    auto call = route_cache_.Prepare(sql);
+    if (call.ok()) {
+      is_read = !db::IsWriteStatement(call->prepared->statement) &&
+                !db::IsTransactionControl(call->prepared->statement);
+      classified = true;
+    }
+  }
+  if (!classified) {
+    auto parsed = db::ParseSql(sql);
+    is_read = parsed.ok() && !db::IsWriteStatement(*parsed) &&
+              !db::IsTransactionControl(*parsed);
+  }
   Execute(sql, is_read, cpu_cost, std::move(done));
 }
 

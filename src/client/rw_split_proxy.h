@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "client/connection_pool.h"
+#include "db/statement_cache.h"
 #include "repl/master_node.h"
 #include "repl/slave_node.h"
 
@@ -31,6 +32,10 @@ struct ProxyOptions {
   ConnectionPoolOptions pool;
   /// EWMA smoothing for kLatencyWeighted.
   double ewma_alpha = 0.2;
+  /// ExecuteAuto classifies read vs write through a proxy-local statement
+  /// cache (fingerprint once per shape) instead of parsing every statement.
+  bool route_cache = true;
+  size_t route_cache_capacity = db::StatementCache::kDefaultCapacity;
 };
 
 /// The application-side statement router (the paper's MySQL Connector/J
@@ -84,6 +89,9 @@ class ReadWriteSplitProxy {
     return *slave_pools_[static_cast<size_t>(i)];
   }
 
+  /// Routing cache stats (hits = statements classified without a parse).
+  const db::StatementCache& route_cache() const { return route_cache_; }
+
  private:
   int PickSlave();
 
@@ -91,6 +99,7 @@ class ReadWriteSplitProxy {
   net::Network* network_;
   net::NodeId client_node_;
   ProxyOptions options_;
+  db::StatementCache route_cache_;
   std::unique_ptr<ConnectionPool> master_pool_;
   /// Pools for replaced masters, kept alive for in-flight requests.
   std::vector<std::unique_ptr<ConnectionPool>> old_master_pools_;

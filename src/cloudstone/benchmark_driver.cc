@@ -68,14 +68,17 @@ void UserEmulator::ThinkThenIssue() {
     GeneratedOp op = generator_->Next(rng_);
     SimTime issued = sim_->Now();
     ++ops_issued_;
-    proxy_->Execute(op.sql, op.is_read, op.cpu_cost,
-                    [this, type = op.type, is_read = op.is_read,
-                     issued](Result<db::ExecResult> result) {
-                      metrics_->Record(OpRecord{sim_->Now(), type, is_read,
-                                                result.ok(),
-                                                sim_->Now() - issued});
-                      ThinkThenIssue();
-                    });
+    // Route through the proxy's own statement classifier (as Connector/J
+    // does): the proxy fingerprints or parses the text, not the driver's
+    // op metadata. op.is_read is kept for the metrics breakdown only.
+    proxy_->ExecuteAuto(op.sql, op.cpu_cost,
+                        [this, type = op.type, is_read = op.is_read,
+                         issued](Result<db::ExecResult> result) {
+                          metrics_->Record(OpRecord{sim_->Now(), type, is_read,
+                                                    result.ok(),
+                                                    sim_->Now() - issued});
+                          ThinkThenIssue();
+                        });
   });
 }
 
@@ -158,6 +161,18 @@ BenchmarkReport BenchmarkDriver::Report() const {
           cluster_->slave(i)->instance().cpu().num_cores()));
     }
   }
+
+  auto add_db_stats = [&](const db::Database& database) {
+    const db::StatementCacheStats& stats = database.statement_cache().stats();
+    report.statement_cache_hits += stats.hits;
+    report.statement_cache_misses += stats.misses;
+  };
+  add_db_stats(cluster_->master()->database());
+  for (int i = 0; i < cluster_->num_slaves(); ++i) {
+    add_db_stats(cluster_->slave(i)->database());
+  }
+  report.route_cache_hits = proxy_->route_cache().stats().hits;
+  report.route_cache_misses = proxy_->route_cache().stats().misses;
   return report;
 }
 

@@ -91,6 +91,13 @@ struct BenchmarkReport {
   int64_t failed_ops = 0;
   double master_cpu_utilization = 0.0;
   std::vector<double> slave_cpu_utilization;
+  /// Statement-cache counters at report time, summed over the master and all
+  /// slaves (execution caches) and taken from the proxy (routing cache).
+  /// All zeros when the caches are disabled.
+  int64_t statement_cache_hits = 0;
+  int64_t statement_cache_misses = 0;
+  int64_t route_cache_hits = 0;
+  int64_t route_cache_misses = 0;
 };
 
 /// Orchestrates one benchmark run: staggers user start over the ramp-up,

@@ -53,8 +53,9 @@ struct Constraint {
 /// path selection, predicate filtering, mutation with undo capture.
 class Executor {
  public:
-  Executor(Database* database, Session* session)
-      : db_(database), session_(session) {}
+  Executor(Database* database, Session* session,
+           const std::vector<Value>* params = nullptr)
+      : db_(database), session_(session), params_(params) {}
 
   Result<ExecResult> Run(const Statement& stmt) {
     struct Visitor {
@@ -148,7 +149,8 @@ class Executor {
     values.reserve(stmt.values.size());
     for (const auto& expr : stmt.values) {
       CLOUDDB_ASSIGN_OR_RETURN(
-          Value v, EvaluateExpr(*expr, nullptr, nullptr, db_->functions_));
+          Value v,
+          EvaluateExpr(*expr, nullptr, nullptr, db_->functions_, params_));
       values.push_back(std::move(v));
     }
     Row row;
@@ -182,12 +184,23 @@ class Executor {
     CLOUDDB_ASSIGN_OR_RETURN(Table * table, ResolveTable(stmt.table));
     const Schema& schema = table->schema();
     ExecResult result;
+    // Resolve LIMIT: a cached template carries it as a parameter slot.
+    std::optional<int64_t> stmt_limit = stmt.limit;
+    if (stmt.limit_param.has_value()) {
+      if (params_ == nullptr || *stmt.limit_param >= params_->size()) {
+        return Status::Internal("unbound LIMIT parameter");
+      }
+      CLOUDDB_ASSIGN_OR_RETURN(int64_t n,
+                               (*params_)[*stmt.limit_param].ToInt64());
+      if (n < 0) return Status::InvalidArgument("LIMIT must be non-negative");
+      stmt_limit = n;
+    }
     // Limit pushdown hints: when the scan can prove the predicate and the
     // requested order, it may stop early.
     int64_t limit_hint = -1;
     size_t order_col = SIZE_MAX;
-    if (stmt.limit.has_value() && stmt.aggregates.empty()) {
-      limit_hint = *stmt.limit;
+    if (stmt_limit.has_value() && stmt.aggregates.empty()) {
+      limit_hint = *stmt_limit;
     }
     if (!stmt.order_by.empty()) {
       CLOUDDB_ASSIGN_OR_RETURN(order_col, schema.ColumnIndex(stmt.order_by));
@@ -235,7 +248,7 @@ class Executor {
                          });
       }
     }
-    size_t limit = stmt.limit.has_value() ? static_cast<size_t>(*stmt.limit)
+    size_t limit = stmt_limit.has_value() ? static_cast<size_t>(*stmt_limit)
                                           : rows.size();
     for (size_t i = 0; i < rows.size() && i < limit; ++i) {
       Row out;
@@ -347,7 +360,7 @@ class Executor {
         // Assignments see the *old* row (SQL semantics).
         CLOUDDB_ASSIGN_OR_RETURN(
             Value v, EvaluateExpr(*stmt.assignments[i].second, &schema,
-                                  old_row, db_->functions_));
+                                  old_row, db_->functions_, params_));
         new_row[target_cols[i]] = std::move(v);
       }
       Row saved = *old_row;
@@ -424,7 +437,8 @@ class Executor {
     auto col_idx = schema.ColumnIndex(col_side->column);
     if (!col_idx.ok()) return Status::Ok();  // checked later by the filter
     CLOUDDB_ASSIGN_OR_RETURN(
-        Value v, EvaluateExpr(*val_side, nullptr, nullptr, db_->functions_));
+        Value v,
+        EvaluateExpr(*val_side, nullptr, nullptr, db_->functions_, params_));
     if (v.is_null()) return Status::Ok();  // NULL comparisons never match
     out->push_back(Constraint{*col_idx, op, std::move(v)});
     return Status::Ok();
@@ -467,7 +481,8 @@ class Executor {
     if (!idx.ok() || *idx != column) return false;
     // NULL-valued comparisons match nothing and are never folded into scan
     // bounds; they must disqualify subsumption.
-    auto value = EvaluateExpr(*val_side, nullptr, nullptr, db_->functions_);
+    auto value =
+        EvaluateExpr(*val_side, nullptr, nullptr, db_->functions_, params_);
     if (!value.ok() || value->is_null()) return false;
     if (chosen_eq != nullptr) {
       return op == BinaryOp::kEq &&
@@ -494,26 +509,79 @@ class Executor {
     if (where != nullptr) {
       CLOUDDB_RETURN_IF_ERROR(ExtractConstraints(*where, schema, &constraints));
     }
+    // Predicate shape: the ordered (op, column) pairs of the extracted
+    // constraints. Values are excluded on purpose — NULL-valued comparisons
+    // were already dropped by ExtractConstraints, and everything
+    // value-dependent (bounds, subsumption) is recomputed below.
+    std::string shape;
+    if (where == nullptr) {
+      shape = "-";
+    } else {
+      shape.reserve(constraints.size() * 4);
+      for (const Constraint& c : constraints) {
+        shape += static_cast<char>('a' + static_cast<int>(c.op));
+        shape += std::to_string(c.column);
+        shape += ';';
+      }
+    }
     // Access-path selection: PK equality, then any indexed equality, then an
-    // indexed range, then full scan.
+    // indexed range, then full scan. The decision depends only on the shape
+    // and the table's index set, so it is memoized per shape (the memo is
+    // cleared when an index is added).
     auto pk = schema.primary_key_index();
     const Constraint* chosen_eq = nullptr;
     size_t range_col = SIZE_MAX;
-    for (const Constraint& c : constraints) {
-      if (c.op != BinaryOp::kEq || !table->HasIndexOn(c.column)) continue;
-      if (pk.has_value() && c.column == *pk) {
-        chosen_eq = &c;
-        break;  // best possible
-      }
-      if (chosen_eq == nullptr) chosen_eq = &c;
-    }
-    if (chosen_eq == nullptr) {
-      for (const Constraint& c : constraints) {
-        if (c.op != BinaryOp::kEq && table->HasIndexOn(c.column)) {
-          range_col = c.column;
+    PlanHint local;
+    const PlanHint* hint = table->FindPlanHint(shape);
+    if (hint != nullptr) {
+      switch (hint->kind) {
+        case AccessPathKind::kPkEq:
+        case AccessPathKind::kIndexEq:
+          chosen_eq = &constraints[hint->chosen];
           break;
+        case AccessPathKind::kIndexRange:
+          range_col = hint->chosen;
+          break;
+        case AccessPathKind::kTableScan:
+          break;
+      }
+    } else {
+      for (const Constraint& c : constraints) {
+        if (c.op != BinaryOp::kEq || !table->HasIndexOn(c.column)) continue;
+        if (pk.has_value() && c.column == *pk) {
+          chosen_eq = &c;
+          break;  // best possible
+        }
+        if (chosen_eq == nullptr) chosen_eq = &c;
+      }
+      if (chosen_eq == nullptr) {
+        for (const Constraint& c : constraints) {
+          if (c.op != BinaryOp::kEq && table->HasIndexOn(c.column)) {
+            range_col = c.column;
+            break;
+          }
         }
       }
+      if (chosen_eq != nullptr) {
+        bool is_pk = pk.has_value() && chosen_eq->column == *pk;
+        local.kind = is_pk ? AccessPathKind::kPkEq : AccessPathKind::kIndexEq;
+        local.chosen = static_cast<size_t>(chosen_eq - constraints.data());
+        local.plan =
+            StrFormat(is_pk ? "pk_eq(%s)" : "index_eq(%s)",
+                      schema.columns()[chosen_eq->column].name.c_str());
+        local.ordered_by = schema.columns()[chosen_eq->column].name;
+      } else if (range_col != SIZE_MAX) {
+        local.kind = AccessPathKind::kIndexRange;
+        local.chosen = range_col;
+        local.plan = StrFormat("index_range(%s)",
+                               schema.columns()[range_col].name.c_str());
+        local.ordered_by = schema.columns()[range_col].name;
+      } else {
+        local.kind = AccessPathKind::kTableScan;
+        local.plan = "table_scan";
+      }
+      table->MemoizePlanHint(shape, local);
+      hint = &local;
     }
 
     // Limit pushdown: decide whether the scan alone proves the predicate
@@ -542,11 +610,8 @@ class Executor {
 
     std::vector<RowId> candidates;
     if (chosen_eq != nullptr) {
-      bool is_pk = pk.has_value() && chosen_eq->column == *pk;
-      meta->plan = StrFormat(
-          is_pk ? "pk_eq(%s)" : "index_eq(%s)",
-          schema.columns()[chosen_eq->column].name.c_str());
-      meta->scan_ordered_by = schema.columns()[chosen_eq->column].name;
+      meta->plan = hint->plan;
+      meta->scan_ordered_by = hint->ordered_by;
       CLOUDDB_RETURN_IF_ERROR(table->ScanIndex(
           chosen_eq->column, &chosen_eq->value, true, &chosen_eq->value, true,
           [&](RowId id) {
@@ -580,16 +645,15 @@ class Executor {
             break;
         }
       }
-      meta->plan = StrFormat("index_range(%s)",
-                             schema.columns()[range_col].name.c_str());
-      meta->scan_ordered_by = schema.columns()[range_col].name;
+      meta->plan = hint->plan;
+      meta->scan_ordered_by = hint->ordered_by;
       CLOUDDB_RETURN_IF_ERROR(
           table->ScanIndex(range_col, lo, lo_inc, hi, hi_inc, [&](RowId id) {
             candidates.push_back(id);
             return keep_scanning(candidates);
           }));
     } else {
-      meta->plan = "table_scan";
+      meta->plan = hint->plan;
       table->ScanAll([&](RowId id, const Row&) {
         candidates.push_back(id);
         return keep_scanning(candidates);
@@ -603,7 +667,8 @@ class Executor {
     for (RowId id : candidates) {
       const Row* row = table->Get(id);
       CLOUDDB_ASSIGN_OR_RETURN(
-          bool keep, EvaluatePredicate(*where, &schema, row, db_->functions_));
+          bool keep, EvaluatePredicate(*where, &schema, row, db_->functions_,
+                                       params_));
       if (keep) matches.push_back(id);
     }
     return matches;
@@ -611,11 +676,13 @@ class Executor {
 
   Database* db_;
   Session* session_;
+  const std::vector<Value>* params_;  // null unless running a cached template
 };
 
 Database::Database(DatabaseOptions options)
     : options_(std::move(options)),
-      functions_(options_.now_micros) {
+      functions_(options_.now_micros),
+      statement_cache_(options_.statement_cache_capacity) {
   autocommit_session_ = std::make_unique<Session>(0);
 }
 
@@ -625,13 +692,38 @@ std::unique_ptr<Session> Database::CreateSession() {
 
 Result<ExecResult> Database::Execute(const std::string& sql,
                                      Session* session) {
+  if (options_.statement_cache) {
+    Result<PreparedCall> call = statement_cache_.Prepare(sql);
+    if (call.ok()) return ExecutePrepared(*call, sql, session);
+    // Any Prepare failure — uncacheable shape, template parse failure, even
+    // a tokenizer error — falls through to the parse-every-time path, which
+    // reproduces cache-off behavior (and error text) byte for byte.
+  }
   CLOUDDB_ASSIGN_OR_RETURN(Statement stmt, ParseSql(sql));
   return ExecuteParsed(stmt, sql, session);
+}
+
+Result<PreparedCall> Database::Prepare(const std::string& sql) {
+  return statement_cache_.Prepare(sql);
+}
+
+Result<ExecResult> Database::ExecutePrepared(const PreparedCall& call,
+                                             const std::string& sql_text,
+                                             Session* session) {
+  return ExecuteStatement(call.prepared->statement, &call.params, sql_text,
+                          session);
 }
 
 Result<ExecResult> Database::ExecuteParsed(const Statement& stmt,
                                            const std::string& sql_text,
                                            Session* session) {
+  return ExecuteStatement(stmt, nullptr, sql_text, session);
+}
+
+Result<ExecResult> Database::ExecuteStatement(const Statement& stmt,
+                                              const std::vector<Value>* params,
+                                              const std::string& sql_text,
+                                              Session* session) {
   if (session == nullptr) session = autocommit_session_.get();
 
   // Transaction control.
@@ -668,12 +760,15 @@ Result<ExecResult> Database::ExecuteParsed(const Statement& stmt,
     return lock_status;
   }
 
-  Executor executor(this, session);
+  Executor executor(this, session, params);
   Result<ExecResult> result = executor.Run(stmt);
   if (!result.ok()) {
     RollbackSession(session);
     return result;
   }
+  // DDL changed the catalog: cached templates (and the plan hints resolved
+  // through them) must not survive it.
+  if (IsDdl(stmt)) statement_cache_.Invalidate();
   if (is_write) session->pending_binlog().push_back(sql_text);
   if (!session->in_explicit_transaction()) CommitSession(session);
   return result;

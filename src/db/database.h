@@ -13,6 +13,7 @@
 #include "db/binlog.h"
 #include "db/functions.h"
 #include "db/sql_ast.h"
+#include "db/statement_cache.h"
 #include "db/table.h"
 #include "db/transaction.h"
 
@@ -40,6 +41,14 @@ struct DatabaseOptions {
   /// keep this on; slaves apply replicated events with logging off
   /// (MySQL's default: no log-slave-updates).
   bool enable_binlog = true;
+
+  /// Whether Execute() goes through the statement cache (parse each distinct
+  /// statement shape once; bind literals per call). Off = parse every time.
+  /// Either way the results are identical — the cache is wall-clock-only.
+  bool statement_cache = true;
+
+  /// LRU capacity of the statement cache (distinct statement shapes).
+  size_t statement_cache_capacity = StatementCache::kDefaultCapacity;
 };
 
 /// A single-node relational database: catalog, SQL execution, table-level
@@ -75,6 +84,19 @@ class Database {
                                    const std::string& sql_text,
                                    Session* session);
 
+  /// Fingerprints `sql` against the statement cache, parsing (and caching)
+  /// the template on a miss. Callers that need the AST before executing —
+  /// cost estimation, routing — use this so the later Execute() of the same
+  /// text is a cache hit instead of a second parse. Fails (NotSupported) for
+  /// shapes the cache bypasses; see StatementCache::Prepare.
+  Result<PreparedCall> Prepare(const std::string& sql);
+
+  /// Executes a prepared call (template + bound literals). `sql_text` is the
+  /// original statement text, recorded in the binlog if this is a write.
+  Result<ExecResult> ExecutePrepared(const PreparedCall& call,
+                                     const std::string& sql_text,
+                                     Session* session);
+
   // --- Introspection -------------------------------------------------------
   Table* GetTable(const std::string& name);
   const Table* GetTable(const std::string& name) const;
@@ -85,6 +107,15 @@ class Database {
   FunctionRegistry& functions() { return functions_; }
   LockManager& lock_manager() { return lock_manager_; }
   const DatabaseOptions& options() const { return options_; }
+  StatementCache& statement_cache() { return statement_cache_; }
+  const StatementCache& statement_cache() const { return statement_cache_; }
+
+  /// Toggles the parse-once path at runtime (the on/off equivalence tests
+  /// and benchmarks flip this). Disabling does not drop cached entries.
+  void set_statement_cache_enabled(bool enabled) {
+    options_.statement_cache = enabled;
+  }
+  bool statement_cache_enabled() const { return options_.statement_cache; }
 
   /// Replaces the NOW_MICROS time source (also updates options()).
   void SetTimeSource(std::function<int64_t()> now_micros);
@@ -115,6 +146,13 @@ class Database {
  private:
   friend class Executor;
 
+  /// Shared execution path: `params` is null for fully-literal ASTs and the
+  /// bound literal vector for cached templates.
+  Result<ExecResult> ExecuteStatement(const Statement& stmt,
+                                      const std::vector<Value>* params,
+                                      const std::string& sql_text,
+                                      Session* session);
+
   /// Commits `session`: appends pending write statements to the binlog as a
   /// single event, releases locks, clears transaction state.
   void CommitSession(Session* session);
@@ -125,6 +163,7 @@ class Database {
   FunctionRegistry functions_;
   Binlog binlog_;
   LockManager lock_manager_;
+  StatementCache statement_cache_;
   std::map<std::string, std::unique_ptr<Table>> tables_;  // keys lower-cased
   bool binlog_suppressed_ = false;
   int64_t next_session_id_ = 1;

@@ -99,11 +99,18 @@ Result<Value> EvalOr(const Value& a, const Value& b) {
 }  // namespace
 
 Result<Value> EvaluateExpr(const Expr& expr, const Schema* schema,
-                           const Row* row,
-                           const FunctionRegistry& functions) {
+                           const Row* row, const FunctionRegistry& functions,
+                           const std::vector<Value>* params) {
   switch (expr.kind) {
     case Expr::Kind::kLiteral:
       return expr.literal;
+    case Expr::Kind::kParameter: {
+      if (params == nullptr || expr.param_index >= params->size()) {
+        return Status::Internal(
+            StrFormat("unbound statement parameter ?%zu", expr.param_index));
+      }
+      return (*params)[expr.param_index];
+    }
     case Expr::Kind::kColumnRef: {
       if (schema == nullptr || row == nullptr) {
         return Status::InvalidArgument(
@@ -118,16 +125,16 @@ Result<Value> EvaluateExpr(const Expr& expr, const Schema* schema,
       args.reserve(expr.args.size());
       for (const auto& arg : expr.args) {
         CLOUDDB_ASSIGN_OR_RETURN(Value v,
-                                 EvaluateExpr(*arg, schema, row, functions));
+                                 EvaluateExpr(*arg, schema, row, functions, params));
         args.push_back(std::move(v));
       }
       return functions.Call(expr.function, args);
     }
     case Expr::Kind::kBinary: {
       CLOUDDB_ASSIGN_OR_RETURN(Value a,
-                               EvaluateExpr(*expr.lhs, schema, row, functions));
+                               EvaluateExpr(*expr.lhs, schema, row, functions, params));
       CLOUDDB_ASSIGN_OR_RETURN(Value b,
-                               EvaluateExpr(*expr.rhs, schema, row, functions));
+                               EvaluateExpr(*expr.rhs, schema, row, functions, params));
       switch (expr.op) {
         case BinaryOp::kAdd:
         case BinaryOp::kSub:
@@ -144,27 +151,27 @@ Result<Value> EvaluateExpr(const Expr& expr, const Schema* schema,
     }
     case Expr::Kind::kIsNull: {
       CLOUDDB_ASSIGN_OR_RETURN(Value v,
-                               EvaluateExpr(*expr.lhs, schema, row, functions));
+                               EvaluateExpr(*expr.lhs, schema, row, functions, params));
       bool is_null = v.is_null();
       if (expr.is_null_negated) is_null = !is_null;
       return Value(int64_t{is_null ? 1 : 0});
     }
     case Expr::Kind::kNot: {
       CLOUDDB_ASSIGN_OR_RETURN(Value v,
-                               EvaluateExpr(*expr.lhs, schema, row, functions));
+                               EvaluateExpr(*expr.lhs, schema, row, functions, params));
       CLOUDDB_ASSIGN_OR_RETURN(int t, Truth(v));
       if (t == 2) return Value::Null();
       return Value(int64_t{t == 0 ? 1 : 0});
     }
     case Expr::Kind::kInList: {
       CLOUDDB_ASSIGN_OR_RETURN(Value needle,
-                               EvaluateExpr(*expr.lhs, schema, row, functions));
+                               EvaluateExpr(*expr.lhs, schema, row, functions, params));
       if (needle.is_null()) return Value::Null();
       bool saw_null = false;
       bool found = false;
       for (const auto& item : expr.args) {
         CLOUDDB_ASSIGN_OR_RETURN(
-            Value candidate, EvaluateExpr(*item, schema, row, functions));
+            Value candidate, EvaluateExpr(*item, schema, row, functions, params));
         if (candidate.is_null()) {
           saw_null = true;
           continue;
@@ -186,8 +193,10 @@ Result<Value> EvaluateExpr(const Expr& expr, const Schema* schema,
 
 Result<bool> EvaluatePredicate(const Expr& expr, const Schema* schema,
                                const Row* row,
-                               const FunctionRegistry& functions) {
-  CLOUDDB_ASSIGN_OR_RETURN(Value v, EvaluateExpr(expr, schema, row, functions));
+                               const FunctionRegistry& functions,
+                               const std::vector<Value>* params) {
+  CLOUDDB_ASSIGN_OR_RETURN(Value v,
+                           EvaluateExpr(expr, schema, row, functions, params));
   if (v.is_null()) return false;
   CLOUDDB_ASSIGN_OR_RETURN(double d, v.ToDouble());
   return d != 0.0;
@@ -196,6 +205,7 @@ Result<bool> EvaluatePredicate(const Expr& expr, const Schema* schema,
 bool IsRowIndependent(const Expr& expr) {
   switch (expr.kind) {
     case Expr::Kind::kLiteral:
+    case Expr::Kind::kParameter:
       return true;
     case Expr::Kind::kColumnRef:
       return false;

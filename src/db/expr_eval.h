@@ -1,6 +1,8 @@
 #ifndef CLOUDDB_DB_EXPR_EVAL_H_
 #define CLOUDDB_DB_EXPR_EVAL_H_
 
+#include <vector>
+
 #include "common/result.h"
 #include "db/functions.h"
 #include "db/schema.h"
@@ -12,15 +14,19 @@ namespace clouddb::db {
 /// Evaluates `expr`. Column references resolve against `row` laid out per
 /// `schema` (both may be null for row-independent expressions, e.g. INSERT
 /// values). Booleans are represented as int64 1/0; SQL three-valued logic
-/// propagates NULL through comparisons and AND.
+/// propagates NULL through comparisons and AND. kParameter nodes resolve
+/// against `params` (the bound literals of a cached statement template);
+/// evaluating a parameter with no bound params is an internal error.
 Result<Value> EvaluateExpr(const Expr& expr, const Schema* schema,
-                           const Row* row, const FunctionRegistry& functions);
+                           const Row* row, const FunctionRegistry& functions,
+                           const std::vector<Value>* params = nullptr);
 
 /// Evaluates `expr` as a predicate: true iff the result is non-NULL, numeric
 /// and non-zero (NULL => false, per SQL WHERE semantics).
 Result<bool> EvaluatePredicate(const Expr& expr, const Schema* schema,
                                const Row* row,
-                               const FunctionRegistry& functions);
+                               const FunctionRegistry& functions,
+                               const std::vector<Value>* params = nullptr);
 
 /// True if `expr` references no columns (safe to evaluate once per
 /// statement instead of once per row).

@@ -83,6 +83,13 @@ std::unique_ptr<Expr> Expr::MakeBinary(BinaryOp op, std::unique_ptr<Expr> lhs,
   return e;
 }
 
+std::unique_ptr<Expr> Expr::MakeParameter(size_t index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kParameter;
+  e->param_index = index;
+  return e;
+}
+
 std::string Expr::ToString() const {
   switch (kind) {
     case Kind::kLiteral:
@@ -116,6 +123,8 @@ std::string Expr::ToString() const {
       out += "))";
       return out;
     }
+    case Kind::kParameter:
+      return "?";
   }
   return "?";
 }
@@ -128,6 +137,7 @@ ExprPtr CloneExpr(const Expr& expr) {
   out->function = expr.function;
   out->op = expr.op;
   out->is_null_negated = expr.is_null_negated;
+  out->param_index = expr.param_index;
   for (const auto& arg : expr.args) out->args.push_back(CloneExpr(*arg));
   if (expr.lhs != nullptr) out->lhs = CloneExpr(*expr.lhs);
   if (expr.rhs != nullptr) out->rhs = CloneExpr(*expr.rhs);

@@ -42,6 +42,8 @@ struct Expr {
     kIsNull,        // `lhs IS [NOT] NULL`
     kNot,           // `NOT lhs`
     kInList,        // `lhs [NOT] IN (args...)`; is_null_negated = NOT IN
+    kParameter,     // `?` — a masked literal in a cached statement template,
+                    // bound per execution from PreparedCall::params
   };
 
   Kind kind = Kind::kLiteral;
@@ -53,6 +55,7 @@ struct Expr {
   std::unique_ptr<Expr> lhs;
   std::unique_ptr<Expr> rhs;
   bool is_null_negated = false;  // kIsNull/kInList: true for IS NOT NULL / NOT IN
+  size_t param_index = 0;        // kParameter: slot in the bound param vector
 
   static std::unique_ptr<Expr> MakeLiteral(Value v);
   static std::unique_ptr<Expr> MakeColumn(std::string name);
@@ -61,6 +64,7 @@ struct Expr {
   static std::unique_ptr<Expr> MakeBinary(BinaryOp op,
                                           std::unique_ptr<Expr> lhs,
                                           std::unique_ptr<Expr> rhs);
+  static std::unique_ptr<Expr> MakeParameter(size_t index);
 
   /// Re-renders as SQL (used in error messages and tests).
   std::string ToString() const;
@@ -127,6 +131,9 @@ struct SelectStatement {
   std::string order_by;     // empty = unordered
   bool order_desc = false;
   std::optional<int64_t> limit;
+  /// Set instead of `limit` in a cached statement template: the LIMIT count
+  /// is a masked literal, resolved from the bound params at execution.
+  std::optional<size_t> limit_param;
 };
 
 struct UpdateStatement {

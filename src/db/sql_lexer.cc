@@ -1,7 +1,10 @@
 #include "db/sql_lexer.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
+#include <functional>
+#include <string_view>
 #include <unordered_set>
 
 #include "common/str_util.h"
@@ -10,8 +13,20 @@ namespace clouddb::db {
 
 namespace {
 
-const std::unordered_set<std::string>& Keywords() {
-  static const auto* kKeywords = new std::unordered_set<std::string>{
+// Heterogeneous hashing so keyword lookups can use a stack-buffer
+// string_view instead of materializing an uppercase std::string per word.
+struct TransparentStringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+using KeywordSet =
+    std::unordered_set<std::string, TransparentStringHash, std::equal_to<>>;
+
+const KeywordSet& Keywords() {
+  static const auto* kKeywords = new KeywordSet{
       "CREATE", "TABLE",  "INDEX",  "ON",     "INSERT", "INTO",   "VALUES",
       "SELECT", "FROM",   "WHERE",  "ORDER",  "BY",     "ASC",    "DESC",
       "LIMIT",  "UPDATE", "SET",    "DELETE", "AND",    "NOT",    "NULL",
@@ -22,6 +37,10 @@ const std::unordered_set<std::string>& Keywords() {
   };
   return *kKeywords;
 }
+
+// Longest entry in Keywords() ("TIMESTAMP"); longer words cannot be keywords
+// and skip the uppercase probe entirely.
+constexpr size_t kMaxKeywordLen = 9;
 
 bool IsIdentStart(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
@@ -42,6 +61,9 @@ bool Token::IsSymbol(const char* sym) const {
 
 Result<std::vector<Token>> Tokenize(const std::string& sql) {
   std::vector<Token> out;
+  // Tokens average a handful of bytes of source each; one upfront reservation
+  // avoids the O(log n) vector regrowths per statement.
+  out.reserve(sql.size() / 4 + 4);
   size_t i = 0;
   const size_t n = sql.size();
   while (i < n) {
@@ -54,16 +76,25 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
     if (IsIdentStart(c)) {
       size_t j = i;
       while (j < n && IsIdentChar(sql[j])) ++j;
-      std::string word = sql.substr(i, j - i);
-      std::string upper = ToUpper(word);
+      const size_t len = j - i;
       Token t;
       t.offset = start;
-      if (Keywords().count(upper) > 0) {
+      char upper_buf[kMaxKeywordLen];
+      bool is_keyword = false;
+      if (len <= kMaxKeywordLen) {
+        for (size_t k = 0; k < len; ++k) {
+          upper_buf[k] = static_cast<char>(
+              std::toupper(static_cast<unsigned char>(sql[i + k])));
+        }
+        is_keyword =
+            Keywords().count(std::string_view(upper_buf, len)) > 0;
+      }
+      if (is_keyword) {
         t.type = TokenType::kKeyword;
-        t.text = upper;
+        t.text.assign(upper_buf, len);
       } else {
         t.type = TokenType::kIdentifier;
-        t.text = std::move(word);
+        t.text.assign(sql, i, len);
       }
       out.push_back(std::move(t));
       i = j;
@@ -115,19 +146,19 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
       std::string value;
       size_t j = i + 1;
       bool closed = false;
+      // Copy whole runs up to each quote instead of byte-at-a-time appends.
       while (j < n) {
-        if (sql[j] == '\'') {
-          if (j + 1 < n && sql[j + 1] == '\'') {  // '' escape
-            value += '\'';
-            j += 2;
-            continue;
-          }
-          closed = true;
-          ++j;
-          break;
+        size_t quote = sql.find('\'', j);
+        if (quote == std::string::npos) break;  // unterminated
+        value.append(sql, j, quote - j);
+        if (quote + 1 < n && sql[quote + 1] == '\'') {  // '' escape
+          value += '\'';
+          j = quote + 2;
+          continue;
         }
-        value += sql[j];
-        ++j;
+        closed = true;
+        j = quote + 1;
+        break;
       }
       if (!closed) {
         return Status::InvalidArgument(
@@ -175,6 +206,134 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
   end.offset = n;
   out.push_back(std::move(end));
   return out;
+}
+
+Result<std::string> FingerprintSql(const std::string& sql,
+                                   std::vector<Value>* params) {
+  std::string fp;
+  // Every source byte maps to at most one fingerprint byte plus the token
+  // separators; sql.size() + a small slack avoids regrowth.
+  fp.reserve(sql.size() + 8);
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      const size_t len = j - i;
+      char upper_buf[kMaxKeywordLen];
+      bool is_keyword = false;
+      if (len <= kMaxKeywordLen) {
+        for (size_t k = 0; k < len; ++k) {
+          upper_buf[k] = static_cast<char>(
+              std::toupper(static_cast<unsigned char>(sql[i + k])));
+        }
+        is_keyword = Keywords().count(std::string_view(upper_buf, len)) > 0;
+      }
+      if (is_keyword) {
+        fp.append(upper_buf, len);
+      } else {
+        fp.append(sql, i, len);
+      }
+      fp += ' ';
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool is_double = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j < n && sql[j] == '.') {
+        is_double = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      if (j < n && (sql[j] == 'e' || sql[j] == 'E')) {
+        size_t k = j + 1;
+        if (k < n && (sql[k] == '+' || sql[k] == '-')) ++k;
+        if (k < n && std::isdigit(static_cast<unsigned char>(sql[k]))) {
+          is_double = true;
+          j = k;
+          while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+            ++j;
+          }
+        }
+      }
+      // strtod/strtoll stop at exactly the character the scan above stopped
+      // at, so parsing in place from the source buffer matches Tokenize's
+      // substr-then-parse byte for byte.
+      if (is_double) {
+        params->push_back(Value(std::strtod(sql.c_str() + i, nullptr)));
+      } else {
+        errno = 0;
+        int64_t v = std::strtoll(sql.c_str() + i, nullptr, 10);
+        if (errno == ERANGE) {
+          return Status::InvalidArgument(
+              StrFormat("integer literal out of range at offset %zu", start));
+        }
+        params->push_back(Value(v));
+      }
+      fp += "? ";
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        size_t quote = sql.find('\'', j);
+        if (quote == std::string::npos) break;  // unterminated
+        value.append(sql, j, quote - j);
+        if (quote + 1 < n && sql[quote + 1] == '\'') {  // '' escape
+          value += '\'';
+          j = quote + 2;
+          continue;
+        }
+        closed = true;
+        j = quote + 1;
+        break;
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            StrFormat("unterminated string literal at offset %zu", start));
+      }
+      params->push_back(Value(std::move(value)));
+      fp += "? ";
+      i = j;
+      continue;
+    }
+    if (c == '<' && i + 1 < n && sql[i + 1] == '=') {
+      fp += "<= ";
+      i += 2;
+    } else if (c == '>' && i + 1 < n && sql[i + 1] == '=') {
+      fp += ">= ";
+      i += 2;
+    } else if (c == '<' && i + 1 < n && sql[i + 1] == '>') {
+      fp += "<> ";
+      i += 2;
+    } else if (c == '!' && i + 1 < n && sql[i + 1] == '=') {
+      fp += "!= ";
+      i += 2;
+    } else if (std::string_view("(),*=<>+-/.;").find(c) !=
+               std::string_view::npos) {
+      fp += c;
+      fp += ' ';
+      ++i;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unexpected character '%c' at offset %zu", c, start));
+    }
+  }
+  return fp;
 }
 
 }  // namespace clouddb::db

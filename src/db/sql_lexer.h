@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "db/value.h"
 
 namespace clouddb::db {
 
@@ -17,6 +18,9 @@ enum class TokenType {
   kDouble,      // floating-point literal
   kString,      // 'single quoted', '' escapes a quote
   kSymbol,      // ( ) , * = != <> < <= > >= + - / .
+  kParameter,   // `?` placeholder — never produced by Tokenize; synthesized
+                // by the statement cache when masking literals (int_value
+                // holds the parameter slot)
   kEnd,         // end of input
 };
 
@@ -34,6 +38,17 @@ struct Token {
 /// Tokenizes `sql`. Keywords are case-insensitive. Returns the token list
 /// terminated by a kEnd token, or an error pointing at the offending byte.
 Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+/// Fused single-pass fingerprint scan: the statement cache's hit path.
+/// Produces exactly the fingerprint the cache would build by tokenizing and
+/// masking (every token uppercased-if-keyword and emitted with one trailing
+/// space; literals collapse to `?` with their values appended to `params` in
+/// token order) — but without materializing a token vector, so a cache hit
+/// costs one scan over the text. Lexical errors are byte-identical to
+/// Tokenize's. Equivalence with the token-based construction is enforced by
+/// tests (statement_cache_test).
+Result<std::string> FingerprintSql(const std::string& sql,
+                                   std::vector<Value>* params);
 
 }  // namespace clouddb::db
 

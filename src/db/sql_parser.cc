@@ -288,11 +288,17 @@ class Parser {
     }
     if (Peek().IsKeyword("LIMIT")) {
       Advance();
-      if (Peek().type != TokenType::kInteger) {
-        return Error("expected integer after LIMIT");
+      if (Peek().type == TokenType::kParameter) {
+        // Masked template: the count is bound (and range-checked) at
+        // execution time.
+        stmt.limit_param = static_cast<size_t>(Advance().int_value);
+      } else {
+        if (Peek().type != TokenType::kInteger) {
+          return Error("expected integer after LIMIT");
+        }
+        stmt.limit = Advance().int_value;
+        if (*stmt.limit < 0) return Error("LIMIT must be non-negative");
       }
-      stmt.limit = Advance().int_value;
-      if (*stmt.limit < 0) return Error("LIMIT must be non-negative");
     }
     return Statement(std::move(stmt));
   }
@@ -512,6 +518,10 @@ class Parser {
       Advance();
       return Expr::MakeLiteral(Value(t.text));
     }
+    if (t.type == TokenType::kParameter) {
+      Advance();
+      return Expr::MakeParameter(static_cast<size_t>(t.int_value));
+    }
     if (t.IsKeyword("NULL")) {
       Advance();
       return Expr::MakeLiteral(Value::Null());
@@ -548,6 +558,11 @@ class Parser {
 
 Result<Statement> ParseSql(const std::string& sql) {
   CLOUDDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+Result<Statement> ParseTokens(std::vector<Token> tokens) {
   Parser parser(std::move(tokens));
   return parser.ParseStatement();
 }

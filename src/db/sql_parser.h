@@ -2,9 +2,11 @@
 #define CLOUDDB_DB_SQL_PARSER_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "db/sql_ast.h"
+#include "db/sql_lexer.h"
 
 namespace clouddb::db {
 
@@ -31,6 +33,12 @@ namespace clouddb::db {
 /// Expressions support +, -, *, / with the usual precedence, parentheses,
 /// column references, literals, and function calls (e.g. NOW_MICROS()).
 Result<Statement> ParseSql(const std::string& sql);
+
+/// Parses an already-tokenized statement. Used by the statement cache, which
+/// tokenizes once to fingerprint and then parses the literal-masked token
+/// stream (kParameter tokens become Expr::kParameter placeholders; a
+/// kParameter after LIMIT sets SelectStatement::limit_param).
+Result<Statement> ParseTokens(std::vector<Token> tokens);
 
 }  // namespace clouddb::db
 

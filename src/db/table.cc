@@ -119,7 +119,19 @@ Status Table::CreateIndex(const std::string& index_name,
     idx.tree->Insert(SecondaryKey{row[col], id}, id);
   }
   secondary_.push_back(std::move(idx));
+  // The new index can beat the memoized path for already-seen shapes.
+  plan_memo_.clear();
   return Status::Ok();
+}
+
+const PlanHint* Table::FindPlanHint(const std::string& shape) const {
+  auto it = plan_memo_.find(shape);
+  return it == plan_memo_.end() ? nullptr : &it->second;
+}
+
+void Table::MemoizePlanHint(const std::string& shape, PlanHint hint) {
+  if (plan_memo_.size() >= kPlanMemoMaxShapes) return;
+  plan_memo_.emplace(shape, std::move(hint));
 }
 
 bool Table::HasIndexOn(size_t column_index) const {

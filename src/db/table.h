@@ -20,6 +20,23 @@ namespace clouddb::db {
 /// Internal row identifier; stable for the life of the row.
 using RowId = int64_t;
 
+/// Access paths the executor can choose for a statement.
+enum class AccessPathKind { kPkEq, kIndexEq, kIndexRange, kTableScan };
+
+/// Memoized access-path decision for one WHERE predicate shape — the
+/// ordered (column, op) list of index-usable constraints. Literal values are
+/// deliberately absent from both key and hint: NULL-valued comparisons are
+/// dropped before the shape is built, and every value-dependent decision
+/// (predicate subsumption, scan bounds) is recomputed per execution.
+struct PlanHint {
+  AccessPathKind kind = AccessPathKind::kTableScan;
+  /// kPkEq/kIndexEq: index of the chosen constraint in the extracted list;
+  /// kIndexRange: the column index to range-scan. Unused for kTableScan.
+  size_t chosen = 0;
+  std::string plan;        // ExecResult.plan label, e.g. "pk_eq(id)"
+  std::string ordered_by;  // ExecResult.scan_ordered_by
+};
+
 /// Composite key for secondary (non-unique) indexes: the indexed value plus
 /// the row id as a tiebreaker, making every key unique in the B+Tree.
 struct SecondaryKey {
@@ -111,6 +128,22 @@ class Table {
   /// index exactly once and vice versa.
   bool ValidateIndexes(std::string* error) const;
 
+  // --- Planner memoization --------------------------------------------------
+  // Access-path selection depends only on the predicate shape and this
+  // table's index set, so repeated statements (the common case under the
+  // statement cache) skip re-deriving it. CreateIndex clears the memo — a
+  // new index can change the best path for an already-seen shape.
+
+  /// Cached decision for `shape`, or nullptr if not yet memoized.
+  const PlanHint* FindPlanHint(const std::string& shape) const;
+  /// Records the decision for `shape` (no-op once kPlanMemoMaxShapes
+  /// distinct shapes are held; a workload with unbounded shapes would
+  /// otherwise grow the memo without ever hitting it).
+  void MemoizePlanHint(const std::string& shape, PlanHint hint);
+  size_t plan_memo_size() const { return plan_memo_.size(); }
+
+  static constexpr size_t kPlanMemoMaxShapes = 64;
+
  private:
   struct SecondaryIndex {
     std::string name;
@@ -128,6 +161,7 @@ class Table {
   std::map<RowId, Row> rows_;
   std::unique_ptr<BPlusTree<Value, RowId>> primary_;  // null if no PK
   std::vector<SecondaryIndex> secondary_;
+  std::unordered_map<std::string, PlanHint> plan_memo_;
 };
 
 }  // namespace clouddb::db

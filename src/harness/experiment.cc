@@ -49,6 +49,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
       cloudstone::MakeWorkloadCostModel(config.costs, config.apply_factor);
   cluster_config.synchronous_replication = config.synchronous_replication;
   repl::ReplicationCluster cluster(&provider, cluster_config);
+  cluster.SetStatementCacheEnabled(config.statement_cache);
 
   // L1: the benchmark driver instance — a large instance in the master's
   // zone ("the benchmark is deployed in a large instance to avoid any
@@ -88,6 +89,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   // The proxy (Connector/J-style) runs inside the benchmark process.
   client::ProxyOptions proxy_options;
   proxy_options.policy = config.policy;
+  proxy_options.route_cache = config.statement_cache;
   proxy_options.pool.max_active = std::max(8, config.num_users);
   std::vector<repl::SlaveNode*> slaves;
   for (int i = 0; i < cluster.num_slaves(); ++i) slaves.push_back(cluster.slave(i));

@@ -47,6 +47,10 @@ struct ExperimentConfig {
   cloud::NtpOptions ntp;
   bool enable_ntp = true;
   bool synchronous_replication = false;
+  /// Parse-once statement caches on every replica and in the proxy's router.
+  /// Off reverts to parse-per-statement; experiment *results* must be
+  /// bit-identical either way (the cache only removes redundant work).
+  bool statement_cache = true;
   client::BalancePolicy policy = client::BalancePolicy::kRoundRobin;
   double apply_factor = 0.5;
   uint64_t seed = 42;

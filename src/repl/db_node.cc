@@ -50,10 +50,22 @@ void DbNode::Submit(const std::string& sql, SimDuration cpu_cost,
   }
   if (cpu_cost < 0) {
     // Parsing for cost estimation is not charged: real servers spend a
-    // negligible fraction of statement time in the parser.
-    auto parsed = db::ParseSql(sql);
-    cpu_cost = parsed.ok() ? cost_model_.EstimateStatement(*parsed)
-                           : SimDuration{0};
+    // negligible fraction of statement time in the parser. Estimating
+    // through Prepare() warms the statement cache, so the Execute() this
+    // submit leads to reuses the same parse instead of a second one.
+    cpu_cost = SimDuration{0};
+    if (database_->statement_cache_enabled()) {
+      auto call = database_->Prepare(sql);
+      if (call.ok()) {
+        cpu_cost = cost_model_.EstimateStatement(call->prepared->statement);
+      } else {
+        auto parsed = db::ParseSql(sql);
+        if (parsed.ok()) cpu_cost = cost_model_.EstimateStatement(*parsed);
+      }
+    } else {
+      auto parsed = db::ParseSql(sql);
+      if (parsed.ok()) cpu_cost = cost_model_.EstimateStatement(*parsed);
+    }
   }
   instance_->cpu().Submit(cpu_cost, [this, sql, done = std::move(done)]() mutable {
     ExecuteAndRespond(sql, std::move(done));
@@ -70,6 +82,37 @@ Result<db::ExecResult> DbNode::ExecuteNow(const std::string& sql) {
     return Status::Unavailable("database node is offline");
   }
   Result<db::ExecResult> result = database_->Execute(sql);
+  if (result.ok()) {
+    ++queries_completed_;
+  } else {
+    ++queries_failed_;
+  }
+  return result;
+}
+
+Result<db::ExecResult> DbNode::ExecutePreparedNow(const db::PreparedCall& call,
+                                                  const std::string& sql) {
+  if (!online_ || database_ == nullptr) {
+    ++queries_failed_;
+    return Status::Unavailable("database node is offline");
+  }
+  Result<db::ExecResult> result =
+      database_->ExecutePrepared(call, sql, nullptr);
+  if (result.ok()) {
+    ++queries_completed_;
+  } else {
+    ++queries_failed_;
+  }
+  return result;
+}
+
+Result<db::ExecResult> DbNode::ExecuteParsedNow(const db::Statement& stmt,
+                                                const std::string& sql) {
+  if (!online_ || database_ == nullptr) {
+    ++queries_failed_;
+    return Status::Unavailable("database node is offline");
+  }
+  Result<db::ExecResult> result = database_->ExecuteParsed(stmt, sql, nullptr);
   if (result.ok()) {
     ++queries_completed_;
   } else {

@@ -82,6 +82,16 @@ class DbNode {
   /// Parses and executes on the autocommit session; updates counters.
   Result<db::ExecResult> ExecuteNow(const std::string& sql);
 
+  /// Executes an already-prepared call (statement-cache template + bound
+  /// literals); updates counters. `sql` is the original text for the binlog.
+  Result<db::ExecResult> ExecutePreparedNow(const db::PreparedCall& call,
+                                            const std::string& sql);
+
+  /// Executes an already-parsed statement; updates counters. Used where the
+  /// AST was needed anyway (cost estimation) so the text is parsed once.
+  Result<db::ExecResult> ExecuteParsedNow(const db::Statement& stmt,
+                                          const std::string& sql);
+
   /// Runs once the CPU reaches the query: executes and delivers the result.
   /// MasterNode overrides this to defer the response in synchronous
   /// replication mode.

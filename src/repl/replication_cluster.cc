@@ -30,7 +30,25 @@ ReplicationCluster::ReplicationCluster(cloud::CloudProvider* provider,
 
 Status ReplicationCluster::ExecuteEverywhereDirect(const std::string& sql) {
   // Parse once, execute everywhere (bulk loads run this for tens of
-  // thousands of statements across up to a dozen replicas).
+  // thousands of statements across up to a dozen replicas). With the
+  // statement cache on, repeated load shapes (the common case: one INSERT
+  // form per table) parse once across the *whole* load, not once per
+  // statement — the master's prepared template runs on every replica.
+  if (master_->database().statement_cache_enabled()) {
+    Result<db::PreparedCall> call = master_->database().Prepare(sql);
+    if (call.ok()) {
+      master_->database().set_binlog_suppressed(true);
+      auto result = master_->database().ExecutePrepared(*call, sql, nullptr);
+      master_->database().set_binlog_suppressed(false);
+      if (!result.ok()) return result.status();
+      for (auto& slave : slaves_) {
+        auto slave_result =
+            slave->database().ExecutePrepared(*call, sql, nullptr);
+        if (!slave_result.ok()) return slave_result.status();
+      }
+      return Status::Ok();
+    }
+  }
   CLOUDDB_ASSIGN_OR_RETURN(db::Statement stmt, db::ParseSql(sql));
   // Suppress binlogging of the pre-load on the master: slaves are loaded
   // identically and must not re-apply these statements.
@@ -43,6 +61,13 @@ Status ReplicationCluster::ExecuteEverywhereDirect(const std::string& sql) {
     if (!slave_result.ok()) return slave_result.status();
   }
   return Status::Ok();
+}
+
+void ReplicationCluster::SetStatementCacheEnabled(bool enabled) {
+  master_->database().set_statement_cache_enabled(enabled);
+  for (auto& slave : slaves_) {
+    slave->database().set_statement_cache_enabled(enabled);
+  }
 }
 
 bool ReplicationCluster::FullyReplicated() const {

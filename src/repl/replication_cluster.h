@@ -41,6 +41,10 @@ class ReplicationCluster {
   /// and replication — identical pre-loading of all copies.
   Status ExecuteEverywhereDirect(const std::string& sql);
 
+  /// Toggles the statement cache on every replica's database (the fig2-style
+  /// cache on/off ablation; results must be bit-identical either way).
+  void SetStatementCacheEnabled(bool enabled);
+
   /// True when every slave has applied the whole master binlog.
   bool FullyReplicated() const;
 

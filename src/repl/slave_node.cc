@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <optional>
+#include <vector>
 
 #include "db/sql_parser.h"
 #include "repl/master_node.h"
@@ -39,20 +42,50 @@ void SlaveNode::MaybeStartApply() {
   db::BinlogEvent event = std::move(relay_log_.front());
   relay_log_.pop_front();
 
-  // Cost the whole transaction's re-execution.
+  // Parse each statement once: the same prepared call (or, for uncacheable
+  // shapes like replicated DDL, the same AST) feeds both the cost model and
+  // the apply below.
+  struct PreparedApply {
+    std::optional<db::PreparedCall> call;
+    std::optional<db::Statement> ast;
+  };
+  // shared_ptr because the CPU job is a std::function (copyable) while the
+  // prepared ASTs are move-only.
+  auto prepared =
+      std::make_shared<std::vector<PreparedApply>>(event.statements.size());
   SimDuration cost = 0;
-  for (const std::string& sql : event.statements) {
+  for (size_t i = 0; i < event.statements.size(); ++i) {
+    const std::string& sql = event.statements[i];
+    if (database_ != nullptr && database_->statement_cache_enabled()) {
+      auto call = database_->Prepare(sql);
+      if (call.ok()) {
+        cost += cost_model_.EstimateApply(call->prepared->statement);
+        (*prepared)[i].call = std::move(*call);
+        continue;
+      }
+    }
     auto parsed = db::ParseSql(sql);
-    if (parsed.ok()) cost += cost_model_.EstimateApply(*parsed);
+    if (parsed.ok()) {
+      cost += cost_model_.EstimateApply(*parsed);
+      (*prepared)[i].ast = std::move(*parsed);
+    }
+    // Unparseable statements contribute no cost; the apply below re-parses,
+    // fails identically, and stops the SQL thread.
   }
 
   int64_t epoch = apply_epoch_;
-  instance_->cpu().Submit(cost, [this, epoch,
-                                 event = std::move(event)]() mutable {
+  instance_->cpu().Submit(cost, [this, epoch, event = std::move(event),
+                                 prepared = std::move(prepared)]() mutable {
     if (epoch != apply_epoch_) return;  // rebased while this job was queued
     // Apply the event atomically (it was one transaction on the master).
-    for (const std::string& sql : event.statements) {
-      Result<db::ExecResult> result = ExecuteNow(sql);
+    for (size_t i = 0; i < event.statements.size(); ++i) {
+      const std::string& sql = event.statements[i];
+      PreparedApply& prep = (*prepared)[i];
+      Result<db::ExecResult> result =
+          prep.call.has_value()
+              ? ExecutePreparedNow(*prep.call, sql)
+              : (prep.ast.has_value() ? ExecuteParsedNow(*prep.ast, sql)
+                                      : ExecuteNow(sql));
       if (!result.ok()) {
         // MySQL stops the SQL thread on an apply error; replication on this
         // slave halts until an operator intervenes.

@@ -49,6 +49,46 @@ TEST(ExperimentTest, DeterministicUnderSeed) {
   EXPECT_EQ(a->binlog_events, b->binlog_events);
 }
 
+TEST(ExperimentTest, StatementCacheAblationIsBitIdentical) {
+  // The fig2-style invariant for this optimization: the statement cache only
+  // removes redundant parsing work, so every measured number — throughput,
+  // response times, delays, replication counters — must be bit-identical
+  // with the cache on and off.
+  ExperimentConfig config = QuickConfig();
+  config.statement_cache = true;
+  auto on = RunExperiment(config);
+  config.statement_cache = false;
+  auto off = RunExperiment(config);
+  ASSERT_TRUE(on.ok());
+  ASSERT_TRUE(off.ok());
+  EXPECT_EQ(on->benchmark.throughput_ops, off->benchmark.throughput_ops);
+  EXPECT_EQ(on->benchmark.read_throughput_ops,
+            off->benchmark.read_throughput_ops);
+  EXPECT_EQ(on->benchmark.write_throughput_ops,
+            off->benchmark.write_throughput_ops);
+  EXPECT_EQ(on->benchmark.mean_response_ms, off->benchmark.mean_response_ms);
+  EXPECT_EQ(on->benchmark.p95_response_ms, off->benchmark.p95_response_ms);
+  EXPECT_EQ(on->benchmark.completed_ops, off->benchmark.completed_ops);
+  EXPECT_EQ(on->benchmark.failed_ops, off->benchmark.failed_ops);
+  EXPECT_EQ(on->benchmark.master_cpu_utilization,
+            off->benchmark.master_cpu_utilization);
+  EXPECT_EQ(on->benchmark.slave_cpu_utilization,
+            off->benchmark.slave_cpu_utilization);
+  EXPECT_EQ(on->idle_delay_ms, off->idle_delay_ms);
+  EXPECT_EQ(on->loaded_delay_ms, off->loaded_delay_ms);
+  EXPECT_EQ(on->relative_delay_ms, off->relative_delay_ms);
+  EXPECT_EQ(on->mean_relative_delay_ms, off->mean_relative_delay_ms);
+  EXPECT_EQ(on->fully_replicated, off->fully_replicated);
+  EXPECT_EQ(on->converged, off->converged);
+  EXPECT_EQ(on->heartbeats_issued, off->heartbeats_issued);
+  EXPECT_EQ(on->binlog_events, off->binlog_events);
+  // The run itself exercised the caches: hits on every layer that parses.
+  EXPECT_GT(on->benchmark.statement_cache_hits, 0);
+  EXPECT_GT(on->benchmark.route_cache_hits, 0);
+  EXPECT_EQ(off->benchmark.statement_cache_hits, 0);
+  EXPECT_EQ(off->benchmark.route_cache_hits, 0);
+}
+
 TEST(ExperimentTest, DifferentSeedsDiffer) {
   ExperimentConfig config = QuickConfig();
   auto a = RunExperiment(config);

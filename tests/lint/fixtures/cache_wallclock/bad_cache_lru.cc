@@ -1,0 +1,9 @@
+// Fixture: a statement cache tracking LRU recency with the wall clock —
+// recency must be a logical counter (lines 5 and 8 must fire).
+#include <chrono>
+
+long Tick() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+struct Entry { long last_used = 0; };
+struct StatementCache {
+  void Touch(Entry& e) { e.last_used = time(nullptr); }
+};

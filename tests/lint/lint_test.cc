@@ -41,6 +41,19 @@ TEST(WallclockRule, FlagsEveryRealTimeSource) {
             std::string::npos);
 }
 
+TEST(WallclockRule, RejectsWallClockLruInAStatementCache) {
+  // The real db::StatementCache keys recency on list position — a pure
+  // function of the statement sequence. A variant that timestamps entries
+  // with any real-time source would make cache behavior (and so the whole
+  // simulation) depend on host timing; the tree-wide scan (which covers
+  // src/db/statement_cache.cc with --forbid-nolint) must reject it.
+  LintResult r = RunOn("cache_wallclock");
+  EXPECT_EQ(Keys(r), (StrVec{
+                         "bad_cache_lru.cc:5:clouddb-wallclock",
+                         "bad_cache_lru.cc:8:clouddb-wallclock",
+                     }));
+}
+
 TEST(WallclockRule, IgnoresCommentsStringsAndMemberCalls) {
   LintResult r = RunOn("wallclock_clean");
   EXPECT_EQ(Keys(r), StrVec{});
