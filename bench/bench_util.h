@@ -19,6 +19,18 @@ inline bool FastMode() {
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
+/// Worker count for sweep parallelism: `--jobs N` on the command line wins,
+/// else the CLOUDDB_JOBS environment variable, else 1 (serial). 0 means one
+/// worker per hardware core. Output is byte-identical for every value — only
+/// wall-clock time changes (see harness::SweepConfig::jobs).
+inline int SweepJobs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs") return std::atoi(argv[i + 1]);
+  }
+  const char* v = std::getenv("CLOUDDB_JOBS");
+  return v != nullptr && v[0] != '\0' ? std::atoi(v) : 1;
+}
+
 /// Applies the paper's run structure (§III-B) or the fast variant.
 inline void ApplyRunDurations(harness::ExperimentConfig* config) {
   if (FastMode()) {
@@ -85,7 +97,7 @@ inline int RunLocationSweeps(const harness::ExperimentConfig& base,
                              const std::vector<int>& slaves,
                              const std::vector<int>& users,
                              bool print_throughput, bool print_delay,
-                             const char* figure_prefix) {
+                             const char* figure_prefix, int jobs = 1) {
   using harness::LocationConfig;
   const LocationConfig kLocations[] = {LocationConfig::kSameZone,
                                        LocationConfig::kDifferentZone,
@@ -100,6 +112,7 @@ inline int RunLocationSweeps(const harness::ExperimentConfig& base,
     sweep.base.placement_seed = base.seed * 977 + static_cast<uint64_t>(i) + 1;
     sweep.slave_counts = slaves;
     sweep.user_counts = users;
+    sweep.jobs = jobs;
     std::fprintf(stderr, "[%s%s] sweeping %s...\n", figure_prefix, kSubfig[i],
                  LocationConfigToString(kLocations[i]));
     auto result = harness::RunSweep(sweep, Progress);

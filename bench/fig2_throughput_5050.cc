@@ -9,12 +9,13 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace clouddb;
   bench::PrintHeader(
       "Figure 2: throughput, 50/50 read/write, data size 300, 1-4 slaves");
   return bench::RunLocationSweeps(bench::FiftyFiftyBase(),
                                   bench::Fig2Slaves(), bench::Fig2Users(),
                                   /*print_throughput=*/true,
-                                  /*print_delay=*/false, "Fig2");
+                                  /*print_delay=*/false,
+                                  "Fig2", bench::SweepJobs(argc, argv));
 }

@@ -10,12 +10,13 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace clouddb;
   bench::PrintHeader(
       "Figure 3: throughput, 80/20 read/write, data size 600, 1-11 slaves");
   return bench::RunLocationSweeps(bench::EightyTwentyBase(),
                                   bench::Fig3Slaves(), bench::Fig3Users(),
                                   /*print_throughput=*/true,
-                                  /*print_delay=*/false, "Fig3");
+                                  /*print_delay=*/false,
+                                  "Fig3", bench::SweepJobs(argc, argv));
 }

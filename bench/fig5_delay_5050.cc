@@ -9,12 +9,13 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace clouddb;
   bench::PrintHeader(
       "Figure 5: average relative replication delay (ms), 50/50, 1-4 slaves");
   return bench::RunLocationSweeps(bench::FiftyFiftyBase(),
                                   bench::Fig2Slaves(), bench::Fig2Users(),
                                   /*print_throughput=*/false,
-                                  /*print_delay=*/true, "Fig5");
+                                  /*print_delay=*/true,
+                                  "Fig5", bench::SweepJobs(argc, argv));
 }

@@ -4,12 +4,13 @@
 
 #include "bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace clouddb;
   bench::PrintHeader(
       "Figure 6: average relative replication delay (ms), 80/20, 1-11 slaves");
   return bench::RunLocationSweeps(bench::EightyTwentyBase(),
                                   bench::Fig3Slaves(), bench::Fig3Users(),
                                   /*print_throughput=*/false,
-                                  /*print_delay=*/true, "Fig6");
+                                  /*print_delay=*/true,
+                                  "Fig6", bench::SweepJobs(argc, argv));
 }

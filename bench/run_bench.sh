@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Runs the engine microbenchmarks and writes the google-benchmark JSON report
-# to BENCH_micro_engine.json at the repository root (the committed perf
-# record; see DESIGN.md "Execution pipeline").
+# Runs the microbenchmarks and writes the google-benchmark JSON reports to
+# BENCH_micro_engine.json and BENCH_micro_sim.json at the repository root
+# (the committed perf records; see DESIGN.md "Execution pipeline" and
+# "Simulation kernel & parallel harness").
 #
 # Usage: bench/run_bench.sh [build_dir] [extra google-benchmark flags...]
 set -euo pipefail
@@ -10,11 +11,12 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 if [[ $# -gt 0 ]]; then shift; fi
 
-bin="${build_dir}/bench/micro_engine"
-if [[ ! -x "${bin}" ]]; then
-  echo "micro_engine not built at ${bin}; build with:" >&2
-  echo "  cmake -B '${build_dir}' -S '${repo_root}' && cmake --build '${build_dir}' --target micro_engine" >&2
-  exit 1
-fi
-
-"${bin}" --json "${repo_root}/BENCH_micro_engine.json" "$@"
+for name in micro_engine micro_sim; do
+  bin="${build_dir}/bench/${name}"
+  if [[ ! -x "${bin}" ]]; then
+    echo "${name} not built at ${bin}; build with:" >&2
+    echo "  cmake -B '${build_dir}' -S '${repo_root}' && cmake --build '${build_dir}' --target ${name}" >&2
+    exit 1
+  fi
+  "${bin}" --json "${repo_root}/BENCH_${name}.json" "$@"
+done

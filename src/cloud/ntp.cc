@@ -23,18 +23,20 @@ void NtpClient::SyncOnce() {
 
 void NtpClient::StartPeriodic() {
   running_ = true;
+  // First sync is synchronous; the periodic timer re-arms in place after
+  // that, so a per-second NTP daemon costs no allocations at steady state.
+  ticker_.Start(sim_, options_.sync_interval, [this] { Tick(); });
   Tick();
 }
 
 void NtpClient::Stop() {
   running_ = false;
-  pending_.Cancel();
+  ticker_.Stop();
 }
 
 void NtpClient::Tick() {
   if (!running_) return;
   SyncOnce();
-  pending_ = sim_->ScheduleAfter(options_.sync_interval, [this] { Tick(); });
 }
 
 ClockComparison::ClockComparison(sim::Simulation* sim, const Instance* a,
@@ -48,6 +50,9 @@ void ClockComparison::Start(SimDuration interval, int count) {
   remaining_ = count;
   diffs_ms_.reserve(static_cast<size_t>(count));
   SampleOnce();
+  if (remaining_ > 0) {
+    sampler_.Start(sim_, interval_, [this] { SampleOnce(); });
+  }
 }
 
 void ClockComparison::SampleOnce() {
@@ -55,9 +60,9 @@ void ClockComparison::SampleOnce() {
   --remaining_;
   int64_t diff = a_->LocalNowMicros() - b_->LocalNowMicros();
   diffs_ms_.push_back(std::abs(ToMillis(diff)));
-  if (remaining_ > 0) {
-    sim_->ScheduleAfter(interval_, [this] { SampleOnce(); });
-  }
+  // Stopping from inside the timer's own tick cancels the already re-armed
+  // next occurrence.
+  if (remaining_ == 0) sampler_.Stop();
 }
 
 }  // namespace clouddb::cloud

@@ -65,7 +65,7 @@ class NtpClient {
   double bias_ms_;
   bool running_ = false;
   int64_t syncs_performed_ = 0;
-  sim::Simulation::EventHandle pending_;
+  sim::PeriodicTimer ticker_;
 };
 
 /// Samples the reading difference between two instances' clocks at a fixed
@@ -90,6 +90,7 @@ class ClockComparison {
   SimDuration interval_ = 0;
   int remaining_ = 0;
   std::vector<double> diffs_ms_;
+  sim::PeriodicTimer sampler_;
 };
 
 }  // namespace clouddb::cloud

@@ -56,30 +56,43 @@ UserEmulator::UserEmulator(sim::Simulation* sim,
 
 void UserEmulator::Activate(SimTime start, SimTime stop) {
   stop_time_ = stop;
-  sim_->ScheduleAt(start, [this] { ThinkThenIssue(); });
+  activated_ = false;
+  // The first fire is the activation; every later fire is the end of a
+  // think-time wait. Same timer slot either way, re-armed in place.
+  timer_.Bind(sim_, [this] {
+    if (!activated_) {
+      activated_ = true;
+      ThinkThenIssue();
+      return;
+    }
+    IssueOp();
+  });
+  timer_.ArmAt(start);
 }
 
 void UserEmulator::ThinkThenIssue() {
   if (sim_->Now() >= stop_time_) return;
   SimDuration think = static_cast<SimDuration>(
       rng_.Exponential(static_cast<double>(think_time_mean_)));
-  sim_->ScheduleAfter(think, [this] {
-    if (sim_->Now() >= stop_time_) return;
-    GeneratedOp op = generator_->Next(rng_);
-    SimTime issued = sim_->Now();
-    ++ops_issued_;
-    // Route through the proxy's own statement classifier (as Connector/J
-    // does): the proxy fingerprints or parses the text, not the driver's
-    // op metadata. op.is_read is kept for the metrics breakdown only.
-    proxy_->ExecuteAuto(op.sql, op.cpu_cost,
-                        [this, type = op.type, is_read = op.is_read,
-                         issued](Result<db::ExecResult> result) {
-                          metrics_->Record(OpRecord{sim_->Now(), type, is_read,
-                                                    result.ok(),
-                                                    sim_->Now() - issued});
-                          ThinkThenIssue();
-                        });
-  });
+  timer_.ArmAfter(think);
+}
+
+void UserEmulator::IssueOp() {
+  if (sim_->Now() >= stop_time_) return;
+  GeneratedOp op = generator_->Next(rng_);
+  SimTime issued = sim_->Now();
+  ++ops_issued_;
+  // Route through the proxy's own statement classifier (as Connector/J
+  // does): the proxy fingerprints or parses the text, not the driver's
+  // op metadata. op.is_read is kept for the metrics breakdown only.
+  proxy_->ExecuteAuto(op.sql, op.cpu_cost,
+                      [this, type = op.type, is_read = op.is_read,
+                       issued](Result<db::ExecResult> result) {
+                        metrics_->Record(OpRecord{sim_->Now(), type, is_read,
+                                                  result.ok(),
+                                                  sim_->Now() - issued});
+                        ThinkThenIssue();
+                      });
 }
 
 BenchmarkDriver::BenchmarkDriver(sim::Simulation* sim,

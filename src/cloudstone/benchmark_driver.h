@@ -57,6 +57,7 @@ class UserEmulator {
 
  private:
   void ThinkThenIssue();
+  void IssueOp();
 
   sim::Simulation* sim_;
   client::ReadWriteSplitProxy* proxy_;
@@ -66,6 +67,11 @@ class UserEmulator {
   SimDuration think_time_mean_;
   SimTime stop_time_ = 0;
   int64_t ops_issued_ = 0;
+  /// One kernel slot per user for the whole run: the activation fire and
+  /// every think-time wait re-arm it instead of allocating a fresh closure
+  /// per operation (users × ops events — the biggest scheduling consumer).
+  bool activated_ = false;
+  sim::Timer timer_;
 };
 
 /// Run-phase configuration: the paper's "every run lasts 35 minutes,

@@ -64,12 +64,12 @@ void RecoveryObserver::Start() {
   manager_->AddFailoverListener([this](repl::MasterNode*) {
     if (report_.promoted_at < 0) report_.promoted_at = sim_->Now();
   });
-  pending_ = sim_->ScheduleAfter(poll_interval_, [this] { Poll(); });
+  poller_.Start(sim_, poll_interval_, [this] { Poll(); });
 }
 
 void RecoveryObserver::Stop() {
   running_ = false;
-  pending_.Cancel();
+  poller_.Stop();
 }
 
 void RecoveryObserver::NoteFault() {
@@ -99,7 +99,6 @@ void RecoveryObserver::Poll() {
     bool converged = converged_ ? converged_() : all_caught_up;
     if (converged) report_.reconverged_at = sim_->Now();
   }
-  pending_ = sim_->ScheduleAfter(poll_interval_, [this] { Poll(); });
 }
 
 }  // namespace clouddb::fault

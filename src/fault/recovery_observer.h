@@ -90,7 +90,7 @@ class RecoveryObserver {
   SimDuration poll_interval_;
   bool running_ = false;
   RecoveryReport report_;
-  sim::Simulation::EventHandle pending_;
+  sim::PeriodicTimer poller_;
 };
 
 }  // namespace clouddb::fault

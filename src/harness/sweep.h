@@ -18,6 +18,12 @@ struct SweepConfig {
   std::vector<int> user_counts;
   /// Offset folded into each run's seed so repeated sweeps can differ.
   uint64_t seed_salt = 0;
+  /// Worker threads running independent grid cells concurrently. 1 runs the
+  /// grid serially on the calling thread; 0 means "one per hardware core".
+  /// Every cell's seed is derived up front from its grid coordinates and
+  /// results are delivered strictly in grid order, so the output (cells,
+  /// progress callbacks, derived tables) is byte-identical for every value.
+  int jobs = 1;
 };
 
 struct SweepCell {
@@ -53,8 +59,9 @@ class SweepResult {
   std::vector<SweepCell> cells_;
 };
 
-/// Runs every (slaves, users) combination. `progress` (optional) is invoked
-/// after each run completes.
+/// Runs every (slaves, users) combination, on `config.jobs` worker threads
+/// when > 1. `progress` (optional) is invoked on the calling thread after
+/// each cell completes, always in grid order regardless of `jobs`.
 Result<SweepResult> RunSweep(
     const SweepConfig& config,
     const std::function<void(const SweepCell&)>& progress = nullptr);

@@ -118,6 +118,9 @@ void PingProbe::Start(SimDuration interval, int count) {
   remaining_ = count;
   half_rtt_ms_.reserve(static_cast<size_t>(count));
   SendOne();
+  if (remaining_ > 0) {
+    pinger_.Start(sim_, interval_, [this] { SendOne(); });
+  }
 }
 
 void PingProbe::SendOne() {
@@ -126,9 +129,8 @@ void PingProbe::SendOne() {
   network_->Ping(from_, to_, [this](SimDuration rtt) {
     half_rtt_ms_.push_back(ToMillis(rtt) / 2.0);
   });
-  if (remaining_ > 0) {
-    sim_->ScheduleAfter(interval_, [this] { SendOne(); });
-  }
+  // Stop from the timer's own tick cancels the already re-armed next ping.
+  if (remaining_ == 0) pinger_.Stop();
 }
 
 }  // namespace clouddb::net

@@ -155,6 +155,7 @@ class PingProbe {
   SimDuration interval_ = 0;
   int remaining_ = 0;
   std::vector<double> half_rtt_ms_;
+  sim::PeriodicTimer pinger_;
 };
 
 }  // namespace clouddb::net

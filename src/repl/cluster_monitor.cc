@@ -24,12 +24,13 @@ void ClusterMonitor::Start() {
   for (SlaveNode* slave : slaves_) {
     last_slave_busy_.push_back(slave->instance().cpu().CumulativeBusyMicros());
   }
-  pending_ = sim_->ScheduleAfter(interval_, [this] { Tick(); });
+  // First sample lands one interval from now; the timer re-arms in place.
+  ticker_.Start(sim_, interval_, [this] { Tick(); });
 }
 
 void ClusterMonitor::Stop() {
   running_ = false;
-  pending_.Cancel();
+  ticker_.Stop();
 }
 
 void ClusterMonitor::Tick() {
@@ -63,7 +64,6 @@ void ClusterMonitor::Tick() {
                                 slave->applied_index());
   }
   samples_.push_back(std::move(sample));
-  pending_ = sim_->ScheduleAfter(interval_, [this] { Tick(); });
 }
 
 int64_t ClusterMonitor::MaxLagEvents() const {

@@ -65,7 +65,7 @@ class ClusterMonitor {
   int64_t last_master_busy_ = 0;
   std::vector<int64_t> last_slave_busy_;
   std::vector<MonitorSample> samples_;
-  sim::Simulation::EventHandle pending_;
+  sim::PeriodicTimer ticker_;
 };
 
 }  // namespace clouddb::repl

@@ -52,6 +52,12 @@ FailoverManager::FailoverManager(sim::Simulation* sim, net::Network* network,
       slaves_(std::move(slaves)),
       options_(options) {
   assert(options.failures_to_trip >= 1);
+  probe_timeout_.Bind(sim_, [this] {
+    if (probe_answered_) return;
+    probe_answered_ = true;
+    OnProbeResult(false);
+  });
+  next_probe_.Bind(sim_, [this] { Probe(); });
 }
 
 void FailoverManager::Start() {
@@ -61,6 +67,7 @@ void FailoverManager::Start() {
 
 void FailoverManager::Stop() {
   running_ = false;
+  probe_timeout_.Cancel();
   next_probe_.Cancel();
 }
 
@@ -69,24 +76,24 @@ MasterNode* FailoverManager::current_master() { return master_; }
 void FailoverManager::Probe() {
   if (!running_) return;
   ++probes_sent_;
-  auto answered = std::make_shared<bool>(false);
+  int64_t epoch = ++probe_epoch_;
+  probe_answered_ = false;
   MasterNode* target = master_;
   network_->Send(
       monitor_node_, target->node_id(), /*size_bytes=*/32,
-      [this, target, answered] {
+      [this, target, epoch] {
         if (!target->online()) return;  // a dead node never replies
         network_->Send(target->node_id(), monitor_node_, /*size_bytes=*/32,
-                       [this, answered] {
-                         if (*answered) return;
-                         *answered = true;
+                       [this, epoch] {
+                         // A straggler reply from a previous probe (its
+                         // timeout already fired) must not answer this one.
+                         if (epoch != probe_epoch_ || probe_answered_) return;
+                         probe_answered_ = true;
+                         probe_timeout_.Cancel();
                          OnProbeResult(true);
                        });
       });
-  sim_->ScheduleAfter(options_.probe_timeout, [this, answered] {
-    if (*answered) return;
-    *answered = true;
-    OnProbeResult(false);
-  });
+  probe_timeout_.ArmAfter(options_.probe_timeout);
 }
 
 void FailoverManager::OnProbeResult(bool alive) {
@@ -102,7 +109,7 @@ void FailoverManager::OnProbeResult(bool alive) {
       consecutive_failures_ = 0;
     }
   }
-  next_probe_ = sim_->ScheduleAfter(options_.check_interval, [this] { Probe(); });
+  next_probe_.ArmAfter(options_.check_interval);
 }
 
 void FailoverManager::PerformFailover() {

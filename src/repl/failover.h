@@ -118,7 +118,14 @@ class FailoverManager {
   SlaveNode* promoted_slave_ = nullptr;
   std::vector<std::function<void(MasterNode*)>> failover_listeners_;
   std::vector<std::function<void()>> detection_listeners_;
-  sim::Simulation::EventHandle next_probe_;
+  /// Distinguishes replies to the current probe from stragglers of earlier
+  /// probes (the reply callbacks capture the epoch they were sent under).
+  int64_t probe_epoch_ = 0;
+  bool probe_answered_ = false;
+  /// Persistent kernel slots: one for the per-probe timeout guard, one for
+  /// the inter-probe pause — re-armed every round, never reallocated.
+  sim::Timer probe_timeout_;
+  sim::Timer next_probe_;
 };
 
 }  // namespace clouddb::repl

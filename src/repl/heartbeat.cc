@@ -17,12 +17,15 @@ Status HeartbeatPlugin::CreateTable() {
 
 void HeartbeatPlugin::Start() {
   running_ = true;
+  // First insert fires synchronously; the timer re-arms in place for the
+  // rest, so steady-state heartbeats allocate nothing.
+  ticker_.Start(sim_, options_.period, [this] { Tick(); });
   Tick();
 }
 
 void HeartbeatPlugin::Stop() {
   running_ = false;
-  pending_.Cancel();
+  ticker_.Stop();
 }
 
 void HeartbeatPlugin::Tick() {
@@ -33,7 +36,6 @@ void HeartbeatPlugin::Tick() {
   ++next_id_;
   master_->Submit(sql, options_.insert_cost,
                   [](Result<db::ExecResult>) { /* fire-and-forget */ });
-  pending_ = sim_->ScheduleAfter(options_.period, [this] { Tick(); });
 }
 
 }  // namespace clouddb::repl

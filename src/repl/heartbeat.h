@@ -53,7 +53,7 @@ class HeartbeatPlugin {
   HeartbeatOptions options_;
   bool running_ = false;
   int64_t next_id_ = 1;
-  sim::Simulation::EventHandle pending_;
+  sim::PeriodicTimer ticker_;
 };
 
 }  // namespace clouddb::repl

@@ -14,7 +14,10 @@ namespace clouddb::repl {
 SlaveNode::SlaveNode(sim::Simulation* sim, net::Network* network,
                      cloud::Instance* instance, CostModel cost_model)
     : DbNode(sim, network, instance, std::move(cost_model),
-             /*enable_binlog=*/false) {}
+             /*enable_binlog=*/false) {
+  ack_timer_.Bind(sim_, [this] { OnAckTimeout(); });
+  retry_timer_.Bind(sim_, [this] { RequestResync(); });
+}
 
 void SlaveNode::OnBinlogEvent(db::BinlogEvent event) {
   if (broken_ || !online()) return;
@@ -117,17 +120,17 @@ void SlaveNode::StartAutoResync(const ReconnectOptions& options) {
   reconnect_ = options;
   auto_resync_ = true;
   backoff_ = 0;
-  keepalive_event_.Cancel();
-  keepalive_event_ = sim_->ScheduleAfter(reconnect_.keepalive_period,
-                                         [this] { KeepaliveTick(); });
+  keepalive_.Start(sim_, reconnect_.keepalive_period,
+                   [this] { KeepaliveTick(); });
 }
 
 void SlaveNode::StopAutoResync() {
   auto_resync_ = false;
   awaiting_ack_ = false;
   backoff_ = 0;
-  keepalive_event_.Cancel();
-  retry_event_.Cancel();
+  keepalive_.Stop();
+  ack_timer_.Cancel();
+  retry_timer_.Cancel();
 }
 
 void SlaveNode::KeepaliveTick() {
@@ -135,8 +138,6 @@ void SlaveNode::KeepaliveTick() {
   // Skip when a request is in flight or a backoff retry is already
   // scheduled — the keepalive is the steady-state probe, not the retry path.
   if (!awaiting_ack_ && backoff_ == 0) RequestResync();
-  keepalive_event_ = sim_->ScheduleAfter(reconnect_.keepalive_period,
-                                         [this] { KeepaliveTick(); });
 }
 
 void SlaveNode::RequestResync() {
@@ -145,30 +146,25 @@ void SlaveNode::RequestResync() {
     return;
   }
   awaiting_ack_ = true;
-  int64_t seq = ++resync_seq_;
   ++resync_requests_sent_;
   int64_t from = next_expected_;
   MasterNode* master = master_;
   network_->Send(node_id(), master->node_id(), /*size_bytes=*/48,
                  [master, this, from] { master->OnDumpRequest(this, from); });
-  sim_->ScheduleAfter(reconnect_.ack_timeout == 0 ? Seconds(1)
-                                                  : reconnect_.ack_timeout,
-                      [this, seq] { OnAckTimeout(seq); });
+  // Re-arming supersedes any stale timeout from an earlier request, so the
+  // armed timeout always refers to the request just sent.
+  ack_timer_.ArmAfter(reconnect_.effective_ack_timeout());
 }
 
-void SlaveNode::OnAckTimeout(int64_t seq) {
-  // Stale timeout: the ack arrived, or a newer request superseded this one.
-  if (!awaiting_ack_ || seq != resync_seq_) return;
+void SlaveNode::OnAckTimeout() {
+  if (!awaiting_ack_) return;  // ack arrived, or the attempt was abandoned
   awaiting_ack_ = false;
   backoff_ = backoff_ == 0
                  ? reconnect_.initial_backoff
                  : std::min(backoff_ * 2, reconnect_.max_backoff);
-  retry_event_.Cancel();
-  retry_event_ = sim_->ScheduleAfter(backoff_, [this] {
-    // The retry consumed its backoff slot; clear it so RequestResync's
-    // keepalive gate reopens once this attempt is acked.
-    RequestResync();
-  });
+  // The retry consumes its backoff slot; RequestResync's keepalive gate
+  // reopens once this attempt is acked.
+  retry_timer_.ArmAfter(backoff_);
 }
 
 void SlaveNode::OnResyncAck(int64_t master_binlog_size) {
@@ -177,6 +173,7 @@ void SlaveNode::OnResyncAck(int64_t master_binlog_size) {
   awaiting_ack_ = false;
   backoff_ = 0;
   ++resync_acks_received_;
+  ack_timer_.Cancel();
 }
 
 void SlaveNode::OnPowerEvent(bool up) {
@@ -189,7 +186,8 @@ void SlaveNode::OnPowerEvent(bool up) {
     applying_ = false;
     ++apply_epoch_;
     awaiting_ack_ = false;
-    retry_event_.Cancel();
+    ack_timer_.Cancel();
+    retry_timer_.Cancel();
     return;
   }
   // Reboot: resume the stream from the last durably applied position.
@@ -209,7 +207,8 @@ void SlaveNode::ReattachToNewTimeline(MasterNode* new_master) {
   // Abandon any catch-up attempt against the old timeline.
   awaiting_ack_ = false;
   backoff_ = 0;
-  retry_event_.Cancel();
+  ack_timer_.Cancel();
+  retry_timer_.Cancel();
 }
 
 }  // namespace clouddb::repl

@@ -14,15 +14,26 @@ class MasterNode;
 /// Transient-fault survival knobs for a slave's IO thread (see
 /// SlaveNode::StartAutoResync).
 struct ReconnectOptions {
+  /// Fallback ack wait used when `ack_timeout` is left unset (0): one
+  /// second, comfortably above any simulated RTT yet short enough that a
+  /// partitioned master is detected within a keepalive period.
+  static constexpr SimDuration kDefaultAckTimeout = Seconds(1);
+
   /// Keepalive cadence: how often an idle, connected slave confirms its
   /// position with the master (MySQL's slave_net_timeout analogue).
   SimDuration keepalive_period = Seconds(2);
-  /// How long to wait for the master's dump ack before a retry.
-  SimDuration ack_timeout = Seconds(1);
+  /// How long to wait for the master's dump ack before a retry; 0 means
+  /// "use kDefaultAckTimeout".
+  SimDuration ack_timeout = kDefaultAckTimeout;
   /// Exponential-backoff bounds for retries while the master is
   /// unreachable: initial, doubling per failure, capped.
   SimDuration initial_backoff = Millis(500);
   SimDuration max_backoff = Seconds(8);
+
+  /// The timeout RequestResync actually arms.
+  SimDuration effective_ack_timeout() const {
+    return ack_timeout == 0 ? kDefaultAckTimeout : ack_timeout;
+  }
 };
 
 /// A replication slave. Two logical threads, as in MySQL:
@@ -117,7 +128,7 @@ class SlaveNode : public DbNode {
   /// Index of the next event the IO thread expects from the wire.
   int64_t NextExpectedIndex() const { return next_expected_; }
   void KeepaliveTick();
-  void OnAckTimeout(int64_t seq);
+  void OnAckTimeout();
 
   MasterNode* master_ = nullptr;
   std::deque<db::BinlogEvent> relay_log_;
@@ -136,14 +147,17 @@ class SlaveNode : public DbNode {
   bool auto_resync_ = false;
   ReconnectOptions reconnect_;
   bool awaiting_ack_ = false;
-  int64_t resync_seq_ = 0;  // matches acks to the latest request
   SimDuration backoff_ = 0;
   int64_t resync_requests_sent_ = 0;
   int64_t resync_acks_received_ = 0;
   int64_t duplicate_events_dropped_ = 0;
   int64_t gap_events_detected_ = 0;
-  sim::Simulation::EventHandle keepalive_event_;
-  sim::Simulation::EventHandle retry_event_;
+  // Persistent kernel slots: the keepalive re-arms in place every period,
+  // and the per-request ack timeout / backoff retry arm and cancel the same
+  // two slots for the lifetime of the node (no per-request allocation).
+  sim::PeriodicTimer keepalive_;
+  sim::Timer ack_timer_;
+  sim::Timer retry_timer_;
 };
 
 }  // namespace clouddb::repl

@@ -1,0 +1,119 @@
+#ifndef CLOUDDB_SIM_EVENT_CALLBACK_H_
+#define CLOUDDB_SIM_EVENT_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace clouddb::sim {
+
+/// Move-only `void()` callable with inline storage for small targets.
+///
+/// Every event the kernel schedules stores its callback in one of these.
+/// Targets up to kInlineSize bytes live inside the event record itself, so
+/// steady-state ScheduleAfter/Timer re-arms do zero heap allocations; larger
+/// targets fall back to a single heap allocation (like std::function).
+/// kInlineSize is sized so the largest callback in the tree — the CPU
+/// scheduler's job-completion lambda, which carries a std::function
+/// continuation — still fits inline.
+class EventCallback {
+ public:
+  static constexpr size_t kInlineSize = 64;
+
+  EventCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                std::is_invocable_v<std::decay_t<F>&>>>
+  EventCallback(F&& f) {  // implicit, like std::function: callable wrapper
+    using D = std::decay_t<F>;
+    if constexpr (FitsInline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+    } else {
+      heap_ = new D(std::forward<F>(f));
+    }
+    invoke_ = &InvokeImpl<D>;
+    manage_ = &ManageImpl<D>;
+  }
+
+  EventCallback(EventCallback&& other) noexcept { MoveFrom(other); }
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+  ~EventCallback() { Reset(); }
+
+  void operator()() { invoke_(Target()); }
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Destroys the stored target (if any) and returns to the empty state.
+  void Reset() {
+    if (invoke_ != nullptr) manage_(Target(), nullptr, Op::kDestroy);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+    heap_ = nullptr;
+  }
+
+ private:
+  enum class Op { kDestroy, kRelocate };
+  using InvokeFn = void (*)(void*);
+  using ManageFn = void (*)(void* self, void* dst, Op op);
+
+  template <typename D>
+  static constexpr bool FitsInline() {
+    return sizeof(D) <= kInlineSize && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static void InvokeImpl(void* target) {
+    (*static_cast<D*>(target))();
+  }
+
+  template <typename D>
+  static void ManageImpl(void* self, void* dst, Op op) {
+    D* f = static_cast<D*>(self);
+    if (op == Op::kDestroy) {
+      if constexpr (FitsInline<D>()) {
+        f->~D();
+      } else {
+        delete f;
+      }
+    } else {
+      // Relocate an inline target into another EventCallback's buffer (heap
+      // targets move by stealing the pointer and never take this path).
+      ::new (dst) D(std::move(*f));
+      f->~D();
+    }
+  }
+
+  void* Target() { return heap_ != nullptr ? heap_ : static_cast<void*>(buf_); }
+
+  void MoveFrom(EventCallback& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    heap_ = other.heap_;
+    if (invoke_ != nullptr && heap_ == nullptr) {
+      manage_(other.buf_, buf_, Op::kRelocate);
+    }
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+    other.heap_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  void* heap_ = nullptr;
+  InvokeFn invoke_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace clouddb::sim
+
+#endif  // CLOUDDB_SIM_EVENT_CALLBACK_H_

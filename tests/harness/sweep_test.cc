@@ -1,5 +1,9 @@
 #include "harness/sweep.h"
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace clouddb::harness {
@@ -56,6 +60,63 @@ TEST(SweepTest, TablesHaveOneRowPerWorkload) {
   TableWriter delay = result->DelayTable(sweep.slave_counts,
                                          sweep.user_counts);
   EXPECT_EQ(delay.num_rows(), sweep.user_counts.size());
+}
+
+TEST(SweepTest, ParallelJobsAreByteIdenticalToSerial) {
+  // SweepConfig::jobs trades wall-clock for threads only: every cell's seed
+  // is derived from grid position before any worker starts, each worker
+  // drives an independent Simulation, and results are consumed in grid
+  // order. jobs=4 must therefore reproduce jobs=1 exactly — same progress
+  // order, same per-cell metrics, byte-identical tables.
+  SweepConfig serial = QuickSweep();
+  serial.jobs = 1;
+  SweepConfig parallel = QuickSweep();
+  parallel.jobs = 4;
+
+  std::vector<std::pair<int, int>> serial_order, parallel_order;
+  auto serial_result = RunSweep(serial, [&](const SweepCell& c) {
+    serial_order.emplace_back(c.slaves, c.users);
+  });
+  auto parallel_result = RunSweep(parallel, [&](const SweepCell& c) {
+    parallel_order.emplace_back(c.slaves, c.users);
+  });
+  ASSERT_TRUE(serial_result.ok()) << serial_result.status().ToString();
+  ASSERT_TRUE(parallel_result.ok()) << parallel_result.status().ToString();
+
+  EXPECT_EQ(serial_order, parallel_order);
+  ASSERT_EQ(serial_result->cells().size(), parallel_result->cells().size());
+  for (int s : serial.slave_counts) {
+    for (int u : serial.user_counts) {
+      const SweepCell* a = serial_result->Find(s, u);
+      const SweepCell* b = parallel_result->Find(s, u);
+      ASSERT_NE(a, nullptr);
+      ASSERT_NE(b, nullptr);
+      EXPECT_EQ(a->result.benchmark.throughput_ops,
+                b->result.benchmark.throughput_ops)
+          << "slaves=" << s << " users=" << u;
+      EXPECT_EQ(a->result.mean_relative_delay_ms,
+                b->result.mean_relative_delay_ms)
+          << "slaves=" << s << " users=" << u;
+    }
+  }
+  EXPECT_EQ(serial_result->ThroughputTable(serial.slave_counts,
+                                           serial.user_counts).ToCsv(),
+            parallel_result->ThroughputTable(parallel.slave_counts,
+                                             parallel.user_counts).ToCsv());
+  EXPECT_EQ(serial_result->DelayTable(serial.slave_counts,
+                                      serial.user_counts).ToCsv(),
+            parallel_result->DelayTable(parallel.slave_counts,
+                                        parallel.user_counts).ToCsv());
+}
+
+TEST(SweepTest, JobsZeroMeansHardwareConcurrency) {
+  SweepConfig sweep = QuickSweep();
+  sweep.jobs = 0;
+  int progress_calls = 0;
+  auto result = RunSweep(sweep, [&](const SweepCell&) { ++progress_calls; });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(progress_calls, 4);
+  EXPECT_EQ(result->cells().size(), 4u);
 }
 
 TEST(SweepTest, SaturationDetection) {

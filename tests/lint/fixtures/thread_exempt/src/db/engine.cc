@@ -1,0 +1,2 @@
+#include <mutex>
+void Lock() { std::mutex mu; mu.lock(); }

@@ -1,0 +1,2 @@
+#include <atomic>
+void Count() { std::atomic<long> n{0}; n = 1; }

@@ -1,0 +1,2 @@
+#include <thread>
+void Fire() { std::thread t([] {}); t.join(); }

@@ -94,6 +94,23 @@ TEST(ThreadRule, IgnoresThreadLikeIdentifiersAndProse) {
   EXPECT_EQ(r.files_scanned, 1);
 }
 
+TEST(ThreadRule, SweepRunnerIsExemptButCoreModulesStayThreadFree) {
+  // src/harness/sweep* is the one sanctioned home for real threads (workers
+  // drive independent Simulations; results merge in grid order). The
+  // allowlist must not leak into the single-threaded core: identical thread
+  // tokens in src/sim, src/db, and src/repl must still fire.
+  LintResult r = RunOn("thread_exempt");
+  EXPECT_EQ(Keys(r), (StrVec{
+                         "src/db/engine.cc:1:clouddb-thread",
+                         "src/db/engine.cc:2:clouddb-thread",
+                         "src/repl/apply.cc:1:clouddb-thread",
+                         "src/repl/apply.cc:2:clouddb-thread",
+                         "src/sim/kernel.cc:1:clouddb-thread",
+                         "src/sim/kernel.cc:2:clouddb-thread",
+                     }));
+  EXPECT_EQ(r.files_scanned, 4);
+}
+
 TEST(Nolint, SuppressesMatchingRuleOnlyAndIsCounted) {
   LintResult r = RunOn("nolint");
   // Lines 1-2 (same-line NOLINT) and 4 (NOLINTNEXTLINE) are suppressed;

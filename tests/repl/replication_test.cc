@@ -346,6 +346,16 @@ TEST_F(HeartbeatTest, MoreHeartbeatsWithShorterPeriod) {
   EXPECT_EQ(heartbeat.next_id() - 1, 51);  // t=0,0.2,...,10.0
 }
 
+TEST(ReconnectOptionsTest, EffectiveAckTimeoutFallsBackToNamedDefault) {
+  ReconnectOptions options;
+  EXPECT_EQ(options.ack_timeout, ReconnectOptions::kDefaultAckTimeout);
+  options.ack_timeout = 0;  // "use the default", not "no timeout"
+  EXPECT_EQ(options.effective_ack_timeout(),
+            ReconnectOptions::kDefaultAckTimeout);
+  options.ack_timeout = Seconds(3);
+  EXPECT_EQ(options.effective_ack_timeout(), Seconds(3));
+}
+
 TEST_F(HeartbeatTest, DelayMonitorHandlesMissingTables) {
   db::Database a;
   db::Database b;
