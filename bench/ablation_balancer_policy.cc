@@ -9,6 +9,10 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "client/rw_split_proxy.h"
+#include "common/str_util.h"
+#include "common/table_writer.h"
+#include "harness/experiment.h"
 
 int main() {
   using namespace clouddb;

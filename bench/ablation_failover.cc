@@ -11,6 +11,22 @@
 #include "bench_util.h"
 #include "cloudstone/schema.h"
 #include "repl/failover.h"
+#include "client/rw_split_proxy.h"
+#include "cloud/cloud_provider.h"
+#include "cloud/instance.h"
+#include "cloud/placement.h"
+#include "cloudstone/benchmark_driver.h"
+#include "cloudstone/operations.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/str_util.h"
+#include "common/table_writer.h"
+#include "common/time_types.h"
+#include "db/database.h"
+#include "repl/master_node.h"
+#include "repl/replication_cluster.h"
+#include "repl/slave_node.h"
+#include "sim/simulation.h"
 
 using namespace clouddb;
 

@@ -8,6 +8,10 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/str_util.h"
+#include "common/table_writer.h"
+#include "common/time_types.h"
+#include "harness/experiment.h"
 
 int main() {
   using namespace clouddb;

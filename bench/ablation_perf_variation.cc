@@ -14,6 +14,9 @@
 
 #include "bench_util.h"
 #include "common/stats.h"
+#include "common/str_util.h"
+#include "common/table_writer.h"
+#include "harness/experiment.h"
 
 int main() {
   using namespace clouddb;

@@ -8,6 +8,9 @@
 
 #include "common/str_util.h"
 #include "harness/sweep.h"
+#include "cloudstone/operations.h"
+#include "common/time_types.h"
+#include "harness/experiment.h"
 
 namespace clouddb::bench {
 

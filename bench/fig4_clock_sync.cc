@@ -12,6 +12,12 @@
 #include "cloud/cloud_provider.h"
 #include "cloud/ntp.h"
 #include "common/stats.h"
+#include "cloud/instance.h"
+#include "cloud/placement.h"
+#include "common/str_util.h"
+#include "common/table_writer.h"
+#include "common/time_types.h"
+#include "sim/simulation.h"
 
 namespace {
 

@@ -19,6 +19,17 @@
 #include "common/str_util.h"
 #include "repl/master_node.h"
 #include "repl/slave_node.h"
+#include "cloud/instance.h"
+#include "cloud/placement.h"
+#include "cloudstone/operations.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time_types.h"
+#include "db/database.h"
+#include "db/table.h"
+#include "db/value.h"
+#include "repl/cost_model.h"
+#include "sim/simulation.h"
 
 using namespace clouddb;
 

@@ -20,6 +20,14 @@
 #include "repl/heartbeat.h"
 #include "repl/master_node.h"
 #include "repl/slave_node.h"
+#include "cloud/instance.h"
+#include "cloud/placement.h"
+#include "cloudstone/operations.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time_types.h"
+#include "repl/cost_model.h"
+#include "sim/simulation.h"
 
 using namespace clouddb;
 

@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "harness/experiment.h"
+#include "cloudstone/operations.h"
+#include "common/time_types.h"
 
 int main() {
   using namespace clouddb;

@@ -14,9 +14,15 @@
 #include "cloudstone/benchmark_driver.h"
 #include "cloudstone/operations.h"
 #include "cloudstone/schema.h"
-#include "common/str_util.h"
 #include "repl/cluster_monitor.h"
 #include "repl/replication_cluster.h"
+#include "cloud/instance.h"
+#include "cloud/placement.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time_types.h"
+#include "repl/slave_node.h"
+#include "sim/simulation.h"
 
 using namespace clouddb;
 

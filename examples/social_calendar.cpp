@@ -14,6 +14,13 @@
 #include "cloudstone/schema.h"
 #include "common/str_util.h"
 #include "repl/replication_cluster.h"
+#include "cloud/instance.h"
+#include "cloud/placement.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "db/value.h"
+#include "sim/simulation.h"
 
 using namespace clouddb;
 

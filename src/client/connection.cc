@@ -1,4 +1,10 @@
 #include "client/connection.h"
+#include "common/result.h"
+#include "common/time_types.h"
+#include "db/database.h"
+#include "net/network.h"
+#include "repl/db_node.h"
+#include "sim/simulation.h"
 
 #include <cassert>
 #include <utility>

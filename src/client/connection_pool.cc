@@ -1,4 +1,11 @@
 #include "client/connection_pool.h"
+#include "client/connection.h"
+#include "common/result.h"
+#include "common/time_types.h"
+#include "db/database.h"
+#include "net/network.h"
+#include "repl/db_node.h"
+#include "sim/simulation.h"
 
 #include <cassert>
 #include <utility>

@@ -7,6 +7,10 @@
 #include <vector>
 
 #include "client/connection.h"
+#include "common/time_types.h"
+#include "net/network.h"
+#include "repl/db_node.h"
+#include "sim/simulation.h"
 
 namespace clouddb::client {
 

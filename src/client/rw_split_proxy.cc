@@ -3,6 +3,15 @@
 #include <cassert>
 
 #include "db/sql_parser.h"
+#include "client/connection_pool.h"
+#include "common/result.h"
+#include "common/time_types.h"
+#include "db/database.h"
+#include "db/sql_ast.h"
+#include "net/network.h"
+#include "repl/master_node.h"
+#include "repl/slave_node.h"
+#include "sim/simulation.h"
 
 namespace clouddb::client {
 

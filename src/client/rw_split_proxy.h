@@ -9,6 +9,10 @@
 #include "db/statement_cache.h"
 #include "repl/master_node.h"
 #include "repl/slave_node.h"
+#include "client/connection.h"
+#include "common/time_types.h"
+#include "net/network.h"
+#include "sim/simulation.h"
 
 namespace clouddb::client {
 

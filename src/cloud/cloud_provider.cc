@@ -1,4 +1,9 @@
 #include "cloud/cloud_provider.h"
+#include "cloud/instance.h"
+#include "cloud/placement.h"
+#include "common/time_types.h"
+#include "net/network.h"
+#include "sim/simulation.h"
 
 #include <cassert>
 

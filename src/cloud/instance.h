@@ -11,6 +11,7 @@
 #include "sim/cpu_scheduler.h"
 #include "sim/local_clock.h"
 #include "sim/simulation.h"
+#include "common/time_types.h"
 
 namespace clouddb::cloud {
 

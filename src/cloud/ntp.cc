@@ -1,4 +1,7 @@
 #include "cloud/ntp.h"
+#include "cloud/instance.h"
+#include "common/time_types.h"
+#include "sim/simulation.h"
 
 #include <cassert>
 #include <cmath>

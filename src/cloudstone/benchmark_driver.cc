@@ -1,4 +1,14 @@
 #include "cloudstone/benchmark_driver.h"
+#include "client/rw_split_proxy.h"
+#include "cloudstone/operations.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/time_types.h"
+#include "db/database.h"
+#include "db/statement_cache.h"
+#include "repl/replication_cluster.h"
+#include "sim/simulation.h"
 
 #include <algorithm>
 
@@ -106,6 +116,11 @@ BenchmarkDriver::BenchmarkDriver(sim::Simulation* sim,
       generator_(generator),
       options_(options) {}
 
+BenchmarkDriver::~BenchmarkDriver() {
+  snapshot_start_.Cancel();
+  snapshot_end_.Cancel();
+}
+
 void BenchmarkDriver::Start() {
   SimTime now = sim_->Now();
   steady_start_ = now + options_.ramp_up;
@@ -126,8 +141,10 @@ void BenchmarkDriver::Start() {
     users_.push_back(std::move(user));
   }
 
-  sim_->ScheduleAt(steady_start_, [this] { SnapshotCpus(&busy_at_start_); });
-  sim_->ScheduleAt(steady_end_, [this] { SnapshotCpus(&busy_at_end_); });
+  snapshot_start_ =
+      sim_->ScheduleAt(steady_start_, [this] { SnapshotCpus(&busy_at_start_); });
+  snapshot_end_ =
+      sim_->ScheduleAt(steady_end_, [this] { SnapshotCpus(&busy_at_end_); });
 }
 
 void BenchmarkDriver::SnapshotCpus(std::vector<int64_t>* busy) const {

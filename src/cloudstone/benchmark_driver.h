@@ -10,6 +10,7 @@
 #include "common/time_types.h"
 #include "repl/replication_cluster.h"
 #include "sim/simulation.h"
+#include "common/rng.h"
 
 namespace clouddb::cloudstone {
 
@@ -121,6 +122,10 @@ class BenchmarkDriver {
                   OperationGenerator* generator,
                   const BenchmarkOptions& options);
 
+  /// Cancels the pending CPU-snapshot events: their lambdas capture `this`,
+  /// so a driver destroyed before the run completes must unschedule them.
+  ~BenchmarkDriver();
+
   /// Schedules the whole run starting at the current simulated time.
   void Start();
 
@@ -149,6 +154,8 @@ class BenchmarkDriver {
   SimTime end_time_ = 0;
   std::vector<int64_t> busy_at_start_;
   std::vector<int64_t> busy_at_end_;
+  sim::Simulation::EventHandle snapshot_start_;
+  sim::Simulation::EventHandle snapshot_end_;
 };
 
 }  // namespace clouddb::cloudstone

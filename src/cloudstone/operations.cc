@@ -3,6 +3,10 @@
 #include <cassert>
 
 #include "common/str_util.h"
+#include "cloudstone/schema.h"
+#include "common/rng.h"
+#include "common/time_types.h"
+#include "repl/cost_model.h"
 
 namespace clouddb::cloudstone {
 

@@ -1,6 +1,8 @@
 #include "cloudstone/schema.h"
 
 #include "common/str_util.h"
+#include "common/rng.h"
+#include "common/status.h"
 
 namespace clouddb::cloudstone {
 

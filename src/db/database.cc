@@ -6,6 +6,14 @@
 #include "common/str_util.h"
 #include "db/expr_eval.h"
 #include "db/sql_parser.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "db/schema.h"
+#include "db/sql_ast.h"
+#include "db/statement_cache.h"
+#include "db/table.h"
+#include "db/transaction.h"
+#include "db/value.h"
 
 namespace clouddb::db {
 

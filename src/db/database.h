@@ -16,6 +16,7 @@
 #include "db/statement_cache.h"
 #include "db/table.h"
 #include "db/transaction.h"
+#include "db/value.h"
 
 namespace clouddb::db {
 

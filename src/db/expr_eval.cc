@@ -1,6 +1,12 @@
 #include "db/expr_eval.h"
 
 #include "common/str_util.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "db/functions.h"
+#include "db/schema.h"
+#include "db/sql_ast.h"
+#include "db/value.h"
 
 namespace clouddb::db {
 

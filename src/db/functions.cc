@@ -3,6 +3,9 @@
 #include <cmath>
 
 #include "common/str_util.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "db/value.h"
 
 namespace clouddb::db {
 

@@ -1,6 +1,9 @@
 #include "db/schema.h"
 
 #include "common/str_util.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "db/value.h"
 
 namespace clouddb::db {
 

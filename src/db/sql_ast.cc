@@ -1,6 +1,7 @@
 #include "db/sql_ast.h"
 
 #include "common/str_util.h"
+#include "db/value.h"
 
 namespace clouddb::db {
 

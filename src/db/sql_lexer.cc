@@ -8,6 +8,9 @@
 #include <unordered_set>
 
 #include "common/str_util.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "db/value.h"
 
 namespace clouddb::db {
 

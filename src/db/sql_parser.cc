@@ -4,6 +4,11 @@
 
 #include "common/str_util.h"
 #include "db/sql_lexer.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "db/schema.h"
+#include "db/sql_ast.h"
+#include "db/value.h"
 
 namespace clouddb::db {
 

@@ -4,6 +4,10 @@
 
 #include "db/sql_lexer.h"
 #include "db/sql_parser.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "db/sql_ast.h"
+#include "db/value.h"
 
 namespace clouddb::db {
 

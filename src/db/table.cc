@@ -3,6 +3,11 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "db/bplus_tree.h"
+#include "db/schema.h"
+#include "db/value.h"
 
 namespace clouddb::db {
 

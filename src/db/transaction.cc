@@ -1,6 +1,7 @@
 #include "db/transaction.h"
 
 #include "common/str_util.h"
+#include "common/status.h"
 
 namespace clouddb::db {
 

@@ -4,6 +4,8 @@
 #include <cstdio>
 
 #include "common/str_util.h"
+#include "common/result.h"
+#include "common/status.h"
 
 namespace clouddb::db {
 

@@ -3,12 +3,22 @@
 #include <utility>
 
 #include "common/str_util.h"
+#include "cloud/cloud_provider.h"
+#include "cloud/instance.h"
+#include "common/status.h"
+#include "fault/fault_schedule.h"
+#include "net/network.h"
+#include "sim/simulation.h"
 
 namespace clouddb::fault {
 
 FaultInjector::FaultInjector(sim::Simulation* sim,
                              cloud::CloudProvider* provider)
     : sim_(sim), provider_(provider) {}
+
+FaultInjector::~FaultInjector() {
+  for (sim::Simulation::EventHandle& handle : scheduled_) handle.Cancel();
+}
 
 Status FaultInjector::Validate(const FaultEvent& event) const {
   if (event.at < 0) {
@@ -61,11 +71,12 @@ Status FaultInjector::Arm(const FaultSchedule& schedule) {
   for (const FaultEvent& event : schedule.events()) {
     armed_.push_back(std::make_unique<FaultEvent>(event));
     const FaultEvent* armed = armed_.back().get();
-    sim_->ScheduleAt(armed->at, [this, armed] { Begin(*armed); });
+    scheduled_.push_back(
+        sim_->ScheduleAt(armed->at, [this, armed] { Begin(*armed); }));
     // Clock steps are instantaneous; duration 0 elsewhere means permanent.
     if (armed->duration > 0 && armed->kind != FaultKind::kClockStep) {
-      sim_->ScheduleAt(armed->at + armed->duration,
-                       [this, armed] { Heal(*armed); });
+      scheduled_.push_back(sim_->ScheduleAt(armed->at + armed->duration,
+                                            [this, armed] { Heal(*armed); }));
     }
   }
   return Status::Ok();

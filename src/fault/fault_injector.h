@@ -11,6 +11,8 @@
 #include "common/status.h"
 #include "fault/fault_schedule.h"
 #include "sim/simulation.h"
+#include "common/time_types.h"
+#include "net/network.h"
 
 namespace clouddb::fault {
 
@@ -30,6 +32,10 @@ struct AppliedFault {
 class FaultInjector {
  public:
   FaultInjector(sim::Simulation* sim, cloud::CloudProvider* provider);
+
+  /// Cancels every still-pending begin/heal event: the scheduled lambdas
+  /// capture `this`, so they must not fire after the injector is gone.
+  ~FaultInjector();
 
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
@@ -70,6 +76,8 @@ class FaultInjector {
   int64_t faults_healed_ = 0;
   /// Armed events live here so begin/heal lambdas have a stable address.
   std::vector<std::unique_ptr<FaultEvent>> armed_;
+  /// Kernel handles for every scheduled begin/heal, cancelled on teardown.
+  std::vector<sim::Simulation::EventHandle> scheduled_;
   /// Pre-fault CPU speeds, keyed by instance name, for slowdown heals.
   std::map<std::string, double> saved_speeds_;
 };

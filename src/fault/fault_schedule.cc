@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/str_util.h"
+#include "common/time_types.h"
 
 namespace clouddb::fault {
 

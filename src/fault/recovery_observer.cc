@@ -3,6 +3,11 @@
 #include <algorithm>
 
 #include "common/str_util.h"
+#include "common/time_types.h"
+#include "repl/failover.h"
+#include "repl/master_node.h"
+#include "repl/slave_node.h"
+#include "sim/simulation.h"
 
 namespace clouddb::fault {
 namespace {

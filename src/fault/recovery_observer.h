@@ -6,6 +6,7 @@
 
 #include "repl/failover.h"
 #include "sim/simulation.h"
+#include "common/time_types.h"
 
 namespace clouddb::fault {
 

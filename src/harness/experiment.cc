@@ -4,8 +4,22 @@
 
 #include "cloud/ntp.h"
 #include "cloudstone/schema.h"
-#include "common/str_util.h"
 #include "repl/delay_monitor.h"
+#include "client/rw_split_proxy.h"
+#include "cloud/cloud_provider.h"
+#include "cloud/instance.h"
+#include "cloud/placement.h"
+#include "cloudstone/benchmark_driver.h"
+#include "cloudstone/operations.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "repl/heartbeat.h"
+#include "repl/replication_cluster.h"
+#include "repl/slave_node.h"
+#include "sim/simulation.h"
 
 namespace clouddb::harness {
 

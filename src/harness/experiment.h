@@ -14,6 +14,8 @@
 #include "common/result.h"
 #include "repl/heartbeat.h"
 #include "repl/replication_cluster.h"
+#include "cloud/placement.h"
+#include "common/time_types.h"
 
 namespace clouddb::harness {
 

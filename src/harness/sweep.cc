@@ -7,6 +7,10 @@
 #include <thread>
 
 #include "common/str_util.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/table_writer.h"
+#include "harness/experiment.h"
 
 namespace clouddb::harness {
 

@@ -7,6 +7,7 @@
 
 #include "common/table_writer.h"
 #include "harness/experiment.h"
+#include "common/result.h"
 
 namespace clouddb::harness {
 

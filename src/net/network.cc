@@ -1,4 +1,6 @@
 #include "net/network.h"
+#include "common/time_types.h"
+#include "sim/simulation.h"
 
 #include <cassert>
 #include <utility>

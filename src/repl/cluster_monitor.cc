@@ -4,6 +4,11 @@
 #include <cassert>
 
 #include "common/str_util.h"
+#include "common/table_writer.h"
+#include "common/time_types.h"
+#include "repl/master_node.h"
+#include "repl/slave_node.h"
+#include "sim/simulation.h"
 
 namespace clouddb::repl {
 

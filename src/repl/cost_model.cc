@@ -1,6 +1,8 @@
 #include "repl/cost_model.h"
 
 #include "common/str_util.h"
+#include "common/time_types.h"
+#include "db/sql_ast.h"
 
 namespace clouddb::repl {
 

@@ -1,6 +1,16 @@
 #include "repl/db_node.h"
 
 #include "db/sql_parser.h"
+#include "cloud/instance.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/time_types.h"
+#include "db/database.h"
+#include "db/sql_ast.h"
+#include "db/statement_cache.h"
+#include "net/network.h"
+#include "repl/cost_model.h"
+#include "sim/simulation.h"
 
 namespace clouddb::repl {
 

@@ -12,6 +12,9 @@
 #include "net/network.h"
 #include "repl/cost_model.h"
 #include "sim/simulation.h"
+#include "common/time_types.h"
+#include "db/sql_ast.h"
+#include "db/statement_cache.h"
 
 namespace clouddb::repl {
 

@@ -1,4 +1,8 @@
 #include "repl/delay_monitor.h"
+#include "common/stats.h"
+#include "db/database.h"
+#include "db/table.h"
+#include "db/value.h"
 
 namespace clouddb::repl {
 

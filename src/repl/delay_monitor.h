@@ -6,7 +6,6 @@
 #include <string>
 #include <vector>
 
-#include "common/stats.h"
 #include "db/database.h"
 
 namespace clouddb::repl {

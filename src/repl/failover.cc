@@ -4,6 +4,14 @@
 #include <cassert>
 
 #include "common/str_util.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "db/table.h"
+#include "db/value.h"
+#include "net/network.h"
+#include "repl/master_node.h"
+#include "repl/slave_node.h"
+#include "sim/simulation.h"
 
 namespace clouddb::repl {
 

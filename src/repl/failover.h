@@ -9,6 +9,9 @@
 #include "repl/master_node.h"
 #include "repl/slave_node.h"
 #include "sim/simulation.h"
+#include "common/status.h"
+#include "common/time_types.h"
+#include "db/database.h"
 
 namespace clouddb::repl {
 

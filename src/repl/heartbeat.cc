@@ -1,6 +1,11 @@
 #include "repl/heartbeat.h"
 
 #include "common/str_util.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "repl/master_node.h"
+#include "sim/simulation.h"
 
 namespace clouddb::repl {
 

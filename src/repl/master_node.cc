@@ -3,6 +3,13 @@
 #include <cassert>
 
 #include "repl/slave_node.h"
+#include "cloud/instance.h"
+#include "common/result.h"
+#include "db/binlog.h"
+#include "db/database.h"
+#include "net/network.h"
+#include "repl/cost_model.h"
+#include "sim/simulation.h"
 
 namespace clouddb::repl {
 

@@ -5,6 +5,13 @@
 #include <vector>
 
 #include "repl/db_node.h"
+#include "cloud/instance.h"
+#include "common/result.h"
+#include "db/binlog.h"
+#include "db/database.h"
+#include "net/network.h"
+#include "repl/cost_model.h"
+#include "sim/simulation.h"
 
 namespace clouddb::repl {
 

@@ -2,6 +2,17 @@
 
 #include "common/str_util.h"
 #include "db/sql_parser.h"
+#include "cloud/cloud_provider.h"
+#include "cloud/instance.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "db/database.h"
+#include "db/sql_ast.h"
+#include "db/statement_cache.h"
+#include "net/network.h"
+#include "repl/master_node.h"
+#include "repl/slave_node.h"
+#include "sim/simulation.h"
 
 namespace clouddb::repl {
 

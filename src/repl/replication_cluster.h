@@ -10,6 +10,8 @@
 #include "repl/cost_model.h"
 #include "repl/master_node.h"
 #include "repl/slave_node.h"
+#include "cloud/instance.h"
+#include "cloud/placement.h"
 
 namespace clouddb::repl {
 

@@ -8,6 +8,16 @@
 
 #include "db/sql_parser.h"
 #include "repl/master_node.h"
+#include "cloud/instance.h"
+#include "common/result.h"
+#include "common/time_types.h"
+#include "db/binlog.h"
+#include "db/database.h"
+#include "db/sql_ast.h"
+#include "db/statement_cache.h"
+#include "net/network.h"
+#include "repl/cost_model.h"
+#include "sim/simulation.h"
 
 namespace clouddb::repl {
 

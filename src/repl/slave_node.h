@@ -6,6 +6,11 @@
 
 #include "db/binlog.h"
 #include "repl/db_node.h"
+#include "cloud/instance.h"
+#include "common/time_types.h"
+#include "net/network.h"
+#include "repl/cost_model.h"
+#include "sim/simulation.h"
 
 namespace clouddb::repl {
 

@@ -1,4 +1,6 @@
 #include "sim/cpu_scheduler.h"
+#include "common/time_types.h"
+#include "sim/simulation.h"
 
 #include <cassert>
 #include <utility>
@@ -10,6 +12,10 @@ CpuScheduler::CpuScheduler(Simulation* sim, int num_cores, double speed_factor)
   assert(sim != nullptr);
   assert(num_cores >= 1);
   assert(speed_factor > 0.0);
+}
+
+CpuScheduler::~CpuScheduler() {
+  for (Simulation::EventHandle& handle : inflight_) handle.Cancel();
 }
 
 void CpuScheduler::Submit(SimDuration cost, Callback done) {
@@ -52,8 +58,18 @@ void CpuScheduler::StartJob(Job job) {
   if (service < 1) service = 1;  // every job takes at least one tick
   auto done = std::move(job.done);
   int64_t epoch = epoch_;
-  sim_->ScheduleAfter(
-      service, [this, epoch, service, done = std::move(done)]() mutable {
+  size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = inflight_.size();
+    inflight_.emplace_back();
+  }
+  inflight_[slot] = sim_->ScheduleAfter(
+      service, [this, epoch, service, slot, done = std::move(done)]() mutable {
+        inflight_[slot] = Simulation::EventHandle();
+        free_slots_.push_back(slot);
         OnJobDone(epoch, service, std::move(done));
       });
 }

@@ -5,6 +5,7 @@
 #include <deque>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/time_types.h"
 #include "sim/simulation.h"
@@ -25,6 +26,10 @@ class CpuScheduler {
   /// instance-to-instance performance variation (paper §IV-A; Schad et al.
   /// measured a CoV of 0.21 for small instances).
   CpuScheduler(Simulation* sim, int num_cores, double speed_factor);
+
+  /// Cancels every in-flight completion event: the scheduled lambdas capture
+  /// `this` and must not fire into a destroyed scheduler.
+  ~CpuScheduler();
 
   CpuScheduler(const CpuScheduler&) = delete;
   CpuScheduler& operator=(const CpuScheduler&) = delete;
@@ -90,6 +95,11 @@ class CpuScheduler {
   int64_t jobs_completed_ = 0;
   int64_t jobs_dropped_ = 0;
   std::deque<Job> queue_;
+  /// One kernel handle per in-flight completion so teardown can cancel it.
+  /// Slots are recycled as completions fire, so the vector stays bounded by
+  /// the peak number of concurrently busy cores, not by total jobs run.
+  std::vector<Simulation::EventHandle> inflight_;
+  std::vector<size_t> free_slots_;
 };
 
 }  // namespace clouddb::sim

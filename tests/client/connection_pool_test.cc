@@ -4,6 +4,15 @@
 
 #include "cloud/cloud_provider.h"
 #include "repl/master_node.h"
+#include "client/connection.h"
+#include "cloud/instance.h"
+#include "cloud/placement.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/time_types.h"
+#include "db/database.h"
+#include "repl/cost_model.h"
+#include "sim/simulation.h"
 
 namespace clouddb::client {
 namespace {

@@ -4,6 +4,13 @@
 
 #include "cloud/cloud_provider.h"
 #include "repl/replication_cluster.h"
+#include "cloud/instance.h"
+#include "cloud/placement.h"
+#include "common/result.h"
+#include "common/time_types.h"
+#include "db/database.h"
+#include "repl/slave_node.h"
+#include "sim/simulation.h"
 
 namespace clouddb::client {
 namespace {

@@ -5,6 +5,8 @@
 #include "cloud/placement.h"
 #include "common/stats.h"
 #include "sim/simulation.h"
+#include "cloud/instance.h"
+#include "common/time_types.h"
 
 namespace clouddb::cloud {
 namespace {

@@ -7,6 +7,9 @@
 #include "cloud/cloud_provider.h"
 #include "common/stats.h"
 #include "sim/simulation.h"
+#include "cloud/instance.h"
+#include "cloud/placement.h"
+#include "common/time_types.h"
 
 namespace clouddb::cloud {
 namespace {

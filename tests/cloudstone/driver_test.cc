@@ -4,6 +4,15 @@
 
 #include "cloud/cloud_provider.h"
 #include "cloudstone/schema.h"
+#include "client/rw_split_proxy.h"
+#include "cloud/instance.h"
+#include "cloud/placement.h"
+#include "cloudstone/operations.h"
+#include "common/stats.h"
+#include "common/time_types.h"
+#include "repl/replication_cluster.h"
+#include "repl/slave_node.h"
+#include "sim/simulation.h"
 
 namespace clouddb::cloudstone {
 namespace {

@@ -7,6 +7,10 @@
 #include "cloudstone/schema.h"
 #include "db/database.h"
 #include "db/sql_parser.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time_types.h"
+#include "repl/cost_model.h"
 
 namespace clouddb::cloudstone {
 namespace {

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "db/database.h"
+#include "common/rng.h"
+#include "common/status.h"
 
 namespace clouddb::cloudstone {
 namespace {

@@ -1,4 +1,5 @@
 #include "common/result.h"
+#include "common/status.h"
 
 #include <gtest/gtest.h>
 

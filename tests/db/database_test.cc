@@ -1,4 +1,7 @@
 #include "db/database.h"
+#include "db/binlog.h"
+#include "db/transaction.h"
+#include "db/value.h"
 
 #include <gtest/gtest.h>
 

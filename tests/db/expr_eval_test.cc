@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 #include "db/sql_parser.h"
+#include "common/result.h"
+#include "db/functions.h"
+#include "db/schema.h"
+#include "db/sql_ast.h"
+#include "db/value.h"
 
 namespace clouddb::db {
 namespace {

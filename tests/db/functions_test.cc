@@ -1,4 +1,6 @@
 #include "db/functions.h"
+#include "common/result.h"
+#include "db/value.h"
 
 #include <gtest/gtest.h>
 

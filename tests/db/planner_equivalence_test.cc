@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/str_util.h"
 #include "db/database.h"
+#include "db/value.h"
 
 namespace clouddb::db {
 namespace {

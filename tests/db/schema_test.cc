@@ -1,4 +1,5 @@
 #include "db/schema.h"
+#include "db/value.h"
 
 #include <gtest/gtest.h>
 

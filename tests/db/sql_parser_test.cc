@@ -1,4 +1,6 @@
 #include "db/sql_parser.h"
+#include "db/sql_ast.h"
+#include "db/value.h"
 
 #include <gtest/gtest.h>
 

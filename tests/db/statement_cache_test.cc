@@ -11,6 +11,9 @@
 #include "db/sql_lexer.h"
 #include "repl/replication_cluster.h"
 #include "sim/simulation.h"
+#include "common/status.h"
+#include "db/sql_ast.h"
+#include "db/value.h"
 
 namespace clouddb::db {
 namespace {

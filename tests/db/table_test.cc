@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "db/schema.h"
+#include "db/value.h"
 
 namespace clouddb::db {
 namespace {

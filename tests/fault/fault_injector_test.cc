@@ -10,6 +10,14 @@
 #include "fault/recovery_observer.h"
 #include "repl/failover.h"
 #include "repl/replication_cluster.h"
+#include "cloud/instance.h"
+#include "cloud/placement.h"
+#include "common/time_types.h"
+#include "db/database.h"
+#include "fault/fault_schedule.h"
+#include "repl/master_node.h"
+#include "repl/slave_node.h"
+#include "sim/simulation.h"
 
 namespace clouddb::fault {
 namespace {

@@ -4,6 +4,11 @@
 
 #include "cloud/cloud_provider.h"
 #include "fault/fault_injector.h"
+#include "cloud/instance.h"
+#include "cloud/placement.h"
+#include "common/status.h"
+#include "common/time_types.h"
+#include "sim/simulation.h"
 
 namespace clouddb::fault {
 namespace {

@@ -1,4 +1,6 @@
 #include "harness/experiment.h"
+#include "cloud/placement.h"
+#include "common/time_types.h"
 
 #include <gtest/gtest.h>
 

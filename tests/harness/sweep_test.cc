@@ -1,4 +1,6 @@
 #include "harness/sweep.h"
+#include "common/table_writer.h"
+#include "common/time_types.h"
 
 #include <string>
 #include <utility>

@@ -1,3 +1,5 @@
 #pragma once
 #include "db/b.h"
-struct A {};
+struct A {
+  B* b;
+};

@@ -1,3 +1,5 @@
 #pragma once
 #include "db/a.h"
-struct B {};
+struct B {
+  A* a;
+};

@@ -1,0 +1,28 @@
+#include "sim/kernel.h"
+
+namespace demo {
+
+class Poller {
+ public:
+  explicit Poller(Kernel* sim) : sim_(sim) {}
+
+  void Arm() {
+    sim_->ScheduleAfter(10, [this] { Fire(); });
+  }
+
+  void ArmCounter(int* total) {
+    int& hits = *total;
+    sim_->ScheduleAt(20, [&hits] { ++hits; });
+  }
+
+  void ArmRows(Table* rows) {
+    sim_->ScheduleAt(30, [rows] { rows->Compact(); });
+  }
+
+  void Fire() {}
+
+ private:
+  Kernel* sim_;
+};
+
+}  // namespace demo

@@ -1,0 +1,63 @@
+#include "sim/kernel.h"
+
+namespace demo {
+
+// Safe harbor 1: the owning class holds a cancelling Timer member.
+class TimerOwner {
+ public:
+  void Arm() {
+    sim_->ScheduleAfter(10, [this] { Tick(); });
+  }
+
+  void Tick() {}
+
+ private:
+  Kernel* sim_;
+  Timer timer_;
+};
+
+// Safe harbor 2: the destructor cancels the pending handle directly.
+class DtorCancels {
+ public:
+  ~DtorCancels() { handle_.Cancel(); }
+
+  void Arm() {
+    handle_ = sim_->ScheduleAfter(10, [this] { Tick(); });
+  }
+
+  void Tick() {}
+
+ private:
+  Kernel* sim_;
+  EventHandle handle_;
+};
+
+// Safe harbor 3: the destructor cancels through a same-class helper.
+class HelperCancels {
+ public:
+  ~HelperCancels() { Shutdown(); }
+
+  void Arm() {
+    handle_ = sim_->ScheduleAfter(10, [this] { Tick(); });
+  }
+
+  void Shutdown() { handle_.Cancel(); }
+  void Tick() {}
+
+ private:
+  Kernel* sim_;
+  EventHandle handle_;
+};
+
+// By-value capture of plain data never dangles.
+class ValueCapture {
+ public:
+  void Arm(int delta) {
+    sim_->ScheduleAfter(10, [delta] { Consume(delta); });
+  }
+
+ private:
+  Kernel* sim_;
+};
+
+}  // namespace demo

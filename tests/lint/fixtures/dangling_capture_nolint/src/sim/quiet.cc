@@ -1,0 +1,18 @@
+#include "sim/kernel.h"
+
+namespace demo {
+
+class Quiet {
+ public:
+  void Arm() {
+    // The enclosing runner outlives the kernel by construction.
+    sim_->ScheduleAfter(5, [this] { Tick(); });  // NOLINT(clouddb-dangling-capture)
+  }
+
+  void Tick() {}
+
+ private:
+  Kernel* sim_;
+};
+
+}  // namespace demo

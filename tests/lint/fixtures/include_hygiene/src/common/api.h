@@ -1,0 +1,9 @@
+#pragma once
+
+#include "common/strutil.h"
+
+namespace u {
+
+inline int Api(int value) { return FormatX(value) + 1; }
+
+}  // namespace u

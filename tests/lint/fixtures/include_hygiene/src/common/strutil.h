@@ -1,0 +1,7 @@
+#pragma once
+
+namespace u {
+
+int FormatX(int value);
+
+}  // namespace u

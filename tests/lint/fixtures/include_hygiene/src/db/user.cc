@@ -1,0 +1,8 @@
+#include "common/api.h"
+#include "common/extra.h"
+
+namespace demo {
+
+int Use(int value) { return u::Api(u::FormatX(value)); }
+
+}  // namespace demo

@@ -1,3 +1,5 @@
 #pragma once
 #include "common/base.h"
-struct Rows {};
+struct Rows {
+  Base base;
+};

@@ -1,4 +1,7 @@
 #pragma once
 #include "common/base.h"
 #include "db/rows.h"
-struct Cluster {};
+struct Cluster {
+  Base base;
+  Rows rows;
+};

@@ -1,0 +1,45 @@
+#include "db/lock_manager.h"
+
+namespace demo {
+
+struct LockManager {
+  bool AcquireRead(const char* key);
+  bool AcquireWrite(const char* key);
+  void ReleaseAll(int txn);
+};
+
+class Engine {
+ public:
+  int LeakOnError(int txn) {
+    locks_.AcquireWrite("accounts");
+    if (txn < 0) {
+      return -1;
+    }
+    locks_.ReleaseAll(txn);
+    return 0;
+  }
+
+  void NeverReleases() {
+    locks_.AcquireRead("branches");
+  }
+
+  int GrowAfterShrink(int txn) {
+    locks_.AcquireWrite("accounts");
+    locks_.ReleaseAll(txn);
+    locks_.AcquireWrite("tellers");
+    locks_.ReleaseAll(txn);
+    return 0;
+  }
+
+  int OutOfOrder(int txn) {
+    locks_.AcquireWrite("tellers");
+    locks_.AcquireRead("accounts");
+    locks_.ReleaseAll(txn);
+    return 0;
+  }
+
+ private:
+  LockManager locks_;
+};
+
+}  // namespace demo

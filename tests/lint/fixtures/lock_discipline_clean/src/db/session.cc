@@ -1,0 +1,48 @@
+#include "db/lock_manager.h"
+
+namespace demo {
+
+struct LockManager {
+  bool AcquireRead(const char* key);
+  bool AcquireWrite(const char* key);
+  void ReleaseAll(int txn);
+};
+
+class Session {
+ public:
+  int id() const { return id_; }
+
+ private:
+  int id_ = 0;
+};
+
+class Database {
+ public:
+  int Execute(Session* session, bool is_commit, bool is_write) {
+    if (is_commit) {
+      Commit(session);
+      return 0;
+    }
+    bool ok = is_write ? locks_.AcquireWrite("accounts")
+                       : locks_.AcquireRead("accounts");
+    if (!ok) {
+      Rollback(session);
+      return -1;
+    }
+    bool more = locks_.AcquireWrite("tellers");
+    if (!more) {
+      Rollback(session);
+      return -1;
+    }
+    Commit(session);
+    return 0;
+  }
+
+ private:
+  void Commit(Session* session) { locks_.ReleaseAll(session->id()); }
+  void Rollback(Session* session) { locks_.ReleaseAll(session->id()); }
+
+  LockManager locks_;
+};
+
+}  // namespace demo

@@ -5,6 +5,11 @@
 #include "cloud/cloud_provider.h"
 #include "common/str_util.h"
 #include "repl/replication_cluster.h"
+#include "common/result.h"
+#include "common/table_writer.h"
+#include "common/time_types.h"
+#include "db/database.h"
+#include "sim/simulation.h"
 
 namespace clouddb::repl {
 namespace {

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "db/sql_parser.h"
+#include "common/time_types.h"
+#include "db/sql_ast.h"
 
 namespace clouddb::repl {
 namespace {

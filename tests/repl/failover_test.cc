@@ -6,6 +6,16 @@
 #include "cloud/cloud_provider.h"
 #include "common/str_util.h"
 #include "repl/replication_cluster.h"
+#include "cloud/instance.h"
+#include "cloud/placement.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/time_types.h"
+#include "db/database.h"
+#include "db/table.h"
+#include "repl/master_node.h"
+#include "repl/slave_node.h"
+#include "sim/simulation.h"
 
 namespace clouddb::repl {
 namespace {

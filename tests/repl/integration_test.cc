@@ -11,6 +11,8 @@
 #include "common/str_util.h"
 #include "db/sql_parser.h"
 #include "repl/replication_cluster.h"
+#include "common/time_types.h"
+#include "sim/simulation.h"
 
 namespace clouddb::repl {
 namespace {

@@ -1,7 +1,6 @@
 #include <gtest/gtest.h>
 
 #include "cloud/cloud_provider.h"
-#include "common/rng.h"
 #include "common/stats.h"
 #include "common/str_util.h"
 #include "repl/delay_monitor.h"
@@ -9,6 +8,12 @@
 #include "repl/master_node.h"
 #include "repl/replication_cluster.h"
 #include "repl/slave_node.h"
+#include "common/result.h"
+#include "common/time_types.h"
+#include "db/binlog.h"
+#include "db/database.h"
+#include "repl/cost_model.h"
+#include "sim/simulation.h"
 
 namespace clouddb::repl {
 namespace {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/simulation.h"
+#include "common/time_types.h"
 
 namespace clouddb::sim {
 namespace {

@@ -1,4 +1,5 @@
 #include "sim/simulation.h"
+#include "common/time_types.h"
 
 #include <gtest/gtest.h>
 

@@ -1,19 +1,20 @@
 #include "linter.h"
 
 #include <algorithm>
-#include <array>
 #include <cctype>
+#include <cstdio>
 #include <fstream>
 #include <functional>
 #include <iterator>
 #include <map>
-#include <tuple>
 #include <set>
 #include <sstream>
 #include <string_view>
-#include <unordered_map>
-#include <unordered_set>
+#include <tuple>
 #include <vector>
+
+#include "frontend.h"
+#include "rules_flow.h"
 
 namespace clouddb::lint {
 namespace {
@@ -126,174 +127,6 @@ const char* RuleRemedy(std::string_view rule) {
   return "model concurrency as simulation events (sim/simulation.h)";
 }
 
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-bool IsKeyword(std::string_view s) {
-  static const std::set<std::string_view> kKw = {
-      "alignas",  "alignof",  "auto",     "bool",     "break",    "case",
-      "catch",    "char",     "class",    "const",    "constexpr",
-      "continue", "decltype", "default",  "delete",   "do",       "double",
-      "else",     "enum",     "explicit", "extern",   "false",    "float",
-      "for",      "friend",   "goto",     "if",       "inline",   "int",
-      "long",     "mutable",  "namespace", "new",     "noexcept", "nullptr",
-      "operator", "private",  "protected", "public",  "return",   "short",
-      "signed",   "sizeof",   "static",   "struct",   "switch",   "template",
-      "this",     "throw",    "true",     "try",      "typedef",  "typename",
-      "union",    "unsigned", "using",    "virtual",  "void",     "volatile",
-      "while",    "co_await", "co_return", "co_yield", "final",   "override",
-  };
-  return kKw.count(s) > 0;
-}
-
-// ---------------------------------------------------------------------------
-// Per-file analysis state.
-// ---------------------------------------------------------------------------
-
-struct Token {
-  std::string text;
-  int line = 0;
-  bool ident = false;
-};
-
-struct Include {
-  int line = 0;
-  std::string path;  // the quoted include path, verbatim
-};
-
-struct FileInfo {
-  std::string rel;  // '/'-separated path relative to root
-  std::vector<std::string> raw_lines;
-  std::vector<std::string> stripped_lines;
-  std::vector<Token> tokens;
-  std::vector<Include> includes;
-  // line -> suppressed rule names ("*" = all). NOLINTNEXTLINE is folded in.
-  std::map<int, std::set<std::string>> nolint;
-  std::set<int> directive_lines;  // preprocessor lines incl. continuations
-  bool is_header = false;
-};
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  if (!cur.empty()) lines.push_back(cur);
-  return lines;
-}
-
-/// Parses NOLINT / NOLINT(rule, ...) / NOLINTNEXTLINE(...) markers from a raw
-/// source line into `out[target_line]`.
-void ParseNolint(const std::string& raw, int line,
-                 std::map<int, std::set<std::string>>* out) {
-  size_t pos = 0;
-  while ((pos = raw.find("NOLINT", pos)) != std::string::npos) {
-    size_t after = pos + 6;
-    int target = line;
-    if (raw.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
-      after = pos + 14;
-      target = line + 1;
-    }
-    std::set<std::string>& rules = (*out)[target];
-    size_t p = after;
-    while (p < raw.size() && raw[p] == ' ') ++p;
-    if (p < raw.size() && raw[p] == '(') {
-      size_t close = raw.find(')', p);
-      std::string list = raw.substr(
-          p + 1, close == std::string::npos ? std::string::npos : close - p - 1);
-      std::string name;
-      std::istringstream ss(list);
-      while (std::getline(ss, name, ',')) {
-        name.erase(0, name.find_first_not_of(" \t"));
-        name.erase(name.find_last_not_of(" \t") + 1);
-        if (!name.empty()) rules.insert(name);
-      }
-      if (rules.empty()) rules.insert("*");
-    } else {
-      rules.insert("*");  // bare NOLINT silences every rule on the line
-    }
-    pos = after;
-  }
-}
-
-std::vector<Token> Tokenize(const std::vector<std::string>& stripped_lines) {
-  std::vector<Token> toks;
-  for (size_t li = 0; li < stripped_lines.size(); ++li) {
-    const std::string& s = stripped_lines[li];
-    int line = static_cast<int>(li) + 1;
-    size_t i = 0;
-    while (i < s.size()) {
-      char c = s[i];
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        ++i;
-        continue;
-      }
-      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
-        size_t j = i;
-        while (j < s.size() && IsIdentChar(s[j])) ++j;
-        toks.push_back({s.substr(i, j - i), line, true});
-        i = j;
-        continue;
-      }
-      if (std::isdigit(static_cast<unsigned char>(c))) {
-        size_t j = i;
-        while (j < s.size() && (IsIdentChar(s[j]) || s[j] == '.')) ++j;
-        toks.push_back({s.substr(i, j - i), line, false});
-        i = j;
-        continue;
-      }
-      // Two-char puncts the scanners care about.
-      if (i + 1 < s.size()) {
-        std::string two = s.substr(i, 2);
-        if (two == "::" || two == "->") {
-          toks.push_back({two, line, false});
-          i += 2;
-          continue;
-        }
-      }
-      toks.push_back({std::string(1, c), line, false});
-      ++i;
-    }
-  }
-  return toks;
-}
-
-void ParseIncludes(FileInfo* fi) {
-  for (size_t li = 0; li < fi->raw_lines.size(); ++li) {
-    const std::string& raw = fi->raw_lines[li];
-    size_t p = raw.find_first_not_of(" \t");
-    if (p == std::string::npos || raw[p] != '#') continue;
-    ++p;
-    while (p < raw.size() && (raw[p] == ' ' || raw[p] == '\t')) ++p;
-    if (raw.compare(p, 7, "include") != 0) continue;
-    p += 7;
-    while (p < raw.size() && (raw[p] == ' ' || raw[p] == '\t')) ++p;
-    if (p >= raw.size() || raw[p] != '"') continue;
-    size_t close = raw.find('"', p + 1);
-    if (close == std::string::npos) continue;
-    fi->includes.push_back(
-        {static_cast<int>(li) + 1, raw.substr(p + 1, close - p - 1)});
-  }
-}
-
-void MarkDirectiveLines(FileInfo* fi) {
-  bool continuing = false;
-  for (size_t li = 0; li < fi->raw_lines.size(); ++li) {
-    const std::string& raw = fi->raw_lines[li];
-    size_t p = raw.find_first_not_of(" \t");
-    bool directive = continuing || (p != std::string::npos && raw[p] == '#');
-    if (directive) fi->directive_lines.insert(static_cast<int>(li) + 1);
-    continuing = directive && !raw.empty() && raw.back() == '\\';
-  }
-}
-
 // ---------------------------------------------------------------------------
 // Rule: determinism token scan.
 // ---------------------------------------------------------------------------
@@ -318,7 +151,7 @@ bool ThreadExempt(const std::string& rel) {
   return false;
 }
 
-void ScanBannedTokens(const FileInfo& fi, std::vector<Diagnostic>* out) {
+void ScanBannedTokens(const SourceFile& fi, std::vector<Diagnostic>* out) {
   for (size_t li = 0; li < fi.stripped_lines.size(); ++li) {
     const std::string& s = fi.stripped_lines[li];
     int line = static_cast<int>(li) + 1;
@@ -392,7 +225,7 @@ std::string ModuleOf(const std::string& rel) {
   return rel.substr(4, slash - 4);
 }
 
-void CheckLayering(const FileInfo& fi, std::vector<Diagnostic>* out) {
+void CheckLayering(const SourceFile& fi, std::vector<Diagnostic>* out) {
   std::string mod = ModuleOf(fi.rel);
   if (mod.empty()) return;
   const auto& ranks = LayerRanks();
@@ -428,12 +261,12 @@ void CheckLayering(const FileInfo& fi, std::vector<Diagnostic>* out) {
   }
 }
 
-void CheckIncludeCycles(const std::vector<FileInfo>& files,
+void CheckIncludeCycles(const std::vector<SourceFile>& files,
                         std::vector<Diagnostic>* out) {
   // File-level graph over scanned src/ files; include paths resolve against
   // the src/ include root and against the including file's own directory.
-  std::map<std::string, const FileInfo*> by_rel;
-  for (const FileInfo& fi : files)
+  std::map<std::string, const SourceFile*> by_rel;
+  for (const SourceFile& fi : files)
     if (fi.rel.rfind("src/", 0) == 0) by_rel[fi.rel] = &fi;
 
   struct Edge {
@@ -518,7 +351,7 @@ size_t MatchBackward(const std::vector<Token>& t, size_t close, char oc,
 /// on unambiguous names (status minus other): a name shared with e.g. a
 /// void callback-style overload cannot be classified at token level, and the
 /// `[[nodiscard]]` attribute already covers those sites exactly.
-void CollectStatusFunctions(const FileInfo& fi,
+void CollectStatusFunctions(const SourceFile& fi,
                             std::set<std::string>* status_names,
                             std::set<std::string>* other_names) {
   const std::vector<Token>& t = fi.tokens;
@@ -553,7 +386,7 @@ void CollectStatusFunctions(const FileInfo& fi,
   }
 }
 
-void CheckDiscardedStatus(const FileInfo& fi,
+void CheckDiscardedStatus(const SourceFile& fi,
                           const std::set<std::string>& names,
                           std::vector<Diagnostic>* out) {
   const std::vector<Token>& t = fi.tokens;
@@ -658,11 +491,28 @@ void CollectFiles(const fs::path& dir, std::vector<fs::path>* out) {
   }
 }
 
-std::string ReadFile(const fs::path& p) {
-  std::ifstream in(p, std::ios::binary);
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+const char* SeverityName(Severity s) {
+  return s == Severity::kWarn ? "warning" : "error";
+}
+
+void JsonEscape(const std::string& s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
 }
 
 }  // namespace
@@ -672,86 +522,9 @@ std::string Diagnostic::Key() const {
 }
 
 std::string Diagnostic::ToString() const {
-  return file + ":" + std::to_string(line) + ": " + rule + ": " + message;
-}
-
-std::string StripCommentsAndStrings(const std::string& src) {
-  std::string out = src;
-  enum class St { kNormal, kLine, kBlock, kStr, kChar, kRaw };
-  St st = St::kNormal;
-  std::string raw_delim;  // for R"delim( ... )delim"
-  for (size_t i = 0; i < src.size(); ++i) {
-    char c = src[i];
-    char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (st) {
-      case St::kNormal:
-        if (c == '/' && next == '/') {
-          st = St::kLine;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          st = St::kBlock;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || !IsIdentChar(src[i - 1]))) {
-          size_t open = src.find('(', i + 2);
-          if (open != std::string::npos) {
-            raw_delim = ")" + src.substr(i + 2, open - i - 2) + "\"";
-            for (size_t k = i; k <= open; ++k)
-              if (out[k] != '\n') out[k] = ' ';
-            i = open;
-            st = St::kRaw;
-          }
-        } else if (c == '"') {
-          st = St::kStr;
-        } else if (c == '\'' && i > 0 && IsIdentChar(src[i - 1])) {
-          // digit separator (1'000'000) or suffix — not a char literal
-        } else if (c == '\'') {
-          st = St::kChar;
-        }
-        break;
-      case St::kLine:
-        if (c == '\n')
-          st = St::kNormal;
-        else
-          out[i] = ' ';
-        break;
-      case St::kBlock:
-        if (c == '*' && next == '/') {
-          out[i] = out[i + 1] = ' ';
-          st = St::kNormal;
-          ++i;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kStr:
-      case St::kChar:
-        if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
-          ++i;
-        } else if ((st == St::kStr && c == '"') ||
-                   (st == St::kChar && c == '\'')) {
-          st = St::kNormal;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case St::kRaw:
-        if (src.compare(i, raw_delim.size(), raw_delim) == 0) {
-          for (size_t k = 0; k < raw_delim.size(); ++k)
-            if (out[i + k] != '\n') out[i + k] = ' ';
-          i += raw_delim.size() - 1;
-          st = St::kNormal;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
+  std::string sev = severity == Severity::kWarn ? "warning: " : "";
+  return file + ":" + std::to_string(line) + ": " + rule + ": " + sev +
+         message;
 }
 
 LintResult RunLint(const Options& options) {
@@ -760,7 +533,7 @@ LintResult RunLint(const Options& options) {
 
   std::vector<std::string> dirs = options.dirs;
   if (dirs.empty()) {
-    for (const char* d : {"src", "bench", "tests", "examples"})
+    for (const char* d : {"src", "tools", "bench", "tests", "examples"})
       if (fs::exists(root / d)) dirs.push_back(d);
     if (dirs.empty()) dirs.push_back(".");
   }
@@ -770,50 +543,61 @@ LintResult RunLint(const Options& options) {
   std::sort(paths.begin(), paths.end());
   paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
 
-  std::vector<FileInfo> files;
+  std::vector<SourceFile> files;
   files.reserve(paths.size());
-  for (const fs::path& p : paths) {
-    FileInfo fi;
-    fi.rel = fs::relative(p, root).generic_string();
-    std::string text = ReadFile(p);
-    fi.raw_lines = SplitLines(text);
-    fi.stripped_lines = SplitLines(StripCommentsAndStrings(text));
-    fi.tokens = Tokenize(fi.stripped_lines);
-    std::string ext = p.extension().string();
-    fi.is_header = ext == ".h" || ext == ".hpp" || ext == ".hh";
-    for (size_t li = 0; li < fi.raw_lines.size(); ++li)
-      ParseNolint(fi.raw_lines[li], static_cast<int>(li) + 1, &fi.nolint);
-    ParseIncludes(&fi);
-    MarkDirectiveLines(&fi);
-    files.push_back(std::move(fi));
-  }
+  for (const fs::path& p : paths)
+    files.push_back(LoadSourceFile(p, fs::relative(p, root).generic_string()));
   result.files_scanned = static_cast<int>(files.size());
 
+  // Structural indexes feed the flow-aware passes.
+  std::vector<FileIndex> indexes;
+  indexes.reserve(files.size());
+  for (const SourceFile& fi : files) indexes.push_back(BuildIndex(fi));
+  std::vector<AnalyzedFile> analyzed;
+  analyzed.reserve(files.size());
+  for (size_t i = 0; i < files.size(); ++i)
+    analyzed.push_back({&files[i], &indexes[i]});
+
   std::set<std::string> status_decls, other_decls, status_fns;
-  for (const FileInfo& fi : files)
+  for (const SourceFile& fi : files)
     if (fi.is_header) CollectStatusFunctions(fi, &status_decls, &other_decls);
   std::set_difference(status_decls.begin(), status_decls.end(),
                       other_decls.begin(), other_decls.end(),
                       std::inserter(status_fns, status_fns.begin()));
 
   std::vector<Diagnostic> candidates;
-  for (const FileInfo& fi : files) {
+  for (const SourceFile& fi : files) {
     ScanBannedTokens(fi, &candidates);
     CheckLayering(fi, &candidates);
     CheckDiscardedStatus(fi, status_fns, &candidates);
   }
   CheckIncludeCycles(files, &candidates);
+  CheckDanglingCaptures(analyzed, &candidates);
+  CheckLockDiscipline(analyzed, &candidates);
+  CheckIncludeHygiene(analyzed, &candidates);
 
-  std::map<std::string, const FileInfo*> by_rel;
-  for (const FileInfo& fi : files) by_rel[fi.rel] = &fi;
+  auto severity_of = [&options](const std::string& rule) {
+    auto it = options.severities.find(rule);
+    return it == options.severities.end() ? Severity::kError : it->second;
+  };
+
+  std::map<std::string, const SourceFile*> by_rel;
+  for (const SourceFile& fi : files) by_rel[fi.rel] = &fi;
   for (Diagnostic& d : candidates) {
-    const FileInfo* fi = by_rel.at(d.file);
+    Severity sev = severity_of(d.rule);
+    if (sev == Severity::kOff) continue;  // disabled: not even a suppression
+    d.severity = sev;
+    const SourceFile* fi = by_rel.at(d.file);
     auto it = fi->nolint.find(d.line);
     if (it != fi->nolint.end() &&
         (it->second.count("*") || it->second.count(d.rule))) {
       ++result.suppressions_used;
       continue;
     }
+    if (sev == Severity::kWarn)
+      ++result.warnings;
+    else
+      ++result.errors;
     result.diagnostics.push_back(std::move(d));
   }
 
@@ -823,6 +607,111 @@ LintResult RunLint(const Options& options) {
                      std::tie(b.file, b.line, b.rule, b.message);
             });
   return result;
+}
+
+std::string ToJson(const LintResult& result) {
+  std::string out = "{\n";
+  out += "  \"files_scanned\": " + std::to_string(result.files_scanned) + ",\n";
+  out += "  \"suppressions_used\": " +
+         std::to_string(result.suppressions_used) + ",\n";
+  out += "  \"errors\": " + std::to_string(result.errors) + ",\n";
+  out += "  \"warnings\": " + std::to_string(result.warnings) + ",\n";
+  out += "  \"diagnostics\": [";
+  for (size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"file\": \"";
+    JsonEscape(d.file, &out);
+    out += "\", \"line\": " + std::to_string(d.line) + ", \"rule\": \"";
+    JsonEscape(d.rule, &out);
+    out += "\", \"severity\": \"";
+    out += SeverityName(d.severity);
+    out += "\", \"message\": \"";
+    JsonEscape(d.message, &out);
+    out += "\", \"fix\": \"";
+    out += d.fix_kind == FixKind::kRemoveLine  ? "remove-line"
+           : d.fix_kind == FixKind::kAddInclude ? "add-include"
+                                                : "none";
+    out += "\"";
+    if (d.fix_kind == FixKind::kAddInclude) {
+      out += ", \"fix_include\": \"";
+      JsonEscape(d.fix_include, &out);
+      out += "\"";
+    }
+    out += "}";
+  }
+  out += result.diagnostics.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+int ApplyFixes(const std::filesystem::path& root, const LintResult& result) {
+  // file rel -> (lines to delete, include spellings to insert)
+  std::map<std::string, std::pair<std::set<int>, std::set<std::string>>> plan;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.fix_kind == FixKind::kRemoveLine) {
+      plan[d.file].first.insert(d.line);
+    } else if (d.fix_kind == FixKind::kAddInclude && !d.fix_include.empty()) {
+      plan[d.file].second.insert(d.fix_include);
+    }
+  }
+
+  int edits = 0;
+  for (const auto& [rel, fixes] : plan) {
+    const std::set<int>& removals = fixes.first;
+    fs::path path = root / rel;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    in.close();
+
+    std::vector<std::string> out;
+    out.reserve(lines.size());
+    for (size_t i = 0; i < lines.size(); ++i) {
+      int ln = static_cast<int>(i) + 1;
+      if (removals.count(ln)) {
+        ++edits;
+        // Removing the only include between two blank lines would leave a
+        // double blank; fold it.
+        if (!out.empty() && out.back().empty() && i + 1 < lines.size() &&
+            lines[i + 1].empty()) {
+          ++i;
+        }
+        continue;
+      }
+      out.push_back(lines[i]);
+    }
+
+    // Insert missing direct includes after the last quoted include (falling
+    // back to the last include of any kind, then the top of the file).
+    std::vector<std::string> adds;
+    for (const std::string& inc : fixes.second) {
+      std::string text = "#include \"" + inc + "\"";
+      if (std::find(out.begin(), out.end(), text) == out.end())
+        adds.push_back(text);
+    }
+    if (!adds.empty()) {
+      int last_quoted = -1, last_any = -1;
+      for (size_t i = 0; i < out.size(); ++i) {
+        size_t p = out[i].find_first_not_of(" \t");
+        if (p == std::string::npos || out[i][p] != '#') continue;
+        if (out[i].find("include", p) == std::string::npos) continue;
+        last_any = static_cast<int>(i);
+        if (out[i].find('"') != std::string::npos)
+          last_quoted = static_cast<int>(i);
+      }
+      int at = last_quoted >= 0 ? last_quoted : last_any;
+      out.insert(at >= 0 ? out.begin() + at + 1 : out.begin(), adds.begin(),
+                 adds.end());
+      edits += static_cast<int>(adds.size());
+    }
+
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    for (const std::string& l : out) os << l << "\n";
+  }
+  return edits;
 }
 
 }  // namespace clouddb::lint

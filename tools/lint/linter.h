@@ -2,23 +2,45 @@
 #define CLOUDDB_TOOLS_LINT_LINTER_H_
 
 #include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
 namespace clouddb::lint {
 
+enum class Severity { kError, kWarn, kOff };
+
+/// Mechanically safe auto-fix attached to a diagnostic (clouddb_lint --fix).
+enum class FixKind {
+  kNone,
+  kRemoveLine,   // delete the diagnostic's line (unused #include)
+  kAddInclude,   // insert `#include "fix_include"` into the quoted block
+};
+
 /// One finding. Rendered as "file:line: rule: message" with `file` relative
 /// to the scan root and '/'-separated on every platform, so fixture tests can
 /// assert diagnostics byte-for-byte.
 struct Diagnostic {
+  Diagnostic() = default;
+  Diagnostic(std::string file_in, int line_in, std::string rule_in,
+             std::string message_in)
+      : file(std::move(file_in)),
+        line(line_in),
+        rule(std::move(rule_in)),
+        message(std::move(message_in)) {}
+
   std::string file;
   int line = 0;
   std::string rule;     // e.g. "clouddb-wallclock"
   std::string message;
+  Severity severity = Severity::kError;
+  FixKind fix_kind = FixKind::kNone;
+  std::string fix_include;  // include spelling for kAddInclude
 
   /// "file:line:rule" — the stable identity asserted by the fixture tests.
   std::string Key() const;
-  /// "file:line: rule: message" — the full human-readable form.
+  /// "file:line: rule: message" — the full human-readable form (warnings
+  /// render as "file:line: rule: warning: message").
   std::string ToString() const;
 };
 
@@ -26,28 +48,39 @@ struct Options {
   /// Directory the scan is anchored at; diagnostics are relative to it.
   std::filesystem::path root;
   /// Scan directories relative to `root`. When empty, defaults to whichever
-  /// of {src, bench, tests, examples} exist under `root`; if none do, `root`
-  /// itself is scanned (the mode fixture suites use).
+  /// of {src, tools, bench, tests, examples} exist under `root`; if none do,
+  /// `root` itself is scanned (the mode fixture suites use).
   std::vector<std::string> dirs;
+  /// Per-rule severity overrides (default: every rule is an error). A rule
+  /// set to kOff is skipped entirely (and never counts a suppression).
+  std::map<std::string, Severity> severities;
 };
 
 struct LintResult {
   std::vector<Diagnostic> diagnostics;  // sorted by (file, line, rule)
   int files_scanned = 0;
+  int errors = 0;    // diagnostics with Severity::kError
+  int warnings = 0;  // diagnostics with Severity::kWarn
   /// Number of violations silenced by NOLINT / NOLINTNEXTLINE comments.
   /// CI runs with --forbid-nolint so merged code needs zero of these.
   int suppressions_used = 0;
 };
 
-/// Runs every rule family (determinism, layering, status discipline) over
-/// the configured tree. Pure function of the filesystem: same tree, same
-/// result, in deterministic order.
+/// Runs every rule family (determinism, layering, status discipline, and the
+/// flow-aware passes: dangling captures, lock discipline, include hygiene)
+/// over the configured tree. Pure function of the filesystem: same tree,
+/// same result, in deterministic order.
 LintResult RunLint(const Options& options);
 
-/// Replaces the contents of comments and string/char literals with spaces,
-/// preserving line breaks and column positions, so token rules never fire on
-/// prose or literals. Exposed for unit tests.
-std::string StripCommentsAndStrings(const std::string& source);
+/// Serializes a result as machine-readable JSON (stable field order) for CI
+/// annotation: {files_scanned, suppressions_used, errors, warnings,
+/// diagnostics: [{file, line, rule, severity, message, fix}]}.
+std::string ToJson(const LintResult& result);
+
+/// Applies the mechanically safe fixes carried by `result` (unused-include
+/// removals, missing direct-include insertions) to the files under `root`.
+/// Returns the number of edits applied.
+int ApplyFixes(const std::filesystem::path& root, const LintResult& result);
 
 }  // namespace clouddb::lint
 

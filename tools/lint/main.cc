@@ -1,13 +1,17 @@
 // clouddb_lint — project-specific static analyzer for the clouddb tree.
 //
 // Usage:
-//   clouddb_lint [--root DIR] [--dirs d1,d2,...] [--forbid-nolint] [--quiet]
+//   clouddb_lint [--root DIR] [--dirs d1,d2,...] [--severity rule=level ...]
+//                [--json] [--fix] [--forbid-nolint] [--quiet]
 //
-// Scans src/, bench/, tests/, examples/ (or --dirs) under --root and prints
-// one "file:line: rule: message" diagnostic per violation. Exit status is 0
-// when clean, 1 when violations were found (or, with --forbid-nolint, when
-// any NOLINT suppression was needed — CI runs in that mode so merged code
-// carries zero suppressions).
+// Scans src/, tools/, bench/, tests/, examples/ (or --dirs) under --root and
+// prints one "file:line: rule: message" diagnostic per violation (--json
+// emits the machine-readable form instead). Exit status is 0 when no errors
+// were found, 1 when errors were found (or, with --forbid-nolint, when any
+// NOLINT suppression was needed — CI runs in that mode so merged code carries
+// zero suppressions). Warnings (--severity rule=warn) print but do not fail
+// the run; --severity rule=off disables a rule entirely. --fix applies the
+// mechanically safe include-hygiene fixes in place and reports what changed.
 
 #include <cstring>
 #include <iostream>
@@ -16,10 +20,35 @@
 
 #include "linter.h"
 
+namespace {
+
+bool ParseSeverity(const std::string& spec, clouddb::lint::Options* opts) {
+  size_t eq = spec.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  std::string rule = spec.substr(0, eq);
+  std::string level = spec.substr(eq + 1);
+  clouddb::lint::Severity sev;
+  if (level == "error") {
+    sev = clouddb::lint::Severity::kError;
+  } else if (level == "warn" || level == "warning") {
+    sev = clouddb::lint::Severity::kWarn;
+  } else if (level == "off") {
+    sev = clouddb::lint::Severity::kOff;
+  } else {
+    return false;
+  }
+  opts->severities[rule] = sev;
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   clouddb::lint::Options opts;
   bool forbid_nolint = false;
   bool quiet = false;
+  bool json = false;
+  bool fix = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
@@ -29,12 +58,23 @@ int main(int argc, char** argv) {
       std::string d;
       while (std::getline(ss, d, ','))
         if (!d.empty()) opts.dirs.push_back(d);
+    } else if (arg == "--severity" && i + 1 < argc) {
+      if (!ParseSeverity(argv[++i], &opts)) {
+        std::cerr << "clouddb_lint: bad --severity spec '" << argv[i]
+                  << "' (want rule=error|warn|off)\n";
+        return 2;
+      }
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--fix") {
+      fix = true;
     } else if (arg == "--forbid-nolint") {
       forbid_nolint = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: clouddb_lint [--root DIR] [--dirs d1,d2,...] "
+                   "[--severity rule=error|warn|off] [--json] [--fix] "
                    "[--forbid-nolint] [--quiet]\n";
       return 0;
     } else {
@@ -44,13 +84,31 @@ int main(int argc, char** argv) {
   }
 
   clouddb::lint::LintResult res = clouddb::lint::RunLint(opts);
-  for (const auto& d : res.diagnostics) std::cout << d.ToString() << "\n";
+
+  if (fix) {
+    std::filesystem::path root =
+        opts.root.empty() ? std::filesystem::current_path() : opts.root;
+    int edits = clouddb::lint::ApplyFixes(root, res);
+    if (!quiet) {
+      std::cerr << "clouddb_lint: applied " << edits << " fix(es)\n";
+    }
+    // Re-lint so the reported diagnostics (and the exit status) describe the
+    // tree as it now stands.
+    res = clouddb::lint::RunLint(opts);
+  }
+
+  if (json) {
+    std::cout << clouddb::lint::ToJson(res);
+  } else {
+    for (const auto& d : res.diagnostics) std::cout << d.ToString() << "\n";
+  }
   if (!quiet) {
     std::cerr << "clouddb_lint: scanned " << res.files_scanned << " files, "
-              << res.diagnostics.size() << " violation(s), "
-              << res.suppressions_used << " NOLINT suppression(s) used\n";
+              << res.errors << " error(s), " << res.warnings
+              << " warning(s), " << res.suppressions_used
+              << " NOLINT suppression(s) used\n";
   }
-  if (!res.diagnostics.empty()) return 1;
+  if (res.errors > 0) return 1;
   if (forbid_nolint && res.suppressions_used > 0) {
     std::cerr << "clouddb_lint: NOLINT suppressions are forbidden in this "
                  "mode; remove them before merging\n";
