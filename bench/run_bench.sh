@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Runs the microbenchmarks and writes the google-benchmark JSON reports to
-# BENCH_micro_engine.json and BENCH_micro_sim.json at the repository root
-# (the committed perf records; see DESIGN.md "Execution pipeline" and
-# "Simulation kernel & parallel harness").
+# BENCH_micro_engine.json, BENCH_micro_sim.json, and BENCH_micro_metrics.json
+# at the repository root (the committed perf records; see DESIGN.md
+# "Execution pipeline", "Simulation kernel & parallel harness", and
+# "Metrics spine").
 #
 # Usage: bench/run_bench.sh [build_dir] [extra google-benchmark flags...]
 set -euo pipefail
@@ -11,7 +12,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 if [[ $# -gt 0 ]]; then shift; fi
 
-for name in micro_engine micro_sim; do
+for name in micro_engine micro_sim micro_metrics; do
   bin="${build_dir}/bench/${name}"
   if [[ ! -x "${bin}" ]]; then
     echo "${name} not built at ${bin}; build with:" >&2

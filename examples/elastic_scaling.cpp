@@ -37,7 +37,7 @@ namespace {
 
 /// Copies the master's current contents into a fresh slave (the snapshot
 /// restore an operator performs before attaching a replica).
-void SnapshotInto(repl::MasterNode& master, repl::SlaveNode* slave) {
+void RestoreSnapshot(repl::MasterNode& master, repl::SlaveNode* slave) {
   for (const std::string& name : master.database().TableNames()) {
     const db::Table* src = master.database().GetTable(name);
     std::string ddl = StrFormat("CREATE TABLE %s %s", name.c_str(),
@@ -103,7 +103,7 @@ int main() {
   }
   {
     repl::SlaveNode* first = launch_slave();
-    SnapshotInto(master, first);
+    RestoreSnapshot(master, first);
     master.AttachSlave(first);
   }
 
@@ -168,7 +168,7 @@ int main() {
       action = "+40 users";
     } else if (worst > 0.9 && slaves.size() < 8 && master_util < 0.95) {
       repl::SlaveNode* fresh = launch_slave();
-      SnapshotInto(master, fresh);
+      RestoreSnapshot(master, fresh);
       master.AttachSlave(fresh);
       proxy->AddSlave(fresh);
       prev_busy.resize(slaves.size() + 8, 0);

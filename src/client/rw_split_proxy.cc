@@ -5,6 +5,7 @@
 #include "db/sql_parser.h"
 #include "client/connection_pool.h"
 #include "common/result.h"
+#include "common/str_util.h"
 #include "common/time_types.h"
 #include "db/database.h"
 #include "db/sql_ast.h"
@@ -23,6 +24,8 @@ const char* BalancePolicyToString(BalancePolicy policy) {
       return "least_outstanding";
     case BalancePolicy::kLatencyWeighted:
       return "latency_weighted";
+    case BalancePolicy::kFreshnessAware:
+      return "freshness_aware";
   }
   return "?";
 }
@@ -34,7 +37,16 @@ ReadWriteSplitProxy::ReadWriteSplitProxy(sim::Simulation* sim,
                                          std::vector<repl::SlaveNode*> slaves,
                                          const ProxyOptions& options)
     : sim_(sim), network_(network), client_node_(client_node),
-      options_(options), route_cache_(options.route_cache_capacity) {
+      options_(options), route_cache_(options.route_cache_capacity),
+      metrics_("proxy") {
+  reads_total_ = metrics_.AddCounter("proxy.reads.total");
+  writes_total_ = metrics_.AddCounter("proxy.writes.total");
+  bounded_reads_ = metrics_.AddCounter("proxy.reads.bounded");
+  bounded_to_slave_ = metrics_.AddCounter("proxy.reads.bounded_to_slave");
+  master_fallbacks_ = metrics_.AddCounter("proxy.reads.master_fallback");
+  read_retries_ = metrics_.AddCounter("proxy.reads.retries");
+  sla_checked_ = metrics_.AddCounter("proxy.sla.checked");
+  sla_violations_ = metrics_.AddCounter("proxy.sla.violations");
   master_pool_ = std::make_unique<ConnectionPool>(sim, network, client_node,
                                                   master, options.pool);
   for (repl::SlaveNode* slave : slaves) {
@@ -43,12 +55,28 @@ ReadWriteSplitProxy::ReadWriteSplitProxy(sim::Simulation* sim,
 }
 
 void ReadWriteSplitProxy::AddSlave(repl::SlaveNode* slave) {
+  int index = static_cast<int>(slave_pools_.size());
   slave_pools_.push_back(std::make_unique<ConnectionPool>(
       sim_, network_, client_node_, slave, options_.pool));
   active_.push_back(true);
   outstanding_.push_back(0);
   ewma_response_us_.push_back(0.0);
   reads_routed_.push_back(0);
+  // Per-backend pull probes over the balancing state the proxy keeps anyway.
+  metrics_.AddProbe(StrFormat("proxy.backend.%d.outstanding", index),
+                    [this, index] {
+                      return static_cast<double>(
+                          outstanding_[static_cast<size_t>(index)]);
+                    });
+  metrics_.AddProbe(StrFormat("proxy.backend.%d.ewma_response_us", index),
+                    [this, index] {
+                      return ewma_response_us_[static_cast<size_t>(index)];
+                    });
+  metrics_.AddProbe(StrFormat("proxy.backend.%d.reads_routed", index),
+                    [this, index] {
+                      return static_cast<double>(
+                          reads_routed_[static_cast<size_t>(index)]);
+                    });
 }
 
 void ReadWriteSplitProxy::ReplaceMaster(repl::MasterNode* master) {
@@ -61,10 +89,35 @@ void ReadWriteSplitProxy::DeactivateSlave(int slave_index) {
   active_[static_cast<size_t>(slave_index)] = false;
 }
 
+void ReadWriteSplitProxy::ReactivateSlave(int slave_index) {
+  active_[static_cast<size_t>(slave_index)] = true;
+}
+
 void ReadWriteSplitProxy::Execute(const std::string& sql, bool is_read,
                                   SimDuration cpu_cost, Callback done) {
-  int slave = is_read ? PickSlave() : -1;
-  if (slave < 0) {  // write, or no active slave to read from
+  Execute(sql, is_read, cpu_cost, ReadOptions{}, std::move(done));
+}
+
+void ReadWriteSplitProxy::Execute(const std::string& sql, bool is_read,
+                                  SimDuration cpu_cost,
+                                  const ReadOptions& read_options,
+                                  Callback done) {
+  if (is_read) {
+    reads_total_->Increment();
+  } else {
+    writes_total_->Increment();
+  }
+  bool bounded = is_read && read_options.max_staleness >= 0;
+  int slave = is_read ? PickSlave(read_options.max_staleness) : -1;
+  if (bounded) {
+    bounded_reads_->Increment();
+    if (slave < 0) {
+      master_fallbacks_->Increment();
+    } else {
+      bounded_to_slave_->Increment();
+    }
+  }
+  if (slave < 0) {  // write, or no (eligible) slave to read from
     ++writes_routed_;
     master_pool_->Execute(sql, cpu_cost, std::move(done));
     return;
@@ -72,9 +125,26 @@ void ReadWriteSplitProxy::Execute(const std::string& sql, bool is_read,
   ++reads_routed_[static_cast<size_t>(slave)];
   ++outstanding_[static_cast<size_t>(slave)];
   SimTime started = sim_->Now();
+  if (!bounded) {
+    slave_pools_[static_cast<size_t>(slave)]->Execute(
+        sql, cpu_cost,
+        [this, slave, started,
+         done = std::move(done)](Result<db::ExecResult> result) mutable {
+          --outstanding_[static_cast<size_t>(slave)];
+          double response = static_cast<double>(sim_->Now() - started);
+          double& ewma = ewma_response_us_[static_cast<size_t>(slave)];
+          ewma = ewma == 0.0
+                     ? response
+                     : (1.0 - options_.ewma_alpha) * ewma +
+                           options_.ewma_alpha * response;
+          done(std::move(result));
+        });
+    return;
+  }
+  SimDuration bound = read_options.max_staleness;
   slave_pools_[static_cast<size_t>(slave)]->Execute(
       sql, cpu_cost,
-      [this, slave, started,
+      [this, slave, started, bound, sql, cpu_cost,
        done = std::move(done)](Result<db::ExecResult> result) mutable {
         --outstanding_[static_cast<size_t>(slave)];
         double response = static_cast<double>(sim_->Now() - started);
@@ -83,12 +153,37 @@ void ReadWriteSplitProxy::Execute(const std::string& sql, bool is_read,
                    ? response
                    : (1.0 - options_.ewma_alpha) * ewma +
                          options_.ewma_alpha * response;
+        if (!result.ok() && result.status().IsUnavailable()) {
+          // The slave went away mid-query (partition, crash, retirement
+          // race). A bounded read must still complete within its SLA, and
+          // the master is fresh by definition — reroute there.
+          read_retries_->Increment();
+          ++writes_routed_;
+          master_pool_->Execute(sql, cpu_cost, std::move(done));
+          return;
+        }
+        // Achieved-freshness accounting: the routing decision used the
+        // probe as of admission; by completion the slave may have fallen
+        // behind. Re-consult the probe so violations are *measured*, not
+        // assumed away.
+        sla_checked_->Increment();
+        double staleness_ms = SlaveStalenessMs(slave);
+        if (staleness_ms >= 0.0 && MillisF(staleness_ms) > bound) {
+          sla_violations_->Increment();
+        }
         done(std::move(result));
       });
 }
 
 void ReadWriteSplitProxy::ExecuteAuto(const std::string& sql,
                                       SimDuration cpu_cost, Callback done) {
+  ExecuteAuto(sql, cpu_cost, ReadOptions{}, std::move(done));
+}
+
+void ReadWriteSplitProxy::ExecuteAuto(const std::string& sql,
+                                      SimDuration cpu_cost,
+                                      const ReadOptions& read_options,
+                                      Callback done) {
   bool is_read = false;
   bool classified = false;
   if (options_.route_cache) {
@@ -106,7 +201,7 @@ void ReadWriteSplitProxy::ExecuteAuto(const std::string& sql,
     is_read = parsed.ok() && !db::IsWriteStatement(*parsed) &&
               !db::IsTransactionControl(*parsed);
   }
-  Execute(sql, is_read, cpu_cost, std::move(done));
+  Execute(sql, is_read, cpu_cost, read_options, std::move(done));
 }
 
 int64_t ReadWriteSplitProxy::total_reads_routed() const {
@@ -115,27 +210,50 @@ int64_t ReadWriteSplitProxy::total_reads_routed() const {
   return total;
 }
 
-int ReadWriteSplitProxy::PickSlave() {
+bool ReadWriteSplitProxy::WithinBound(int slave_index,
+                                      SimDuration max_staleness) const {
+  if (max_staleness < 0) return true;  // unbounded read
+  double staleness_ms = SlaveStalenessMs(slave_index);
+  // Unknown staleness (no probe wired, or no heartbeat data yet) is treated
+  // as over-bound: a bounded read never gambles on an unmeasured replica.
+  if (staleness_ms < 0.0) return false;
+  return MillisF(staleness_ms) <= max_staleness;
+}
+
+int ReadWriteSplitProxy::PickSlave(SimDuration max_staleness) {
+  // A bound of 0 always reads the master: replication is asynchronous, so
+  // no replica is ever exactly fresh.
+  if (max_staleness == 0) return -1;
   size_t n = slave_pools_.size();
-  size_t active_count = 0;
+  std::vector<bool> eligible(n);
+  size_t eligible_count = 0;
   for (size_t i = 0; i < n; ++i) {
-    if (active_[i]) ++active_count;
+    eligible[i] =
+        active_[i] && WithinBound(static_cast<int>(i), max_staleness);
+    if (eligible[i]) ++eligible_count;
   }
-  if (active_count == 0) return -1;
-  switch (options_.policy) {
+  if (eligible_count == 0) return -1;
+  BalancePolicy policy = options_.policy == BalancePolicy::kFreshnessAware
+                             ? options_.freshness_base
+                             : options_.policy;
+  // A self-referential freshness_base degrades to round-robin.
+  if (policy == BalancePolicy::kFreshnessAware) {
+    policy = BalancePolicy::kRoundRobin;
+  }
+  switch (policy) {
     case BalancePolicy::kRoundRobin: {
-      // Advance past deactivated replicas.
+      // Advance past deactivated / over-bound replicas.
       for (size_t attempts = 0; attempts < n; ++attempts) {
         size_t pick = round_robin_next_ % n;
         ++round_robin_next_;
-        if (active_[pick]) return static_cast<int>(pick);
+        if (eligible[pick]) return static_cast<int>(pick);
       }
       return -1;
     }
     case BalancePolicy::kLeastOutstanding: {
       int best = -1;
       for (size_t i = 0; i < n; ++i) {
-        if (!active_[i]) continue;
+        if (!eligible[i]) continue;
         if (best < 0 || outstanding_[i] < outstanding_[static_cast<size_t>(best)]) {
           best = static_cast<int>(i);
         }
@@ -148,7 +266,7 @@ int ReadWriteSplitProxy::PickSlave() {
       int best = -1;
       double best_score = -1.0;
       for (size_t i = 0; i < n; ++i) {
-        if (!active_[i]) continue;
+        if (!eligible[i]) continue;
         if (ewma_response_us_[i] == 0.0) return static_cast<int>(i);
         double score = ewma_response_us_[i] *
                        static_cast<double>(outstanding_[i] + 1);

@@ -1,12 +1,14 @@
 #ifndef CLOUDDB_CLIENT_RW_SPLIT_PROXY_H_
 #define CLOUDDB_CLIENT_RW_SPLIT_PROXY_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "client/connection_pool.h"
 #include "db/statement_cache.h"
+#include "metrics/metric_registry.h"
 #include "repl/master_node.h"
 #include "repl/slave_node.h"
 #include "client/connection.h"
@@ -27,9 +29,26 @@ enum class BalancePolicy {
   /// §IV-B.2 suggestion of "a smart load balancer which is able of balancing
   /// the operations based on estimated processing time".
   kLatencyWeighted,
+  /// Freshness-SLA routing: filter slaves down to those whose *observed*
+  /// replication staleness (from the staleness probe; see
+  /// SetStalenessProbe) is within the read's bound, then balance among them
+  /// with `ProxyOptions::freshness_base`. Reads with no eligible slave —
+  /// every replica over bound, staleness unknown, or a bound of 0 — fall
+  /// back to the master, which is fresh by definition.
+  kFreshnessAware,
 };
 
 const char* BalancePolicyToString(BalancePolicy policy);
+
+/// A read with no staleness bound: any replica may serve it.
+inline constexpr SimDuration kNoStalenessBound = -1;
+
+/// Per-read routing options carried by the freshness-SLA path.
+struct ReadOptions {
+  /// Maximum tolerated observed staleness for this read. Negative =
+  /// unbounded; 0 = always the master (no replica is ever *exactly* fresh).
+  SimDuration max_staleness = kNoStalenessBound;
+};
 
 struct ProxyOptions {
   BalancePolicy policy = BalancePolicy::kRoundRobin;
@@ -40,6 +59,9 @@ struct ProxyOptions {
   /// cache (fingerprint once per shape) instead of parsing every statement.
   bool route_cache = true;
   size_t route_cache_capacity = db::StatementCache::kDefaultCapacity;
+  /// Balancing applied among the in-bound slaves under kFreshnessAware
+  /// (freshness filters, the base policy balances).
+  BalancePolicy freshness_base = BalancePolicy::kRoundRobin;
 };
 
 /// The application-side statement router (the paper's MySQL Connector/J
@@ -60,9 +82,35 @@ class ReadWriteSplitProxy {
   void Execute(const std::string& sql, bool is_read, SimDuration cpu_cost,
                Callback done);
 
+  /// Freshness-SLA routing: like Execute, but a read carrying a
+  /// non-negative `read_options.max_staleness` only goes to a slave whose
+  /// observed staleness is within the bound (master fallback otherwise),
+  /// and a bounded read that a slave fails with Unavailable mid-query
+  /// (partition, crash) is transparently retried on the master.
+  void Execute(const std::string& sql, bool is_read, SimDuration cpu_cost,
+               const ReadOptions& read_options, Callback done);
+
   /// Convenience: determines read vs write by parsing `sql`.
   void ExecuteAuto(const std::string& sql, SimDuration cpu_cost,
                    Callback done);
+
+  /// ExecuteAuto with a staleness bound for reads (writes ignore it).
+  void ExecuteAuto(const std::string& sql, SimDuration cpu_cost,
+                   const ReadOptions& read_options, Callback done);
+
+  /// Wires the observed-staleness signal (ms, per slave index; negative =
+  /// unknown) that kFreshnessAware and bounded reads consult. Typically
+  /// control::FreshnessTracker::Probe(); the proxy cannot depend on the
+  /// control layer, so the signal arrives as a callback.
+  void SetStalenessProbe(std::function<double(int)> probe) {
+    staleness_probe_ = std::move(probe);
+  }
+
+  /// Observed staleness of slave `i` in ms; negative when no probe is wired
+  /// or the probe has no data yet.
+  double SlaveStalenessMs(int slave_index) const {
+    return staleness_probe_ ? staleness_probe_(slave_index) : -1.0;
+  }
 
   /// Adds a freshly attached replica to the read rotation (the
   /// application-managed elasticity the paper motivates: the application
@@ -78,6 +126,9 @@ class ReadWriteSplitProxy {
   /// in-flight requests (the pool stays alive until the proxy is destroyed).
   /// Used when a slave is promoted to master or decommissioned.
   void DeactivateSlave(int slave_index);
+  /// Puts a deactivated replica back into the rotation (elastic scale-out
+  /// reviving a retired slave).
+  void ReactivateSlave(int slave_index);
   bool IsSlaveActive(int slave_index) const {
     return active_[static_cast<size_t>(slave_index)];
   }
@@ -96,8 +147,15 @@ class ReadWriteSplitProxy {
   /// Routing cache stats (hits = statements classified without a parse).
   const db::StatementCache& route_cache() const { return route_cache_; }
 
+  /// Proxy metric registry: routing counters (bounded reads, master
+  /// fallbacks, retries, SLA checks) plus per-backend outstanding/EWMA
+  /// probes — the client-tier slice of the cluster-wide spine.
+  metrics::MetricRegistry& metrics() { return metrics_; }
+  const metrics::MetricRegistry& metrics() const { return metrics_; }
+
  private:
-  int PickSlave();
+  int PickSlave(SimDuration max_staleness);
+  bool WithinBound(int slave_index, SimDuration max_staleness) const;
 
   sim::Simulation* sim_;
   net::Network* network_;
@@ -115,6 +173,17 @@ class ReadWriteSplitProxy {
   std::vector<double> ewma_response_us_;
   std::vector<int64_t> reads_routed_;
   int64_t writes_routed_ = 0;
+  std::function<double(int)> staleness_probe_;
+  // Metrics (owned by metrics_; raw pointers stay valid for its lifetime).
+  metrics::MetricRegistry metrics_;
+  metrics::Counter* reads_total_ = nullptr;
+  metrics::Counter* writes_total_ = nullptr;
+  metrics::Counter* bounded_reads_ = nullptr;
+  metrics::Counter* bounded_to_slave_ = nullptr;
+  metrics::Counter* master_fallbacks_ = nullptr;
+  metrics::Counter* read_retries_ = nullptr;
+  metrics::Counter* sla_checked_ = nullptr;
+  metrics::Counter* sla_violations_ = nullptr;
 };
 
 }  // namespace clouddb::client

@@ -54,6 +54,13 @@ class UserEmulator {
   /// new operations at `stop`.
   void Activate(SimTime start, SimTime stop);
 
+  /// Per-read routing options every operation carries from now on; the
+  /// default is unbounded (legacy routing). Setting a staleness bound makes
+  /// this user's reads freshness-SLA reads (writes ignore it).
+  void set_read_options(client::ReadOptions read_options) {
+    read_options_ = read_options;
+  }
+
   int64_t ops_issued() const { return ops_issued_; }
 
  private:
@@ -66,6 +73,7 @@ class UserEmulator {
   MetricsCollector* metrics_;
   Rng rng_;
   SimDuration think_time_mean_;
+  client::ReadOptions read_options_;
   SimTime stop_time_ = 0;
   int64_t ops_issued_ = 0;
   /// One kernel slot per user for the whole run: the activation fire and

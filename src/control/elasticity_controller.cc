@@ -1,0 +1,177 @@
+#include "control/elasticity_controller.h"
+
+#include "common/str_util.h"
+#include "client/rw_split_proxy.h"
+#include "common/result.h"
+#include "common/time_types.h"
+#include "repl/replication_cluster.h"
+#include "sim/simulation.h"
+
+namespace clouddb::control {
+
+const char* ScalingActionToString(ScalingAction action) {
+  switch (action) {
+    case ScalingAction::kScaleOut:
+      return "scale_out";
+    case ScalingAction::kScaleIn:
+      return "scale_in";
+  }
+  return "?";
+}
+
+ElasticityController::ElasticityController(
+    sim::Simulation* sim, repl::ReplicationCluster* cluster,
+    client::ReadWriteSplitProxy* proxy,
+    std::function<double(int)> staleness_probe,
+    ElasticityControllerOptions options)
+    : sim_(sim), cluster_(cluster), proxy_(proxy),
+      staleness_probe_(std::move(staleness_probe)),
+      options_(options), metrics_("controller") {
+  ticks_ = metrics_.AddCounter("control.ticks");
+  scale_outs_ = metrics_.AddCounter("control.scale_out.total");
+  scale_ins_ = metrics_.AddCounter("control.scale_in.total");
+  metrics_.AddProbe("control.active_slaves", [this] {
+    return static_cast<double>(cluster_->num_active_slaves());
+  });
+  metrics_.AddProbe("control.signal.staleness_ms",
+                    [this] { return last_staleness_ms_; });
+  metrics_.AddProbe("control.signal.saturation",
+                    [this] { return last_saturation_; });
+  last_tick_at_ = sim_->Now();
+}
+
+void ElasticityController::Start() {
+  ticker_.Start(sim_, options_.tick, [this] { Tick(); });
+}
+
+void ElasticityController::Stop() { ticker_.Stop(); }
+
+double ElasticityController::WorstStalenessMs() const {
+  double worst = -1.0;
+  for (int i = 0; i < cluster_->num_slaves(); ++i) {
+    if (cluster_->IsSlaveRetired(i)) continue;
+    double s = staleness_probe_ ? staleness_probe_(i) : -1.0;
+    if (s > worst) worst = s;
+  }
+  return worst;
+}
+
+double ElasticityController::MeanSaturation() {
+  while (static_cast<int>(last_busy_micros_.size()) < cluster_->num_slaves()) {
+    int index = static_cast<int>(last_busy_micros_.size());
+    last_busy_micros_.push_back(
+        cluster_->slave(index)->instance().cpu().CumulativeBusyMicros());
+  }
+  SimDuration elapsed = sim_->Now() - last_tick_at_;
+  double sum = 0.0;
+  int active = 0;
+  for (int i = 0; i < cluster_->num_slaves(); ++i) {
+    int64_t busy =
+        cluster_->slave(i)->instance().cpu().CumulativeBusyMicros();
+    int64_t delta = busy - last_busy_micros_[static_cast<size_t>(i)];
+    last_busy_micros_[static_cast<size_t>(i)] = busy;
+    if (cluster_->IsSlaveRetired(i)) continue;
+    if (elapsed > 0) {
+      sum += static_cast<double>(delta) / static_cast<double>(elapsed);
+    }
+    ++active;
+  }
+  return active > 0 ? sum / static_cast<double>(active) : 0.0;
+}
+
+void ElasticityController::Tick() {
+  ticks_->Increment();
+  last_staleness_ms_ = WorstStalenessMs();
+  last_saturation_ = MeanSaturation();
+  last_tick_at_ = sim_->Now();
+
+  if (cooldown_remaining_ > 0) {
+    --cooldown_remaining_;
+    // Streaks do not accumulate through a cooldown: the tier is still
+    // settling, so the signal is not yet evidence about the new size.
+    out_streak_ = 0;
+    in_streak_ = 0;
+    return;
+  }
+
+  bool lag_high = last_staleness_ms_ >= 0.0 &&
+                  last_staleness_ms_ > options_.scale_out_staleness_ms;
+  bool saturated = last_saturation_ > options_.scale_out_saturation;
+  bool lag_low = last_staleness_ms_ < 0.0 ||
+                 last_staleness_ms_ < options_.scale_in_staleness_ms;
+  bool idle = last_saturation_ < options_.scale_in_saturation;
+
+  if (lag_high || saturated) {
+    ++out_streak_;
+    in_streak_ = 0;
+  } else if (lag_low && idle) {
+    ++in_streak_;
+    out_streak_ = 0;
+  } else {
+    // In the hysteresis band: hold the current size.
+    out_streak_ = 0;
+    in_streak_ = 0;
+  }
+
+  if (out_streak_ >= options_.sustain_ticks &&
+      cluster_->num_active_slaves() < options_.max_active_slaves) {
+    ScaleOut(lag_high
+                 ? StrFormat("staleness %.1fms > %.1fms", last_staleness_ms_,
+                             options_.scale_out_staleness_ms)
+                 : StrFormat("saturation %.2f > %.2f", last_saturation_,
+                             options_.scale_out_saturation));
+  } else if (in_streak_ >= options_.sustain_ticks &&
+             cluster_->num_active_slaves() > options_.min_active_slaves) {
+    ScaleIn(StrFormat("staleness %.1fms, saturation %.2f",
+                      last_staleness_ms_, last_saturation_));
+  }
+}
+
+void ElasticityController::ScaleOut(const std::string& reason) {
+  int index = -1;
+  for (int i = 0; i < cluster_->num_slaves(); ++i) {
+    if (cluster_->IsSlaveRetired(i)) {
+      index = i;
+      break;
+    }
+  }
+  if (index >= 0) {
+    // A retired replica is cheaper to bring back than a fresh launch: the
+    // node exists, only the missed binlog span must be resynced.
+    if (!cluster_->ReviveSlave(index).ok()) return;
+    if (proxy_ != nullptr) proxy_->ReactivateSlave(index);
+  } else {
+    Result<int> added = cluster_->AddSlave();
+    if (!added.ok()) return;
+    index = *added;
+    if (proxy_ != nullptr) proxy_->AddSlave(cluster_->slave(index));
+  }
+  scale_outs_->Increment();
+  out_streak_ = 0;
+  in_streak_ = 0;
+  cooldown_remaining_ = options_.cooldown_ticks;
+  events_.push_back(ScalingEvent{sim_->Now(), ScalingAction::kScaleOut,
+                                 cluster_->num_active_slaves(), reason});
+}
+
+void ElasticityController::ScaleIn(const std::string& reason) {
+  int index = -1;
+  for (int i = cluster_->num_slaves() - 1; i >= 0; --i) {
+    if (!cluster_->IsSlaveRetired(i)) {
+      index = i;
+      break;
+    }
+  }
+  if (index < 0) return;
+  // Stop routing reads there first; in-flight reads drain normally.
+  if (proxy_ != nullptr) proxy_->DeactivateSlave(index);
+  if (!cluster_->RetireSlave(index).ok()) return;
+  scale_ins_->Increment();
+  out_streak_ = 0;
+  in_streak_ = 0;
+  cooldown_remaining_ = options_.cooldown_ticks;
+  events_.push_back(ScalingEvent{sim_->Now(), ScalingAction::kScaleIn,
+                                 cluster_->num_active_slaves(), reason});
+}
+
+}  // namespace clouddb::control

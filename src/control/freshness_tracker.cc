@@ -1,0 +1,85 @@
+#include "control/freshness_tracker.h"
+
+#include <map>
+
+#include "repl/delay_monitor.h"
+#include "repl/replication_cluster.h"
+#include "sim/simulation.h"
+
+namespace clouddb::control {
+
+FreshnessTracker::FreshnessTracker(sim::Simulation* sim,
+                                   repl::ReplicationCluster* cluster,
+                                   FreshnessTrackerOptions options)
+    : sim_(sim), cluster_(cluster), options_(std::move(options)),
+      metrics_("freshness_tracker") {
+  polls_ = metrics_.AddCounter("control.freshness.polls");
+  SyncSlaveCount();
+}
+
+void FreshnessTracker::Start() {
+  ticker_.Start(sim_, options_.poll_period, [this] { Poll(); });
+}
+
+void FreshnessTracker::Stop() { ticker_.Stop(); }
+
+void FreshnessTracker::SyncSlaveCount() {
+  while (static_cast<int>(staleness_ms_.size()) < cluster_->num_slaves()) {
+    int index = static_cast<int>(staleness_ms_.size());
+    staleness_ms_.push_back(-1.0);
+    cluster_->slave(index)->metrics().AddProbe(
+        "repl.slave.observed_staleness_ms",
+        [this, index] { return StalenessMs(index); });
+  }
+}
+
+void FreshnessTracker::Poll() {
+  polls_->Increment();
+  SyncSlaveCount();
+  std::map<int64_t, int64_t> master_hb = repl::ReadHeartbeats(
+      cluster_->master()->database(), options_.heartbeat_table);
+  if (master_hb.empty()) {
+    // No heartbeats committed yet: nothing to measure.
+    for (double& s : staleness_ms_) s = -1.0;
+    return;
+  }
+  int64_t master_latest_id = master_hb.rbegin()->first;
+  int64_t master_latest_ts = master_hb.rbegin()->second;
+  for (int i = 0; i < cluster_->num_slaves(); ++i) {
+    if (cluster_->IsSlaveRetired(i)) {
+      staleness_ms_[static_cast<size_t>(i)] = -1.0;
+      continue;
+    }
+    std::map<int64_t, int64_t> slave_hb = repl::ReadHeartbeats(
+        cluster_->slave(i)->database(), options_.heartbeat_table);
+    double staleness = -1.0;
+    // Latest heartbeat the slave has applied that the master also knows
+    // about; both timestamps are master-local, so the clock offset cancels.
+    for (auto it = slave_hb.rbegin(); it != slave_hb.rend(); ++it) {
+      auto on_master = master_hb.find(it->first);
+      if (on_master != master_hb.end()) {
+        staleness = static_cast<double>(
+                        (it->first == master_latest_id
+                             ? 0
+                             : master_latest_ts - on_master->second)) /
+                    1000.0;
+        break;
+      }
+    }
+    staleness_ms_[static_cast<size_t>(i)] = staleness;
+  }
+}
+
+double FreshnessTracker::StalenessMs(int slave_index) const {
+  if (slave_index < 0 ||
+      slave_index >= static_cast<int>(staleness_ms_.size())) {
+    return -1.0;
+  }
+  return staleness_ms_[static_cast<size_t>(slave_index)];
+}
+
+std::function<double(int)> FreshnessTracker::Probe() {
+  return [this](int slave_index) { return StalenessMs(slave_index); };
+}
+
+}  // namespace clouddb::control

@@ -1,0 +1,77 @@
+#ifndef CLOUDDB_CONTROL_FRESHNESS_TRACKER_H_
+#define CLOUDDB_CONTROL_FRESHNESS_TRACKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time_types.h"
+#include "metrics/metric_registry.h"
+#include "repl/replication_cluster.h"
+#include "sim/simulation.h"
+
+namespace clouddb::control {
+
+struct FreshnessTrackerOptions {
+  /// Heartbeat-scan cadence. The probe's estimate can lag reality by up to
+  /// one period — bounded reads re-check at completion precisely because of
+  /// this.
+  SimDuration poll_period = Millis(250);
+  std::string heartbeat_table = "heartbeat";
+};
+
+/// Periodically measures each slave's *observed* replication staleness from
+/// the paper's heartbeat table, the application-managed counterpart of
+/// SHOW SLAVE STATUS. Staleness of slave s is computed purely from
+/// master-side commit timestamps:
+///
+///   staleness(s) = t_master[latest hb id on master]
+///                - t_master[latest hb id applied on s]
+///
+/// Both operands come from the *master's* clock, so inter-instance clock
+/// offset/drift cancels exactly — unlike the raw per-id delay, no idle
+/// baseline subtraction is needed. Granularity is one heartbeat period.
+///
+/// The tracker publishes `repl.slave.observed_staleness_ms` into each
+/// slave's registry and hands the proxy a probe callback (Probe()) so the
+/// client layer can consume the signal without depending on this layer.
+class FreshnessTracker {
+ public:
+  FreshnessTracker(sim::Simulation* sim, repl::ReplicationCluster* cluster,
+                   FreshnessTrackerOptions options = {});
+
+  /// Starts periodic polling (first sample after one period).
+  void Start();
+  void Stop();
+
+  /// Takes one sample immediately (also called by the periodic tick).
+  void Poll();
+
+  /// Latest observed staleness of slave `i` in ms; negative when unknown
+  /// (never sampled, no heartbeats applied yet, or the slave is retired).
+  double StalenessMs(int slave_index) const;
+
+  /// The callback shape ReadWriteSplitProxy::SetStalenessProbe expects.
+  std::function<double(int)> Probe();
+
+  int64_t polls() const { return polls_->value(); }
+  metrics::MetricRegistry& metrics() { return metrics_; }
+
+ private:
+  /// Grows per-slave state when the cluster scaled out since the last poll
+  /// and registers the staleness gauge into each new slave's registry.
+  void SyncSlaveCount();
+
+  sim::Simulation* sim_;
+  repl::ReplicationCluster* cluster_;
+  FreshnessTrackerOptions options_;
+  std::vector<double> staleness_ms_;  // parallel to cluster slaves
+  metrics::MetricRegistry metrics_;
+  metrics::Counter* polls_ = nullptr;
+  sim::PeriodicTimer ticker_;
+};
+
+}  // namespace clouddb::control
+
+#endif  // CLOUDDB_CONTROL_FRESHNESS_TRACKER_H_

@@ -58,7 +58,47 @@ RecoveryObserver::RecoveryObserver(sim::Simulation* sim,
     : sim_(sim),
       manager_(manager),
       converged_(std::move(converged)),
-      poll_interval_(poll_interval) {}
+      poll_interval_(poll_interval),
+      metrics_("recovery") {
+  RegisterMetrics();
+}
+
+void RecoveryObserver::RegisterMetrics() {
+  polls_ = metrics_.AddCounter("fault.polls");
+  metrics_.AddProbe("fault.fault_at_us", [this] {
+    return static_cast<double>(report_.fault_at);
+  });
+  metrics_.AddProbe("fault.detected_at_us", [this] {
+    return static_cast<double>(report_.detected_at);
+  });
+  metrics_.AddProbe("fault.promoted_at_us", [this] {
+    return static_cast<double>(report_.promoted_at);
+  });
+  metrics_.AddProbe("fault.healed_at_us", [this] {
+    return static_cast<double>(report_.healed_at);
+  });
+  metrics_.AddProbe("fault.reconverged_at_us", [this] {
+    return static_cast<double>(report_.reconverged_at);
+  });
+  metrics_.AddProbe("fault.lost_writes", [this] {
+    return static_cast<double>(report_.lost_writes);
+  });
+  metrics_.AddProbe("fault.peak_lag_events", [this] {
+    return static_cast<double>(report_.peak_lag_events);
+  });
+  metrics_.AddProbe("fault.peak_relay_backlog", [this] {
+    return static_cast<double>(report_.peak_relay_backlog);
+  });
+  metrics_.AddProbe("fault.time_to_detect_us", [this] {
+    return static_cast<double>(report_.TimeToDetect());
+  });
+  metrics_.AddProbe("fault.time_to_promote_us", [this] {
+    return static_cast<double>(report_.TimeToPromote());
+  });
+  metrics_.AddProbe("fault.time_to_reconverge_us", [this] {
+    return static_cast<double>(report_.TimeToReconverge());
+  });
+}
 
 void RecoveryObserver::Start() {
   if (running_) return;
@@ -85,6 +125,7 @@ void RecoveryObserver::NoteHeal() { report_.healed_at = sim_->Now(); }
 
 void RecoveryObserver::Poll() {
   if (!running_) return;
+  polls_->Increment();
   repl::MasterNode* master = manager_->current_master();
   bool all_caught_up = true;
   for (repl::SlaveNode* slave : manager_->active_slaves()) {

@@ -142,10 +142,10 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   result.fully_replicated = cluster.FullyReplicated();
   result.converged = cluster.Converged();
 
-  const db::Database& master_db = cluster.master()->database();
+  db::Database& master_db = cluster.master()->database();
   double sum_relative = 0.0;
   for (int i = 0; i < cluster.num_slaves(); ++i) {
-    const db::Database& slave_db = cluster.slave(i)->database();
+    db::Database& slave_db = cluster.slave(i)->database();
     std::vector<double> idle = repl::HeartbeatDelaysMs(
         master_db, slave_db, 1, idle_max_id, config.heartbeat.table);
     std::vector<double> loaded =

@@ -20,12 +20,14 @@ DbNode::DbNode(sim::Simulation* sim, net::Network* network,
     : sim_(sim),
       network_(network),
       instance_(instance),
-      cost_model_(std::move(cost_model)) {
+      cost_model_(std::move(cost_model)),
+      metrics_(instance->name()) {
   db::DatabaseOptions options;
   options.enable_binlog = enable_binlog;
   options.now_micros = [this] { return instance_->LocalNowMicros(); };
   database_ = std::make_unique<db::Database>(std::move(options));
   instance_->AddPowerListener([this](bool up) { OnPowerEvent(up); });
+  RegisterBaseMetrics();
 }
 
 DbNode::DbNode(sim::Simulation* sim, net::Network* network,
@@ -35,12 +37,47 @@ DbNode::DbNode(sim::Simulation* sim, net::Network* network,
       network_(network),
       instance_(instance),
       cost_model_(std::move(cost_model)),
-      database_(std::move(adopted)) {
+      database_(std::move(adopted)),
+      metrics_(instance->name()) {
   database_->set_binlog_enabled(enable_binlog);
   // The adopted database's clock must follow *this* node's instance (the
   // previous owner's lambda would dangle).
   database_->SetTimeSource([this] { return instance_->LocalNowMicros(); });
   instance_->AddPowerListener([this](bool up) { OnPowerEvent(up); });
+  RegisterBaseMetrics();
+}
+
+void DbNode::RegisterBaseMetrics() {
+  // Pull-model probes over counters the node maintains anyway: the hot path
+  // pays nothing, readers compute the value on demand.
+  metrics_.AddProbe("db.queries.completed", [this] {
+    return static_cast<double>(queries_completed_);
+  });
+  metrics_.AddProbe("db.queries.failed", [this] {
+    return static_cast<double>(queries_failed_);
+  });
+  metrics_.AddProbe("db.statement_cache.hits", [this] {
+    return database_ == nullptr
+               ? 0.0
+               : static_cast<double>(database_->statement_cache().stats().hits);
+  });
+  metrics_.AddProbe("db.statement_cache.misses", [this] {
+    return database_ == nullptr
+               ? 0.0
+               : static_cast<double>(
+                     database_->statement_cache().stats().misses);
+  });
+  metrics_.AddProbe("db.statement_cache.hit_rate", [this] {
+    if (database_ == nullptr) return 0.0;
+    const db::StatementCacheStats& stats = database_->statement_cache().stats();
+    int64_t lookups = stats.hits + stats.misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(stats.hits) /
+                              static_cast<double>(lookups);
+  });
+  metrics_.AddProbe("db.cpu.busy_micros", [this] {
+    return static_cast<double>(instance_->cpu().CumulativeBusyMicros());
+  });
 }
 
 std::unique_ptr<db::Database> DbNode::ReleaseDatabase() {

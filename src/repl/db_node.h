@@ -9,6 +9,7 @@
 #include "cloud/instance.h"
 #include "common/result.h"
 #include "db/database.h"
+#include "metrics/metric_registry.h"
 #include "net/network.h"
 #include "repl/cost_model.h"
 #include "sim/simulation.h"
@@ -66,6 +67,13 @@ class DbNode {
   int64_t queries_completed() const { return queries_completed_; }
   int64_t queries_failed() const { return queries_failed_; }
 
+  /// Per-node metric registry (scoped by the instance name). The base node
+  /// registers pull-model probes over its existing counters — query totals,
+  /// statement-cache hit rates, cumulative CPU busy time — so instrumenting
+  /// costs nothing on the Execute hot path; subclasses add their own.
+  metrics::MetricRegistry& metrics() { return metrics_; }
+  const metrics::MetricRegistry& metrics() const { return metrics_; }
+
   /// Simulated process/instance failure. An offline node refuses queries
   /// (the caller gets Unavailable after the usual CPU-free turnaround) and
   /// does not answer health probes. Bringing a node back online does *not*
@@ -113,9 +121,13 @@ class DbNode {
   cloud::Instance* instance_;
   CostModel cost_model_;
   std::unique_ptr<db::Database> database_;
+  metrics::MetricRegistry metrics_;
   bool online_ = true;
   int64_t queries_completed_ = 0;
   int64_t queries_failed_ = 0;
+
+ private:
+  void RegisterBaseMetrics();
 };
 
 }  // namespace clouddb::repl

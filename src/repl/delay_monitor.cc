@@ -1,33 +1,50 @@
 #include "repl/delay_monitor.h"
+
+#include "common/result.h"
 #include "common/stats.h"
 #include "db/database.h"
-#include "db/table.h"
+#include "db/statement_cache.h"
 #include "db/value.h"
 
 namespace clouddb::repl {
 
-std::map<int64_t, int64_t> ReadHeartbeats(const db::Database& database,
+std::map<int64_t, int64_t> ReadHeartbeats(db::Database& database,
                                           const std::string& table) {
   std::map<int64_t, int64_t> out;
-  const db::Table* t = database.GetTable(table);
-  if (t == nullptr) return out;
-  auto id_col = t->schema().ColumnIndex("hb_id");
-  auto ts_col = t->schema().ColumnIndex("ts");
-  if (!id_col.ok() || !ts_col.ok()) return out;
-  t->ScanAll([&](db::RowId, const db::Row& row) {
-    const db::Value& id = row[*id_col];
-    const db::Value& ts = row[*ts_col];
+  if (database.GetTable(table) == nullptr) return out;
+  // The scan is issued through the statement cache: the first poll parses
+  // the SELECT once, every later poll binds the same template again (the
+  // same parse-once discipline the apply path uses). Pollers run this every
+  // heartbeat period, so re-parsing here was pure overhead.
+  const std::string sql = "SELECT hb_id, ts FROM " + table;
+  Result<db::ExecResult> rows = [&]() -> Result<db::ExecResult> {
+    if (database.statement_cache_enabled()) {
+      Result<db::PreparedCall> call = database.Prepare(sql);
+      if (call.ok()) return database.ExecutePrepared(*call, sql, nullptr);
+    }
+    return database.Execute(sql);
+  }();
+  if (!rows.ok()) return out;
+  int id_col = -1;
+  int ts_col = -1;
+  for (size_t i = 0; i < rows->column_names.size(); ++i) {
+    if (rows->column_names[i] == "hb_id") id_col = static_cast<int>(i);
+    if (rows->column_names[i] == "ts") ts_col = static_cast<int>(i);
+  }
+  if (id_col < 0 || ts_col < 0) return out;
+  for (const db::Row& row : rows->rows) {
+    const db::Value& id = row[static_cast<size_t>(id_col)];
+    const db::Value& ts = row[static_cast<size_t>(ts_col)];
     if (!id.is_null() && !ts.is_null()) {
       out[id.AsInt64()] = ts.AsInt64();
     }
-    return true;
-  });
+  }
   return out;
 }
 
-std::vector<double> HeartbeatDelaysMs(const db::Database& master,
-                                      const db::Database& slave,
-                                      int64_t min_id, int64_t max_id,
+std::vector<double> HeartbeatDelaysMs(db::Database& master,
+                                      db::Database& slave, int64_t min_id,
+                                      int64_t max_id,
                                       const std::string& table) {
   std::map<int64_t, int64_t> m = ReadHeartbeats(master, table);
   std::map<int64_t, int64_t> s = ReadHeartbeats(slave, table);

@@ -11,8 +11,10 @@
 namespace clouddb::repl {
 
 /// Reads the heartbeat table of `database`: id -> committed local timestamp
-/// (µs on that replica's clock).
-std::map<int64_t, int64_t> ReadHeartbeats(const db::Database& database,
+/// (µs on that replica's clock). The scan runs through the statement cache
+/// (non-const: the first call warms the template, repeated polls hit it),
+/// falling back to a plain parse when the cache is disabled.
+std::map<int64_t, int64_t> ReadHeartbeats(db::Database& database,
                                           const std::string& table);
 
 /// Per-heartbeat replication delay in milliseconds for ids in
@@ -20,9 +22,9 @@ std::map<int64_t, int64_t> ReadHeartbeats(const db::Database& database,
 /// slave local apply time minus master local commit time. Includes the
 /// inter-instance clock offset — exactly what the raw measurement in the
 /// paper includes.
-std::vector<double> HeartbeatDelaysMs(const db::Database& master,
-                                      const db::Database& slave,
-                                      int64_t min_id, int64_t max_id,
+std::vector<double> HeartbeatDelaysMs(db::Database& master,
+                                      db::Database& slave, int64_t min_id,
+                                      int64_t max_id,
                                       const std::string& table = "heartbeat");
 
 /// The paper's *average relative replication delay* (§IV-B.1): the

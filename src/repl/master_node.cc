@@ -1,5 +1,6 @@
 #include "repl/master_node.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "repl/slave_node.h"
@@ -31,6 +32,7 @@ MasterNode::MasterNode(sim::Simulation* sim, net::Network* network,
              /*enable_binlog=*/true) {
   database_->binlog().SetAppendListener(
       [this](const db::BinlogEvent& event) { OnBinlogAppend(event); });
+  RegisterMasterMetrics();
 }
 
 MasterNode::MasterNode(sim::Simulation* sim, net::Network* network,
@@ -40,11 +42,47 @@ MasterNode::MasterNode(sim::Simulation* sim, net::Network* network,
              std::move(adopted), /*enable_binlog=*/true) {
   database_->binlog().SetAppendListener(
       [this](const db::BinlogEvent& event) { OnBinlogAppend(event); });
+  RegisterMasterMetrics();
+}
+
+void MasterNode::RegisterMasterMetrics() {
+  metrics_.AddProbe("repl.master.binlog_size", [this] {
+    return database_ == nullptr ? 0.0 : static_cast<double>(binlog_size());
+  });
+  metrics_.AddProbe("repl.master.events_pushed", [this] {
+    return static_cast<double>(events_pushed_);
+  });
+  metrics_.AddProbe("repl.master.attached_slaves", [this] {
+    return static_cast<double>(slaves_.size());
+  });
+  // Apply backlog on the master side: writes committed but still holding
+  // their client response for slave acks (synchronous mode only).
+  metrics_.AddProbe("repl.master.sync_waiters", [this] {
+    return static_cast<double>(sync_waiters_.size());
+  });
 }
 
 void MasterNode::AttachSlave(SlaveNode* slave) {
   slaves_.push_back(slave);
   slave->SetMaster(this);
+}
+
+void MasterNode::DetachSlave(SlaveNode* slave) {
+  auto it = std::find(slaves_.begin(), slaves_.end(), slave);
+  if (it == slaves_.end()) return;
+  slaves_.erase(it);
+  // Release any synchronous waiter that was still counting on this slave;
+  // otherwise a scale-in during a sync write would strand the client.
+  for (auto w = sync_waiters_.begin(); w != sync_waiters_.end();) {
+    if (--w->remaining == 0) {
+      QueryCallback done = std::move(w->done);
+      Result<db::ExecResult> result = std::move(w->result);
+      w = sync_waiters_.erase(w);
+      done(std::move(result));
+    } else {
+      ++w;
+    }
+  }
 }
 
 void MasterNode::ExecuteAndRespond(const std::string& sql,

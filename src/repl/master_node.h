@@ -42,6 +42,12 @@ class MasterNode : public DbNode {
   /// `slave` (events appended before attachment are assumed pre-loaded).
   void AttachSlave(SlaveNode* slave);
 
+  /// Stops streaming to `slave` (elastic scale-in). The slave keeps its data
+  /// and keeps serving whatever is already queued; it simply receives no
+  /// further events. No-op when the slave is not attached. Any synchronous
+  /// waiter still counting this slave's ack is released as if it had acked.
+  void DetachSlave(SlaveNode* slave);
+
   void SetSynchronousReplication(bool sync) { synchronous_ = sync; }
   bool synchronous() const { return synchronous_; }
 
@@ -67,6 +73,8 @@ class MasterNode : public DbNode {
   void ExecuteAndRespond(const std::string& sql, QueryCallback done) override;
 
  private:
+  void RegisterMasterMetrics();
+
   struct SyncWaiter {
     int64_t index;
     int remaining;

@@ -9,6 +9,8 @@
 #include "db/database.h"
 #include "db/sql_ast.h"
 #include "db/statement_cache.h"
+#include "db/table.h"
+#include "db/value.h"
 #include "net/network.h"
 #include "repl/master_node.h"
 #include "repl/slave_node.h"
@@ -36,7 +38,97 @@ ReplicationCluster::ReplicationCluster(cloud::CloudProvider* provider,
                                              config.cost_model);
     master_->AttachSlave(slave.get());
     slaves_.push_back(std::move(slave));
+    retired_.push_back(false);
   }
+}
+
+int ReplicationCluster::num_active_slaves() const {
+  int active = 0;
+  for (bool retired : retired_) {
+    if (!retired) ++active;
+  }
+  return active;
+}
+
+Status ReplicationCluster::SnapshotInto(SlaveNode* slave) {
+  db::Database& src = master_->database();
+  db::Database& dst = slave->database();
+  for (const std::string& name : src.TableNames()) {
+    const db::Table* table = src.GetTable(name);
+    std::string ddl = StrFormat("CREATE TABLE %s %s", name.c_str(),
+                                table->schema().ToString().c_str());
+    auto created = dst.Execute(ddl);
+    if (!created.ok()) return created.status();
+    // One INSERT shape per table: prepare once, bind each row's literals —
+    // the restore costs one parse per table, not one per row.
+    Status row_status = Status::Ok();
+    table->ScanAll([&](db::RowId, const db::Row& row) {
+      std::string sql = StrFormat("INSERT INTO %s VALUES %s", name.c_str(),
+                                  db::RowToString(row).c_str());
+      Result<db::ExecResult> inserted = [&]() -> Result<db::ExecResult> {
+        if (dst.statement_cache_enabled()) {
+          Result<db::PreparedCall> call = dst.Prepare(sql);
+          if (call.ok()) return dst.ExecutePrepared(*call, sql, nullptr);
+        }
+        return dst.Execute(sql);
+      }();
+      if (!inserted.ok()) {
+        row_status = inserted.status();
+        return false;
+      }
+      return true;
+    });
+    if (!row_status.ok()) return row_status;
+  }
+  return Status::Ok();
+}
+
+Result<int> ReplicationCluster::AddSlave() {
+  sim::Simulation* sim = &provider_->simulation();
+  net::Network* network = &provider_->network();
+  cloud::Instance* instance = provider_->Launch(
+      StrFormat("slave-%d", num_slaves() + 1), config_.slave_type,
+      config_.slave_placement);
+  auto slave = std::make_unique<SlaveNode>(sim, network, instance,
+                                           config_.cost_model);
+  slave->database().set_statement_cache_enabled(
+      master_->database().statement_cache_enabled());
+  CLOUDDB_RETURN_IF_ERROR(SnapshotInto(slave.get()));
+  // The snapshot covers every event already in the binlog; attaching now
+  // streams everything committed from this instant on.
+  slave->SeedFromSnapshot(master_->binlog_size() - 1);
+  master_->AttachSlave(slave.get());
+  slaves_.push_back(std::move(slave));
+  retired_.push_back(false);
+  return num_slaves() - 1;
+}
+
+Status ReplicationCluster::RetireSlave(int i) {
+  if (i < 0 || i >= num_slaves()) {
+    return Status::InvalidArgument("no such slave");
+  }
+  if (retired_[static_cast<size_t>(i)]) return Status::Ok();
+  retired_[static_cast<size_t>(i)] = true;
+  master_->DetachSlave(slaves_[static_cast<size_t>(i)].get());
+  return Status::Ok();
+}
+
+Status ReplicationCluster::ReviveSlave(int i) {
+  if (i < 0 || i >= num_slaves()) {
+    return Status::InvalidArgument("no such slave");
+  }
+  if (!retired_[static_cast<size_t>(i)]) return Status::Ok();
+  retired_[static_cast<size_t>(i)] = false;
+  SlaveNode* slave = slaves_[static_cast<size_t>(i)].get();
+  master_->AttachSlave(slave);
+  // Fetch the events missed while detached over the regular dump path; the
+  // stream resumes exactly where this slave's SQL thread stopped.
+  slave->RequestResync();
+  return Status::Ok();
+}
+
+bool ReplicationCluster::IsSlaveRetired(int i) const {
+  return i >= 0 && i < num_slaves() && retired_[static_cast<size_t>(i)];
 }
 
 Status ReplicationCluster::ExecuteEverywhereDirect(const std::string& sql) {
@@ -83,19 +175,21 @@ void ReplicationCluster::SetStatementCacheEnabled(bool enabled) {
 
 bool ReplicationCluster::FullyReplicated() const {
   int64_t size = master_->database().binlog().size();
-  for (const auto& slave : slaves_) {
-    if (slave->applied_index() != size - 1) return false;
-    if (slave->relay_backlog() != 0) return false;
+  for (size_t i = 0; i < slaves_.size(); ++i) {
+    if (retired_[i]) continue;  // detached: intentionally frozen
+    if (slaves_[i]->applied_index() != size - 1) return false;
+    if (slaves_[i]->relay_backlog() != 0) return false;
   }
   return true;
 }
 
 bool ReplicationCluster::Converged() const {
-  for (const auto& slave : slaves_) {
+  for (size_t i = 0; i < slaves_.size(); ++i) {
+    if (retired_[i]) continue;  // detached: intentionally frozen
     // The heartbeat table intentionally diverges: NOW_MICROS() re-evaluates
     // per replica (that divergence *is* the delay measurement).
-    if (!db::Database::ContentsEqual(master_->database(), slave->database(),
-                                     {"heartbeat"})) {
+    if (!db::Database::ContentsEqual(master_->database(),
+                                     slaves_[i]->database(), {"heartbeat"})) {
       return false;
     }
   }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cloud/cloud_provider.h"
+#include "common/result.h"
 #include "common/status.h"
 #include "repl/cost_model.h"
 #include "repl/master_node.h"
@@ -36,8 +37,30 @@ class ReplicationCluster {
 
   MasterNode* master() { return master_.get(); }
   SlaveNode* slave(int i) { return slaves_[static_cast<size_t>(i)].get(); }
+  /// Total slaves ever launched, retired ones included — indexes are stable
+  /// (they align with the proxy's backend indexes).
   int num_slaves() const { return static_cast<int>(slaves_.size()); }
+  int num_active_slaves() const;
   const ClusterConfig& config() const { return config_; }
+
+  /// Elastic scale-out (the control loop's actuator): launches a fresh
+  /// instance, restores a snapshot of the master's current contents onto it
+  /// (as an operator restores a backup before attaching a replica), and
+  /// attaches it to the binlog stream. Returns the new slave's index.
+  Result<int> AddSlave();
+
+  /// Elastic scale-in: detaches slave `i` from the master's stream and marks
+  /// it retired. The node object stays alive (in-flight reads drain
+  /// normally) but is excluded from FullyReplicated()/Converged() and no
+  /// longer receives events. Idempotent per slave.
+  Status RetireSlave(int i);
+
+  /// Re-activates a previously retired slave: snapshot-refreshes its data
+  /// from the master and re-attaches it. Scale-out prefers reviving a
+  /// retired node over launching a new instance.
+  Status ReviveSlave(int i);
+
+  bool IsSlaveRetired(int i) const;
 
   /// Runs `sql` directly on every replica (master and slaves), bypassing CPU
   /// and replication — identical pre-loading of all copies.
@@ -55,10 +78,14 @@ class ReplicationCluster {
   bool Converged() const;
 
  private:
+  /// Copies the master's current tables into `slave` (snapshot restore).
+  Status SnapshotInto(SlaveNode* slave);
+
   cloud::CloudProvider* provider_;
   ClusterConfig config_;
   std::unique_ptr<MasterNode> master_;
   std::vector<std::unique_ptr<SlaveNode>> slaves_;
+  std::vector<bool> retired_;  // parallel to slaves_
 };
 
 }  // namespace clouddb::repl

@@ -27,6 +27,21 @@ SlaveNode::SlaveNode(sim::Simulation* sim, net::Network* network,
              /*enable_binlog=*/false) {
   ack_timer_.Bind(sim_, [this] { OnAckTimeout(); });
   retry_timer_.Bind(sim_, [this] { RequestResync(); });
+  metrics_.AddProbe("repl.slave.applied_index", [this] {
+    return static_cast<double>(applied_index_);
+  });
+  metrics_.AddProbe("repl.slave.relay_backlog", [this] {
+    return static_cast<double>(relay_backlog());
+  });
+  metrics_.AddProbe("repl.slave.events_applied", [this] {
+    return static_cast<double>(events_applied_);
+  });
+  metrics_.AddProbe("repl.slave.broken",
+                    [this] { return broken_ ? 1.0 : 0.0; });
+  // Push-model sampler on the apply path: raw per-event delay as the slave
+  // observes it (local apply time minus the master's commit stamp, so it
+  // includes the clock offset — the paper's uncorrected measurement).
+  apply_delay_ms_ = metrics_.AddEwma("repl.slave.apply_delay_ms");
 }
 
 void SlaveNode::OnBinlogEvent(db::BinlogEvent event) {
@@ -109,6 +124,10 @@ void SlaveNode::MaybeStartApply() {
     }
     applied_index_ = event.index;
     ++events_applied_;
+    apply_delay_ms_->Observe(
+        static_cast<double>(instance_->LocalNowMicros() -
+                            event.commit_micros) /
+        1000.0);
     if (master_ != nullptr && master_->synchronous()) {
       int64_t index = event.index;
       MasterNode* master = master_;

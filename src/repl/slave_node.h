@@ -8,6 +8,7 @@
 #include "repl/db_node.h"
 #include "cloud/instance.h"
 #include "common/time_types.h"
+#include "metrics/metric_registry.h"
 #include "net/network.h"
 #include "repl/cost_model.h"
 #include "sim/simulation.h"
@@ -72,6 +73,15 @@ class SlaveNode : public DbNode {
   /// the next expected) is dropped too and, under auto-resync, triggers an
   /// immediate catch-up request.
   void OnBinlogEvent(db::BinlogEvent event);
+
+  /// Marks the slave as pre-loaded with the master's data through binlog
+  /// index `applied_index` (snapshot restore before a mid-run attachment):
+  /// the IO thread expects the next event after the snapshot point instead
+  /// of index 0, so the first live event is not mistaken for a gap.
+  void SeedFromSnapshot(int64_t applied_index) {
+    applied_index_ = applied_index;
+    next_expected_ = applied_index + 1;
+  }
 
   /// Index of the last fully applied event (-1 if none).
   int64_t applied_index() const { return applied_index_; }
@@ -147,6 +157,7 @@ class SlaveNode : public DbNode {
   /// the rebased database when its CPU callback finally fires.
   int64_t apply_epoch_ = 0;
   std::function<void(const db::BinlogEvent&)> apply_listener_;
+  metrics::Ewma* apply_delay_ms_ = nullptr;  // owned by metrics_
 
   // Reconnect state.
   bool auto_resync_ = false;

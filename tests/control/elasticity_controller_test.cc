@@ -1,0 +1,159 @@
+// Elasticity controller unit tests: ticks are driven by hand with a
+// test-controlled staleness signal, so every hysteresis/cooldown transition
+// is observable one decision at a time. (The controller's saturation signal
+// reads real CPU busy-time deltas; with no load the tier is idle, which is
+// exactly the "lag is the only evidence" regime these tests want.)
+
+#include "control/elasticity_controller.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cloud/cloud_provider.h"
+#include "repl/replication_cluster.h"
+#include "sim/simulation.h"
+
+namespace clouddb::control {
+namespace {
+
+class ElasticityControllerTest : public ::testing::Test {
+ protected:
+  ElasticityControllerTest() {
+    cloud_options_.latency_jitter_sigma = 0.0;
+    cloud_options_.cpu_speed_cov = 0.0;
+    cloud_options_.max_initial_clock_offset = 0;
+    cloud_options_.max_clock_drift_ppm = 0.0;
+  }
+
+  void Deploy(int slaves, ElasticityControllerOptions options) {
+    provider_ = std::make_unique<cloud::CloudProvider>(&sim_, cloud_options_,
+                                                       1);
+    repl::ClusterConfig config;
+    config.num_slaves = slaves;
+    cluster_ =
+        std::make_unique<repl::ReplicationCluster>(provider_.get(), config);
+    ASSERT_TRUE(
+        cluster_->ExecuteEverywhereDirect("CREATE TABLE t (a INT)").ok());
+    controller_ = std::make_unique<ElasticityController>(
+        &sim_, cluster_.get(), /*proxy=*/nullptr,
+        [this](int) { return staleness_ms_; }, options);
+  }
+
+  sim::Simulation sim_;
+  cloud::CloudOptions cloud_options_;
+  std::unique_ptr<cloud::CloudProvider> provider_;
+  std::unique_ptr<repl::ReplicationCluster> cluster_;
+  std::unique_ptr<ElasticityController> controller_;
+  double staleness_ms_ = -1.0;
+};
+
+ElasticityControllerOptions FastOptions() {
+  ElasticityControllerOptions options;
+  options.sustain_ticks = 3;
+  options.cooldown_ticks = 2;
+  options.min_active_slaves = 1;
+  options.max_active_slaves = 3;
+  return options;
+}
+
+TEST_F(ElasticityControllerTest, SustainedLagScalesOutAfterSustainTicks) {
+  Deploy(1, FastOptions());
+  staleness_ms_ = 1000.0;  // well over scale_out_staleness_ms (500)
+  controller_->Tick();
+  controller_->Tick();
+  EXPECT_EQ(controller_->events().size(), 0u);  // streak not yet sustained
+  controller_->Tick();
+  ASSERT_EQ(controller_->events().size(), 1u);
+  EXPECT_EQ(controller_->events()[0].action, ScalingAction::kScaleOut);
+  EXPECT_EQ(cluster_->num_active_slaves(), 2);
+  EXPECT_EQ(cluster_->num_slaves(), 2);  // fresh launch: no retiree to revive
+}
+
+TEST_F(ElasticityControllerTest, OneTickSpikeDoesNotScale) {
+  Deploy(1, FastOptions());
+  staleness_ms_ = 1000.0;
+  controller_->Tick();  // spike
+  staleness_ms_ = 200.0;  // back inside the hysteresis band
+  for (int i = 0; i < 10; ++i) controller_->Tick();
+  EXPECT_EQ(controller_->events().size(), 0u);
+  EXPECT_EQ(cluster_->num_active_slaves(), 1);
+}
+
+TEST_F(ElasticityControllerTest, CooldownSeparatesConsecutiveScaleOuts) {
+  ElasticityControllerOptions options = FastOptions();
+  options.sustain_ticks = 1;
+  options.cooldown_ticks = 3;
+  Deploy(1, options);
+  staleness_ms_ = 1000.0;
+  controller_->Tick();  // immediate scale-out (sustain 1)
+  ASSERT_EQ(controller_->events().size(), 1u);
+  controller_->Tick();  // cooldown 3
+  controller_->Tick();  // cooldown 2
+  controller_->Tick();  // cooldown 1
+  EXPECT_EQ(controller_->events().size(), 1u);  // held despite high lag
+  controller_->Tick();  // first post-cooldown evidence tick
+  ASSERT_EQ(controller_->events().size(), 2u);
+  EXPECT_EQ(cluster_->num_active_slaves(), 3);
+}
+
+TEST_F(ElasticityControllerTest, MaxActiveSlavesClampsScaleOut) {
+  ElasticityControllerOptions options = FastOptions();
+  options.sustain_ticks = 1;
+  options.max_active_slaves = 1;
+  Deploy(1, options);
+  staleness_ms_ = 5000.0;
+  for (int i = 0; i < 10; ++i) controller_->Tick();
+  EXPECT_EQ(controller_->events().size(), 0u);
+  EXPECT_EQ(cluster_->num_active_slaves(), 1);
+}
+
+TEST_F(ElasticityControllerTest, QuietTierScalesInToMinAndHolds) {
+  ElasticityControllerOptions options = FastOptions();
+  options.sustain_ticks = 2;
+  options.cooldown_ticks = 0;
+  Deploy(3, options);
+  staleness_ms_ = 5.0;  // fresh and idle
+  for (int i = 0; i < 10; ++i) controller_->Tick();
+  // Retired from the top down, one per sustained streak, never below min.
+  EXPECT_EQ(cluster_->num_active_slaves(), 1);
+  ASSERT_EQ(controller_->events().size(), 2u);
+  EXPECT_EQ(controller_->events()[0].action, ScalingAction::kScaleIn);
+  EXPECT_TRUE(cluster_->IsSlaveRetired(2));
+  EXPECT_TRUE(cluster_->IsSlaveRetired(1));
+  EXPECT_FALSE(cluster_->IsSlaveRetired(0));
+}
+
+TEST_F(ElasticityControllerTest, ScaleOutPrefersRevivingARetiredSlave) {
+  ElasticityControllerOptions options = FastOptions();
+  options.sustain_ticks = 1;
+  options.cooldown_ticks = 0;
+  Deploy(2, options);
+  staleness_ms_ = 5.0;
+  controller_->Tick();  // scale in: retires slave 1
+  ASSERT_TRUE(cluster_->IsSlaveRetired(1));
+  staleness_ms_ = 1000.0;
+  controller_->Tick();  // scale out: revives slave 1, no new launch
+  EXPECT_FALSE(cluster_->IsSlaveRetired(1));
+  EXPECT_EQ(cluster_->num_slaves(), 2);
+  EXPECT_EQ(cluster_->num_active_slaves(), 2);
+  ASSERT_EQ(controller_->events().size(), 2u);
+  EXPECT_EQ(controller_->events()[1].action, ScalingAction::kScaleOut);
+}
+
+TEST_F(ElasticityControllerTest, MetricsMirrorDecisions) {
+  ElasticityControllerOptions options = FastOptions();
+  options.sustain_ticks = 1;
+  options.cooldown_ticks = 0;
+  Deploy(1, options);
+  staleness_ms_ = 1000.0;
+  controller_->Tick();
+  EXPECT_EQ(controller_->metrics().ValueOf("control.ticks"), 1.0);
+  EXPECT_EQ(controller_->metrics().ValueOf("control.scale_out.total"), 1.0);
+  EXPECT_EQ(controller_->metrics().ValueOf("control.active_slaves"), 2.0);
+  EXPECT_EQ(controller_->metrics().ValueOf("control.signal.staleness_ms"),
+            1000.0);
+}
+
+}  // namespace
+}  // namespace clouddb::control

@@ -1,0 +1,15 @@
+// Fixture: invalid and duplicate metric registrations in a production-path
+// file. Duplicate literals are flagged under src/ only; tests may reuse
+// names across short-lived registries (see the sibling tests/ fixture).
+
+void RegisterAll(MetricRegistry& m) {
+  m.AddCounter("node.ops.total");
+  m.AddCounter("Node.Ops.Total");
+  m.AddGauge("depth");
+  m.AddEwma("node..latency_us");
+  m.AddCounter("node.cache-hits");
+  m.AddCounter("node.ops.total");
+  m.AddProbe(
+      "node.queue.depth", [] { return 0.0; });
+  m.AddCounter(StrFormat("node.backend_%d.total", 3));
+}

@@ -1,0 +1,9 @@
+// Fixture: the same metric name across two *different* registries is legal
+// in tests (the once-per-registry duplicate check applies to src/ only),
+// but malformed names still fire anywhere.
+
+void TwoRegistries(MetricRegistry& a, MetricRegistry& b) {
+  a.AddCounter("bench.ops.total");
+  b.AddCounter("bench.ops.total");
+  b.AddGauge("UPPER");
+}

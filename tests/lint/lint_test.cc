@@ -324,6 +324,34 @@ TEST(ApplyFixes, RemovesUnusedAndInsertsDirectIncludesToConvergence) {
   fs::remove_all(scratch);
 }
 
+TEST(MetricNameRule, FlagsMalformedAndDuplicateNamesInSrc) {
+  // src/metrics/metrics_init.cc: lines 7-10 are malformed (uppercase, single
+  // segment, empty segment, illegal '-'); line 11 re-registers the line-6
+  // name. The wrapped literal (12-13) and the StrFormat-computed name (14)
+  // are clean. tests/metrics_reuse_test.cc re-registers a name across two
+  // registries — legal outside src/ — but its malformed name still fires.
+  LintResult r = RunOn("metric_name");
+  EXPECT_EQ(Keys(r), (StrVec{
+                         "src/metrics/metrics_init.cc:7:clouddb-metric-name",
+                         "src/metrics/metrics_init.cc:8:clouddb-metric-name",
+                         "src/metrics/metrics_init.cc:9:clouddb-metric-name",
+                         "src/metrics/metrics_init.cc:10:clouddb-metric-name",
+                         "src/metrics/metrics_init.cc:11:clouddb-metric-name",
+                         "tests/metrics_reuse_test.cc:8:clouddb-metric-name",
+                     }));
+  ASSERT_EQ(r.diagnostics.size(), 6u);
+  EXPECT_NE(r.diagnostics[0].message.find("not lowercase dot-separated"),
+            std::string::npos);
+  EXPECT_NE(r.diagnostics[4].message.find("already registered at line 6"),
+            std::string::npos);
+}
+
+TEST(MetricNameRule, IgnoresDefinitionsWrappedLiteralsAndComputedNames) {
+  LintResult r = RunOn("metric_name_clean");
+  EXPECT_EQ(Keys(r), StrVec{});
+  EXPECT_EQ(r.files_scanned, 1);
+}
+
 TEST(StripCommentsAndStrings, PreservesLinesBlanksContent) {
   std::string src =
       "int a; // std::thread here\n"

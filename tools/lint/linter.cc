@@ -27,6 +27,7 @@ constexpr char kRuleThread[] = "clouddb-thread";
 constexpr char kRuleLayering[] = "clouddb-layering";
 constexpr char kRuleCycle[] = "clouddb-include-cycle";
 constexpr char kRuleStatus[] = "clouddb-status";
+constexpr char kRuleMetricName[] = "clouddb-metric-name";
 
 /// Module layer ranks. An include edge is legal only if it points at a
 /// strictly lower rank (or stays inside the module). `db` and `net` are
@@ -34,9 +35,9 @@ constexpr char kRuleStatus[] = "clouddb-status";
 /// top alongside each other. Mirrors the DAG in DESIGN.md — keep in sync.
 const std::map<std::string, int>& LayerRanks() {
   static const std::map<std::string, int> kRanks = {
-      {"common", 0},     {"sim", 1},   {"db", 2},    {"net", 2},
-      {"cloud", 3},      {"repl", 4},  {"client", 5},
-      {"cloudstone", 6}, {"fault", 7}, {"harness", 7},
+      {"common", 0},     {"metrics", 1}, {"sim", 1},   {"db", 2},
+      {"net", 2},        {"cloud", 3},   {"repl", 4},  {"client", 5},
+      {"control", 6},    {"cloudstone", 6}, {"fault", 7}, {"harness", 7},
   };
   return kRanks;
 }
@@ -459,6 +460,98 @@ void CheckDiscardedStatus(const SourceFile& fi,
 }
 
 // ---------------------------------------------------------------------------
+// Rule: metric-name hygiene.
+// ---------------------------------------------------------------------------
+
+/// Valid metric names are what the spine's aggregation model depends on:
+/// lowercase dot-separated paths (`proxy.reads.bounded`) with at least a
+/// module segment and a leaf, so MergeFrom lines up like-for-like across
+/// node registries and ToString() sorts into stable dashboards. Segments are
+/// non-empty runs of [a-z0-9_].
+bool IsValidMetricName(const std::string& name) {
+  int segments = 0;
+  size_t run = 0;
+  for (char c : name) {
+    if (c == '.') {
+      if (run == 0) return false;  // empty segment ("a..b", ".a", trailing)
+      ++segments;
+      run = 0;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_') {
+      ++run;
+    } else {
+      return false;
+    }
+  }
+  if (run == 0) return false;
+  ++segments;
+  return segments >= 2;
+}
+
+/// Scans MetricRegistry registration calls (AddCounter/AddGauge/AddProbe/
+/// AddEwma/AddHistogram) whose first argument is a string literal and checks
+/// the name. Dynamic names (StrFormat(...)) are exempt — per-index backend
+/// probes legitimately compute names — as are declarations/definitions,
+/// where the char after '(' is a parameter type, not a quote. Duplicate
+/// literals are flagged only under src/: production modules register each
+/// name once per registry (MetricRegistry aborts at runtime otherwise),
+/// while tests legitimately reuse a name across many short-lived registries.
+void CheckMetricNames(const SourceFile& fi, std::vector<Diagnostic>* out) {
+  static constexpr std::string_view kRegisterFns[] = {
+      "AddCounter", "AddGauge", "AddProbe", "AddEwma", "AddHistogram"};
+  const bool check_duplicates = fi.rel.rfind("src/", 0) == 0;
+  std::map<std::string, int> first_seen;  // literal -> first line
+  for (size_t li = 0; li < fi.stripped_lines.size(); ++li) {
+    const std::string& s = fi.stripped_lines[li];
+    for (std::string_view fn : kRegisterFns) {
+      for (size_t pos = s.find(fn); pos != std::string::npos;
+           pos = s.find(fn, pos + 1)) {
+        if (pos > 0 && IsIdentChar(s[pos - 1])) continue;  // mid-identifier
+        size_t k = pos + fn.size();
+        if (k < s.size() && IsIdentChar(s[k])) continue;  // longer identifier
+        while (k < s.size() && s[k] == ' ') ++k;
+        if (k >= s.size() || s[k] != '(') continue;  // not a call
+        ++k;
+        // The literal opens on this line or (argument wrapped) the next one.
+        size_t qline = li;
+        while (k < s.size() && s[k] == ' ') ++k;
+        if (k >= s.size() && li + 1 < fi.stripped_lines.size()) {
+          qline = li + 1;
+          const std::string& next = fi.stripped_lines[qline];
+          k = 0;
+          while (k < next.size() && next[k] == ' ') ++k;
+        }
+        const std::string& stripped = fi.stripped_lines[qline];
+        if (k >= stripped.size() || stripped[k] != '"') continue;  // dynamic
+        size_t close = stripped.find('"', k + 1);
+        if (close == std::string::npos) continue;  // malformed; parser's job
+        // StripCommentsAndStrings preserves quote positions but blanks the
+        // contents — recover the literal from the raw line.
+        std::string name =
+            fi.raw_lines[qline].substr(k + 1, close - k - 1);
+        int line = static_cast<int>(li) + 1;
+        if (!IsValidMetricName(name)) {
+          out->push_back(
+              {fi.rel, line, kRuleMetricName,
+               "metric name \"" + name +
+                   "\" is not lowercase dot-separated; use at least two "
+                   "non-empty [a-z0-9_] segments like \"module.metric\""});
+          continue;
+        }
+        if (!check_duplicates) continue;
+        auto [it, inserted] = first_seen.emplace(name, line);
+        if (!inserted) {
+          out->push_back(
+              {fi.rel, line, kRuleMetricName,
+               "metric name \"" + name + "\" already registered at line " +
+                   std::to_string(it->second) +
+                   "; each name is registered once per registry"});
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // File collection and driver.
 // ---------------------------------------------------------------------------
 
@@ -570,6 +663,7 @@ LintResult RunLint(const Options& options) {
     ScanBannedTokens(fi, &candidates);
     CheckLayering(fi, &candidates);
     CheckDiscardedStatus(fi, status_fns, &candidates);
+    CheckMetricNames(fi, &candidates);
   }
   CheckIncludeCycles(files, &candidates);
   CheckDanglingCaptures(analyzed, &candidates);
