@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Runs the microbenchmarks and writes the google-benchmark JSON reports to
-# BENCH_micro_engine.json, BENCH_micro_sim.json, and BENCH_micro_metrics.json
+# BENCH_micro_engine.json, BENCH_micro_sim.json, BENCH_micro_metrics.json,
+# and BENCH_micro_lint.json
 # at the repository root (the committed perf records; see DESIGN.md
 # "Execution pipeline", "Simulation kernel & parallel harness", and
 # "Metrics spine").
@@ -12,7 +13,7 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 if [[ $# -gt 0 ]]; then shift; fi
 
-for name in micro_engine micro_sim micro_metrics; do
+for name in micro_engine micro_sim micro_metrics micro_lint; do
   bin="${build_dir}/bench/${name}"
   if [[ ! -x "${bin}" ]]; then
     echo "${name} not built at ${bin}; build with:" >&2

@@ -1,0 +1,13 @@
+namespace demo {
+
+int Entropy();
+unsigned MixedSeed();
+
+unsigned PickSeed() { return MixedSeed(); }
+
+unsigned InitWorld(int worlds) {
+  unsigned seed = PickSeed();
+  return seed + static_cast<unsigned>(worlds);
+}
+
+}  // namespace demo

@@ -1,0 +1,18 @@
+namespace demo {
+
+struct LocalClock {
+  double time() const;
+};
+
+int Mix(int x) { return x * 3 + 1; }
+
+// A member call named time() is the simulated clock, not ::time().
+double Sample(const LocalClock& clock) { return clock.time(); }
+
+// `random` as a plain identifier is not the libc random() call.
+int Derived() {
+  int random = Mix(7);
+  return random;
+}
+
+}  // namespace demo

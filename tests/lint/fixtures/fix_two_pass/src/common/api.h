@@ -1,0 +1,7 @@
+#pragma once
+
+namespace u {
+
+inline int Api(int value) { return value + 1; }
+
+}  // namespace u

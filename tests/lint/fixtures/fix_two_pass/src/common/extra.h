@@ -1,0 +1,5 @@
+#pragma once
+
+struct Widget {
+  int size = 0;
+};

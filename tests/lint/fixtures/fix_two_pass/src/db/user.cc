@@ -1,0 +1,9 @@
+#include "common/api.h"
+#include "common/extra.h"
+#include "common/extra.h"
+
+namespace demo {
+
+int Use(int value) { return u::Api(value); }
+
+}  // namespace demo

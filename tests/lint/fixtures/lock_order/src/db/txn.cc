@@ -1,0 +1,23 @@
+namespace demo {
+
+struct LockManager {
+  bool AcquireRead(const char* key);
+  bool AcquireWrite(const char* key);
+  void ReleaseAll(int txn);
+};
+
+class TxnEngine {
+ public:
+  // Acquires in the tree's global order: "events" before "users".
+  int Begin(int txn) {
+    locks_.AcquireWrite("events");
+    locks_.AcquireWrite("users");
+    locks_.ReleaseAll(txn);
+    return 0;
+  }
+
+ private:
+  LockManager locks_;
+};
+
+}  // namespace demo

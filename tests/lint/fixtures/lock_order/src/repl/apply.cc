@@ -1,0 +1,24 @@
+namespace demo {
+
+struct ReplLocks {
+  bool AcquireRead(const char* key);
+  bool AcquireWrite(const char* key);
+  void ReleaseAll(int txn);
+};
+
+struct ReplState {
+  ReplLocks locks;
+};
+
+// The acquisition footprint of this helper is what makes the
+// "users" -> "events" edge below interprocedural.
+void LockEvents(ReplState* st) { st->locks.AcquireWrite("events"); }
+
+int ApplyBackward(ReplState* st, int txn) {
+  st->locks.AcquireWrite("users");
+  LockEvents(st);
+  st->locks.ReleaseAll(txn);
+  return 0;
+}
+
+}  // namespace demo

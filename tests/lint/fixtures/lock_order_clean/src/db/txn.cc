@@ -1,0 +1,22 @@
+namespace demo {
+
+struct LockManager {
+  bool AcquireRead(const char* key);
+  bool AcquireWrite(const char* key);
+  void ReleaseAll(int txn);
+};
+
+class TxnEngine {
+ public:
+  int Begin(int txn) {
+    locks_.AcquireWrite("events");
+    locks_.AcquireWrite("users");
+    locks_.ReleaseAll(txn);
+    return 0;
+  }
+
+ private:
+  LockManager locks_;
+};
+
+}  // namespace demo

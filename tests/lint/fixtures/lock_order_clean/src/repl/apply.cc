@@ -1,0 +1,31 @@
+namespace demo {
+
+struct ReplLocks {
+  bool AcquireRead(const char* key);
+  bool AcquireWrite(const char* key);
+  void ReleaseAll(int txn);
+};
+
+struct ReplState {
+  ReplLocks locks;
+};
+
+// Same global order as src/db ("events" before "users"): no cycle.
+int ApplyForward(ReplState* st, int txn) {
+  st->locks.AcquireWrite("events");
+  st->locks.AcquireWrite("users");
+  st->locks.ReleaseAll(txn);
+  return 0;
+}
+
+// The release empties the held set, so the second acquisition opens no
+// "users" -> "events" edge.
+int Replay(ReplState* st, int txn) {
+  st->locks.AcquireWrite("users");
+  st->locks.ReleaseAll(txn);
+  st->locks.AcquireWrite("events");
+  st->locks.ReleaseAll(txn);
+  return 0;
+}
+
+}  // namespace demo

@@ -1,0 +1,30 @@
+#include "db/engine.h"
+
+namespace demo {
+
+void Log(const Status& s);
+
+// The status is consumed on the verbose path but falls off the end of
+// the function unread on the other.
+int HalfChecked(int row, int verbose) {
+  Status st = Apply(row);
+  if (verbose > 0) {
+    Log(st);
+    return 1;
+  }
+  return 0;
+}
+
+// The retry path overwrites the first status without ever reading it.
+int OverwriteUnread(int row, int retry) {
+  Status st = Apply(row);
+  if (retry > 0) {
+    st = Validate(row);
+  }
+  if (!st.ok()) {
+    return -1;
+  }
+  return 0;
+}
+
+}  // namespace demo

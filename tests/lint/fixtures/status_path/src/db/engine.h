@@ -1,0 +1,12 @@
+#pragma once
+
+namespace demo {
+
+struct Status {
+  bool ok() const;
+};
+
+Status Apply(int row);
+Status Validate(int row);
+
+}  // namespace demo

@@ -1,0 +1,40 @@
+#include "db/engine.h"
+
+namespace demo {
+
+void Log(const Status& s);
+
+// Every path out of the definition reads the status.
+int AllPathsCheck(int row, int verbose) {
+  Status st = Apply(row);
+  if (verbose > 0) {
+    Log(st);
+    return 1;
+  }
+  if (!st.ok()) {
+    return -1;
+  }
+  return 0;
+}
+
+// An explicit (void) cast is a deliberate discard, not a silent one.
+int VoidCast(int row) {
+  Status st = Apply(row);
+  (void)st;
+  return 0;
+}
+
+// Overwriting after checking is the normal reuse of a status local.
+int CheckedThenOverwritten(int row) {
+  Status st = Apply(row);
+  if (!st.ok()) {
+    return -1;
+  }
+  st = Validate(row);
+  if (!st.ok()) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace demo

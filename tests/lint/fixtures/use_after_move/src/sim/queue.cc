@@ -1,0 +1,31 @@
+namespace demo {
+
+struct Callback {
+  void Run();
+  void reset();
+};
+
+Callback MakeCb();
+void Sink(Callback cb);
+
+void DoubleUse() {
+  Callback cb = MakeCb();
+  Sink(std::move(cb));
+  cb.Run();
+}
+
+void BranchMove(int flaky) {
+  Callback cb = MakeCb();
+  if (flaky > 0) {
+    Sink(std::move(cb));
+  }
+  cb.Run();
+}
+
+void DoubleMove() {
+  Callback cb = MakeCb();
+  Sink(std::move(cb));
+  Sink(std::move(cb));
+}
+
+}  // namespace demo

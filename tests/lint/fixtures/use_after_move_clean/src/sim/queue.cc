@@ -1,0 +1,49 @@
+namespace demo {
+
+struct Callback {
+  void Run();
+  void reset();
+};
+
+Callback MakeCb();
+void Sink(Callback cb);
+void Fill(Callback* cb);
+
+void Reassign() {
+  Callback cb = MakeCb();
+  Sink(std::move(cb));
+  cb = MakeCb();
+  cb.Run();
+}
+
+void ResetClears() {
+  Callback cb = MakeCb();
+  Sink(std::move(cb));
+  cb.reset();
+  cb.Run();
+}
+
+void DisjointBranches(int flaky) {
+  Callback cb = MakeCb();
+  if (flaky > 0) {
+    Sink(std::move(cb));
+  } else {
+    cb.Run();
+  }
+}
+
+void OutParamRefill() {
+  Callback cb = MakeCb();
+  Sink(std::move(cb));
+  Fill(&cb);
+  cb.Run();
+}
+
+void LoopReinit(int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    Callback cb = MakeCb();
+    Sink(std::move(cb));
+  }
+}
+
+}  // namespace demo

@@ -21,8 +21,19 @@ if [ ! -x "$LINT_BIN" ]; then
   exit 2
 fi
 
-echo "ci_lint: clouddb_lint --root $ROOT --forbid-nolint --json"
-"$LINT_BIN" --root "$ROOT" --forbid-nolint --json
+# The tree scan runs every rule family, including the interprocedural
+# passes (lock-order, use-after-move, status-path, determinism-taint),
+# under --forbid-nolint. When a committed baseline exists, pre-existing
+# warnings frozen there are dropped and only regressions fail.
+BASELINE_ARGS=""
+if [ -f "$ROOT/tools/lint_baseline.txt" ]; then
+  BASELINE_ARGS="--baseline $ROOT/tools/lint_baseline.txt"
+  echo "ci_lint: using baseline $ROOT/tools/lint_baseline.txt"
+fi
+
+echo "ci_lint: clouddb_lint --root $ROOT --forbid-nolint --json $BASELINE_ARGS"
+# shellcheck disable=SC2086  # BASELINE_ARGS is two words by construction
+"$LINT_BIN" --root "$ROOT" --forbid-nolint --json $BASELINE_ARGS
 
 # clang-format is optional in the build image; the lint gate must not fail
 # on machines that do not ship it. When present, check — never rewrite.

@@ -1,0 +1,102 @@
+#include "callgraph.h"
+
+#include <string_view>
+
+#include "frontend.h"
+#include "rules_flow.h"
+
+namespace clouddb::lint {
+namespace {
+
+/// Counts top-level commas in tokens (open, close) exclusive, ignoring commas
+/// nested in (), {}, [], or <...> (angle depth is tracked textually — good
+/// enough for argument lists; shifts inside arguments are vanishingly rare
+/// in this tree).
+size_t ArityOfRange(const std::vector<Token>& t, size_t open, size_t close) {
+  if (open + 1 >= close) return 0;
+  size_t commas = 0;
+  int depth = 0;
+  for (size_t i = open + 1; i < close; ++i) {
+    const std::string& s = t[i].text;
+    if (s == "(" || s == "{" || s == "[" || s == "<") ++depth;
+    else if (s == ")" || s == "}" || s == "]" || s == ">") --depth;
+    else if (s == "," && depth == 0) ++commas;
+  }
+  return commas + 1;
+}
+
+bool CallLikeIdent(const std::vector<Token>& t, size_t i) {
+  if (!t[i].ident || IsKeyword(t[i].text)) return false;
+  std::string_view s = t[i].text;
+  // Control keywords the tokenizer treats as idents plus cast-like noise.
+  if (s == "if" || s == "for" || s == "while" || s == "switch" ||
+      s == "catch" || s == "return" || s == "sizeof" || s == "alignof" ||
+      s == "decltype" || s == "assert" || s == "defined") {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t CountParams(const SourceFile& file, const FileIndex& idx,
+                   const FunctionDef& fn) {
+  (void)idx;
+  const std::vector<Token>& t = file.tokens;
+  if (fn.params_begin >= fn.params_end) return 0;
+  if (fn.params_end - fn.params_begin == 1 && t[fn.params_begin].text == "void")
+    return 0;
+  return ArityOfRange(t, fn.params_begin - 1, fn.params_end);
+}
+
+CallGraph BuildCallGraph(const std::vector<AnalyzedFile>& files,
+                         bool (*file_filter)(const std::string& rel)) {
+  CallGraph cg;
+  // Pass 1: definition nodes.
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    const AnalyzedFile& af = files[fi];
+    if (file_filter != nullptr && !file_filter(af.file->rel)) continue;
+    for (const FunctionDef& fn : af.index->functions) {
+      CgFunction node;
+      node.file = static_cast<int>(fi);
+      node.fn = &fn;
+      node.cls = fn.cls;
+      node.name = fn.name;
+      node.arity = CountParams(*af.file, *af.index, fn);
+      int id = static_cast<int>(cg.functions.size());
+      cg.by_name[fn.name].push_back(id);
+      cg.functions.push_back(std::move(node));
+    }
+  }
+  // Pass 2: call sites + resolution.
+  for (CgFunction& node : cg.functions) {
+    const AnalyzedFile& af = files[static_cast<size_t>(node.file)];
+    const std::vector<Token>& t = af.file->tokens;
+    const std::vector<int>& match = af.index->match;
+    for (size_t i = node.fn->body_begin + 1; i + 1 < node.fn->body_end; ++i) {
+      if (!CallLikeIdent(t, i) || t[i + 1].text != "(") continue;
+      if (match[i + 1] < 0) continue;
+      auto hit = cg.by_name.find(t[i].text);
+      if (hit == cg.by_name.end()) continue;  // library / unknown callee
+      CallSite site;
+      site.token = i;
+      site.line = t[i].line;
+      site.name = t[i].text;
+      site.arity = ArityOfRange(t, i + 1, static_cast<size_t>(match[i + 1]));
+      for (int cand : hit->second) {
+        if (cg.functions[cand].arity == site.arity) {
+          site.targets.push_back(cand);
+        }
+      }
+      if (site.targets.empty()) {
+        // Default arguments / overload arity mismatch: keep every
+        // same-named definition so the edge set stays an over-approximation.
+        site.targets = hit->second;
+      }
+      node.calls.push_back(std::move(site));
+    }
+  }
+  return cg;
+}
+
+}  // namespace clouddb::lint

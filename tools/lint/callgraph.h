@@ -1,0 +1,64 @@
+#ifndef CLOUDDB_TOOLS_LINT_CALLGRAPH_H_
+#define CLOUDDB_TOOLS_LINT_CALLGRAPH_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "frontend.h"
+#include "rules_flow.h"
+
+namespace clouddb::lint {
+
+/// Project-wide call graph with name+arity resolution. Without type
+/// information the resolver is deliberately over-approximate: a call site
+/// `Foo(a, b)` resolves to every known definition of `Foo` with a matching
+/// parameter count, falling back to every definition of `Foo` when no arity
+/// matches (default arguments, variadics). Member calls resolve by method
+/// name alone — receivers are untyped. Passes built on top must treat the
+/// edge set as "may call".
+
+struct CallSite {
+  size_t token = 0;  // token index of the callee name in the caller's file
+  int line = 0;
+  std::string name;  // callee identifier as written
+  size_t arity = 0;  // top-level comma count + 1 (0 for empty argument list)
+  std::vector<int> targets;  // indices into CallGraph::functions (resolved)
+};
+
+/// One function definition node in the graph.
+struct CgFunction {
+  int file = 0;  // index into the analyzed-file vector the graph was built on
+  const FunctionDef* fn = nullptr;
+  std::string cls;   // empty for free functions
+  std::string name;
+  size_t arity = 0;  // declared parameter count (best effort)
+  std::vector<CallSite> calls;  // call sites inside this function's body
+
+  std::string Qualified() const {
+    return cls.empty() ? name : cls + "::" + name;
+  }
+};
+
+struct CallGraph {
+  std::vector<CgFunction> functions;
+  /// name -> indices of every definition with that (unqualified) name.
+  std::map<std::string, std::vector<int>> by_name;
+};
+
+/// Builds the graph over all analyzed files. `file_filter` (optional, may be
+/// null) restricts which files contribute *definitions*; call sites are only
+/// collected inside contributing files too, so passes can scope the whole
+/// graph to e.g. src/ and ignore same-named helpers in bench/tools.
+CallGraph BuildCallGraph(const std::vector<AnalyzedFile>& files,
+                         bool (*file_filter)(const std::string& rel) = nullptr);
+
+/// Counts declared parameters of `fn` in `file`: top-level commas + 1 inside
+/// the parameter parens, 0 for `()` and `(void)`.
+size_t CountParams(const SourceFile& file, const FileIndex& idx,
+                   const FunctionDef& fn);
+
+}  // namespace clouddb::lint
+
+#endif  // CLOUDDB_TOOLS_LINT_CALLGRAPH_H_

@@ -1,0 +1,422 @@
+#include "cfg.h"
+
+#include <algorithm>
+#include <string>
+
+#include "frontend.h"
+
+namespace clouddb::lint {
+namespace {
+
+/// Recursive-descent CFG builder over the bracket-matched token stream.
+/// Statement parsing mirrors how the front-end segments bodies: brackets are
+/// skipped via the match table, so lambdas, brace initializers, and nested
+/// class definitions stay inside the statement that contains them.
+class Builder {
+ public:
+  Builder(const SourceFile& file, const FileIndex& idx)
+      : t_(file.tokens), match_(idx.match) {}
+
+  Cfg Build(const FunctionDef& fn) {
+    cfg_ = Cfg{};
+    failed_ = false;
+    NewNode(CfgNode::Kind::kEntry, fn.body_begin, fn.body_begin);
+    NewNode(CfgNode::Kind::kExit, fn.body_end, fn.body_end);
+    if (fn.body_begin >= fn.body_end || fn.body_end > t_.size()) return cfg_;
+    std::vector<int> tails =
+        ParseSeq(fn.body_begin + 1, fn.body_end, {Cfg::kEntry}, nullptr);
+    for (int n : tails) AddEdge(n, Cfg::kExit);
+    cfg_.ok = !failed_;
+    return cfg_;
+  }
+
+ private:
+  /// Pending break/continue edges of the innermost enclosing loop or switch.
+  /// `continues` is null for switch frames (continue passes to the loop).
+  struct Frame {
+    std::vector<int>* breaks = nullptr;
+    std::vector<int>* continues = nullptr;
+  };
+
+  int NewNode(CfgNode::Kind kind, size_t begin, size_t end) {
+    CfgNode node;
+    node.kind = kind;
+    node.begin = begin;
+    node.end = end;
+    node.line = begin < end && begin < t_.size() ? t_[begin].line : 0;
+    cfg_.nodes.push_back(std::move(node));
+    return static_cast<int>(cfg_.nodes.size()) - 1;
+  }
+
+  void AddEdge(int from, int to) {
+    auto& succs = cfg_.nodes[from].succs;
+    if (std::find(succs.begin(), succs.end(), to) != succs.end()) return;
+    succs.push_back(to);
+    cfg_.nodes[to].preds.push_back(from);
+  }
+
+  void Connect(const std::vector<int>& preds, int to) {
+    for (int p : preds) AddEdge(p, to);
+  }
+
+  bool Is(size_t i, const char* s) const {
+    return i < t_.size() && t_[i].text == s;
+  }
+
+  size_t MatchOf(size_t i) const {
+    if (i >= match_.size() || match_[i] < 0) return 0;
+    return static_cast<size_t>(match_[i]);
+  }
+
+  /// Parses the statement sequence in [b, e), threading `preds` (the set of
+  /// nodes whose fallthrough reaches the next statement). `sw` is non-null
+  /// inside a switch body, where case/default labels re-enter from the head.
+  struct SwitchCtx {
+    int head = 0;
+    bool saw_default = false;
+  };
+
+  std::vector<int> ParseSeq(size_t b, size_t e, std::vector<int> preds,
+                            SwitchCtx* sw) {
+    size_t i = b;
+    while (i < e && !failed_) {
+      if (Is(i, ";")) {
+        ++i;
+        continue;
+      }
+      if (sw != nullptr && (Is(i, "case") || Is(i, "default"))) {
+        // Label: execution can arrive by dispatch from the switch head or by
+        // falling through from the previous case body.
+        if (Is(i, "default")) sw->saw_default = true;
+        while (i < e && !Is(i, ":")) {
+          if ((Is(i, "(") || Is(i, "[")) && MatchOf(i) > i) {
+            i = MatchOf(i) + 1;
+            continue;
+          }
+          ++i;
+        }
+        ++i;  // consume ':'
+        preds.push_back(sw->head);
+        continue;
+      }
+      i = ParseStmt(i, e, &preds, sw);
+    }
+    return preds;
+  }
+
+  /// Parses one statement starting at `i` (< e); updates *preds to the
+  /// statement's fallthrough set and returns the index one past it.
+  size_t ParseStmt(size_t i, size_t e, std::vector<int>* preds,
+                   SwitchCtx* sw) {
+    const std::string& s = t_[i].text;
+    if (s == "{") {
+      size_t close = MatchOf(i);
+      if (close == 0 || close > e) {
+        failed_ = true;
+        return e;
+      }
+      *preds = ParseSeq(i + 1, close, *preds, sw);
+      return close + 1;
+    }
+    if (s == "if") return ParseIf(i, e, preds, sw);
+    if (s == "while") return ParseWhile(i, e, preds);
+    if (s == "do") return ParseDo(i, e, preds);
+    if (s == "for") return ParseFor(i, e, preds);
+    if (s == "switch") return ParseSwitch(i, e, preds);
+    if (s == "try") return ParseTry(i, e, preds, sw);
+    if (s == "return" || s == "goto" || s == "co_return" || s == "throw") {
+      size_t end = StmtEnd(i, e);
+      int node = NewNode(CfgNode::Kind::kStatement, i, end);
+      Connect(*preds, node);
+      AddEdge(node, Cfg::kExit);
+      preds->clear();
+      return end + 1;
+    }
+    if (s == "break" || s == "continue") {
+      size_t end = StmtEnd(i, e);
+      int node = NewNode(CfgNode::Kind::kStatement, i, end);
+      Connect(*preds, node);
+      preds->clear();
+      for (auto it = frames_.rbegin(); it != frames_.rend(); ++it) {
+        if (s == "break") {
+          if (it->breaks != nullptr) {
+            it->breaks->push_back(node);
+            break;
+          }
+        } else if (it->continues != nullptr) {
+          it->continues->push_back(node);
+          break;
+        }
+      }
+      return end + 1;
+    }
+    // Plain statement (declaration, expression, nested class, ...).
+    size_t end = StmtEnd(i, e);
+    int node = NewNode(CfgNode::Kind::kStatement, i, end);
+    Connect(*preds, node);
+    *preds = {node};
+    return end + 1;
+  }
+
+  /// Index of the ';' terminating the simple statement starting at `i`
+  /// (bracket contents skipped), or the last index before `e` / an
+  /// unbalanced '}' when none is found.
+  size_t StmtEnd(size_t i, size_t e) {
+    size_t j = i;
+    while (j < e) {
+      const std::string& s = t_[j].text;
+      if (s == ";") return j;
+      if (s == "(" || s == "[" || s == "{") {
+        size_t m = MatchOf(j);
+        if (m == 0 || m > e) return j;  // unbalanced: stop here
+        j = m + 1;
+        continue;
+      }
+      if (s == "}") return j > i ? j - 1 : j;  // block closes mid-statement
+      ++j;
+    }
+    return e > i ? e - 1 : i;
+  }
+
+  /// Condition node for the '(' at `open`; returns 0 on malformed input.
+  int CondNode(size_t open) {
+    size_t close = MatchOf(open);
+    if (close == 0) {
+      failed_ = true;
+      return 0;
+    }
+    return NewNode(CfgNode::Kind::kCondition, open + 1, close);
+  }
+
+  size_t ParseIf(size_t i, size_t e, std::vector<int>* preds, SwitchCtx* sw) {
+    size_t open = i + 1;
+    if (Is(open, "constexpr")) ++open;
+    if (!Is(open, "(")) {
+      failed_ = true;
+      return e;
+    }
+    size_t close = MatchOf(open);
+    int cond = CondNode(open);
+    if (failed_) return e;
+    Connect(*preds, cond);
+    std::vector<int> then_preds{cond};
+    size_t next = ParseStmt(close + 1, e, &then_preds, sw);
+    if (Is(next, "else")) {
+      std::vector<int> else_preds{cond};
+      next = ParseStmt(next + 1, e, &else_preds, sw);
+      then_preds.insert(then_preds.end(), else_preds.begin(),
+                        else_preds.end());
+      *preds = then_preds;
+    } else {
+      then_preds.push_back(cond);  // false edge falls through
+      *preds = then_preds;
+    }
+    return next;
+  }
+
+  size_t ParseWhile(size_t i, size_t e, std::vector<int>* preds) {
+    if (!Is(i + 1, "(")) {
+      failed_ = true;
+      return e;
+    }
+    size_t close = MatchOf(i + 1);
+    int cond = CondNode(i + 1);
+    if (failed_) return e;
+    Connect(*preds, cond);
+    std::vector<int> breaks, continues;
+    frames_.push_back({&breaks, &continues});
+    std::vector<int> body_preds{cond};
+    size_t next = ParseStmt(close + 1, e, &body_preds, nullptr);
+    frames_.pop_back();
+    Connect(body_preds, cond);  // back edge
+    Connect(continues, cond);
+    *preds = breaks;
+    preds->push_back(cond);  // false edge
+    return next;
+  }
+
+  size_t ParseDo(size_t i, size_t e, std::vector<int>* preds) {
+    // Synthetic loop head so the back edge from the condition has a target
+    // that dominates the body.
+    int head = NewNode(CfgNode::Kind::kStatement, i, i);
+    Connect(*preds, head);
+    std::vector<int> breaks, continues;
+    frames_.push_back({&breaks, &continues});
+    std::vector<int> body_preds{head};
+    size_t next = ParseStmt(i + 1, e, &body_preds, nullptr);
+    frames_.pop_back();
+    if (!Is(next, "while") || !Is(next + 1, "(")) {
+      failed_ = true;
+      return e;
+    }
+    size_t close = MatchOf(next + 1);
+    int cond = CondNode(next + 1);
+    if (failed_) return e;
+    Connect(body_preds, cond);
+    Connect(continues, cond);
+    AddEdge(cond, head);  // true edge loops
+    *preds = breaks;
+    preds->push_back(cond);  // false edge
+    return close + 2;        // past ')' and ';'
+  }
+
+  size_t ParseFor(size_t i, size_t e, std::vector<int>* preds) {
+    if (!Is(i + 1, "(")) {
+      failed_ = true;
+      return e;
+    }
+    size_t open = i + 1;
+    size_t close = MatchOf(open);
+    if (close == 0) {
+      failed_ = true;
+      return e;
+    }
+    // Find the two depth-0 ';' of a classic for header; a range-for has
+    // none (its ':' separator needs no special handling — the whole header
+    // becomes one condition-style node).
+    std::vector<size_t> semis;
+    for (size_t j = open + 1; j < close; ++j) {
+      if (Is(j, "(") || Is(j, "[") || Is(j, "{")) {
+        size_t m = MatchOf(j);
+        if (m == 0 || m > close) break;
+        j = m;
+        continue;
+      }
+      if (Is(j, ";")) semis.push_back(j);
+    }
+    std::vector<int> breaks, continues;
+    if (semis.size() >= 2) {
+      int init = NewNode(CfgNode::Kind::kStatement, open + 1, semis[0]);
+      Connect(*preds, init);
+      bool has_cond = semis[1] > semis[0] + 1;
+      int cond = NewNode(CfgNode::Kind::kCondition, semis[0] + 1, semis[1]);
+      AddEdge(init, cond);
+      int inc = NewNode(CfgNode::Kind::kStatement, semis[1] + 1, close);
+      frames_.push_back({&breaks, &continues});
+      std::vector<int> body_preds{cond};
+      size_t next = ParseStmt(close + 1, e, &body_preds, nullptr);
+      frames_.pop_back();
+      Connect(body_preds, inc);
+      Connect(continues, inc);
+      AddEdge(inc, cond);  // back edge
+      *preds = breaks;
+      if (has_cond) preds->push_back(cond);  // `for (;;)` only exits by break
+      return next;
+    }
+    // Range-for: header reads the range expression once per entry; the body
+    // loops back to it (the implicit ++it / != end check).
+    int head = NewNode(CfgNode::Kind::kCondition, open + 1, close);
+    Connect(*preds, head);
+    frames_.push_back({&breaks, &continues});
+    std::vector<int> body_preds{head};
+    size_t next = ParseStmt(close + 1, e, &body_preds, nullptr);
+    frames_.pop_back();
+    Connect(body_preds, head);
+    Connect(continues, head);
+    *preds = breaks;
+    preds->push_back(head);
+    return next;
+  }
+
+  size_t ParseSwitch(size_t i, size_t e, std::vector<int>* preds) {
+    if (!Is(i + 1, "(")) {
+      failed_ = true;
+      return e;
+    }
+    size_t close = MatchOf(i + 1);
+    int head = CondNode(i + 1);
+    if (failed_) return e;
+    Connect(*preds, head);
+    if (!Is(close + 1, "{")) {
+      // Degenerate `switch (x) case 0: stmt;` — treat body as one statement.
+      std::vector<int> body_preds{head};
+      size_t next = ParseStmt(close + 1, e, &body_preds, nullptr);
+      *preds = body_preds;
+      return next;
+    }
+    size_t body_close = MatchOf(close + 1);
+    if (body_close == 0) {
+      failed_ = true;
+      return e;
+    }
+    std::vector<int> breaks;
+    frames_.push_back({&breaks, nullptr});
+    SwitchCtx sw{head, false};
+    // Code before the first label is unreachable: start with no preds.
+    std::vector<int> tail = ParseSeq(close + 2, body_close, {}, &sw);
+    frames_.pop_back();
+    *preds = tail;  // fallthrough off the last case
+    preds->insert(preds->end(), breaks.begin(), breaks.end());
+    if (!sw.saw_default) preds->push_back(head);  // unmatched value skips all
+    return body_close + 1;
+  }
+
+  size_t ParseTry(size_t i, size_t e, std::vector<int>* preds, SwitchCtx* sw) {
+    std::vector<int> entry = *preds;
+    std::vector<int> out;
+    std::vector<int> try_preds = entry;
+    size_t next = ParseStmt(i + 1, e, &try_preds, sw);
+    out.insert(out.end(), try_preds.begin(), try_preds.end());
+    while (Is(next, "catch") && Is(next + 1, "(")) {
+      size_t close = MatchOf(next + 1);
+      if (close == 0) {
+        failed_ = true;
+        return e;
+      }
+      // A catch body may run instead of any suffix of the try block; the
+      // conservative edge set enters it straight from the try's entry.
+      std::vector<int> catch_preds = entry;
+      next = ParseStmt(close + 1, e, &catch_preds, sw);
+      out.insert(out.end(), catch_preds.begin(), catch_preds.end());
+    }
+    *preds = out;
+    return next;
+  }
+
+  const std::vector<Token>& t_;
+  const std::vector<int>& match_;
+  Cfg cfg_;
+  std::vector<Frame> frames_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+std::vector<int> Cfg::ReversePostOrder() const {
+  std::vector<int> order;
+  std::vector<char> seen(nodes.size(), 0);
+  // Iterative DFS with explicit post stack.
+  std::vector<std::pair<int, size_t>> stack;
+  auto visit = [&](int root) {
+    if (seen[root]) return;
+    seen[root] = 1;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      auto& [n, next] = stack.back();
+      if (next < nodes[n].succs.size()) {
+        int s = nodes[n].succs[next++];
+        if (!seen[s]) {
+          seen[s] = 1;
+          stack.push_back({s, 0});
+        }
+      } else {
+        order.push_back(n);
+        stack.pop_back();
+      }
+    }
+  };
+  visit(kEntry);
+  std::reverse(order.begin(), order.end());
+  for (int n = 0; n < static_cast<int>(nodes.size()); ++n) {
+    if (!seen[n]) order.push_back(n);  // unreachable (code after return)
+  }
+  return order;
+}
+
+Cfg BuildCfg(const SourceFile& file, const FileIndex& idx,
+             const FunctionDef& fn) {
+  Builder builder(file, idx);
+  return builder.Build(fn);
+}
+
+}  // namespace clouddb::lint

@@ -1,0 +1,59 @@
+#ifndef CLOUDDB_TOOLS_LINT_CFG_H_
+#define CLOUDDB_TOOLS_LINT_CFG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "frontend.h"
+
+namespace clouddb::lint {
+
+/// Per-function control-flow graphs built on top of the token front-end.
+/// Nodes are statement-granular: one node per simple statement, one per
+/// controlling condition (the parenthesized expression of if/while/for/
+/// switch), plus synthetic entry/exit nodes. Statement granularity is finer
+/// than classic basic blocks — a maximal straight-line run is a chain of
+/// single-predecessor nodes — and gives the dataflow passes exact line
+/// numbers for free.
+///
+/// The builder understands if/else chains, while, do-while, classic and
+/// range for, switch (case fallthrough included), break/continue/return/
+/// goto, and try/catch (catch bodies are treated as conditionally executed).
+/// Lambda bodies are *not* split into the enclosing function's CFG: the
+/// whole statement containing a lambda is one node, so a `return` inside a
+/// lambda never becomes an exit edge of the enclosing function.
+
+struct CfgNode {
+  enum class Kind { kEntry, kExit, kStatement, kCondition };
+  Kind kind = Kind::kStatement;
+  /// Token range [begin, end) in the owning SourceFile. Empty for
+  /// entry/exit and for synthetic join/loop-head nodes.
+  size_t begin = 0;
+  size_t end = 0;
+  int line = 0;  // line of the first token (0 for synthetic nodes)
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+struct Cfg {
+  static constexpr int kEntry = 0;
+  static constexpr int kExit = 1;
+  /// nodes[0] is always the entry, nodes[1] the exit.
+  std::vector<CfgNode> nodes;
+  /// False when the body could not be segmented (unbalanced brackets);
+  /// passes skip such functions rather than analyze a wrong graph.
+  bool ok = false;
+
+  /// Reverse post-order over forward edges from the entry. Unreachable
+  /// nodes (code after return) are appended after the reachable ones in
+  /// index order, so every node is visited by a worklist seeded with this.
+  std::vector<int> ReversePostOrder() const;
+};
+
+/// Builds the statement-level CFG for one function definition.
+Cfg BuildCfg(const SourceFile& file, const FileIndex& idx,
+             const FunctionDef& fn);
+
+}  // namespace clouddb::lint
+
+#endif  // CLOUDDB_TOOLS_LINT_CFG_H_

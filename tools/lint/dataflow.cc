@@ -1,0 +1,134 @@
+#include "dataflow.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "cfg.h"
+
+namespace clouddb::lint {
+namespace {
+
+// a |= b, returning whether a changed. Empty vectors stand for all-false.
+bool UnionInto(std::vector<bool>& a, const std::vector<bool>& b,
+               size_t num_facts) {
+  if (b.empty()) return false;
+  if (a.empty()) a.assign(num_facts, false);
+  bool changed = false;
+  for (size_t i = 0; i < num_facts; ++i) {
+    if (b[i] && !a[i]) {
+      a[i] = true;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+// out = gen | (in & ~kill), returning whether out changed.
+bool Transfer(const std::vector<bool>& in, const std::vector<bool>& gen,
+              const std::vector<bool>& kill, std::vector<bool>& out,
+              size_t num_facts) {
+  bool changed = false;
+  for (size_t i = 0; i < num_facts; ++i) {
+    bool g = i < gen.size() && gen[i];
+    bool k = i < kill.size() && kill[i];
+    bool v = g || ((!in.empty() && in[i]) && !k);
+    if (i >= out.size()) out.resize(num_facts, false);
+    if (out[i] != v) {
+      // Union meet + gen/kill transfer is monotone, so bits only ever flip
+      // from false to true once seeded; assigning is still safe either way.
+      out[i] = v;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+DataflowResult Solve(const Cfg& cfg, size_t num_facts,
+                     const std::vector<std::vector<bool>>& gen,
+                     const std::vector<std::vector<bool>>& kill,
+                     const std::vector<bool>& boundary, bool forward) {
+  const size_t n = cfg.nodes.size();
+  DataflowResult r;
+  r.in.assign(n, {});
+  r.out.assign(n, {});
+
+  static const std::vector<bool> kEmpty;
+  auto gen_of = [&](size_t i) -> const std::vector<bool>& {
+    return i < gen.size() ? gen[i] : kEmpty;
+  };
+  auto kill_of = [&](size_t i) -> const std::vector<bool>& {
+    return i < kill.size() ? kill[i] : kEmpty;
+  };
+
+  const int boundary_node = forward ? Cfg::kEntry : Cfg::kExit;
+  if (!boundary.empty()) {
+    auto& b = forward ? r.in[boundary_node] : r.out[boundary_node];
+    b = boundary;
+    b.resize(num_facts, false);
+  }
+
+  // Seed the worklist in reverse post-order (post-order for backward), so a
+  // pass over an acyclic region converges in one sweep; loops iterate.
+  std::vector<int> order = cfg.ReversePostOrder();
+  if (!forward) std::reverse(order.begin(), order.end());
+  std::deque<int> work(order.begin(), order.end());
+  std::vector<bool> queued(n, true);
+
+  while (!work.empty()) {
+    int node = work.front();
+    work.pop_front();
+    queued[node] = false;
+
+    auto& flow_in = forward ? r.in[node] : r.out[node];
+    const auto& edges_in =
+        forward ? cfg.nodes[node].preds : cfg.nodes[node].succs;
+    for (int p : edges_in) {
+      UnionInto(flow_in, forward ? r.out[p] : r.in[p], num_facts);
+    }
+
+    auto& flow_out = forward ? r.out[node] : r.in[node];
+    if (Transfer(flow_in, gen_of(node), kill_of(node), flow_out, num_facts)) {
+      const auto& edges_out =
+          forward ? cfg.nodes[node].succs : cfg.nodes[node].preds;
+      for (int s : edges_out) {
+        if (!queued[s]) {
+          queued[s] = true;
+          work.push_back(s);
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace
+
+DataflowResult SolveForward(const Cfg& cfg, size_t num_facts,
+                            const std::vector<std::vector<bool>>& gen,
+                            const std::vector<std::vector<bool>>& kill,
+                            const std::vector<bool>& boundary) {
+  return Solve(cfg, num_facts, gen, kill, boundary, /*forward=*/true);
+}
+
+DataflowResult SolveBackward(const Cfg& cfg, size_t num_facts,
+                             const std::vector<std::vector<bool>>& gen,
+                             const std::vector<std::vector<bool>>& kill,
+                             const std::vector<bool>& boundary) {
+  return Solve(cfg, num_facts, gen, kill, boundary, /*forward=*/false);
+}
+
+size_t FactTable::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  size_t id = names_.size();
+  ids_.emplace(name, id);
+  names_.push_back(name);
+  return id;
+}
+
+size_t FactTable::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? npos : it->second;
+}
+
+}  // namespace clouddb::lint

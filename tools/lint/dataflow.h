@@ -1,0 +1,62 @@
+#ifndef CLOUDDB_TOOLS_LINT_DATAFLOW_H_
+#define CLOUDDB_TOOLS_LINT_DATAFLOW_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cfg.h"
+
+namespace clouddb::lint {
+
+/// Worklist solver for gen/kill dataflow problems over a Cfg.
+///
+/// Facts are dense bit indices (see FactTable for interning strings). Both
+/// directions implement *may* analyses: the meet over confluence edges is
+/// set union, so a fact holds at a node if it holds on at least one path.
+/// The transfer function is the classic OUT = GEN ∪ (IN − KILL) (mirrored
+/// for backward problems). With monotone transfer and a finite lattice the
+/// worklist terminates at the least fixpoint.
+
+struct DataflowResult {
+  /// in[n]/out[n] are bitsets of size num_facts for each CFG node n.
+  std::vector<std::vector<bool>> in;
+  std::vector<std::vector<bool>> out;
+};
+
+/// Forward may-analysis. IN[entry] = boundary (empty vector means all-false);
+/// IN[n] = union of OUT[p] over predecessors, OUT[n] = gen[n] | (IN[n] &
+/// ~kill[n]). gen/kill entries may be empty vectors (treated as all-false).
+DataflowResult SolveForward(const Cfg& cfg, size_t num_facts,
+                            const std::vector<std::vector<bool>>& gen,
+                            const std::vector<std::vector<bool>>& kill,
+                            const std::vector<bool>& boundary = {});
+
+/// Backward may-analysis. OUT[exit] = boundary; OUT[n] = union of IN[s] over
+/// successors, IN[n] = gen[n] | (OUT[n] & ~kill[n]).
+DataflowResult SolveBackward(const Cfg& cfg, size_t num_facts,
+                             const std::vector<std::vector<bool>>& gen,
+                             const std::vector<std::vector<bool>>& kill,
+                             const std::vector<bool>& boundary = {});
+
+/// Interns strings to dense fact indices for the solvers above.
+class FactTable {
+ public:
+  /// Returns the index for `name`, adding it if unseen.
+  size_t Intern(const std::string& name);
+  /// Returns the index for `name`, or npos when it was never interned.
+  size_t Find(const std::string& name) const;
+  const std::string& Name(size_t id) const { return names_[id]; }
+  size_t size() const { return names_.size(); }
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+ private:
+  std::unordered_map<std::string, size_t> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace clouddb::lint
+
+#endif  // CLOUDDB_TOOLS_LINT_DATAFLOW_H_

@@ -299,6 +299,9 @@ void FindFunctions(const std::vector<Token>& t, const std::vector<int>& match,
     FunctionDef fn;
     fn.name = t[i].text;
     fn.line = t[i].line;
+    fn.name_tok = i;
+    fn.params_begin = i + 2;
+    fn.params_end = close;
     fn.body_begin = body;
     fn.body_end = static_cast<size_t>(match[body]);
     // Qualifier / dtor detection, walking back from the name.
@@ -708,14 +711,19 @@ std::vector<Token> Tokenize(const std::vector<std::string>& stripped_lines) {
 
 SourceFile LoadSourceFile(const std::filesystem::path& path,
                           const std::string& rel) {
+  std::string ext = path.extension().string();
+  bool is_header = ext == ".h" || ext == ".hpp" || ext == ".hh";
+  return ParseSource(ReadFileText(path), rel, is_header);
+}
+
+SourceFile ParseSource(const std::string& text, const std::string& rel,
+                       bool is_header) {
   SourceFile f;
   f.rel = rel;
-  std::string text = ReadFileText(path);
+  f.is_header = is_header;
   f.raw_lines = SplitLines(text);
   f.stripped_lines = SplitLines(StripCommentsAndStrings(text));
   f.tokens = Tokenize(f.stripped_lines);
-  std::string ext = path.extension().string();
-  f.is_header = ext == ".h" || ext == ".hpp" || ext == ".hh";
   for (size_t li = 0; li < f.raw_lines.size(); ++li)
     ParseNolint(f.raw_lines[li], static_cast<int>(li) + 1, &f.nolint);
   ParseIncludes(&f);

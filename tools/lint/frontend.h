@@ -66,6 +66,9 @@ struct FunctionDef {
   std::string name;
   bool is_dtor = false;
   int line = 0;
+  size_t name_tok = 0;      // token index of the function name
+  size_t params_begin = 0;  // first token inside the parameter '(' ... ')'
+  size_t params_end = 0;    // token index of the closing ')' (exclusive end)
   size_t body_begin = 0;  // token index of '{'
   size_t body_end = 0;    // token index of matching '}'
   std::vector<LambdaExpr> lambdas;
@@ -114,6 +117,11 @@ std::vector<Token> Tokenize(const std::vector<std::string>& stripped_lines);
 /// NOLINT markers, directive lines).
 SourceFile LoadSourceFile(const std::filesystem::path& path,
                           const std::string& rel);
+
+/// Builds a SourceFile from in-memory text — same pipeline as
+/// LoadSourceFile minus the disk read. Used by unit tests and benches.
+SourceFile ParseSource(const std::string& text, const std::string& rel,
+                       bool is_header = false);
 
 /// Builds the structural index: classes, functions, lambdas, exports.
 FileIndex BuildIndex(const SourceFile& file);

@@ -15,6 +15,7 @@
 
 #include "frontend.h"
 #include "rules_flow.h"
+#include "rules_interproc.h"
 
 namespace clouddb::lint {
 namespace {
@@ -670,6 +671,25 @@ LintResult RunLint(const Options& options) {
   CheckLockDiscipline(analyzed, &candidates);
   CheckIncludeHygiene(analyzed, &candidates);
 
+  // Interprocedural passes share one call graph + CFG context.
+  InterprocContext interproc = BuildInterprocContext(analyzed);
+  CheckLockOrder(interproc, &candidates);
+  CheckUseAfterMove(interproc, &candidates);
+  CheckStatusPath(interproc, status_fns, &candidates);
+  CheckDeterminismTaint(interproc, &candidates);
+
+  std::set<std::string> baseline;
+  if (!options.baseline_file.empty()) {
+    std::ifstream bl(options.baseline_file);
+    std::string bl_line;
+    while (std::getline(bl, bl_line)) {
+      size_t b = bl_line.find_first_not_of(" \t");
+      if (b == std::string::npos || bl_line[b] == '#') continue;
+      size_t e = bl_line.find_last_not_of(" \t\r");
+      baseline.insert(bl_line.substr(b, e - b + 1));
+    }
+  }
+
   auto severity_of = [&options](const std::string& rule) {
     auto it = options.severities.find(rule);
     return it == options.severities.end() ? Severity::kError : it->second;
@@ -686,6 +706,10 @@ LintResult RunLint(const Options& options) {
     if (it != fi->nolint.end() &&
         (it->second.count("*") || it->second.count(d.rule))) {
       ++result.suppressions_used;
+      continue;
+    }
+    if (baseline.count(d.Key())) {
+      ++result.baselined;
       continue;
     }
     if (sev == Severity::kWarn)
@@ -708,6 +732,7 @@ std::string ToJson(const LintResult& result) {
   out += "  \"files_scanned\": " + std::to_string(result.files_scanned) + ",\n";
   out += "  \"suppressions_used\": " +
          std::to_string(result.suppressions_used) + ",\n";
+  out += "  \"baselined\": " + std::to_string(result.baselined) + ",\n";
   out += "  \"errors\": " + std::to_string(result.errors) + ",\n";
   out += "  \"warnings\": " + std::to_string(result.warnings) + ",\n";
   out += "  \"diagnostics\": [";
@@ -806,6 +831,41 @@ int ApplyFixes(const std::filesystem::path& root, const LintResult& result) {
     for (const std::string& l : out) os << l << "\n";
   }
   return edits;
+}
+
+namespace {
+
+int CountFixable(const LintResult& r) {
+  int n = 0;
+  for (const Diagnostic& d : r.diagnostics)
+    if (d.fix_kind != FixKind::kNone) ++n;
+  return n;
+}
+
+}  // namespace
+
+FixLoopResult FixUntilConverged(const std::filesystem::path& root,
+                                const std::function<LintResult()>& run_lint,
+                                int max_passes) {
+  FixLoopResult loop;
+  loop.result = run_lint();
+  while (CountFixable(loop.result) > 0 && loop.passes < max_passes) {
+    int edits = ApplyFixes(root, loop.result);
+    ++loop.passes;
+    loop.edits += edits;
+    loop.result = run_lint();
+    // Zero edits with fixable diagnostics left means the fixes are not
+    // reaching the files; another round would loop forever.
+    if (edits == 0) break;
+  }
+  loop.converged = CountFixable(loop.result) == 0;
+  return loop;
+}
+
+FixLoopResult FixUntilConverged(const Options& options, int max_passes) {
+  fs::path root = options.root.empty() ? fs::current_path() : options.root;
+  return FixUntilConverged(
+      root, [&options]() { return RunLint(options); }, max_passes);
 }
 
 }  // namespace clouddb::lint

@@ -2,6 +2,7 @@
 #define CLOUDDB_TOOLS_LINT_LINTER_H_
 
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -54,6 +55,11 @@ struct Options {
   /// Per-rule severity overrides (default: every rule is an error). A rule
   /// set to kOff is skipped entirely (and never counts a suppression).
   std::map<std::string, Severity> severities;
+  /// Baseline file: one "file:line:rule" key per line ('#' comments and
+  /// blanks ignored). Matching diagnostics are dropped from the result and
+  /// counted in LintResult::baselined, so pre-existing warnings can be
+  /// frozen while regressions still fail CI. Empty = no baseline.
+  std::filesystem::path baseline_file;
 };
 
 struct LintResult {
@@ -64,6 +70,8 @@ struct LintResult {
   /// Number of violations silenced by NOLINT / NOLINTNEXTLINE comments.
   /// CI runs with --forbid-nolint so merged code needs zero of these.
   int suppressions_used = 0;
+  /// Number of diagnostics dropped because their key is in the baseline.
+  int baselined = 0;
 };
 
 /// Runs every rule family (determinism, layering, status discipline, and the
@@ -81,6 +89,28 @@ std::string ToJson(const LintResult& result);
 /// removals, missing direct-include insertions) to the files under `root`.
 /// Returns the number of edits applied.
 int ApplyFixes(const std::filesystem::path& root, const LintResult& result);
+
+/// Outcome of the --fix loop. `converged` is false when fixable diagnostics
+/// remain after `passes` rounds — the CLI must exit nonzero in that case
+/// instead of silently leaving the tree half-fixed.
+struct FixLoopResult {
+  int passes = 0;        // ApplyFixes rounds actually run
+  int edits = 0;         // total edits across all rounds
+  bool converged = true; // no fixable diagnostics remain
+  LintResult result;     // final lint state after the last round
+};
+
+/// Runs lint, applies fixes, and re-lints until no fixable diagnostics
+/// remain or `max_passes` rounds have run. A round that applies zero edits
+/// while fixable diagnostics remain also stops the loop (the fixes are not
+/// actually reaching the files — looping further cannot converge).
+FixLoopResult FixUntilConverged(const Options& options, int max_passes = 2);
+
+/// Test seam: same loop with an injectable lint runner (arguments: none;
+/// returns the LintResult for the current tree state).
+FixLoopResult FixUntilConverged(const std::filesystem::path& root,
+                                const std::function<LintResult()>& run_lint,
+                                int max_passes = 2);
 
 }  // namespace clouddb::lint
 

@@ -3,6 +3,7 @@
 // Usage:
 //   clouddb_lint [--root DIR] [--dirs d1,d2,...] [--severity rule=level ...]
 //                [--json] [--fix] [--forbid-nolint] [--quiet]
+//                [--baseline FILE] [--write-baseline FILE]
 //
 // Scans src/, tools/, bench/, tests/, examples/ (or --dirs) under --root and
 // prints one "file:line: rule: message" diagnostic per violation (--json
@@ -11,9 +12,14 @@
 // NOLINT suppression was needed — CI runs in that mode so merged code carries
 // zero suppressions). Warnings (--severity rule=warn) print but do not fail
 // the run; --severity rule=off disables a rule entirely. --fix applies the
-// mechanically safe include-hygiene fixes in place and reports what changed.
+// mechanically safe include-hygiene fixes in place, re-lints, and repeats
+// until no fixable diagnostics remain — exiting 1 if they fail to converge.
+// --baseline FILE drops diagnostics whose file:line:rule key is listed in
+// FILE (freeze pre-existing warnings; only regressions fail); --write-baseline
+// FILE records the current diagnostics as that baseline and exits 0.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -49,6 +55,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool json = false;
   bool fix = false;
+  std::string write_baseline;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
@@ -64,6 +71,10 @@ int main(int argc, char** argv) {
                   << "' (want rule=error|warn|off)\n";
         return 2;
       }
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      opts.baseline_file = argv[++i];
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      write_baseline = argv[++i];
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--fix") {
@@ -75,7 +86,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: clouddb_lint [--root DIR] [--dirs d1,d2,...] "
                    "[--severity rule=error|warn|off] [--json] [--fix] "
-                   "[--forbid-nolint] [--quiet]\n";
+                   "[--forbid-nolint] [--quiet] [--baseline FILE] "
+                   "[--write-baseline FILE]\n";
       return 0;
     } else {
       std::cerr << "clouddb_lint: unknown argument '" << arg << "'\n";
@@ -83,18 +95,34 @@ int main(int argc, char** argv) {
     }
   }
 
-  clouddb::lint::LintResult res = clouddb::lint::RunLint(opts);
-
+  clouddb::lint::LintResult res;
+  bool fix_diverged = false;
   if (fix) {
-    std::filesystem::path root =
-        opts.root.empty() ? std::filesystem::current_path() : opts.root;
-    int edits = clouddb::lint::ApplyFixes(root, res);
+    clouddb::lint::FixLoopResult loop = clouddb::lint::FixUntilConverged(opts);
     if (!quiet) {
-      std::cerr << "clouddb_lint: applied " << edits << " fix(es)\n";
+      std::cerr << "clouddb_lint: applied " << loop.edits << " fix(es) in "
+                << loop.passes << " pass(es)\n";
     }
-    // Re-lint so the reported diagnostics (and the exit status) describe the
-    // tree as it now stands.
+    if (!loop.converged) {
+      fix_diverged = true;
+      std::cerr << "clouddb_lint: fixes did not converge after " << loop.passes
+                << " pass(es); fixable diagnostics remain — fix them by hand "
+                   "or re-run --fix\n";
+    }
+    res = std::move(loop.result);
+  } else {
     res = clouddb::lint::RunLint(opts);
+  }
+
+  if (!write_baseline.empty()) {
+    std::ofstream bl(write_baseline, std::ios::trunc);
+    bl << "# clouddb_lint baseline: one file:line:rule key per line.\n";
+    for (const auto& d : res.diagnostics) bl << d.Key() << "\n";
+    if (!quiet) {
+      std::cerr << "clouddb_lint: wrote " << res.diagnostics.size()
+                << " key(s) to " << write_baseline << "\n";
+    }
+    return 0;
   }
 
   if (json) {
@@ -106,8 +134,11 @@ int main(int argc, char** argv) {
     std::cerr << "clouddb_lint: scanned " << res.files_scanned << " files, "
               << res.errors << " error(s), " << res.warnings
               << " warning(s), " << res.suppressions_used
-              << " NOLINT suppression(s) used\n";
+              << " NOLINT suppression(s) used";
+    if (res.baselined > 0) std::cerr << ", " << res.baselined << " baselined";
+    std::cerr << "\n";
   }
+  if (fix_diverged) return 1;
   if (res.errors > 0) return 1;
   if (forbid_nolint && res.suppressions_used > 0) {
     std::cerr << "clouddb_lint: NOLINT suppressions are forbidden in this "
