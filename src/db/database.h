@@ -17,6 +17,8 @@
 #include "db/table.h"
 #include "db/transaction.h"
 #include "db/value.h"
+#include "db/vec_arena.h"
+#include "db/vec_expr.h"
 
 namespace clouddb::db {
 
@@ -50,6 +52,20 @@ struct DatabaseOptions {
 
   /// LRU capacity of the statement cache (distinct statement shapes).
   size_t statement_cache_capacity = StatementCache::kDefaultCapacity;
+
+  /// Whether WHERE filtering and aggregation run batch-at-a-time over column
+  /// chunks with compiled predicate bytecode. Off = row-at-a-time tree
+  /// walking. Either way the results are byte-identical — predicates outside
+  /// the compiler's coverage always fall back to the scalar path.
+  bool vectorized_exec = true;
+};
+
+/// Counters for the vectorized engine (benchmark and test introspection).
+struct VecExecStats {
+  int64_t chunks_filtered = 0;   // chunks run through VecFilterChunk
+  int64_t rows_filtered = 0;     // rows those chunks contained
+  int64_t fused_aggregates = 0;  // aggregate SELECTs via the vector kernels
+  int64_t scalar_fallbacks = 0;  // eligible predicates that ran scalar
 };
 
 /// A single-node relational database: catalog, SQL execution, table-level
@@ -118,6 +134,17 @@ class Database {
   }
   bool statement_cache_enabled() const { return options_.statement_cache; }
 
+  /// Toggles the vectorized execution engine at runtime (ablation studies
+  /// and the on/off equivalence tests flip this; see
+  /// DatabaseOptions::vectorized_exec).
+  void set_vectorized_exec_enabled(bool enabled) {
+    options_.vectorized_exec = enabled;
+  }
+  bool vectorized_exec_enabled() const { return options_.vectorized_exec; }
+
+  const VecExecStats& vec_stats() const { return vec_stats_; }
+  void ResetVecStats() { vec_stats_ = VecExecStats{}; }
+
   /// Replaces the NOW_MICROS time source (also updates options()).
   void SetTimeSource(std::function<int64_t()> now_micros);
 
@@ -148,11 +175,14 @@ class Database {
   friend class Executor;
 
   /// Shared execution path: `params` is null for fully-literal ASTs and the
-  /// bound literal vector for cached templates.
+  /// bound literal vector for cached templates. `prepared` (nullable) is the
+  /// cache entry backing this execution; it carries the WHERE predicate
+  /// pre-compiled to vectorized bytecode.
   Result<ExecResult> ExecuteStatement(const Statement& stmt,
                                       const std::vector<Value>* params,
                                       const std::string& sql_text,
-                                      Session* session);
+                                      Session* session,
+                                      const PreparedStatement* prepared);
 
   /// Commits `session`: appends pending write statements to the binlog as a
   /// single event, releases locks, clears transaction state.
@@ -169,6 +199,12 @@ class Database {
   bool binlog_suppressed_ = false;
   int64_t next_session_id_ = 1;
   std::unique_ptr<Session> autocommit_session_;
+  // Vectorized-execution scratch state, reused across statements so steady
+  // workloads allocate nothing per chunk. Single-threaded like the rest of
+  // the engine (the simulation interleaves whole statements).
+  VecArena vec_arena_;
+  VecBinding vec_binding_;
+  VecExecStats vec_stats_;
 };
 
 }  // namespace clouddb::db

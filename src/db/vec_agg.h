@@ -1,0 +1,40 @@
+#ifndef CLOUDDB_DB_VEC_AGG_H_
+#define CLOUDDB_DB_VEC_AGG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "db/value.h"
+#include "db/vec_chunk.h"
+
+namespace clouddb::db {
+
+/// Running state for one aggregate item, fed one chunk at a time. The
+/// accumulators mirror the scalar executor's exactly (same types, same
+/// accumulation order) so the final values are bit-identical: SUM over an
+/// int64 column stays in int64_t, doubles accumulate left to right, and
+/// MIN/MAX keep the FIRST best row under strict-improvement comparison.
+struct VecAggState {
+  int64_t count = 0;
+  int64_t int_sum = 0;
+  double dbl_sum = 0.0;
+  /// MIN/MAX carrier: the row holding the current best value. The final
+  /// Value copy happens in the executor, keeping kernels allocation-free.
+  const Row* best_row = nullptr;
+};
+
+/// SUM/AVG accumulation over the selected lanes of a materialized column.
+/// NULL lanes are skipped; non-null lanes bump `count` and add into
+/// `int_sum` (int64 column) or `dbl_sum` (double column).
+void VecAccumulateSum(const ColumnVector& col, const uint32_t* sel, size_t n,
+                      VecAggState* state);
+
+/// MIN/MAX accumulation. `rows` backs the column's lanes; `column` is the
+/// schema column index used when comparing against the carried best row.
+void VecAccumulateMinMax(const ColumnVector& col, const Row* const* rows,
+                         const uint32_t* sel, size_t n, size_t column,
+                         bool is_max, VecAggState* state);
+
+}  // namespace clouddb::db
+
+#endif  // CLOUDDB_DB_VEC_AGG_H_

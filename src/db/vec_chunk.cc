@@ -1,0 +1,77 @@
+#include "db/vec_chunk.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "db/value.h"
+#include "db/vec_arena.h"
+
+namespace clouddb::db {
+
+ColumnVector MaterializeColumn(const Row* const* rows, size_t len,
+                               size_t column, ValueType type, VecArena* arena) {
+  ColumnVector out;
+  out.type = type;
+  size_t words = (len + 63) / 64;
+  uint64_t* nulls = arena->AllocateArray<uint64_t>(words);
+  for (size_t w = 0; w < words; ++w) nulls[w] = 0;
+  out.nulls = nulls;
+  switch (type) {
+    case ValueType::kInt64: {
+      int64_t* data = arena->AllocateArray<int64_t>(len);
+      for (size_t i = 0; i < len; ++i) {
+        const Value& v = (*rows[i])[column];
+        if (v.is_null()) {
+          nulls[i >> 6] |= uint64_t{1} << (i & 63);
+          data[i] = 0;
+        } else {
+          assert(v.type() == ValueType::kInt64);
+          data[i] = v.AsInt64();
+        }
+      }
+      out.i64 = data;
+      break;
+    }
+    case ValueType::kDouble: {
+      double* data = arena->AllocateArray<double>(len);
+      for (size_t i = 0; i < len; ++i) {
+        const Value& v = (*rows[i])[column];
+        if (v.is_null()) {
+          nulls[i >> 6] |= uint64_t{1} << (i & 63);
+          data[i] = 0.0;
+        } else {
+          assert(v.type() == ValueType::kDouble);
+          data[i] = v.AsDouble();
+        }
+      }
+      out.f64 = data;
+      break;
+    }
+    case ValueType::kString: {
+      std::string_view* data = arena->AllocateArray<std::string_view>(len);
+      for (size_t i = 0; i < len; ++i) {
+        const Value& v = (*rows[i])[column];
+        if (v.is_null()) {
+          nulls[i >> 6] |= uint64_t{1} << (i & 63);
+          data[i] = std::string_view();
+        } else {
+          assert(v.type() == ValueType::kString);
+          data[i] = std::string_view(v.AsString());
+        }
+      }
+      out.str = data;
+      break;
+    }
+    case ValueType::kNull:
+      // Not a declarable column type; treat every lane as NULL.
+      for (size_t i = 0; i < len; ++i) {
+        nulls[i >> 6] |= uint64_t{1} << (i & 63);
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace clouddb::db

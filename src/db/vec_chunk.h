@@ -1,0 +1,44 @@
+#ifndef CLOUDDB_DB_VEC_CHUNK_H_
+#define CLOUDDB_DB_VEC_CHUNK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "db/value.h"
+#include "db/vec_arena.h"
+
+namespace clouddb::db {
+
+/// Rows per execution batch. Large enough to amortize dispatch, small enough
+/// that a chunk's working set (a few columns × 8 bytes × kVecChunkSize) stays
+/// cache-resident.
+inline constexpr size_t kVecChunkSize = 1024;
+
+/// One materialized column of a chunk: a typed value array plus a null
+/// bitmap, both arena-allocated with chunk lifetime. Exactly one of the data
+/// pointers is set, chosen by `type` — the schema guarantees (CoerceRow) that
+/// every stored value is either NULL or exactly the declared column type.
+/// String lanes are views into the backing rows' own storage, valid for as
+/// long as the rows are not mutated (the executor collects matches before
+/// mutating, so chunk lifetime is always covered).
+struct ColumnVector {
+  ValueType type = ValueType::kNull;
+  const int64_t* i64 = nullptr;           // type == kInt64
+  const double* f64 = nullptr;            // type == kDouble
+  const std::string_view* str = nullptr;  // type == kString
+  const uint64_t* nulls = nullptr;        // bit i set = lane i is NULL
+};
+
+inline bool ColumnLaneIsNull(const ColumnVector& c, size_t lane) {
+  return ((c.nulls[lane >> 6] >> (lane & 63)) & 1) != 0;
+}
+
+/// Materializes column `column` of `rows[0..len)` into arena storage.
+/// `type` is the schema-declared column type. len <= kVecChunkSize.
+ColumnVector MaterializeColumn(const Row* const* rows, size_t len,
+                               size_t column, ValueType type, VecArena* arena);
+
+}  // namespace clouddb::db
+
+#endif  // CLOUDDB_DB_VEC_CHUNK_H_

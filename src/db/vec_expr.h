@@ -1,0 +1,115 @@
+#ifndef CLOUDDB_DB_VEC_EXPR_H_
+#define CLOUDDB_DB_VEC_EXPR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "db/schema.h"
+#include "db/sql_ast.h"
+#include "db/value.h"
+#include "db/vec_arena.h"
+
+namespace clouddb::db {
+
+/// Comparison opcode (the comparison subset of BinaryOp).
+enum class VecCmp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// One postfix instruction of a compiled predicate. Truth lanes use the
+/// Kleene encoding 0 = false, 1 = unknown (SQL NULL), 2 = true, chosen so
+/// three-valued AND is lane-wise min and OR is lane-wise max.
+struct VecOp {
+  enum class Code : uint8_t {
+    kCmpColConst,  // push cmp(columns[col], consts[arg]) truth lanes
+    kIsNullCol,    // push IS [NOT] NULL of columns[col] (never unknown)
+    kAnd,          // pop b, pop a, push min(a, b)
+    kOr,           // pop b, pop a, push max(a, b)
+    kNot,          // top = 2 - top
+  };
+
+  Code code = Code::kAnd;
+  VecCmp cmp = VecCmp::kEq;
+  bool negated = false;  // kIsNullCol: IS NOT NULL
+  uint16_t col = 0;      // column-slot operand
+  uint16_t arg = 0;      // const-slot operand
+};
+
+/// A WHERE predicate compiled once into flat postfix bytecode, evaluated
+/// over whole chunks with type-specialized kernels.
+///
+/// The program is a schema-independent template: column operands are names
+/// (resolved against the live catalog at every execution by BindProgram) and
+/// constants are references to literals in the source Expr tree or to
+/// parameter slots. Both the column name views and the literal pointers
+/// point INTO the Expr tree the program was compiled from, so a program must
+/// be stored next to — and dropped with — its owning statement.
+///
+/// The compiler's coverage (CompilePredicate) is restricted to shapes whose
+/// evaluation can never raise an execution error: comparisons between a
+/// column and a literal/parameter, IS [NOT] NULL on a column, and AND/OR/NOT
+/// over those. Anything else disengages the whole program and the executor
+/// falls back to the tree-walking scalar path, keeping results bit-identical
+/// including error propagation.
+struct VecProgram {
+  struct ConstRef {
+    const Value* literal = nullptr;  // non-null: a literal in the Expr tree
+    uint32_t param = 0;              // literal == nullptr: parameter slot
+    /// The operand was written `-x` (parsed as `0 - x`): the referenced
+    /// value is numerically negated at bind time, exactly as the scalar
+    /// arithmetic would. Binding fails for non-numeric values, falling back
+    /// to the scalar path (which then reports the identical error).
+    bool negate = false;
+  };
+
+  std::vector<std::string_view> columns;
+  std::vector<ConstRef> consts;
+  /// The WHERE split at its top-level ANDs, one postfix program per
+  /// conjunct. A row matches iff every conjunct evaluates to true; the
+  /// evaluator runs conjuncts over a shrinking selection vector and stops
+  /// as soon as it empties.
+  std::vector<std::vector<VecOp>> conjuncts;
+  size_t max_stack = 0;
+
+  bool empty() const { return conjuncts.empty(); }
+};
+
+/// Compiles `where` into `out`. Returns false (and leaves `out`
+/// unspecified) when any sub-expression falls outside the covered subset —
+/// function calls, arithmetic, IN lists, column-to-column comparisons. The
+/// one arithmetic shape covered is unary minus on a constant (`col = -7`,
+/// parsed as `0 - 7`), folded into a negated ConstRef.
+bool CompilePredicate(const Expr& where, VecProgram* out);
+
+/// A program resolved against a concrete schema and parameter vector for
+/// one execution. Rebinding per execution (it is O(#operands)) is what makes
+/// a cached program safe across DDL: if the catalog changed underneath a
+/// still-live prepared statement, binding fails and the caller falls back to
+/// the scalar path instead of reading stale column slots.
+struct VecBinding {
+  const VecProgram* program = nullptr;
+  std::vector<uint32_t> col_index;   // per column slot: schema column index
+  std::vector<ValueType> col_type;   // per column slot: declared type
+  std::vector<const Value*> consts;  // per const slot: bound value
+  /// Storage for bind-time folded values (negated constants). `consts`
+  /// entries may point into this; it is reserved up front so the pointers
+  /// stay stable while binding appends.
+  std::vector<Value> owned;
+};
+
+/// Resolves column names (case-insensitive, matching Schema::ColumnIndex)
+/// and parameter slots. Returns false on any unknown column or missing
+/// parameter; `out`'s vectors are reused across calls to avoid reallocation.
+bool BindProgram(const VecProgram& program, const Schema& schema,
+                 const std::vector<Value>* params, VecBinding* out);
+
+/// Evaluates the bound predicate over rows[0..len) and writes the lane
+/// indexes of matching rows into sel (caller provides space for len).
+/// Returns the number of matches. Scratch buffers come from `arena`; the
+/// caller resets it between chunks.
+size_t VecFilterChunk(const VecBinding& binding, const Row* const* rows,
+                      size_t len, uint32_t* sel, VecArena* arena);
+
+}  // namespace clouddb::db
+
+#endif  // CLOUDDB_DB_VEC_EXPR_H_

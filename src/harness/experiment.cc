@@ -64,6 +64,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   cluster_config.synchronous_replication = config.synchronous_replication;
   repl::ReplicationCluster cluster(&provider, cluster_config);
   cluster.SetStatementCacheEnabled(config.statement_cache);
+  cluster.SetVectorizedExecEnabled(config.vectorized_exec);
 
   // L1: the benchmark driver instance — a large instance in the master's
   // zone ("the benchmark is deployed in a large instance to avoid any

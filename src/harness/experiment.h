@@ -53,6 +53,11 @@ struct ExperimentConfig {
   /// Off reverts to parse-per-statement; experiment *results* must be
   /// bit-identical either way (the cache only removes redundant work).
   bool statement_cache = true;
+  /// Vectorized batch execution on every replica (chunked scans, compiled
+  /// predicate bytecode, fused aggregation). Same ablation contract as the
+  /// statement cache: off reverts to row-at-a-time tree walking and results
+  /// must be bit-identical either way.
+  bool vectorized_exec = true;
   client::BalancePolicy policy = client::BalancePolicy::kRoundRobin;
   double apply_factor = 0.5;
   uint64_t seed = 42;

@@ -93,6 +93,8 @@ Result<int> ReplicationCluster::AddSlave() {
                                            config_.cost_model);
   slave->database().set_statement_cache_enabled(
       master_->database().statement_cache_enabled());
+  slave->database().set_vectorized_exec_enabled(
+      master_->database().vectorized_exec_enabled());
   CLOUDDB_RETURN_IF_ERROR(SnapshotInto(slave.get()));
   // The snapshot covers every event already in the binlog; attaching now
   // streams everything committed from this instant on.
@@ -170,6 +172,13 @@ void ReplicationCluster::SetStatementCacheEnabled(bool enabled) {
   master_->database().set_statement_cache_enabled(enabled);
   for (auto& slave : slaves_) {
     slave->database().set_statement_cache_enabled(enabled);
+  }
+}
+
+void ReplicationCluster::SetVectorizedExecEnabled(bool enabled) {
+  master_->database().set_vectorized_exec_enabled(enabled);
+  for (auto& slave : slaves_) {
+    slave->database().set_vectorized_exec_enabled(enabled);
   }
 }
 

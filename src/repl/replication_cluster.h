@@ -70,6 +70,10 @@ class ReplicationCluster {
   /// cache on/off ablation; results must be bit-identical either way).
   void SetStatementCacheEnabled(bool enabled);
 
+  /// Toggles the vectorized execution engine on every replica's database
+  /// (same ablation contract: results must be bit-identical either way).
+  void SetVectorizedExecEnabled(bool enabled);
+
   /// True when every slave has applied the whole master binlog.
   bool FullyReplicated() const;
 

@@ -4,6 +4,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -248,6 +249,110 @@ TEST(BPlusTreePropertyTest, RangeScansMatchModelAfterChurn) {
     }
     ASSERT_EQ(tree_keys, model_keys) << "range [" << lo << "," << hi << "]";
   }
+}
+
+// ---------------------------------------------------------------------------
+// BulkLoad: bottom-up construction from sorted input must produce a tree
+// indistinguishable (Find, Scan order, Validate, further mutation) from one
+// built by repeated Insert.
+
+TEST(BPlusTreeBulkLoad, NodeBoundarySizesValidateAndFind) {
+  // Sizes straddling every packing boundary of the 32-key nodes: empty,
+  // one leaf, leaf exactly full, tail-leaf underflow (borrows from its left
+  // neighbor), one internal level, and tail adjustments at the internal
+  // level.
+  for (int n : {0, 1, 15, 16, 17, 31, 32, 33, 48, 49, 63, 64, 65, 100, 1024,
+                1056, 1057, 5000}) {
+    Tree tree;
+    std::vector<std::pair<int, int>> items;
+    items.reserve(n);
+    for (int i = 0; i < n; ++i) items.emplace_back(i * 2, i);
+    tree.BulkLoad(std::move(items));
+    ASSERT_EQ(tree.size(), static_cast<size_t>(n)) << "n=" << n;
+    std::string err;
+    ASSERT_TRUE(tree.Validate(&err)) << "n=" << n << ": " << err;
+    for (int i = 0; i < n; ++i) {
+      const int* v = tree.Find(i * 2);
+      ASSERT_NE(v, nullptr) << "n=" << n << " key " << i * 2;
+      EXPECT_EQ(*v, i);
+    }
+    EXPECT_EQ(tree.Find(-1), nullptr);
+    EXPECT_EQ(tree.Find(2 * n + 1), nullptr);
+  }
+}
+
+TEST(BPlusTreeBulkLoad, ScanYieldsLoadOrderThroughLeafChain) {
+  Tree tree;
+  std::vector<std::pair<int, int>> items;
+  for (int i = 0; i < 2000; ++i) items.emplace_back(i * 3, i);
+  tree.BulkLoad(std::move(items));
+  int expect = 0;
+  tree.Scan(nullptr, true, nullptr, true, [&](const int& k, const int& v) {
+    EXPECT_EQ(k, expect * 3);
+    EXPECT_EQ(v, expect);
+    ++expect;
+    return true;
+  });
+  EXPECT_EQ(expect, 2000);
+}
+
+TEST(BPlusTreeBulkLoad, MatchesInsertBuiltTreeAndStaysMutable) {
+  Rng rng(77);
+  std::vector<std::pair<int, int>> items;
+  int key = 0;
+  for (int i = 0; i < 777; ++i) {
+    key += static_cast<int>(rng.UniformInt(1, 50));  // strictly increasing
+    items.emplace_back(key, i);
+  }
+  Tree inserted;
+  for (const auto& [k, v] : items) ASSERT_TRUE(inserted.Insert(k, v));
+  Tree loaded;
+  loaded.BulkLoad(items);
+  ASSERT_EQ(loaded.size(), inserted.size());
+  std::string err;
+  ASSERT_TRUE(loaded.Validate(&err)) << err;
+  for (const auto& [k, v] : items) {
+    const int* found = loaded.Find(k);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, v);
+  }
+  // The loaded tree must keep working as a normal tree: mixed churn after
+  // the bulk build, validating throughout.
+  for (int i = 0; i < 300; ++i) {
+    int k = items[static_cast<size_t>(rng.UniformInt(
+        0, static_cast<int64_t>(items.size()) - 1))].first;
+    if (rng.UniformInt(0, 1)) {
+      loaded.Erase(k);
+      inserted.Erase(k);
+    } else {
+      loaded.InsertOrAssign(k, -i);
+      inserted.InsertOrAssign(k, -i);
+    }
+  }
+  ASSERT_TRUE(loaded.Validate(&err)) << err;
+  EXPECT_EQ(loaded.size(), inserted.size());
+  std::vector<int> a, b;
+  loaded.Scan(nullptr, true, nullptr, true, [&](const int& k, const int&) {
+    a.push_back(k);
+    return true;
+  });
+  inserted.Scan(nullptr, true, nullptr, true, [&](const int& k, const int&) {
+    b.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(a, b);
+}
+
+TEST(BPlusTreeBulkLoad, ReplacesExistingContents) {
+  Tree tree;
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(tree.Insert(i, i));
+  std::vector<std::pair<int, int>> items = {{100, 1}, {200, 2}};
+  tree.BulkLoad(std::move(items));
+  EXPECT_EQ(tree.size(), 2u);
+  EXPECT_EQ(tree.Find(5), nullptr);
+  ASSERT_NE(tree.Find(200), nullptr);
+  std::string err;
+  EXPECT_TRUE(tree.Validate(&err)) << err;
 }
 
 }  // namespace

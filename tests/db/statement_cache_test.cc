@@ -220,6 +220,46 @@ TEST_F(CachedDatabaseTest, DropAndRecreateResolvesAgainstNewCatalog) {
   EXPECT_EQ(Must("SELECT COUNT(*) FROM t").rows[0][0].AsInt64(), 0);
 }
 
+TEST_F(CachedDatabaseTest, DdlDropsCompiledPredicateBytecode) {
+  Must("CREATE TABLE t (id BIGINT PRIMARY KEY, n BIGINT, s TEXT)");
+  for (int i = 0; i < 30; ++i) {
+    Must(StrFormat("INSERT INTO t VALUES (%d, %d, 'x%d')", i, i % 7, i % 3));
+  }
+  // Caching the SELECT's template lowers its WHERE to predicate bytecode.
+  const std::string select = "SELECT id FROM t WHERE n = 3 AND s = 'x1'";
+  ExecResult before = Must(select);
+  EXPECT_GE(db_.statement_cache().stats().programs_compiled, 1);
+  // Keep the prepared entry alive across the DDL, as an in-flight routed
+  // execution would: its compiled program must never read the new catalog
+  // through its old column slots.
+  auto call = db_.Prepare(select);
+  ASSERT_TRUE(call.ok());
+  ASSERT_TRUE(call->prepared->has_where_program);
+
+  // DDL drops every cached template and counts the compiled programs that
+  // went with them.
+  Must("DROP TABLE t");
+  EXPECT_GE(db_.statement_cache().stats().programs_invalidated, 1);
+  EXPECT_EQ(db_.statement_cache().size(), 0u);
+
+  // Re-create the table with the filtered columns at different slots (and
+  // an extra column in between): a stale program executing by its old slot
+  // indexes would filter id against 'n = 3' and s against a double.
+  Must("CREATE TABLE t (id BIGINT PRIMARY KEY, s TEXT, extra DOUBLE, "
+       "n BIGINT)");
+  for (int i = 0; i < 30; ++i) {
+    Must(StrFormat("INSERT INTO t VALUES (%d, 'x%d', 0.5, %d)", i, i % 3,
+                   i % 7));
+  }
+  // The survivor re-binds its program by column name against the live
+  // schema at execution, so it matches a fresh statement exactly.
+  auto stale = db_.ExecutePrepared(*call, select, nullptr);
+  ASSERT_TRUE(stale.ok());
+  ExecResult fresh = Must(select);
+  EXPECT_EQ(stale->rows, fresh.rows);
+  EXPECT_EQ(stale->rows, before.rows);  // same logical data, same ids
+}
+
 // ---------------------------------------------------------------------------
 // Cache on/off equivalence: byte-identical results, plans, and errors
 

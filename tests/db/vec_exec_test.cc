@@ -1,0 +1,550 @@
+// Vectorized execution engine: per-kernel unit tests of the predicate
+// bytecode (compile, bind, filter) against the scalar tree-walking
+// evaluator, plus end-to-end vectorized-on vs vectorized-off equivalence of
+// Database::Execute. The engine's contract is bit-identical results either
+// way — these tests are the enforcement.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "db/database.h"
+#include "db/expr_eval.h"
+#include "db/functions.h"
+#include "db/schema.h"
+#include "db/sql_ast.h"
+#include "db/sql_parser.h"
+#include "db/statement_cache.h"
+#include "db/value.h"
+#include "db/vec_arena.h"
+#include "db/vec_expr.h"
+
+namespace clouddb::db {
+namespace {
+
+Schema TestSchema() {
+  auto schema = Schema::Create({
+      {"id", ValueType::kInt64, false, true},
+      {"n", ValueType::kInt64, true, false},
+      {"d", ValueType::kDouble, true, false},
+      {"s", ValueType::kString, true, false},
+  });
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+/// Owns the parsed statement whose WHERE tree the compiled program points
+/// into (column name views and literal pointers reference the Expr nodes).
+struct Compiled {
+  Statement stmt;
+  VecProgram program;
+  bool covered = false;
+
+  const Expr& where() const {
+    return *std::get<SelectStatement>(stmt).where;
+  }
+};
+
+Compiled CompileWhere(const std::string& condition) {
+  Compiled c;
+  auto parsed = ParseSql("SELECT * FROM t WHERE " + condition);
+  EXPECT_TRUE(parsed.ok()) << condition;
+  c.stmt = std::move(*parsed);
+  c.covered = CompilePredicate(c.where(), &c.program);
+  return c;
+}
+
+/// Fixture rows covering every lane kind the kernels branch on: NULLs in
+/// each column, negative/zero/positive ints, fractional doubles, and
+/// strings that straddle the probe literals.
+std::vector<Row> MakeRows() {
+  auto row = [](int64_t id, Value n, Value d, Value s) {
+    return Row{Value(id), std::move(n), std::move(d), std::move(s)};
+  };
+  return {
+      row(1, Value(int64_t{5}), Value(2.5), Value("mm")),
+      row(2, Value(), Value(0.0), Value("aa")),
+      row(3, Value(int64_t{-7}), Value(), Value("zz")),
+      row(4, Value(int64_t{5}), Value(-1.25), Value()),
+      row(5, Value(int64_t{0}), Value(5.0), Value("mm")),
+      row(6, Value(int64_t{42}), Value(2.5), Value("")),
+      row(7, Value(), Value(), Value()),
+      row(8, Value(int64_t{6}), Value(2.4999), Value("mn")),
+  };
+}
+
+std::vector<uint32_t> ScalarFilter(const Expr& where, const Schema& schema,
+                                   const std::vector<Row>& rows) {
+  FunctionRegistry functions;
+  std::vector<uint32_t> out;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    auto keep = EvaluatePredicate(where, &schema, &rows[i], functions);
+    EXPECT_TRUE(keep.ok());
+    if (keep.ok() && *keep) out.push_back(static_cast<uint32_t>(i));
+  }
+  return out;
+}
+
+std::vector<uint32_t> VecFilter(const Compiled& c, const Schema& schema,
+                                const std::vector<Row>& rows,
+                                const std::vector<Value>* params = nullptr) {
+  VecBinding binding;
+  EXPECT_TRUE(BindProgram(c.program, schema, params, &binding));
+  std::vector<const Row*> ptrs;
+  ptrs.reserve(rows.size());
+  for (const Row& r : rows) ptrs.push_back(&r);
+  std::vector<uint32_t> sel(rows.size() + 1);
+  VecArena arena;
+  size_t n =
+      VecFilterChunk(binding, ptrs.data(), ptrs.size(), sel.data(), &arena);
+  sel.resize(n);
+  return sel;
+}
+
+/// The core per-kernel property: the compiled program selects exactly the
+/// lanes the scalar evaluator keeps.
+void ExpectVecMatchesScalar(const std::string& condition) {
+  Schema schema = TestSchema();
+  std::vector<Row> rows = MakeRows();
+  Compiled c = CompileWhere(condition);
+  ASSERT_TRUE(c.covered) << condition;
+  EXPECT_EQ(VecFilter(c, schema, rows), ScalarFilter(c.where(), schema, rows))
+      << condition;
+}
+
+TEST(VecKernels, Int64ComparisonsMatchScalar) {
+  for (const char* cond : {"n = 5", "n != 5", "n < 5", "n <= 5", "n > 5",
+                           "n >= 5", "n = -7", "n < 0"}) {
+    ExpectVecMatchesScalar(cond);
+  }
+}
+
+TEST(VecKernels, DoubleComparisonsMatchScalar) {
+  for (const char* cond : {"d = 2.5", "d != 2.5", "d < 2.5", "d <= 2.5",
+                           "d > 2.5", "d >= 2.5", "d < 0.0"}) {
+    ExpectVecMatchesScalar(cond);
+  }
+}
+
+TEST(VecKernels, StringComparisonsMatchScalar) {
+  for (const char* cond : {"s = 'mm'", "s != 'mm'", "s < 'mm'", "s <= 'mm'",
+                           "s > 'mm'", "s >= 'mm'", "s = ''"}) {
+    ExpectVecMatchesScalar(cond);
+  }
+}
+
+TEST(VecKernels, MixedNumericComparisonsMatchScalar) {
+  // Int column vs double literal and double column vs int literal go
+  // through the double three-way, same as Value::Compare.
+  for (const char* cond : {"n < 2.5", "n >= 5.0", "n = 5.0", "d >= 2",
+                           "d = 5", "d < -1"}) {
+    ExpectVecMatchesScalar(cond);
+  }
+}
+
+TEST(VecKernels, CrossKindConstantsMatchScalar) {
+  // Numeric column vs string literal (and vice versa) never compare equal;
+  // Value::Compare ranks numeric < string, which the kernels collapse to a
+  // fixed three-way result per chunk.
+  for (const char* cond : {"n = 'x'", "n != 'x'", "n < 'x'", "n > 'x'",
+                           "s = 5", "s != 5", "s < 5", "s > 5"}) {
+    ExpectVecMatchesScalar(cond);
+  }
+}
+
+TEST(VecKernels, NullLiteralComparisonsMatchScalar) {
+  // Comparing against NULL yields unknown for every lane — nothing
+  // selected, matching SQL semantics in the scalar path.
+  for (const char* cond : {"n = NULL", "n != NULL", "s < NULL"}) {
+    ExpectVecMatchesScalar(cond);
+  }
+}
+
+TEST(VecKernels, IsNullMatchesScalar) {
+  for (const char* cond : {"n IS NULL", "n IS NOT NULL", "d IS NULL",
+                           "s IS NOT NULL", "id IS NULL"}) {
+    ExpectVecMatchesScalar(cond);
+  }
+}
+
+TEST(VecKernels, BooleanCombinatorsMatchScalar) {
+  // Three-valued AND/OR/NOT over lanes that are true, false, and unknown
+  // (the NULL rows make every combination reachable).
+  for (const char* cond :
+       {"n > 2 AND d < 3.5", "n > 2 OR d < 3.5", "NOT (n = 5)",
+        "NOT (n IS NULL)", "(n > 2 AND d < 3.5) OR s = 'aa'",
+        "NOT (n < 10 OR d > 0.5)", "n >= 0 AND n <= 10 AND s != 'zz'",
+        "NOT (NOT (n = 5))"}) {
+    ExpectVecMatchesScalar(cond);
+  }
+}
+
+TEST(VecKernels, EmptySelectionShortCircuits) {
+  // The first conjunct matches nothing, so the evaluator must stop without
+  // running the rest — observable only through the (correct, empty) result.
+  ExpectVecMatchesScalar("n > 1000000 AND s = 'zz'");
+  ExpectVecMatchesScalar("n > 1000000 AND n < -1000000 AND d = 0.0");
+}
+
+TEST(VecKernels, UncoveredShapesAreRejectedByTheCompiler) {
+  // Arithmetic, column-to-column comparison, function calls: outside the
+  // never-raises coverage, so the whole program must disengage.
+  for (const char* cond : {"n + 1 = 6", "n = id", "UPPER(s) = 'MM'",
+                           "n = 5 AND n + 1 = 6"}) {
+    Compiled c = CompileWhere(cond);
+    EXPECT_FALSE(c.covered) << cond;
+  }
+}
+
+TEST(VecKernels, RandomizedPredicatesMatchScalar) {
+  // Property sweep: random comparisons joined by random AND/OR/NOT over
+  // random rows (with NULLs) must select the same lanes as the scalar
+  // evaluator, at sizes that cross the chunk-internal word boundaries.
+  Schema schema = TestSchema();
+  Rng rng(20260809);
+  const char* cols[] = {"n", "d", "s"};
+  const char* ops[] = {"=", "!=", "<", "<=", ">", ">="};
+  auto leaf = [&]() {
+    std::string col = cols[rng.UniformInt(0, 2)];
+    if (rng.UniformInt(0, 9) == 0) {
+      return col + (rng.UniformInt(0, 1) ? " IS NULL" : " IS NOT NULL");
+    }
+    std::string op = ops[rng.UniformInt(0, 5)];
+    std::string lit;
+    switch (rng.UniformInt(0, 2)) {
+      case 0:
+        lit = StrFormat("%lld",
+                        static_cast<long long>(rng.UniformInt(-5, 5)));
+        break;
+      case 1:
+        lit = StrFormat("%lld.5",
+                        static_cast<long long>(rng.UniformInt(-5, 5)));
+        break;
+      default:
+        lit = StrFormat("'s%lld'",
+                        static_cast<long long>(rng.UniformInt(0, 9)));
+        break;
+    }
+    return col + " " + op + " " + lit;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string cond = leaf();
+    for (int64_t i = rng.UniformInt(0, 3); i > 0; --i) {
+      std::string joiner = rng.UniformInt(0, 1) ? " AND " : " OR ";
+      cond = "(" + cond + ")" + joiner + "(" + leaf() + ")";
+    }
+    if (rng.UniformInt(0, 3) == 0) cond = "NOT (" + cond + ")";
+
+    size_t n_rows = static_cast<size_t>(rng.UniformInt(1, 130));
+    std::vector<Row> rows;
+    rows.reserve(n_rows);
+    for (size_t i = 0; i < n_rows; ++i) {
+      Row row;
+      row.push_back(Value(static_cast<int64_t>(i)));
+      row.push_back(rng.UniformInt(0, 4) == 0
+                        ? Value()
+                        : Value(rng.UniformInt(-5, 5)));
+      row.push_back(rng.UniformInt(0, 4) == 0
+                        ? Value()
+                        : Value(rng.UniformInt(-10, 10) * 0.5));
+      row.push_back(
+          rng.UniformInt(0, 4) == 0
+              ? Value()
+              : Value(StrFormat("s%lld", static_cast<long long>(
+                                             rng.UniformInt(0, 9)))));
+      rows.push_back(std::move(row));
+    }
+
+    Compiled c = CompileWhere(cond);
+    ASSERT_TRUE(c.covered) << cond;
+    EXPECT_EQ(VecFilter(c, schema, rows),
+              ScalarFilter(c.where(), schema, rows))
+        << cond << " over " << n_rows << " rows";
+  }
+}
+
+TEST(VecKernels, CacheCompilesTemplatesAndBindsParameters) {
+  // The statement cache lowers the WHERE at template-insert time; literals
+  // become parameter slots that BindProgram resolves per call.
+  StatementCache cache;
+  auto call = cache.Prepare("SELECT * FROM t WHERE n = 5 AND s = 'mm'");
+  ASSERT_TRUE(call.ok());
+  ASSERT_TRUE(call->prepared->has_where_program);
+  EXPECT_EQ(cache.stats().programs_compiled, 1);
+
+  Schema schema = TestSchema();
+  std::vector<Row> rows = MakeRows();
+  Compiled ref = CompileWhere("n = 5 AND s = 'mm'");
+  ASSERT_TRUE(ref.covered);
+
+  VecBinding binding;
+  ASSERT_TRUE(BindProgram(call->prepared->where_program, schema,
+                          &call->params, &binding));
+  std::vector<const Row*> ptrs;
+  for (const Row& r : rows) ptrs.push_back(&r);
+  std::vector<uint32_t> sel(rows.size() + 1);
+  VecArena arena;
+  size_t n =
+      VecFilterChunk(binding, ptrs.data(), ptrs.size(), sel.data(), &arena);
+  sel.resize(n);
+  EXPECT_EQ(sel, ScalarFilter(ref.where(), schema, rows));
+}
+
+TEST(VecKernels, BindFailsAgainstChangedSchema) {
+  // The DDL-staleness defense: a program compiled against one catalog must
+  // refuse to bind against a schema missing its columns.
+  Compiled c = CompileWhere("n = 5");
+  ASSERT_TRUE(c.covered);
+  auto other = Schema::Create({{"id", ValueType::kInt64, false, true}});
+  ASSERT_TRUE(other.ok());
+  VecBinding binding;
+  EXPECT_FALSE(BindProgram(c.program, *other, nullptr, &binding));
+}
+
+TEST(VecKernels, MissingParameterFailsToBind) {
+  StatementCache cache;
+  auto call = cache.Prepare("SELECT * FROM t WHERE n = 5");
+  ASSERT_TRUE(call.ok());
+  ASSERT_TRUE(call->prepared->has_where_program);
+  Schema schema = TestSchema();
+  VecBinding binding;
+  std::vector<Value> no_params;
+  EXPECT_FALSE(BindProgram(call->prepared->where_program, schema, &no_params,
+                           &binding));
+}
+
+TEST(VecArenaTest, ResetReusesCapacity) {
+  VecArena arena;
+  (void)arena.AllocateArray<uint8_t>(1000);
+  (void)arena.AllocateArray<uint64_t>(500);
+  size_t reserved = arena.bytes_reserved();
+  EXPECT_GT(reserved, 0u);
+  for (int i = 0; i < 16; ++i) {
+    arena.Reset();
+    (void)arena.AllocateArray<uint8_t>(1000);
+    (void)arena.AllocateArray<uint64_t>(500);
+  }
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: two databases with identical data, vectorized execution on in
+// one and off in the other. Every observable of ExecResult must match.
+
+class VecExecEquivalenceTest : public ::testing::Test {
+ protected:
+  static DatabaseOptions Options(bool vectorized) {
+    DatabaseOptions options;
+    options.vectorized_exec = vectorized;
+    return options;
+  }
+
+  VecExecEquivalenceTest() : vec_(Options(true)), scalar_(Options(false)) {}
+
+  void Fill(int n_rows, uint64_t seed) {
+    Rng rng(seed);
+    for (Database* d : {&vec_, &scalar_}) {
+      ASSERT_TRUE(d->Execute("CREATE TABLE t (id BIGINT PRIMARY KEY, "
+                             "n BIGINT, d DOUBLE, s TEXT)")
+                      .ok());
+    }
+    for (int i = 0; i < n_rows; ++i) {
+      std::string n = rng.UniformInt(0, 6) == 0
+                          ? "NULL"
+                          : StrFormat("%lld", static_cast<long long>(
+                                                  rng.UniformInt(-50, 50)));
+      std::string dv = rng.UniformInt(0, 6) == 0
+                           ? "NULL"
+                           : StrFormat("%lld.25",
+                                       static_cast<long long>(
+                                           rng.UniformInt(-20, 20)));
+      std::string s =
+          rng.UniformInt(0, 6) == 0
+              ? "NULL"
+              : StrFormat("'w%lld'", static_cast<long long>(
+                                         rng.UniformInt(0, 30)));
+      std::string sql =
+          StrFormat("INSERT INTO t VALUES (%d, %s, %s, %s)", i, n.c_str(),
+                    dv.c_str(), s.c_str());
+      ASSERT_TRUE(vec_.Execute(sql).ok()) << sql;
+      ASSERT_TRUE(scalar_.Execute(sql).ok()) << sql;
+    }
+  }
+
+  /// Executes `sql` on both engines and requires every observable field of
+  /// the result — including row ORDER, rows_examined, and the chosen plan —
+  /// to be identical. Errors must match byte-for-byte too.
+  void ExpectSameExec(const std::string& sql) {
+    auto a = vec_.Execute(sql);
+    auto b = scalar_.Execute(sql);
+    ASSERT_EQ(a.ok(), b.ok()) << sql;
+    if (!a.ok()) {
+      EXPECT_EQ(a.status().ToString(), b.status().ToString()) << sql;
+      return;
+    }
+    EXPECT_EQ(a->column_names, b->column_names) << sql;
+    ASSERT_EQ(a->rows.size(), b->rows.size()) << sql;
+    for (size_t i = 0; i < a->rows.size(); ++i) {
+      EXPECT_EQ(RowToString(a->rows[i]), RowToString(b->rows[i]))
+          << sql << " row " << i;
+    }
+    EXPECT_EQ(a->rows_affected, b->rows_affected) << sql;
+    EXPECT_EQ(a->rows_examined, b->rows_examined) << sql;
+    EXPECT_EQ(a->plan, b->plan) << sql;
+    EXPECT_EQ(a->scan_ordered_by, b->scan_ordered_by) << sql;
+  }
+
+  Database vec_;
+  Database scalar_;
+};
+
+TEST_F(VecExecEquivalenceTest, SelectsAreBitIdentical) {
+  Fill(600, 11);
+  ExpectSameExec("SELECT * FROM t WHERE n > 10 AND s = 'w3'");
+  ExpectSameExec("SELECT id, s FROM t WHERE n IS NULL");
+  ExpectSameExec("SELECT * FROM t WHERE NOT (n < 10 OR d > 0.5)");
+  ExpectSameExec("SELECT * FROM t WHERE d >= -3.25 AND d <= 4.25 "
+                 "ORDER BY id LIMIT 17");
+  ExpectSameExec("SELECT * FROM t WHERE s != 'w0' AND s IS NOT NULL "
+                 "ORDER BY s");
+  ExpectSameExec("SELECT * FROM t WHERE n = 'not_a_number'");
+  ExpectSameExec("SELECT * FROM t");  // no WHERE: both take the plain scan
+  // PK point lookup and range: index paths with and without residual
+  // predicates (the residual runs through the chunked filter when on).
+  ExpectSameExec("SELECT * FROM t WHERE id = 37");
+  ExpectSameExec("SELECT * FROM t WHERE id >= 10 AND id < 300 AND n > 0");
+  // Uncovered predicate: the vectorized engine must fall back scalar and
+  // still agree (trivially — it runs the identical code).
+  ExpectSameExec("SELECT * FROM t WHERE n + 0 = 4");
+}
+
+TEST_F(VecExecEquivalenceTest, AggregatesAreBitIdentical) {
+  Fill(600, 12);
+  ExpectSameExec("SELECT COUNT(*) FROM t WHERE n > 0");
+  ExpectSameExec("SELECT SUM(n), MIN(n), MAX(n) FROM t WHERE s != 'w9'");
+  // AVG and SUM over doubles: accumulation order must match exactly for
+  // bit-identical floating-point results.
+  ExpectSameExec("SELECT SUM(d), AVG(d) FROM t WHERE n IS NOT NULL");
+  ExpectSameExec("SELECT MIN(s), MAX(s) FROM t WHERE d > -100");
+  ExpectSameExec("SELECT COUNT(*), SUM(n), AVG(n) FROM t");
+  // Aggregates over an empty match set (NULL results except COUNT).
+  ExpectSameExec("SELECT COUNT(*), SUM(n), MIN(d), MAX(s) FROM t "
+                 "WHERE n > 1000000");
+  // Mixed int/double SUM (int column promoted exactly as scalar does).
+  ExpectSameExec("SELECT SUM(n), SUM(d) FROM t WHERE n < 0 OR d < 0");
+  // Error paths must be identical text: SUM over a string column.
+  ExpectSameExec("SELECT SUM(s) FROM t");
+}
+
+TEST_F(VecExecEquivalenceTest, WritesConvergeToIdenticalContents) {
+  Fill(400, 13);
+  ExpectSameExec("UPDATE t SET n = 99 WHERE n > 25 AND s IS NOT NULL");
+  ExpectSameExec("DELETE FROM t WHERE d < -2.25");
+  ExpectSameExec("UPDATE t SET s = 'rewritten' WHERE n = 99");
+  ExpectSameExec("SELECT COUNT(*), SUM(n) FROM t");
+  EXPECT_TRUE(Database::ContentsEqual(vec_, scalar_));
+  std::string err;
+  EXPECT_TRUE(vec_.ValidateAllIndexes(&err)) << err;
+}
+
+TEST_F(VecExecEquivalenceTest, ChunkBoundaryRowCountsAgree) {
+  // Table sizes straddling the 1024-row chunk size: partial chunk, exactly
+  // one chunk, one chunk plus one row.
+  for (int n_rows : {1, 1023, 1024, 1025}) {
+    DatabaseOptions on = Options(true);
+    DatabaseOptions off = Options(false);
+    Database vec(on), scalar(off);
+    for (Database* d : {&vec, &scalar}) {
+      ASSERT_TRUE(
+          d->Execute("CREATE TABLE t (id BIGINT PRIMARY KEY, n BIGINT)")
+              .ok());
+      for (int i = 0; i < n_rows; ++i) {
+        ASSERT_TRUE(d->Execute(StrFormat("INSERT INTO t VALUES (%d, %d)", i,
+                                         i % 7))
+                        .ok());
+      }
+    }
+    for (const char* sql :
+         {"SELECT * FROM t WHERE n = 3", "SELECT COUNT(*), SUM(n) FROM t",
+          "SELECT * FROM t WHERE n != 100"}) {
+      auto a = vec.Execute(sql);
+      auto b = scalar.Execute(sql);
+      ASSERT_TRUE(a.ok() && b.ok()) << sql;
+      ASSERT_EQ(a->rows.size(), b->rows.size()) << sql << " n=" << n_rows;
+      for (size_t i = 0; i < a->rows.size(); ++i) {
+        EXPECT_EQ(RowToString(a->rows[i]), RowToString(b->rows[i]));
+      }
+      EXPECT_EQ(a->rows_examined, b->rows_examined) << sql;
+    }
+    // The filter SELECTs each visit ceil(n/1024) chunks covering all rows.
+    EXPECT_EQ(vec.vec_stats().chunks_filtered,
+              2 * ((n_rows + 1023) / 1024));
+    EXPECT_EQ(vec.vec_stats().rows_filtered, 2 * n_rows);
+    EXPECT_EQ(scalar.vec_stats().chunks_filtered, 0);
+  }
+}
+
+TEST_F(VecExecEquivalenceTest, StatsTrackEngagementAndFallback) {
+  Fill(100, 14);
+  vec_.ResetVecStats();
+  ASSERT_TRUE(vec_.Execute("SELECT * FROM t WHERE n > 0").ok());
+  EXPECT_EQ(vec_.vec_stats().chunks_filtered, 1);
+  EXPECT_EQ(vec_.vec_stats().rows_filtered, 100);
+  EXPECT_EQ(vec_.vec_stats().scalar_fallbacks, 0);
+  ASSERT_TRUE(vec_.Execute("SELECT SUM(n) FROM t WHERE n > 0").ok());
+  EXPECT_EQ(vec_.vec_stats().fused_aggregates, 1);
+  // Uncovered shape: engine disengages and counts the fallback.
+  ASSERT_TRUE(vec_.Execute("SELECT * FROM t WHERE n + 0 = 4").ok());
+  EXPECT_EQ(vec_.vec_stats().scalar_fallbacks, 1);
+  // Toggled off at runtime: nothing counts.
+  vec_.ResetVecStats();
+  vec_.set_vectorized_exec_enabled(false);
+  ASSERT_TRUE(vec_.Execute("SELECT * FROM t WHERE n > 0").ok());
+  EXPECT_EQ(vec_.vec_stats().chunks_filtered, 0);
+  vec_.set_vectorized_exec_enabled(true);
+}
+
+TEST_F(VecExecEquivalenceTest, RandomizedStatementsAreBitIdentical) {
+  Fill(700, 15);
+  Rng rng(99);
+  const char* ops[] = {"=", "!=", "<", "<=", ">", ">="};
+  for (int trial = 0; trial < 150; ++trial) {
+    std::string sql = "SELECT * FROM t WHERE ";
+    int64_t conjuncts = rng.UniformInt(1, 3);
+    for (int64_t i = 0; i < conjuncts; ++i) {
+      if (i > 0) sql += rng.UniformInt(0, 1) ? " AND " : " OR ";
+      switch (rng.UniformInt(0, 3)) {
+        case 0:
+          sql += StrFormat("n %s %lld", ops[rng.UniformInt(0, 5)],
+                           static_cast<long long>(rng.UniformInt(-50, 50)));
+          break;
+        case 1:
+          sql += StrFormat("d %s %lld.25", ops[rng.UniformInt(0, 5)],
+                           static_cast<long long>(rng.UniformInt(-20, 20)));
+          break;
+        case 2:
+          sql += StrFormat("s %s 'w%lld'", ops[rng.UniformInt(0, 5)],
+                           static_cast<long long>(rng.UniformInt(0, 30)));
+          break;
+        default:
+          sql += rng.UniformInt(0, 1) ? "n IS NULL" : "s IS NOT NULL";
+          break;
+      }
+    }
+    if (rng.UniformInt(0, 4) == 0) sql += " ORDER BY id";
+    if (rng.UniformInt(0, 4) == 0) {
+      sql += StrFormat(" LIMIT %lld",
+                       static_cast<long long>(rng.UniformInt(1, 40)));
+    }
+    ExpectSameExec(sql);
+  }
+}
+
+}  // namespace
+}  // namespace clouddb::db

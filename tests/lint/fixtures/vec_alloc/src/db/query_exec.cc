@@ -1,0 +1,4 @@
+#include <string>
+
+// Ordinary engine code: std::string use outside src/db/vec_* is fine.
+std::string PlanLabel(int col) { return "col" + std::to_string(col); }

@@ -1,0 +1,7 @@
+#include <string>
+
+void LabelLanes(const int* lanes, int n) {
+  std::string label = "k";
+  for (int i = 0; i < n; ++i) label += std::to_string(lanes[i]);
+  (void)label;
+}

@@ -1,0 +1,11 @@
+#include <string_view>
+
+// Allocation-free kernel: string_view operands, caller-owned output buffer.
+int CountMatches(const std::string_view* lanes, int n, std::string_view key,
+                 int* sel) {
+  int m = 0;
+  for (int i = 0; i < n; ++i) {
+    if (lanes[i] == key) sel[m++] = i;
+  }
+  return m;
+}

@@ -29,6 +29,7 @@ constexpr char kRuleLayering[] = "clouddb-layering";
 constexpr char kRuleCycle[] = "clouddb-include-cycle";
 constexpr char kRuleStatus[] = "clouddb-status";
 constexpr char kRuleMetricName[] = "clouddb-metric-name";
+constexpr char kRuleVecAlloc[] = "clouddb-vec-alloc";
 
 /// Module layer ranks. An include edge is legal only if it points at a
 /// strictly lower rank (or stays inside the module). `db` and `net` are
@@ -118,6 +119,16 @@ const std::vector<TokenRule>& BannedTokens() {
       {"usleep", kRuleThread, "blocks a real thread"},
       {"nanosleep", kRuleThread, "blocks a real thread"},
       {"sleep", kRuleThread, "blocks a real thread", true},
+      // --- clouddb-vec-alloc: vectorized kernel files (src/db/vec_*) sit on
+      // the per-chunk hot path and must stay allocation-free — operands are
+      // string_views into row storage and scratch comes from VecArena. Any
+      // std::string construction or formatting there is an accidental
+      // per-lane heap allocation.
+      {"string", kRuleVecAlloc, "allocates per-value heap storage"},
+      {"to_string", kRuleVecAlloc, "formats into a heap buffer"},
+      {"stringstream", kRuleVecAlloc, "is a heap-backed formatter"},
+      {"ostringstream", kRuleVecAlloc, "is a heap-backed formatter"},
+      {"StrFormat", kRuleVecAlloc, "formats into a heap buffer"},
   };
   return kRules;
 }
@@ -126,6 +137,9 @@ const char* RuleRemedy(std::string_view rule) {
   if (rule == kRuleWallclock)
     return "derive time from sim::Simulation::Now() / LocalClock";
   if (rule == kRuleRandom) return "draw from a seeded clouddb::Rng instead";
+  if (rule == kRuleVecAlloc)
+    return "keep vec kernels allocation-free: string_view operands and "
+           "VecArena/caller-owned scratch";
   return "model concurrency as simulation events (sim/simulation.h)";
 }
 
@@ -151,6 +165,13 @@ bool ThreadExempt(const std::string& rel) {
     if (rel.rfind(prefix, 0) == 0) return true;
   }
   return false;
+}
+
+/// clouddb-vec-alloc is scope-*limited* rather than scope-exempted: it only
+/// applies inside the vectorized kernel files, everywhere else std::string
+/// use is normal engine code.
+bool VecAllocScoped(const std::string& rel) {
+  return rel.rfind("src/db/vec_", 0) == 0;
 }
 
 void ScanBannedTokens(const SourceFile& fi, std::vector<Diagnostic>* out) {
@@ -179,6 +200,9 @@ void ScanBannedTokens(const SourceFile& fi, std::vector<Diagnostic>* out) {
         if (tr.rule == std::string_view(kRuleRandom) && RandomExempt(fi.rel))
           continue;
         if (tr.rule == std::string_view(kRuleThread) && ThreadExempt(fi.rel))
+          continue;
+        if (tr.rule == std::string_view(kRuleVecAlloc) &&
+            !VecAllocScoped(fi.rel))
           continue;
         if (tr.call_only) {
           size_t k = j;
