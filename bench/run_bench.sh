@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Runs the microbenchmarks and writes the google-benchmark JSON reports to
 # BENCH_micro_engine.json, BENCH_micro_sim.json, BENCH_micro_metrics.json,
-# and BENCH_micro_lint.json
+# BENCH_micro_lint.json, and BENCH_micro_repl.json
 # at the repository root (the committed perf records; see DESIGN.md
 # "Execution pipeline", "Simulation kernel & parallel harness", and
 # "Metrics spine").
@@ -28,7 +28,7 @@ default_flags=(
   --benchmark_report_aggregates_only=true
 )
 
-for name in micro_engine micro_sim micro_metrics micro_lint; do
+for name in micro_engine micro_sim micro_metrics micro_lint micro_repl; do
   bin="${build_dir}/bench/${name}"
   if [[ ! -x "${bin}" ]]; then
     echo "${name} not built at ${bin}; build with:" >&2

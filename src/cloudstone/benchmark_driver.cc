@@ -203,6 +203,11 @@ BenchmarkReport BenchmarkDriver::Report() const {
   }
   report.route_cache_hits = proxy_->route_cache().stats().hits;
   report.route_cache_misses = proxy_->route_cache().stats().misses;
+  report.binlog_batches = cluster_->master()->batches_shipped();
+  for (int i = 0; i < cluster_->num_slaves(); ++i) {
+    report.writeset_applies += cluster_->slave(i)->writeset_applies();
+    report.fallback_applies += cluster_->slave(i)->fallback_applies();
+  }
   return report;
 }
 

@@ -113,6 +113,13 @@ struct BenchmarkReport {
   int64_t statement_cache_misses = 0;
   int64_t route_cache_hits = 0;
   int64_t route_cache_misses = 0;
+  /// Row-based replication counters at report time: group messages the
+  /// master shipped (0 without batching), and statements the slaves applied
+  /// via the parser-free writeset path vs. the statement-apply fallback
+  /// (both 0 when row-based replication is off), summed over all slaves.
+  int64_t binlog_batches = 0;
+  int64_t writeset_applies = 0;
+  int64_t fallback_applies = 0;
 };
 
 /// Orchestrates one benchmark run: staggers user start over the ramp-up,

@@ -4,29 +4,61 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "common/result.h"
+#include "db/writeset.h"
 
 namespace clouddb::db {
 
-/// One committed transaction in the statement-based binary log. The event
-/// carries the SQL *text* of every write statement in commit order — slaves
-/// re-parse and re-execute it, which is what makes non-deterministic
-/// functions (NOW_MICROS) evaluate per replica.
+/// One committed transaction in the binary log. The event always carries the
+/// SQL *text* of every write statement in commit order — slaves re-parse and
+/// re-execute it, which is what makes non-deterministic functions
+/// (NOW_MICROS) evaluate per replica.
+///
+/// In row-based mode the event additionally carries one StatementWriteset
+/// per statement (`writesets` parallel to `statements`): the row images the
+/// master's execution produced. Slaves apply covered writesets directly
+/// through Table::ApplyRowDelta and fall back to the statement text for
+/// uncovered entries (DDL, function-bearing statements).
 struct BinlogEvent {
   int64_t index = 0;  // position in the log, 0-based and dense
   std::vector<std::string> statements;
+  /// Empty in statement-based mode; otherwise parallel to `statements`.
+  std::vector<StatementWriteset> writesets;
   int64_t commit_micros = 0;  // committing server's local clock at commit
+
+  bool has_writesets() const { return !writesets.empty(); }
 };
 
-/// Append-only, in-memory statement-based binary log.
+/// Serialized wire size of an event in bytes (header + payload). For a
+/// statement-only event this is exactly the 32-byte header plus the
+/// statement text — the size the simulated network has always charged —
+/// so disabling row-based mode reproduces historical traffic byte for byte.
+/// Writeset-bearing events additionally pay for their encoded row images.
+int64_t EventWireSize(const BinlogEvent& event);
+
+/// Binary codec for binlog events (the on-the-wire format of the group
+/// shipping path). Round-trips every Value type including NULL, empty
+/// strings, negative integers, and doubles bit-exactly.
+std::string SerializeBinlogEvent(const BinlogEvent& event);
+Result<BinlogEvent> DeserializeBinlogEvent(std::string_view data);
+
+/// Append-only, in-memory binary log.
 class Binlog {
  public:
   Binlog() = default;
   Binlog(const Binlog&) = delete;
   Binlog& operator=(const Binlog&) = delete;
 
-  /// Appends an event; returns its index.
+  /// Appends a statement-based event; returns its index.
   int64_t Append(std::vector<std::string> statements, int64_t commit_micros);
+
+  /// Appends a row-based event (`writesets` parallel to `statements`).
+  int64_t Append(std::vector<std::string> statements,
+                 std::vector<StatementWriteset> writesets,
+                 int64_t commit_micros);
 
   int64_t size() const { return static_cast<int64_t>(events_.size()); }
   /// Event at `index` in [0, size()).

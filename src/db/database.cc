@@ -17,6 +17,7 @@
 #include "db/vec_agg.h"
 #include "db/vec_chunk.h"
 #include "db/vec_expr.h"
+#include "db/writeset.h"
 
 namespace clouddb::db {
 
@@ -58,6 +59,40 @@ struct Constraint {
   Value value;
 };
 
+bool ExprHasFunctionCall(const Expr& expr) {
+  if (expr.kind == Expr::Kind::kFunctionCall) return true;
+  for (const auto& arg : expr.args) {
+    if (arg != nullptr && ExprHasFunctionCall(*arg)) return true;
+  }
+  if (expr.lhs != nullptr && ExprHasFunctionCall(*expr.lhs)) return true;
+  if (expr.rhs != nullptr && ExprHasFunctionCall(*expr.rhs)) return true;
+  return false;
+}
+
+/// Coverage rule for row-based capture: a statement carrying any function
+/// call is never covered. Functions may be non-deterministic (NOW_MICROS),
+/// and statement-based semantics — which the row-based toggle must reproduce
+/// bit-identically — re-evaluate them per replica; the heartbeat delay
+/// measurement depends on exactly that.
+bool StatementHasFunctionCall(const Statement& stmt) {
+  if (const auto* insert = std::get_if<InsertStatement>(&stmt)) {
+    for (const auto& expr : insert->values) {
+      if (expr != nullptr && ExprHasFunctionCall(*expr)) return true;
+    }
+    return false;
+  }
+  if (const auto* update = std::get_if<UpdateStatement>(&stmt)) {
+    for (const auto& [col, expr] : update->assignments) {
+      if (expr != nullptr && ExprHasFunctionCall(*expr)) return true;
+    }
+    return update->where != nullptr && ExprHasFunctionCall(*update->where);
+  }
+  if (const auto* del = std::get_if<DeleteStatement>(&stmt)) {
+    return del->where != nullptr && ExprHasFunctionCall(*del->where);
+  }
+  return false;
+}
+
 }  // namespace
 
 /// Statement executor bound to one (database, session) pair. Performs access
@@ -69,15 +104,20 @@ class Executor {
   /// compiling the predicate on the fly when there is no cache entry (the
   /// parse-every-time path); cached templates never JIT — compilation
   /// happened, or failed, once at insert time.
+  /// `capture` (nullable) receives the row images of every mutation this
+  /// statement performs — the row-based replication writeset. Null (the
+  /// default) skips capture entirely, so statement-based mode pays nothing.
   Executor(Database* database, Session* session,
            const std::vector<Value>* params = nullptr,
            const VecProgram* compiled_where = nullptr,
-           bool jit_predicates = false)
+           bool jit_predicates = false,
+           std::vector<RowOp>* capture = nullptr)
       : db_(database),
         session_(session),
         params_(params),
         compiled_where_(compiled_where),
-        jit_predicates_(jit_predicates) {}
+        jit_predicates_(jit_predicates),
+        capture_(capture) {}
 
   Result<ExecResult> Run(const Statement& stmt) {
     struct Visitor {
@@ -197,6 +237,12 @@ class Executor {
     CLOUDDB_ASSIGN_OR_RETURN(RowId id, table->Insert(std::move(row)));
     session_->undo().push_back(
         UndoRecord{UndoRecord::Kind::kInsert, TableKey(stmt.table), id, {}});
+    if (capture_ != nullptr) {
+      // The after image is the row as *stored* (post type-coercion), fetched
+      // back so a slave's direct apply reproduces it bit for bit.
+      capture_->push_back(RowOp{RowOp::Kind::kInsert, TableKey(stmt.table),
+                                {}, *table->Get(id)});
+    }
     ExecResult result;
     result.rows_affected = 1;
     return result;
@@ -489,6 +535,10 @@ class Executor {
       }
       Row saved = *old_row;
       CLOUDDB_RETURN_IF_ERROR(table->Update(id, std::move(new_row)));
+      if (capture_ != nullptr) {
+        capture_->push_back(RowOp{RowOp::Kind::kUpdate, TableKey(stmt.table),
+                                  saved, *table->Get(id)});
+      }
       session_->undo().push_back(UndoRecord{UndoRecord::Kind::kUpdate,
                                             TableKey(stmt.table), id,
                                             std::move(saved)});
@@ -505,6 +555,10 @@ class Executor {
     for (RowId id : matches) {
       Row saved = *table->Get(id);
       CLOUDDB_RETURN_IF_ERROR(table->Delete(id));
+      if (capture_ != nullptr) {
+        capture_->push_back(RowOp{RowOp::Kind::kDelete, TableKey(stmt.table),
+                                  saved, {}});
+      }
       session_->undo().push_back(UndoRecord{UndoRecord::Kind::kDelete,
                                             TableKey(stmt.table), id,
                                             std::move(saved)});
@@ -877,6 +931,7 @@ class Executor {
   const std::vector<Value>* params_;  // null unless running a cached template
   const VecProgram* compiled_where_;  // cache-compiled WHERE bytecode or null
   bool jit_predicates_;               // may compile uncached predicates
+  std::vector<RowOp>* capture_;       // row-based writeset sink or null
 };
 
 Database::Database(DatabaseOptions options)
@@ -965,8 +1020,16 @@ Result<ExecResult> Database::ExecuteStatement(
       prepared != nullptr && prepared->has_where_program
           ? &prepared->where_program
           : nullptr;
+  // Row-based capture: only statements that will reach the binlog capture
+  // row images, and only when the coverage rule admits them (no DDL, no
+  // function calls — see StatementHasFunctionCall).
+  bool binlog_active = options_.enable_binlog && !binlog_suppressed_;
+  bool row_capture = options_.row_based_repl && binlog_active && is_write &&
+                     !IsDdl(stmt) && !StatementHasFunctionCall(stmt);
+  std::vector<RowOp> captured_ops;
   Executor executor(this, session, params, compiled_where,
-                    /*jit_predicates=*/prepared == nullptr);
+                    /*jit_predicates=*/prepared == nullptr,
+                    row_capture ? &captured_ops : nullptr);
   Result<ExecResult> result = executor.Run(stmt);
   if (!result.ok()) {
     RollbackSession(session);
@@ -975,7 +1038,13 @@ Result<ExecResult> Database::ExecuteStatement(
   // DDL changed the catalog: cached templates (and the plan hints resolved
   // through them) must not survive it.
   if (IsDdl(stmt)) statement_cache_.Invalidate();
-  if (is_write) session->pending_binlog().push_back(sql_text);
+  if (is_write) {
+    session->pending_binlog().push_back(sql_text);
+    if (options_.row_based_repl && binlog_active) {
+      session->pending_writesets().push_back(
+          StatementWriteset{row_capture, std::move(captured_ops)});
+    }
+  }
   if (!session->in_explicit_transaction()) CommitSession(session);
   return result;
 }
@@ -1032,7 +1101,17 @@ void Database::CommitSession(Session* session) {
       !session->pending_binlog().empty()) {
     int64_t now =
         options_.now_micros ? options_.now_micros() : 0;
-    binlog_.Append(std::move(session->pending_binlog()), now);
+    // A full set of writesets (one per statement) makes this a row-based
+    // event. A partial set — the toggle flipped mid-transaction — is
+    // discarded: the event falls back to statement-only, which is always
+    // correct to apply.
+    if (session->pending_writesets().size() ==
+        session->pending_binlog().size()) {
+      binlog_.Append(std::move(session->pending_binlog()),
+                     std::move(session->pending_writesets()), now);
+    } else {
+      binlog_.Append(std::move(session->pending_binlog()), now);
+    }
   }
   lock_manager_.ReleaseAll(session->id());
   session->ClearTransactionState();

@@ -58,6 +58,13 @@ struct DatabaseOptions {
   /// walking. Either way the results are byte-identical — predicates outside
   /// the compiler's coverage always fall back to the scalar path.
   bool vectorized_exec = true;
+
+  /// Whether committed write statements additionally capture row-based
+  /// writesets into their binlog events (row images for insert/delete/
+  /// update). Off = statement-only events, the historical format. DDL and
+  /// function-bearing statements are never covered regardless of this flag;
+  /// they replicate as statement text (see db/writeset.h).
+  bool row_based_repl = false;
 };
 
 /// Counters for the vectorized engine (benchmark and test introspection).
@@ -141,6 +148,13 @@ class Database {
     options_.vectorized_exec = enabled;
   }
   bool vectorized_exec_enabled() const { return options_.vectorized_exec; }
+
+  /// Toggles row-based writeset capture at runtime (the replication-mode
+  /// ablation flips this on the master; slaves detect the mode per event).
+  void set_row_based_repl_enabled(bool enabled) {
+    options_.row_based_repl = enabled;
+  }
+  bool row_based_repl_enabled() const { return options_.row_based_repl; }
 
   const VecExecStats& vec_stats() const { return vec_stats_; }
   void ResetVecStats() { vec_stats_ = VecExecStats{}; }

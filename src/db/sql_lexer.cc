@@ -2,10 +2,10 @@
 
 #include <cctype>
 #include <cerrno>
+#include <cstdint>
 #include <cstdlib>
-#include <functional>
 #include <string_view>
-#include <unordered_set>
+#include <vector>
 
 #include "common/str_util.h"
 #include "common/result.h"
@@ -16,34 +16,73 @@ namespace clouddb::db {
 
 namespace {
 
-// Heterogeneous hashing so keyword lookups can use a stack-buffer
-// string_view instead of materializing an uppercase std::string per word.
-struct TransparentStringHash {
-  using is_transparent = void;
-  size_t operator()(std::string_view s) const {
-    return std::hash<std::string_view>{}(s);
+// Every SQL keyword is pure letters, so the keyword probe can walk a flat
+// A–Z trie with case folding done on the fly — one pass over the source
+// bytes, no uppercase scratch copy and no hashing. A terminal node holds
+// the canonical uppercase spelling (a string literal), which doubles as the
+// "is a keyword" answer and the token text.
+class KeywordTrie {
+ public:
+  KeywordTrie() {
+    static const char* const kKeywords[] = {
+        "CREATE", "TABLE",  "INDEX",  "ON",     "INSERT", "INTO",   "VALUES",
+        "SELECT", "FROM",   "WHERE",  "ORDER",  "BY",     "ASC",    "DESC",
+        "LIMIT",  "UPDATE", "SET",    "DELETE", "AND",    "NOT",    "NULL",
+        "PRIMARY", "KEY",   "INT",    "BIGINT", "DOUBLE", "TEXT",   "VARCHAR",
+        "TIMESTAMP", "BEGIN", "COMMIT", "ROLLBACK", "COUNT", "TRUNCATE",
+        "IS",     "DROP",   "OR",     "IN",     "BETWEEN",
+        "MIN",    "MAX",    "SUM",    "AVG",
+    };
+    nodes_.emplace_back();  // root
+    for (const char* kw : kKeywords) Insert(kw);
   }
+
+  /// Returns the canonical uppercase spelling when `word` is a keyword
+  /// (matched case-insensitively), nullptr otherwise.
+  const char* Match(const char* word, size_t len) const {
+    if (len > kMaxKeywordLen) return nullptr;
+    int node = 0;
+    for (size_t k = 0; k < len; ++k) {
+      char c = word[k];
+      if (c >= 'a' && c <= 'z') c = static_cast<char>(c - ('a' - 'A'));
+      if (c < 'A' || c > 'Z') return nullptr;  // digits/_ never in keywords
+      node = nodes_[static_cast<size_t>(node)].next[c - 'A'];
+      if (node == 0) return nullptr;
+    }
+    return nodes_[static_cast<size_t>(node)].canonical;
+  }
+
+  /// Longest keyword ("TIMESTAMP"); longer words skip the walk entirely.
+  static constexpr size_t kMaxKeywordLen = 9;
+
+ private:
+  struct Node {
+    // Child index per letter; 0 (the root, never a child) means "none".
+    int16_t next[26] = {};
+    const char* canonical = nullptr;
+  };
+
+  void Insert(const char* kw) {
+    int node = 0;
+    for (const char* p = kw; *p != '\0'; ++p) {
+      int c = *p - 'A';
+      if (nodes_[static_cast<size_t>(node)].next[c] == 0) {
+        nodes_[static_cast<size_t>(node)].next[c] =
+            static_cast<int16_t>(nodes_.size());
+        nodes_.emplace_back();
+      }
+      node = nodes_[static_cast<size_t>(node)].next[c];
+    }
+    nodes_[static_cast<size_t>(node)].canonical = kw;
+  }
+
+  std::vector<Node> nodes_;
 };
 
-using KeywordSet =
-    std::unordered_set<std::string, TransparentStringHash, std::equal_to<>>;
-
-const KeywordSet& Keywords() {
-  static const auto* kKeywords = new KeywordSet{
-      "CREATE", "TABLE",  "INDEX",  "ON",     "INSERT", "INTO",   "VALUES",
-      "SELECT", "FROM",   "WHERE",  "ORDER",  "BY",     "ASC",    "DESC",
-      "LIMIT",  "UPDATE", "SET",    "DELETE", "AND",    "NOT",    "NULL",
-      "PRIMARY", "KEY",   "INT",    "BIGINT", "DOUBLE", "TEXT",   "VARCHAR",
-      "TIMESTAMP", "BEGIN", "COMMIT", "ROLLBACK", "COUNT", "TRUNCATE",
-      "IS",     "DROP",   "OR",     "IN",     "BETWEEN",
-      "MIN",    "MAX",    "SUM",    "AVG",
-  };
-  return *kKeywords;
+const KeywordTrie& Keywords() {
+  static const auto* kTrie = new KeywordTrie();
+  return *kTrie;
 }
-
-// Longest entry in Keywords() ("TIMESTAMP"); longer words cannot be keywords
-// and skip the uppercase probe entirely.
-constexpr size_t kMaxKeywordLen = 9;
 
 bool IsIdentStart(char c) {
   return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
@@ -82,19 +121,10 @@ Result<std::vector<Token>> Tokenize(const std::string& sql) {
       const size_t len = j - i;
       Token t;
       t.offset = start;
-      char upper_buf[kMaxKeywordLen];
-      bool is_keyword = false;
-      if (len <= kMaxKeywordLen) {
-        for (size_t k = 0; k < len; ++k) {
-          upper_buf[k] = static_cast<char>(
-              std::toupper(static_cast<unsigned char>(sql[i + k])));
-        }
-        is_keyword =
-            Keywords().count(std::string_view(upper_buf, len)) > 0;
-      }
-      if (is_keyword) {
+      const char* canonical = Keywords().Match(sql.data() + i, len);
+      if (canonical != nullptr) {
         t.type = TokenType::kKeyword;
-        t.text.assign(upper_buf, len);
+        t.text.assign(canonical, len);
       } else {
         t.type = TokenType::kIdentifier;
         t.text.assign(sql, i, len);
@@ -230,17 +260,9 @@ Result<std::string> FingerprintSql(const std::string& sql,
       size_t j = i;
       while (j < n && IsIdentChar(sql[j])) ++j;
       const size_t len = j - i;
-      char upper_buf[kMaxKeywordLen];
-      bool is_keyword = false;
-      if (len <= kMaxKeywordLen) {
-        for (size_t k = 0; k < len; ++k) {
-          upper_buf[k] = static_cast<char>(
-              std::toupper(static_cast<unsigned char>(sql[i + k])));
-        }
-        is_keyword = Keywords().count(std::string_view(upper_buf, len)) > 0;
-      }
-      if (is_keyword) {
-        fp.append(upper_buf, len);
+      const char* canonical = Keywords().Match(sql.data() + i, len);
+      if (canonical != nullptr) {
+        fp.append(canonical, len);
       } else {
         fp.append(sql, i, len);
       }

@@ -8,6 +8,7 @@
 #include "db/bplus_tree.h"
 #include "db/schema.h"
 #include "db/value.h"
+#include "db/writeset.h"
 
 namespace clouddb::db {
 
@@ -20,17 +21,21 @@ Table::Table(std::string name, Schema schema)
 
 Result<RowId> Table::Insert(Row row) {
   CLOUDDB_RETURN_IF_ERROR(schema_.CoerceRow(&row));
-  if (primary_ != nullptr) {
-    const Value& pk = row[*schema_.primary_key_index()];
-    if (primary_->Contains(pk)) {
+  // The primary tree's Insert already detects duplicates, so there is no
+  // separate Contains() probe — one traversal instead of two. The row id is
+  // only consumed once the insert is known to stick.
+  RowId id = next_row_id_;
+  Status st = IndexInsert(id, row);
+  if (!st.ok()) {
+    if (primary_ != nullptr) {
       return Status::AlreadyExists(
           StrFormat("duplicate primary key %s in table '%s'",
-                    pk.ToSqlLiteral().c_str(), name_.c_str()));
+                    row[*schema_.primary_key_index()].ToSqlLiteral().c_str(),
+                    name_.c_str()));
     }
+    return st;
   }
-  RowId id = next_row_id_++;
-  Status st = IndexInsert(id, row);
-  if (!st.ok()) return st;
+  ++next_row_id_;
   rows_.emplace(id, std::move(row));
   return id;
 }
@@ -54,21 +59,39 @@ Status Table::Update(RowId id, Row new_row) {
                                       static_cast<long long>(id),
                                       name_.c_str()));
   }
+  return UpdateLocated(it, std::move(new_row));
+}
+
+Status Table::UpdateLocated(std::map<RowId, Row>::iterator it, Row new_row) {
+  RowId id = it->first;
   CLOUDDB_RETURN_IF_ERROR(schema_.CoerceRow(&new_row));
+  const Row& old_row = it->second;
+  // Maintain only the indexes whose key column actually changed. The common
+  // replicated UPDATE touches non-indexed columns, where a blanket
+  // erase+reinsert would pay two B+Tree rebalances per index for nothing.
+  bool pk_changed = false;
   if (primary_ != nullptr) {
     size_t pk_col = *schema_.primary_key_index();
-    const Value& old_pk = it->second[pk_col];
+    const Value& old_pk = old_row[pk_col];
     const Value& new_pk = new_row[pk_col];
-    if (old_pk != new_pk && primary_->Contains(new_pk)) {
+    pk_changed = old_pk != new_pk;
+    if (pk_changed && primary_->Contains(new_pk)) {
       return Status::AlreadyExists(
           StrFormat("duplicate primary key %s in table '%s'",
                     new_pk.ToSqlLiteral().c_str(), name_.c_str()));
     }
   }
-  IndexErase(id, it->second);
+  if (pk_changed) {
+    size_t pk_col = *schema_.primary_key_index();
+    primary_->Erase(old_row[pk_col]);
+    primary_->Insert(new_row[pk_col], id);
+  }
+  for (auto& idx : secondary_) {
+    if (old_row[idx.column] == new_row[idx.column]) continue;
+    idx.tree->Erase(SecondaryKey{old_row[idx.column], id});
+    idx.tree->Insert(SecondaryKey{new_row[idx.column], id}, id);
+  }
   it->second = std::move(new_row);
-  Status st = IndexInsert(id, it->second);
-  if (!st.ok()) return st;  // unreachable after the checks above
   return Status::Ok();
 }
 
@@ -89,6 +112,76 @@ Status Table::RestoreRow(RowId id, Row row) {
   rows_.emplace(id, std::move(row));
   if (id >= next_row_id_) next_row_id_ = id + 1;
   return Status::Ok();
+}
+
+Status Table::ApplyRowDelta(const RowOp& op) {
+  switch (op.kind) {
+    case RowOp::Kind::kInsert: {
+      Result<RowId> id = Insert(Row(op.after));
+      return id.ok() ? Status::Ok() : id.status();
+    }
+    case RowOp::Kind::kDelete: {
+      CLOUDDB_ASSIGN_OR_RETURN(auto it, LocateByImage(op.before));
+      IndexErase(it->first, it->second);
+      rows_.erase(it);
+      return Status::Ok();
+    }
+    case RowOp::Kind::kUpdate: {
+      CLOUDDB_ASSIGN_OR_RETURN(auto it, LocateByImage(op.before));
+      return UpdateLocated(it, Row(op.after));
+    }
+  }
+  return Status::Internal("unknown row op kind");
+}
+
+Result<std::map<RowId, Row>::iterator> Table::LocateByImage(const Row& image) {
+  if (image.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        StrFormat("row image has %zu columns, table '%s' has %zu",
+                  image.size(), name_.c_str(), schema_.num_columns()));
+  }
+  auto matches = [&](const Row& row) {
+    for (size_t i = 0; i < image.size(); ++i) {
+      if (row[i] != image[i]) return false;
+    }
+    return true;
+  };
+  if (primary_ != nullptr) {
+    CLOUDDB_ASSIGN_OR_RETURN(
+        RowId id, FindByPrimaryKey(image[*schema_.primary_key_index()]));
+    auto it = rows_.find(id);
+    if (it == rows_.end() || !matches(it->second)) {
+      return Status::NotFound(StrFormat(
+          "before image mismatch for %s in table '%s' (replica diverged)",
+          image[*schema_.primary_key_index()].ToSqlLiteral().c_str(),
+          name_.c_str()));
+    }
+    return it;
+  }
+  // No primary key: first content-equal row in RowId order. Any matching
+  // row is interchangeable for multiset equality, and scanning in RowId
+  // order keeps the choice deterministic.
+  for (auto it = rows_.begin(); it != rows_.end(); ++it) {
+    if (matches(it->second)) return it;
+  }
+  return Status::NotFound(StrFormat(
+      "no row matching before image in table '%s' (replica diverged)",
+      name_.c_str()));
+}
+
+uint64_t Table::ContentsHash() const {
+  // FNV-1a over each row's values, summed (mod 2^64) across rows so the
+  // result is independent of RowId assignment and iteration order.
+  uint64_t total = 0;
+  for (const auto& [id, row] : rows_) {
+    uint64_t h = 1469598103934665603ull;
+    for (const Value& v : row) {
+      h ^= v.Hash();
+      h *= 1099511628211ull;
+    }
+    total += h;
+  }
+  return total ^ (static_cast<uint64_t>(rows_.size()) * 0x9e3779b97f4a7c15ull);
 }
 
 const Row* Table::Get(RowId id) const {

@@ -14,6 +14,7 @@
 #include "db/bplus_tree.h"
 #include "db/schema.h"
 #include "db/value.h"
+#include "db/writeset.h"
 
 namespace clouddb::db {
 
@@ -82,6 +83,21 @@ class Table {
   /// transaction rollback). Fails if the id is live or the primary key
   /// duplicates a live row.
   Status RestoreRow(RowId id, Row row);
+
+  /// Row-based replication's direct-apply path: applies one captured row
+  /// image delta — insert the after image, delete/update the row matching
+  /// the before image — updating the row store, NULL-bearing column values,
+  /// and every index, with no SQL involved. Before images are located by
+  /// primary key when one exists (then verified column-for-column against
+  /// the live row), otherwise by a first-match content scan; a mismatch
+  /// means the replica diverged and fails with NotFound.
+  Status ApplyRowDelta(const RowOp& op);
+
+  /// Order-independent 64-bit checksum of the row multiset (RowIds
+  /// excluded). Two tables with equal contents hash equally regardless of
+  /// insertion order — the cross-replica equivalence check used by the
+  /// row-based vs statement-based ablation tests.
+  uint64_t ContentsHash() const;
 
   /// Row access (nullptr if the id is dead).
   const Row* Get(RowId id) const;
@@ -185,6 +201,13 @@ class Table {
 
   Status IndexInsert(RowId id, const Row& row);
   void IndexErase(RowId id, const Row& row);
+  /// The live row matching `image` (see ApplyRowDelta). Returns the rows_
+  /// iterator so the delta path mutates in place instead of re-finding the
+  /// row it just located.
+  Result<std::map<RowId, Row>::iterator> LocateByImage(const Row& image);
+  /// Index-maintaining in-place update of `it`'s row; shared by Update and
+  /// the row-delta fast path.
+  Status UpdateLocated(std::map<RowId, Row>::iterator it, Row new_row);
 
   std::string name_;
   Schema schema_;

@@ -2,15 +2,16 @@
 #define CLOUDDB_DB_TRANSACTION_H_
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "db/table.h"
 #include "db/value.h"
+#include "db/writeset.h"
 
 namespace clouddb::db {
 
@@ -43,7 +44,9 @@ class LockManager {
     std::set<int64_t> readers;
     std::optional<int64_t> writer;
   };
-  std::map<std::string, TableLock> locks_;
+  // Hashed, not ordered: the lock table is hit once per applied
+  // statement and nothing iterates it in key order.
+  std::unordered_map<std::string, TableLock> locks_;
 };
 
 /// One entry of a transaction's undo log; applied in reverse on rollback.
@@ -78,16 +81,24 @@ class Session {
     explicit_txn_ = false;
     undo_.clear();
     pending_binlog_.clear();
+    pending_writesets_.clear();
   }
 
   std::vector<UndoRecord>& undo() { return undo_; }
   std::vector<std::string>& pending_binlog() { return pending_binlog_; }
+  /// Row-based mode: one StatementWriteset per pending_binlog entry (the
+  /// row images captured while the statement executed). Left empty when
+  /// row-based capture is off.
+  std::vector<StatementWriteset>& pending_writesets() {
+    return pending_writesets_;
+  }
 
  private:
   int64_t id_;
   bool explicit_txn_ = false;
   std::vector<UndoRecord> undo_;
   std::vector<std::string> pending_binlog_;
+  std::vector<StatementWriteset> pending_writesets_;
 };
 
 }  // namespace clouddb::db

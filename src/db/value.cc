@@ -25,20 +25,6 @@ const char* ValueTypeToString(ValueType t) {
   return "?";
 }
 
-ValueType Value::type() const {
-  switch (data_.index()) {
-    case 0:
-      return ValueType::kNull;
-    case 1:
-      return ValueType::kInt64;
-    case 2:
-      return ValueType::kDouble;
-    case 3:
-      return ValueType::kString;
-  }
-  return ValueType::kNull;
-}
-
 Result<double> Value::ToDouble() const {
   switch (type()) {
     case ValueType::kInt64:
@@ -94,7 +80,7 @@ std::string Value::ToString() const {
   return ToSqlLiteral();
 }
 
-int Value::Compare(const Value& a, const Value& b) {
+int Value::CompareSlow(const Value& a, const Value& b) {
   ValueType ta = a.type();
   ValueType tb = b.type();
   auto rank = [](ValueType t) {

@@ -34,7 +34,19 @@ class Value {
 
   static Value Null() { return Value(); }
 
-  ValueType type() const;
+  // Inline: this is the innermost call of every index comparison.
+  ValueType type() const {
+    switch (data_.index()) {
+      case 1:
+        return ValueType::kInt64;
+      case 2:
+        return ValueType::kDouble;
+      case 3:
+        return ValueType::kString;
+      default:
+        return ValueType::kNull;
+    }
+  }
   bool is_null() const { return type() == ValueType::kNull; }
 
   /// Typed accessors; must match `type()`.
@@ -76,13 +88,27 @@ class Value {
     return Compare(a, b) != 0;
   }
 
-  /// -1 / 0 / +1 three-way comparison.
-  static int Compare(const Value& a, const Value& b);
+  /// -1 / 0 / +1 three-way comparison. Inline for the same reason as
+  /// type(): B+Tree node searches binary-search through Value keys, so this
+  /// runs a dozen times per index lookup.
+  static int Compare(const Value& a, const Value& b) {
+    ValueType ta = a.type();
+    ValueType tb = b.type();
+    if (ta == ValueType::kInt64 && tb == ValueType::kInt64) {
+      int64_t x = a.AsInt64();
+      int64_t y = b.AsInt64();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    return CompareSlow(a, b);
+  }
 
   /// Stable 64-bit hash (for hash joins / duplicate detection in tests).
   uint64_t Hash() const;
 
  private:
+  /// Mixed-type and non-integer orderings (see class comment).
+  static int CompareSlow(const Value& a, const Value& b);
+
   std::variant<std::monostate, int64_t, double, std::string> data_;
 };
 

@@ -65,6 +65,8 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   repl::ReplicationCluster cluster(&provider, cluster_config);
   cluster.SetStatementCacheEnabled(config.statement_cache);
   cluster.SetVectorizedExecEnabled(config.vectorized_exec);
+  cluster.SetRowBasedReplication(config.row_based_repl);
+  cluster.SetBinlogBatchSize(config.binlog_batch_size);
 
   // L1: the benchmark driver instance — a large instance in the master's
   // zone ("the benchmark is deployed in a large instance to avoid any

@@ -58,6 +58,14 @@ struct ExperimentConfig {
   /// statement cache: off reverts to row-at-a-time tree walking and results
   /// must be bit-identical either way.
   bool vectorized_exec = true;
+  /// Row-based writeset replication: the master ships row images next to
+  /// statement events and slaves apply covered statements without the
+  /// parser. Same ablation contract: replica state is bit-identical either
+  /// way (DDL and function-bearing statements always fall back).
+  bool row_based_repl = false;
+  /// Binlog group-shipping batch size; <= 1 keeps the legacy
+  /// one-message-per-event push (byte-identical to the seed figures).
+  int binlog_batch_size = 1;
   client::BalancePolicy policy = client::BalancePolicy::kRoundRobin;
   double apply_factor = 0.5;
   uint64_t seed = 42;

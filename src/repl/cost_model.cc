@@ -3,6 +3,7 @@
 #include "common/str_util.h"
 #include "common/time_types.h"
 #include "db/sql_ast.h"
+#include "db/writeset.h"
 
 namespace clouddb::repl {
 
@@ -35,6 +36,12 @@ SimDuration CostModel::EstimateStatement(const db::Statement& stmt) const {
   if (std::holds_alternative<db::DeleteStatement>(stmt)) return delete_cost;
   if (db::IsTransactionControl(stmt)) return txn_control_cost;
   return ddl_cost;
+}
+
+SimDuration CostModel::EstimateWritesetApply(
+    const db::StatementWriteset& ws) const {
+  return writeset_apply_cost +
+         writeset_row_cost * static_cast<SimDuration>(ws.ops.size());
 }
 
 SimDuration CostModel::EstimateApply(const db::Statement& stmt) const {

@@ -6,6 +6,7 @@
 
 #include "common/time_types.h"
 #include "db/sql_ast.h"
+#include "db/writeset.h"
 
 namespace clouddb::repl {
 
@@ -28,13 +29,24 @@ struct CostModel {
   double apply_factor = 0.5;
 
   /// Per-table overrides for apply cost (e.g. the tiny heartbeat table).
+  /// Applies to statement apply only — covered writesets bypass it (they
+  /// never target the function-bearing tables the overrides exist for).
   std::map<std::string, SimDuration> apply_cost_by_table;
+
+  /// Direct row-image apply (row-based mode): locate + mutate + index
+  /// maintenance only — no lexing, parsing, planning, or expression
+  /// evaluation. Charged per covered statement plus a per-row term.
+  SimDuration writeset_apply_cost = Millis(2);
+  SimDuration writeset_row_cost = Micros(100);
 
   /// Default execution cost by statement kind.
   SimDuration EstimateStatement(const db::Statement& stmt) const;
 
   /// Cost of applying a replicated statement on a slave.
   SimDuration EstimateApply(const db::Statement& stmt) const;
+
+  /// Cost of directly applying one covered writeset statement on a slave.
+  SimDuration EstimateWritesetApply(const db::StatementWriteset& ws) const;
 };
 
 }  // namespace clouddb::repl

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
+#include <utility>
 
 #include "repl/slave_node.h"
 #include "cloud/instance.h"
@@ -14,24 +16,13 @@
 
 namespace clouddb::repl {
 
-namespace {
-
-int64_t EventWireSize(const db::BinlogEvent& event) {
-  int64_t size = 32;  // header
-  for (const auto& s : event.statements) {
-    size += static_cast<int64_t>(s.size());
-  }
-  return size;
-}
-
-}  // namespace
-
 MasterNode::MasterNode(sim::Simulation* sim, net::Network* network,
                        cloud::Instance* instance, CostModel cost_model)
     : DbNode(sim, network, instance, std::move(cost_model),
              /*enable_binlog=*/true) {
   database_->binlog().SetAppendListener(
       [this](const db::BinlogEvent& event) { OnBinlogAppend(event); });
+  flush_timer_.Bind(sim_, [this] { FlushBatch(); });
   RegisterMasterMetrics();
 }
 
@@ -42,6 +33,7 @@ MasterNode::MasterNode(sim::Simulation* sim, net::Network* network,
              std::move(adopted), /*enable_binlog=*/true) {
   database_->binlog().SetAppendListener(
       [this](const db::BinlogEvent& event) { OnBinlogAppend(event); });
+  flush_timer_.Bind(sim_, [this] { FlushBatch(); });
   RegisterMasterMetrics();
 }
 
@@ -60,17 +52,29 @@ void MasterNode::RegisterMasterMetrics() {
   metrics_.AddProbe("repl.master.sync_waiters", [this] {
     return static_cast<double>(sync_waiters_.size());
   });
+  batches_counter_ = metrics_.AddCounter("repl.binlog.batches");
+  events_per_batch_ = metrics_.AddEwma("repl.binlog.events_per_batch");
+}
+
+void MasterNode::SetShipOptions(const ShipOptions& options) {
+  FlushBatch();
+  ship_ = options;
 }
 
 void MasterNode::AttachSlave(SlaveNode* slave) {
   slaves_.push_back(slave);
   slave->SetMaster(this);
+  // A freshly attached slave only receives events from here on; starting
+  // its cumulative ack position at the current binlog tail keeps it from
+  // ever releasing waiters for events it never saw.
+  acked_through_.insert_or_assign(slave->node_id(), binlog_size() - 1);
 }
 
 void MasterNode::DetachSlave(SlaveNode* slave) {
   auto it = std::find(slaves_.begin(), slaves_.end(), slave);
   if (it == slaves_.end()) return;
   slaves_.erase(it);
+  acked_through_.erase(slave->node_id());
   // Release any synchronous waiter that was still counting on this slave;
   // otherwise a scale-in during a sync write would strand the client.
   for (auto w = sync_waiters_.begin(); w != sync_waiters_.end();) {
@@ -101,17 +105,28 @@ void MasterNode::ExecuteAndRespond(const std::string& sql,
                                      std::move(done), std::move(result)});
 }
 
-void MasterNode::OnSlaveAck(net::NodeId /*slave_node*/, int64_t index) {
-  for (auto it = sync_waiters_.begin(); it != sync_waiters_.end(); ++it) {
-    if (it->index == index) {
-      if (--it->remaining == 0) {
-        QueryCallback done = std::move(it->done);
-        Result<db::ExecResult> result = std::move(it->result);
-        sync_waiters_.erase(it);
-        done(std::move(result));
-      }
-      return;
+void MasterNode::OnSlaveAck(net::NodeId slave_node, int64_t index) {
+  // Cumulative group-commit acknowledgment: a slave acking `index` has
+  // applied *every* event up to and including it, so one batch-end ack
+  // releases each waiter in (previously acked, index]. Per-event acks
+  // degenerate to the old exact-index behavior (prev is always index - 1).
+  auto [it, inserted] = acked_through_.try_emplace(slave_node, int64_t{-1});
+  int64_t prev = it->second;
+  if (index <= prev) return;  // stale or duplicate ack
+  it->second = index;
+  std::vector<SyncWaiter> released;
+  for (auto w = sync_waiters_.begin(); w != sync_waiters_.end();) {
+    if (w->index > prev && w->index <= index && --w->remaining == 0) {
+      released.push_back(std::move(*w));
+      w = sync_waiters_.erase(w);
+    } else {
+      ++w;
     }
+  }
+  // Run callbacks after the scan: a released client may immediately issue
+  // another synchronous write, which pushes onto sync_waiters_.
+  for (SyncWaiter& w : released) {
+    w.done(std::move(w.result));
   }
 }
 
@@ -122,21 +137,81 @@ void MasterNode::OnDumpRequest(SlaveNode* slave, int64_t from_index) {
   int64_t size = binlog_size();
   network_->Send(node_id(), slave->node_id(), /*size_bytes=*/32,
                  [slave, size] { slave->OnResyncAck(size); });
-  for (int64_t i = from_index; i < size; ++i) {
-    PushEventTo(slave, database_->binlog().At(i));
+  if (ship_.batch_size <= 1) {
+    for (int64_t i = from_index; i < size; ++i) {
+      PushEventTo(slave, database_->binlog().At(i));
+    }
+    return;
+  }
+  // Batched catch-up: re-stream the missing range in batch-size chunks so
+  // a resync enjoys the same per-message amortization as the live stream.
+  for (int64_t i = from_index; i < size; i += ship_.batch_size) {
+    int64_t end = std::min(size, i + ship_.batch_size);
+    auto batch = std::make_shared<std::vector<db::BinlogEvent>>();
+    batch->reserve(static_cast<size_t>(end - i));
+    for (int64_t j = i; j < end; ++j) {
+      batch->push_back(database_->binlog().At(j));
+    }
+    ShipBatchTo(slave, batch);
   }
 }
 
 void MasterNode::OnBinlogAppend(const db::BinlogEvent& event) {
-  for (SlaveNode* slave : slaves_) {
-    PushEventTo(slave, event);
+  if (ship_.batch_size <= 1) {
+    // Legacy per-event push: one message per (slave, event), immediately.
+    for (SlaveNode* slave : slaves_) {
+      PushEventTo(slave, event);
+    }
+    return;
   }
+  pending_batch_.push_back(event);
+  if (static_cast<int>(pending_batch_.size()) >= ship_.batch_size) {
+    FlushBatch();
+  } else if (pending_batch_.size() == 1) {
+    flush_timer_.ArmAfter(ship_.flush_interval);
+  }
+}
+
+void MasterNode::FlushBatch() {
+  flush_timer_.Cancel();
+  if (pending_batch_.empty()) return;
+  if (!online() || database_ == nullptr) {
+    // A crashed master's buffered batch dies with it; the events are still
+    // in the binlog, so slaves recover the range via gap-triggered resync.
+    pending_batch_.clear();
+    return;
+  }
+  auto batch = std::make_shared<const std::vector<db::BinlogEvent>>(
+      std::move(pending_batch_));
+  pending_batch_.clear();
+  for (SlaveNode* slave : slaves_) {
+    ShipBatchTo(slave, batch);
+  }
+}
+
+void MasterNode::ShipBatchTo(
+    SlaveNode* slave,
+    const std::shared_ptr<const std::vector<db::BinlogEvent>>& batch) {
+  ++batches_shipped_;
+  ++messages_sent_;
+  events_pushed_ += static_cast<int64_t>(batch->size());
+  batches_counter_->Increment();
+  events_per_batch_->Observe(static_cast<double>(batch->size()));
+  int64_t size = 16;  // group-message header
+  for (const db::BinlogEvent& event : *batch) {
+    size += db::EventWireSize(event);
+  }
+  // The batch is shared across slaves; delivery hands each its own copy of
+  // the events via the IO-thread batch entry point.
+  network_->Send(node_id(), slave->node_id(), size,
+                 [slave, batch] { slave->OnBinlogBatch(*batch); });
 }
 
 void MasterNode::PushEventTo(SlaveNode* slave, const db::BinlogEvent& event) {
   ++events_pushed_;
+  ++messages_sent_;
   // Copy the event into the message; delivery invokes the slave's IO thread.
-  network_->Send(node_id(), slave->node_id(), EventWireSize(event),
+  network_->Send(node_id(), slave->node_id(), db::EventWireSize(event),
                  [slave, event] { slave->OnBinlogEvent(event); });
 }
 

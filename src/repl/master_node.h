@@ -2,13 +2,17 @@
 #define CLOUDDB_REPL_MASTER_NODE_H_
 
 #include <deque>
+#include <map>
+#include <memory>
 #include <vector>
 
 #include "repl/db_node.h"
 #include "cloud/instance.h"
 #include "common/result.h"
+#include "common/time_types.h"
 #include "db/binlog.h"
 #include "db/database.h"
+#include "metrics/metric_registry.h"
 #include "net/network.h"
 #include "repl/cost_model.h"
 #include "sim/simulation.h"
@@ -16,6 +20,18 @@
 namespace clouddb::repl {
 
 class SlaveNode;
+
+/// Binlog shipping policy. With `batch_size <= 1` every appended event is
+/// pushed to every slave as its own network message (the legacy path —
+/// byte-identical wire charging and event ordering). With a larger batch
+/// size the master accumulates events and ships one *group message* per
+/// (slave, batch), flushing when the batch fills or `flush_interval`
+/// elapses since the first buffered event — MySQL's group-committed binlog
+/// dump, and the knob behind the `binlog_batch_size` ablation.
+struct ShipOptions {
+  int batch_size = 1;
+  SimDuration flush_interval = Millis(5);
+};
 
 /// The replication master. All writes execute here; every committed
 /// transaction is appended to the binlog and pushed (a "binlog dump thread"
@@ -51,6 +67,11 @@ class MasterNode : public DbNode {
   void SetSynchronousReplication(bool sync) { synchronous_ = sync; }
   bool synchronous() const { return synchronous_; }
 
+  /// Changes the shipping policy. Any events buffered under the old policy
+  /// are flushed first so nothing is stranded across the switch.
+  void SetShipOptions(const ShipOptions& options);
+  const ShipOptions& ship_options() const { return ship_; }
+
   const std::vector<SlaveNode*>& slaves() const { return slaves_; }
   int64_t binlog_size() const { return database_->binlog().size(); }
 
@@ -67,6 +88,11 @@ class MasterNode : public DbNode {
 
   int64_t events_pushed() const { return events_pushed_; }
   int64_t dump_requests_served() const { return dump_requests_served_; }
+  /// Network messages carrying binlog events (per-event sends plus group
+  /// messages). The shipping-cost figure the batching ablation reduces.
+  int64_t messages_sent() const { return messages_sent_; }
+  /// Group messages shipped (0 unless batching is enabled).
+  int64_t batches_shipped() const { return batches_shipped_; }
 
  protected:
   // DbNode:
@@ -84,12 +110,27 @@ class MasterNode : public DbNode {
 
   void OnBinlogAppend(const db::BinlogEvent& event);
   void PushEventTo(SlaveNode* slave, const db::BinlogEvent& event);
+  /// Ships the pending batch — one group message per slave — and rearms.
+  void FlushBatch();
+  void ShipBatchTo(SlaveNode* slave,
+                   const std::shared_ptr<const std::vector<db::BinlogEvent>>&
+                       batch);
 
   std::vector<SlaveNode*> slaves_;
   bool synchronous_ = false;
   std::deque<SyncWaiter> sync_waiters_;
+  /// Highest binlog index each slave has cumulatively acknowledged. One
+  /// batch-end ack covers every event in (previous, acked] — group commit.
+  std::map<net::NodeId, int64_t> acked_through_;
+  ShipOptions ship_;
+  std::vector<db::BinlogEvent> pending_batch_;
+  sim::Timer flush_timer_;
   int64_t events_pushed_ = 0;
   int64_t dump_requests_served_ = 0;
+  int64_t messages_sent_ = 0;
+  int64_t batches_shipped_ = 0;
+  metrics::Counter* batches_counter_ = nullptr;   // owned by metrics_
+  metrics::Ewma* events_per_batch_ = nullptr;     // owned by metrics_
 };
 
 }  // namespace clouddb::repl

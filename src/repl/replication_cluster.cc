@@ -182,6 +182,18 @@ void ReplicationCluster::SetVectorizedExecEnabled(bool enabled) {
   }
 }
 
+void ReplicationCluster::SetRowBasedReplication(bool enabled) {
+  // Capture happens only on the master (slaves never binlog); slaves detect
+  // writeset events per event, so there is no slave-side switch to flip.
+  master_->database().set_row_based_repl_enabled(enabled);
+}
+
+void ReplicationCluster::SetBinlogBatchSize(int batch_size) {
+  ShipOptions options = master_->ship_options();
+  options.batch_size = batch_size;
+  master_->SetShipOptions(options);
+}
+
 bool ReplicationCluster::FullyReplicated() const {
   int64_t size = master_->database().binlog().size();
   for (size_t i = 0; i < slaves_.size(); ++i) {

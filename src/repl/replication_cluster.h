@@ -74,6 +74,17 @@ class ReplicationCluster {
   /// (same ablation contract: results must be bit-identical either way).
   void SetVectorizedExecEnabled(bool enabled);
 
+  /// Toggles row-based replication: the master captures row images next to
+  /// each statement event, and slaves apply covered statements via the
+  /// parser-free row-delta path. Same ablation contract: replica *state*
+  /// must be bit-identical either way (DDL and function-bearing statements
+  /// always fall back to statement apply).
+  void SetRowBasedReplication(bool enabled);
+
+  /// Sets the binlog group-shipping batch size on the master (<= 1 restores
+  /// the legacy one-message-per-event push, byte-identical to the seed).
+  void SetBinlogBatchSize(int batch_size);
+
   /// True when every slave has applied the whole master binlog.
   bool FullyReplicated() const;
 

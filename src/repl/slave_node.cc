@@ -15,6 +15,7 @@
 #include "db/database.h"
 #include "db/sql_ast.h"
 #include "db/statement_cache.h"
+#include "db/writeset_apply.h"
 #include "net/network.h"
 #include "repl/cost_model.h"
 #include "sim/simulation.h"
@@ -42,6 +43,25 @@ SlaveNode::SlaveNode(sim::Simulation* sim, net::Network* network,
   // observes it (local apply time minus the master's commit stamp, so it
   // includes the clock offset — the paper's uncorrected measurement).
   apply_delay_ms_ = metrics_.AddEwma("repl.slave.apply_delay_ms");
+  metrics_.AddProbe("repl.apply.writeset", [this] {
+    return static_cast<double>(writeset_applies_);
+  });
+  metrics_.AddProbe("repl.apply.fallback", [this] {
+    return static_cast<double>(fallback_applies_);
+  });
+}
+
+void SlaveNode::OnBinlogBatch(const std::vector<db::BinlogEvent>& events) {
+  if (broken_ || !online()) return;
+  int64_t before = next_expected_;
+  for (const db::BinlogEvent& event : events) {
+    OnBinlogEvent(event);
+  }
+  // Register the batch boundary only if the batch advanced the stream (a
+  // pure-duplicate batch from an overlapping resync has nothing to ack).
+  if (next_expected_ > before) {
+    batch_ack_marks_.push_back(next_expected_ - 1);
+  }
 }
 
 void SlaveNode::OnBinlogEvent(db::BinlogEvent event) {
@@ -72,8 +92,10 @@ void SlaveNode::MaybeStartApply() {
 
   // Parse each statement once: the same prepared call (or, for uncacheable
   // shapes like replicated DDL, the same AST) feeds both the cost model and
-  // the apply below.
+  // the apply below. Covered writesets skip the lexer/parser entirely —
+  // both here (cost) and in the apply (row images straight into the table).
   struct PreparedApply {
+    bool direct = false;  // covered writeset: apply row images, no parsing
     std::optional<db::PreparedCall> call;
     std::optional<db::Statement> ast;
   };
@@ -83,6 +105,11 @@ void SlaveNode::MaybeStartApply() {
       std::make_shared<std::vector<PreparedApply>>(event.statements.size());
   SimDuration cost = 0;
   for (size_t i = 0; i < event.statements.size(); ++i) {
+    if (event.has_writesets() && event.writesets[i].covered) {
+      cost += cost_model_.EstimateWritesetApply(event.writesets[i]);
+      (*prepared)[i].direct = true;
+      continue;
+    }
     const std::string& sql = event.statements[i];
     if (database_ != nullptr && database_->statement_cache_enabled()) {
       auto call = database_->Prepare(sql);
@@ -109,6 +136,19 @@ void SlaveNode::MaybeStartApply() {
     for (size_t i = 0; i < event.statements.size(); ++i) {
       const std::string& sql = event.statements[i];
       PreparedApply& prep = (*prepared)[i];
+      if (prep.direct) {
+        auto session = database_->CreateSession();
+        Result<int64_t> rows = db::ApplyStatementWriteset(
+            database_.get(), session.get(), event.writesets[i]);
+        if (!rows.ok()) {
+          broken_ = true;
+          applying_ = false;
+          return;
+        }
+        ++writeset_applies_;
+        continue;
+      }
+      if (event.has_writesets()) ++fallback_applies_;
       Result<db::ExecResult> result =
           prep.call.has_value()
               ? ExecutePreparedNow(*prep.call, sql)
@@ -128,7 +168,17 @@ void SlaveNode::MaybeStartApply() {
         static_cast<double>(instance_->LocalNowMicros() -
                             event.commit_micros) /
         1000.0);
-    if (master_ != nullptr && master_->synchronous()) {
+    // Group-commit ack: inside a batch, hold the ack until the batch-end
+    // event applies, then send one cumulative ack for the whole range.
+    bool ack_due = true;
+    if (!batch_ack_marks_.empty()) {
+      if (applied_index_ >= batch_ack_marks_.front()) {
+        batch_ack_marks_.pop_front();
+      } else {
+        ack_due = false;
+      }
+    }
+    if (ack_due && master_ != nullptr && master_->synchronous()) {
       int64_t index = event.index;
       MasterNode* master = master_;
       network_->Send(node_id(), master->node_id(), /*size_bytes=*/48,
@@ -212,6 +262,7 @@ void SlaveNode::OnPowerEvent(bool up) {
     // Halt() already invalidated the in-flight apply job (and the epoch
     // bump covers a plain set_online-style outage without a CPU halt).
     relay_log_.clear();
+    batch_ack_marks_.clear();
     applying_ = false;
     ++apply_epoch_;
     awaiting_ack_ = false;
@@ -227,6 +278,7 @@ void SlaveNode::OnPowerEvent(bool up) {
 
 void SlaveNode::ReattachToNewTimeline(MasterNode* new_master) {
   relay_log_.clear();
+  batch_ack_marks_.clear();
   applied_index_ = -1;
   next_expected_ = 0;
   broken_ = false;

@@ -74,6 +74,12 @@ class SlaveNode : public DbNode {
   /// immediate catch-up request.
   void OnBinlogEvent(db::BinlogEvent event);
 
+  /// IO thread entry for a group message (see ShipOptions): unpacks the
+  /// batch into the relay log in order and records the batch boundary so
+  /// synchronous mode sends ONE cumulative ack per batch (group commit)
+  /// instead of one per event.
+  void OnBinlogBatch(const std::vector<db::BinlogEvent>& events);
+
   /// Marks the slave as pre-loaded with the master's data through binlog
   /// index `applied_index` (snapshot restore before a mid-run attachment):
   /// the IO thread expects the next event after the snapshot point instead
@@ -86,6 +92,11 @@ class SlaveNode : public DbNode {
   /// Index of the last fully applied event (-1 if none).
   int64_t applied_index() const { return applied_index_; }
   int64_t events_applied() const { return events_applied_; }
+  /// Statements applied via the row-image fast path (no parser) vs. those
+  /// that fell back to statement re-execution while row-based events were
+  /// in the stream (DDL, function-bearing shapes).
+  int64_t writeset_applies() const { return writeset_applies_; }
+  int64_t fallback_applies() const { return fallback_applies_; }
   /// Relay-log events received but not yet applied.
   size_t relay_backlog() const { return relay_log_.size() + (applying_ ? 1 : 0); }
   /// True if an apply error stopped replication (MySQL stops the SQL thread).
@@ -147,10 +158,16 @@ class SlaveNode : public DbNode {
 
   MasterNode* master_ = nullptr;
   std::deque<db::BinlogEvent> relay_log_;
+  /// Batch-end indexes still awaiting their cumulative ack, in order. While
+  /// the front mark is ahead of applied_index_, per-event acks are
+  /// suppressed; reaching the mark sends one ack covering the whole batch.
+  std::deque<int64_t> batch_ack_marks_;
   bool applying_ = false;
   bool broken_ = false;
   int64_t applied_index_ = -1;
   int64_t events_applied_ = 0;
+  int64_t writeset_applies_ = 0;
+  int64_t fallback_applies_ = 0;
   int64_t next_expected_ = 0;
   /// Bumped when the SQL thread's world is rebased (timeline reattach,
   /// power loss); an in-flight apply job from an older epoch must not touch

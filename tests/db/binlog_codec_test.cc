@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "db/binlog.h"
+#include "db/value.h"
+#include "db/writeset.h"
+
+namespace clouddb::db {
+namespace {
+
+// --- Randomized event generation --------------------------------------------
+
+Value RandomValue(Rng* rng) {
+  switch (rng->UniformInt(0, 4)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      // Full signed range, so negative ints round-trip.
+      return Value(rng->UniformInt(-1'000'000'000, 1'000'000'000));
+    case 2:
+      return Value(rng->Uniform(-1e9, 1e9));
+    case 3:
+      return Value(std::string());  // empty strings must survive
+    default: {
+      std::string s;
+      int64_t len = rng->UniformInt(1, 24);
+      for (int64_t i = 0; i < len; ++i) {
+        // Include the quote character — codec framing must not care.
+        s.push_back(static_cast<char>(rng->UniformInt(32, 126)));
+      }
+      return Value(std::move(s));
+    }
+  }
+}
+
+Row RandomRow(Rng* rng) {
+  Row row;
+  int64_t cols = rng->UniformInt(0, 5);
+  for (int64_t i = 0; i < cols; ++i) row.push_back(RandomValue(rng));
+  return row;
+}
+
+RowOp RandomRowOp(Rng* rng) {
+  RowOp op;
+  switch (rng->UniformInt(0, 2)) {
+    case 0:
+      op.kind = RowOp::Kind::kInsert;
+      op.after = RandomRow(rng);
+      break;
+    case 1:
+      op.kind = RowOp::Kind::kDelete;
+      op.before = RandomRow(rng);
+      break;
+    default:
+      op.kind = RowOp::Kind::kUpdate;
+      op.before = RandomRow(rng);
+      op.after = RandomRow(rng);
+      break;
+  }
+  op.table = "t" + std::to_string(rng->UniformInt(0, 9));
+  return op;
+}
+
+BinlogEvent RandomEvent(Rng* rng, bool with_writesets) {
+  BinlogEvent event;
+  event.index = rng->UniformInt(0, 1'000'000);
+  event.commit_micros = rng->UniformInt(-5'000'000, 5'000'000'000);
+  int64_t statements = rng->UniformInt(1, 4);
+  for (int64_t i = 0; i < statements; ++i) {
+    std::string sql = "INSERT INTO t VALUES (" +
+                      std::to_string(rng->UniformInt(-100, 100)) + ")";
+    event.statements.push_back(std::move(sql));
+    if (with_writesets) {
+      StatementWriteset ws;
+      ws.covered = rng->Bernoulli(0.8);
+      if (ws.covered) {
+        int64_t ops = rng->UniformInt(0, 3);
+        for (int64_t j = 0; j < ops; ++j) {
+          ws.ops.push_back(RandomRowOp(rng));
+        }
+      }
+      event.writesets.push_back(std::move(ws));
+    }
+  }
+  return event;
+}
+
+bool ValuesEqual(const Value& a, const Value& b) {
+  if (a.type() != b.type()) return false;
+  switch (a.type()) {
+    case ValueType::kNull:
+      return true;
+    case ValueType::kInt64:
+      return a.AsInt64() == b.AsInt64();
+    case ValueType::kDouble:
+      return a.AsDouble() == b.AsDouble();  // codec is bit-exact, == is fair
+    case ValueType::kString:
+      return a.AsString() == b.AsString();
+  }
+  return false;
+}
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!ValuesEqual(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+void ExpectRoundTrip(const BinlogEvent& event) {
+  std::string wire = SerializeBinlogEvent(event);
+  auto decoded = DeserializeBinlogEvent(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->index, event.index);
+  EXPECT_EQ(decoded->commit_micros, event.commit_micros);
+  EXPECT_EQ(decoded->statements, event.statements);
+  ASSERT_EQ(decoded->writesets.size(), event.writesets.size());
+  for (size_t i = 0; i < event.writesets.size(); ++i) {
+    const StatementWriteset& in = event.writesets[i];
+    const StatementWriteset& out = decoded->writesets[i];
+    EXPECT_EQ(out.covered, in.covered);
+    ASSERT_EQ(out.ops.size(), in.ops.size());
+    for (size_t j = 0; j < in.ops.size(); ++j) {
+      EXPECT_EQ(out.ops[j].kind, in.ops[j].kind);
+      EXPECT_EQ(out.ops[j].table, in.ops[j].table);
+      EXPECT_TRUE(RowsEqual(out.ops[j].before, in.ops[j].before));
+      EXPECT_TRUE(RowsEqual(out.ops[j].after, in.ops[j].after));
+    }
+  }
+}
+
+// --- Property tests ---------------------------------------------------------
+
+TEST(BinlogCodecTest, StatementOnlyEventsRoundTrip) {
+  Rng rng(20260809);
+  for (int trial = 0; trial < 200; ++trial) {
+    BinlogEvent event = RandomEvent(&rng, /*with_writesets=*/false);
+    ExpectRoundTrip(event);
+  }
+}
+
+TEST(BinlogCodecTest, WritesetEventsRoundTrip) {
+  Rng rng(424242);
+  for (int trial = 0; trial < 200; ++trial) {
+    BinlogEvent event = RandomEvent(&rng, /*with_writesets=*/true);
+    ExpectRoundTrip(event);
+  }
+}
+
+TEST(BinlogCodecTest, EdgeValuesRoundTrip) {
+  BinlogEvent event;
+  event.index = 0;
+  event.commit_micros = -1;
+  event.statements = {"", "UPDATE t SET a = 1"};
+  StatementWriteset empty_uncovered;  // DDL-style fallback marker
+  StatementWriteset ws;
+  ws.covered = true;
+  RowOp op;
+  op.kind = RowOp::Kind::kUpdate;
+  op.table = "attendees";
+  op.before = {Value::Null(), Value(int64_t{-9'223'372'036'854'775'807LL}),
+               Value(std::string())};
+  op.after = {Value(0.0), Value(std::string("it's quoted")),
+              Value(int64_t{0})};
+  ws.ops.push_back(std::move(op));
+  event.writesets = {std::move(empty_uncovered), std::move(ws)};
+  ExpectRoundTrip(event);
+}
+
+TEST(BinlogCodecTest, WireSizeMatchesLegacyChargeForStatementEvents) {
+  // Statement-only events must charge exactly the legacy 32-byte header
+  // plus statement bytes — the toggle-off wire figures depend on it.
+  BinlogEvent event;
+  event.index = 7;
+  event.commit_micros = 123;
+  event.statements = {"INSERT INTO t VALUES (1)", "COMMIT"};
+  int64_t expected = 32;
+  for (const std::string& s : event.statements) {
+    expected += static_cast<int64_t>(s.size());
+  }
+  EXPECT_EQ(EventWireSize(event), expected);
+}
+
+TEST(BinlogCodecTest, TruncationAndTrailingBytesAreRejected) {
+  Rng rng(7);
+  BinlogEvent event = RandomEvent(&rng, /*with_writesets=*/true);
+  std::string wire = SerializeBinlogEvent(event);
+  // Every strict prefix must fail loudly, never crash or mis-decode.
+  for (size_t len = 0; len < wire.size(); ++len) {
+    auto decoded = DeserializeBinlogEvent(std::string_view(wire).substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+  }
+  auto trailing = DeserializeBinlogEvent(wire + "x");
+  EXPECT_FALSE(trailing.ok());
+}
+
+TEST(BinlogCodecTest, UnknownTagsAreRejected) {
+  BinlogEvent event;
+  event.index = 1;
+  event.commit_micros = 2;
+  event.statements = {"DELETE FROM t"};
+  StatementWriteset ws;
+  ws.covered = true;
+  RowOp op;
+  op.kind = RowOp::Kind::kDelete;
+  op.table = "t";
+  op.before = {Value(int64_t{5})};
+  ws.ops.push_back(std::move(op));
+  event.writesets.push_back(std::move(ws));
+  std::string wire = SerializeBinlogEvent(event);
+  // Layout: header (8+8+4+1) + length-prefixed statement (4+len) +
+  // covered (1) + op count (4) + kind byte.
+  size_t kind_at =
+      8 + 8 + 4 + 1 + 4 + event.statements[0].size() + 1 + 4;
+  ASSERT_LT(kind_at, wire.size());
+  ASSERT_EQ(wire[kind_at], '\1');  // kDelete
+  std::string bad = wire;
+  bad[kind_at] = '\x7f';
+  EXPECT_FALSE(DeserializeBinlogEvent(bad).ok());
+}
+
+}  // namespace
+}  // namespace clouddb::db

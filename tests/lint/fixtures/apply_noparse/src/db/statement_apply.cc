@@ -1,0 +1,3 @@
+#include "db/sql_parser.h"
+
+int ApplyStatementText(int n) { return n; }

@@ -1,0 +1,5 @@
+#include "db/sql_parser.h"
+#include "db/sql_lexer.h"
+#include "db/table.h"
+
+int ApplyRowImages(int n) { return n; }

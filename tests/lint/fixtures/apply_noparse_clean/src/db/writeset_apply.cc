@@ -1,0 +1,4 @@
+#include "db/table.h"
+#include "db/writeset.h"
+
+int ApplyRowImages(int n) { return n; }

@@ -375,6 +375,26 @@ TEST(VecAllocRule, StringViewKernelsAreClean) {
   EXPECT_EQ(r.files_scanned, 1);
 }
 
+TEST(ApplyNoparseRule, FlagsParserIncludesOnlyInWritesetApplyFiles) {
+  // src/db/writeset_apply.cc pulls in both front-end headers (lines 1-2);
+  // src/db/statement_apply.cc includes sql_parser.h too but sits outside
+  // the writeset-apply scope, so it must stay silent.
+  LintResult r = RunOn("apply_noparse");
+  EXPECT_EQ(Keys(r), (StrVec{
+                         "src/db/writeset_apply.cc:1:clouddb-apply-noparse",
+                         "src/db/writeset_apply.cc:2:clouddb-apply-noparse",
+                     }));
+  EXPECT_EQ(r.files_scanned, 2);
+  ASSERT_GE(r.diagnostics.size(), 1u);
+  EXPECT_NE(r.diagnostics[0].message.find("parser-free"), std::string::npos);
+}
+
+TEST(ApplyNoparseRule, RowDeltaOnlyApplyIsClean) {
+  LintResult r = RunOn("apply_noparse_clean");
+  EXPECT_EQ(Keys(r), StrVec{});
+  EXPECT_EQ(r.files_scanned, 1);
+}
+
 TEST(StripCommentsAndStrings, PreservesLinesBlanksContent) {
   std::string src =
       "int a; // std::thread here\n"

@@ -1,0 +1,271 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cloud/cloud_provider.h"
+#include "common/rng.h"
+#include "common/str_util.h"
+#include "repl/replication_cluster.h"
+#include "common/result.h"
+#include "db/database.h"
+#include "db/table.h"
+#include "metrics/metric_registry.h"
+#include "sim/simulation.h"
+#include "db/binlog.h"
+
+namespace clouddb::repl {
+namespace {
+
+/// One self-contained deployment (own simulation, cloud, cluster) so two
+/// runs of the same workload under different replication modes can be
+/// compared side by side.
+struct Deployment {
+  explicit Deployment(int slaves, bool sync = false) {
+    options.latency_jitter_sigma = 0.0;
+    options.cpu_speed_cov = 0.0;
+    options.max_initial_clock_offset = 0;
+    options.max_clock_drift_ppm = 0.0;
+    provider = std::make_unique<cloud::CloudProvider>(&sim, options, 1);
+    ClusterConfig config;
+    config.num_slaves = slaves;
+    config.synchronous_replication = sync;
+    cluster = std::make_unique<ReplicationCluster>(provider.get(), config);
+  }
+
+  Result<db::ExecResult> Run(const std::string& sql) {
+    return cluster->master()->ExecuteDirect(sql);
+  }
+
+  uint64_t SlaveTableHash(int slave, const std::string& table) {
+    db::Table* t = cluster->slave(slave)->database().GetTable(table);
+    return t == nullptr ? 0 : t->ContentsHash();
+  }
+
+  uint64_t MasterTableHash(const std::string& table) {
+    db::Table* t = cluster->master()->database().GetTable(table);
+    return t == nullptr ? 0 : t->ContentsHash();
+  }
+
+  sim::Simulation sim;
+  cloud::CloudOptions options;
+  std::unique_ptr<cloud::CloudProvider> provider;
+  std::unique_ptr<ReplicationCluster> cluster;
+};
+
+/// Deterministic function-free workload: interleaved inserts, updates and
+/// deletes on a keyed table, with a CREATE INDEX dropped mid-stream so the
+/// run always exercises the DDL fallback inside a row-based stream.
+std::vector<std::string> MakeWorkload(uint64_t seed, int steps) {
+  std::vector<std::string> sql;
+  sql.push_back(
+      "CREATE TABLE items (id INT PRIMARY KEY, qty INT, label TEXT)");
+  Rng rng(seed);
+  std::vector<int64_t> live;
+  int64_t next_id = 1;
+  for (int i = 0; i < steps; ++i) {
+    if (i == steps / 2) {
+      sql.push_back("CREATE INDEX idx_items_qty ON items (qty)");
+      continue;
+    }
+    int64_t kind = rng.UniformInt(0, 9);
+    if (live.empty() || kind < 5) {
+      int64_t id = next_id++;
+      sql.push_back(StrFormat("INSERT INTO items VALUES (%lld, %lld, 'L%lld')",
+                              static_cast<long long>(id),
+                              static_cast<long long>(rng.UniformInt(-50, 50)),
+                              static_cast<long long>(id % 7)));
+      live.push_back(id);
+    } else if (kind < 8) {
+      int64_t id = live[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+      sql.push_back(StrFormat("UPDATE items SET qty = %lld WHERE id = %lld",
+                              static_cast<long long>(rng.UniformInt(-50, 50)),
+                              static_cast<long long>(id)));
+    } else {
+      size_t pick = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1));
+      sql.push_back(StrFormat("DELETE FROM items WHERE id = %lld",
+                              static_cast<long long>(live[pick])));
+      live.erase(live.begin() + static_cast<long>(pick));
+    }
+  }
+  return sql;
+}
+
+TEST(RowReplTest, RandomizedWorkloadIsBitIdenticalAcrossModes) {
+  std::vector<std::string> workload = MakeWorkload(/*seed=*/99, /*steps=*/120);
+
+  Deployment stmt_mode(2);
+  Deployment row_mode(2);
+  row_mode.cluster->SetRowBasedReplication(true);
+  row_mode.cluster->SetBinlogBatchSize(8);
+
+  for (const std::string& sql : workload) {
+    ASSERT_TRUE(stmt_mode.Run(sql).ok()) << sql;
+    ASSERT_TRUE(row_mode.Run(sql).ok()) << sql;
+  }
+  stmt_mode.sim.Run();
+  row_mode.sim.Run();
+
+  ASSERT_TRUE(stmt_mode.cluster->FullyReplicated());
+  ASSERT_TRUE(row_mode.cluster->FullyReplicated());
+  EXPECT_TRUE(stmt_mode.cluster->Converged());
+  EXPECT_TRUE(row_mode.cluster->Converged());
+
+  // Replica state must be bit-identical: same per-table checksum on every
+  // node in both modes (the ablation-toggle contract).
+  uint64_t expected = stmt_mode.MasterTableHash("items");
+  EXPECT_EQ(row_mode.MasterTableHash("items"), expected);
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(stmt_mode.SlaveTableHash(s, "items"), expected);
+    EXPECT_EQ(row_mode.SlaveTableHash(s, "items"), expected);
+  }
+
+  // The row-mode run actually used the fast path, and the mid-stream DDL
+  // actually used the fallback.
+  EXPECT_GT(row_mode.cluster->slave(0)->writeset_applies(), 0);
+  EXPECT_GT(row_mode.cluster->slave(0)->fallback_applies(), 0);
+  EXPECT_EQ(stmt_mode.cluster->slave(0)->writeset_applies(), 0);
+  EXPECT_EQ(stmt_mode.cluster->slave(0)->fallback_applies(), 0);
+
+  // Batching shipped group messages on the row cluster only.
+  EXPECT_GT(row_mode.cluster->master()->batches_shipped(), 0);
+  EXPECT_EQ(stmt_mode.cluster->master()->batches_shipped(), 0);
+}
+
+TEST(RowReplTest, FunctionBearingStatementsFallBackAndReplicate) {
+  Deployment d(1);
+  d.cluster->SetRowBasedReplication(true);
+  ASSERT_TRUE(
+      d.Run("CREATE TABLE hb (hb_id INT PRIMARY KEY, ts BIGINT)").ok());
+  // NOW_MICROS must re-evaluate on each replica (heartbeat semantics), so
+  // the statement is never covered by a writeset.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(d.Run(StrFormat(
+                     "INSERT INTO hb (hb_id, ts) VALUES (%d, NOW_MICROS())",
+                     i))
+                    .ok());
+  }
+  d.sim.Run();
+  EXPECT_TRUE(d.cluster->FullyReplicated());
+  EXPECT_FALSE(d.cluster->slave(0)->replication_broken());
+  EXPECT_EQ(d.cluster->slave(0)->writeset_applies(), 0);
+  // 5 uncovered inserts + the CREATE TABLE DDL.
+  EXPECT_EQ(d.cluster->slave(0)->fallback_applies(), 6);
+  // The slave has all five rows even though none shipped row images.
+  auto r = d.cluster->slave(0)->database().Execute("SELECT COUNT(*) FROM hb");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows[0][0].AsInt64(), 5);
+}
+
+TEST(RowReplTest, BatchingCutsShippedMessages) {
+  Deployment per_event(1);
+  Deployment batched(1);
+  batched.cluster->SetBinlogBatchSize(64);
+
+  ASSERT_TRUE(per_event.Run("CREATE TABLE t (a INT PRIMARY KEY)").ok());
+  ASSERT_TRUE(batched.Run("CREATE TABLE t (a INT PRIMARY KEY)").ok());
+  for (int i = 0; i < 63; ++i) {
+    std::string sql = StrFormat("INSERT INTO t VALUES (%d)", i);
+    ASSERT_TRUE(per_event.Run(sql).ok());
+    ASSERT_TRUE(batched.Run(sql).ok());
+  }
+  per_event.sim.Run();
+  batched.sim.Run();
+
+  ASSERT_TRUE(per_event.cluster->FullyReplicated());
+  ASSERT_TRUE(batched.cluster->FullyReplicated());
+  EXPECT_TRUE(batched.cluster->Converged());
+
+  // 64 events: 64 per-event messages vs one full group message.
+  EXPECT_EQ(per_event.cluster->master()->messages_sent(), 64);
+  EXPECT_EQ(batched.cluster->master()->messages_sent(), 1);
+  EXPECT_EQ(batched.cluster->master()->batches_shipped(), 1);
+  EXPECT_GE(per_event.cluster->master()->messages_sent(),
+            8 * batched.cluster->master()->messages_sent());
+}
+
+TEST(RowReplTest, FlushTimerShipsPartialBatches) {
+  Deployment d(1);
+  d.cluster->SetBinlogBatchSize(64);
+  ASSERT_TRUE(d.Run("CREATE TABLE t (a INT PRIMARY KEY)").ok());
+  ASSERT_TRUE(d.Run("INSERT INTO t VALUES (1)").ok());
+  // Two events buffered, far below the batch size: only the flush interval
+  // gets them onto the wire.
+  d.sim.Run();
+  EXPECT_TRUE(d.cluster->FullyReplicated());
+  EXPECT_EQ(d.cluster->master()->batches_shipped(), 1);
+  EXPECT_EQ(d.cluster->slave(0)->events_applied(), 2);
+}
+
+TEST(RowReplTest, GroupCommitAckReleasesAllSyncWaiters) {
+  Deployment d(1, /*sync=*/true);
+  d.cluster->SetBinlogBatchSize(4);
+  ASSERT_TRUE(d.Run("CREATE TABLE t (a INT PRIMARY KEY)").ok());
+  d.sim.Run();
+
+  int completed = 0;
+  for (int i = 0; i < 8; ++i) {
+    d.cluster->master()->Submit(
+        StrFormat("INSERT INTO t VALUES (%d)", i), /*cpu_cost=*/-1,
+        [&completed](Result<db::ExecResult> r) {
+          ASSERT_TRUE(r.ok());
+          ++completed;
+        });
+  }
+  d.sim.Run();
+  // Every synchronous write completed even though the slave sent only
+  // batch-end acks (one cumulative ack covers the whole batch).
+  EXPECT_EQ(completed, 8);
+  EXPECT_TRUE(d.cluster->FullyReplicated());
+}
+
+TEST(RowReplTest, LegacyModeIsByteIdenticalOnTheWire) {
+  // batch_size <= 1 and row_based_repl off must reproduce the seed path
+  // exactly: same message count, same per-event wire size.
+  Deployment d(1);
+  ASSERT_TRUE(d.Run("CREATE TABLE t (a INT PRIMARY KEY)").ok());
+  ASSERT_TRUE(d.Run("INSERT INTO t VALUES (42)").ok());
+  d.sim.Run();
+  EXPECT_EQ(d.cluster->master()->messages_sent(), 2);
+  EXPECT_EQ(d.cluster->master()->batches_shipped(), 0);
+  const db::BinlogEvent& event =
+      d.cluster->master()->database().binlog().At(1);
+  ASSERT_EQ(event.statements.size(), 1u);
+  EXPECT_TRUE(event.writesets.empty());
+  EXPECT_EQ(db::EventWireSize(event),
+            32 + static_cast<int64_t>(event.statements[0].size()));
+}
+
+TEST(RowReplTest, ReplicationMetricsAppearInSnapshots) {
+  Deployment d(1);
+  d.cluster->SetRowBasedReplication(true);
+  d.cluster->SetBinlogBatchSize(4);
+  ASSERT_TRUE(d.Run("CREATE TABLE t (a INT PRIMARY KEY)").ok());
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(d.Run(StrFormat("INSERT INTO t VALUES (%d)", i)).ok());
+  }
+  d.sim.Run();
+
+  auto value_of = [](const std::vector<metrics::MetricSnapshot>& snap,
+                     const std::string& name) -> double {
+    for (const auto& m : snap) {
+      if (m.name == name) return m.value;
+    }
+    ADD_FAILURE() << "metric '" << name << "' not registered";
+    return -1.0;
+  };
+  auto master_snap = d.cluster->master()->metrics().Snapshot();
+  EXPECT_GT(value_of(master_snap, "repl.binlog.batches"), 0.0);
+  EXPECT_GT(value_of(master_snap, "repl.binlog.events_per_batch"), 0.0);
+  auto slave_snap = d.cluster->slave(0)->metrics().Snapshot();
+  EXPECT_GT(value_of(slave_snap, "repl.apply.writeset"), 0.0);
+  // CREATE TABLE is DDL inside a row-based stream: the fallback fired.
+  EXPECT_GT(value_of(slave_snap, "repl.apply.fallback"), 0.0);
+}
+
+}  // namespace
+}  // namespace clouddb::repl

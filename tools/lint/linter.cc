@@ -30,6 +30,7 @@ constexpr char kRuleCycle[] = "clouddb-include-cycle";
 constexpr char kRuleStatus[] = "clouddb-status";
 constexpr char kRuleMetricName[] = "clouddb-metric-name";
 constexpr char kRuleVecAlloc[] = "clouddb-vec-alloc";
+constexpr char kRuleApplyNoparse[] = "clouddb-apply-noparse";
 
 /// Module layer ranks. An include edge is legal only if it points at a
 /// strictly lower rank (or stays inside the module). `db` and `net` are
@@ -140,6 +141,8 @@ const char* RuleRemedy(std::string_view rule) {
   if (rule == kRuleVecAlloc)
     return "keep vec kernels allocation-free: string_view operands and "
            "VecArena/caller-owned scratch";
+  if (rule == kRuleApplyNoparse)
+    return "operate on db::RowOp images via Table::ApplyRowDelta only";
   return "model concurrency as simulation events (sim/simulation.h)";
 }
 
@@ -283,6 +286,33 @@ void CheckLayering(const SourceFile& fi, std::vector<Diagnostic>* out) {
                           "' are peer modules at layer " +
                           std::to_string(self->second) +
                           " and may not include each other"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule: parser-free writeset apply.
+// ---------------------------------------------------------------------------
+
+/// The row-based replication fast path exists to apply row images WITHOUT
+/// the SQL front end; an sql_parser/sql_lexer include in its translation
+/// units would silently reintroduce the per-statement parse cost the
+/// whole subsystem is designed to avoid. Scope-limited like
+/// clouddb-vec-alloc: only the writeset apply TUs are checked.
+bool ApplyNoparseScoped(const std::string& rel) {
+  return rel.rfind("src/db/writeset_apply", 0) == 0;
+}
+
+void CheckApplyNoparse(const SourceFile& fi, std::vector<Diagnostic>* out) {
+  if (!ApplyNoparseScoped(fi.rel)) return;
+  for (const Include& inc : fi.includes) {
+    if (inc.path.find("sql_parser") != std::string::npos ||
+        inc.path.find("sql_lexer") != std::string::npos) {
+      out->push_back(
+          {fi.rel, inc.line, kRuleApplyNoparse,
+           "writeset apply must stay parser-free; including '" + inc.path +
+               "' puts the SQL front end back on the row-image fast path; " +
+               RuleRemedy(kRuleApplyNoparse)});
     }
   }
 }
@@ -689,6 +719,7 @@ LintResult RunLint(const Options& options) {
     CheckLayering(fi, &candidates);
     CheckDiscardedStatus(fi, status_fns, &candidates);
     CheckMetricNames(fi, &candidates);
+    CheckApplyNoparse(fi, &candidates);
   }
   CheckIncludeCycles(files, &candidates);
   CheckDanglingCaptures(analyzed, &candidates);
