@@ -15,12 +15,14 @@
 #include <string>
 #include <vector>
 
+#include "absint.h"
 #include "callgraph.h"
 #include "cfg.h"
 #include "dataflow.h"
 #include "frontend.h"
 #include "linter.h"
 #include "rules_flow.h"
+#include "rules_interproc.h"
 
 namespace {
 
@@ -61,6 +63,28 @@ std::string SyntheticSource(const std::string& tag, int functions) {
   std::string text = "namespace gen {\n\n";
   for (int i = 0; i < functions; ++i) text += SyntheticFunction(tag, i);
   text += "}  // namespace gen\n";
+  return text;
+}
+
+/// A vec-style kernel with the shapes the abstract-interpretation rules have
+/// to prove: guarded subscripts, a ceil-division word mask, a narrowing cast
+/// behind an assert, and a guarded division.
+std::string SyntheticKernel(const std::string& tag, int i) {
+  std::string name = tag + std::to_string(i);
+  std::string text = "int ";
+  text += name;
+  text +=
+      "(const int* vals, int len, int* out) {\n"
+      "  assert(len <= 1024);\n"
+      "  int words = (len + 63) / 64;\n"
+      "  int acc = 0;\n"
+      "  for (int j = 0; j < len; ++j) {\n"
+      "    out[j] = vals[j];\n"
+      "    if (vals[j] != 0) acc = acc + out[j] / vals[j];\n"
+      "  }\n"
+      "  for (int w = 0; w < words; ++w) acc = acc + w;\n"
+      "  return acc;\n"
+      "}\n\n";
   return text;
 }
 
@@ -148,6 +172,47 @@ void BM_SolveForward(benchmark::State& state) {
   state.SetLabel("nodes=" + std::to_string(cfg.nodes.size()));
 }
 BENCHMARK(BM_SolveForward);
+
+/// Abstract interpretation (phase A + phase B, widening + narrowing) over a
+/// synthetic src/ tree of branchy functions and vec-style kernels. Items
+/// processed is the `interval_ops` counter — expression evaluations through
+/// the interval domain — so the rate reads as intervals solved per second.
+void BM_AbsIntSolve(benchmark::State& state) {
+  const int kFiles = 8;
+  const int kFns = 6;
+  std::vector<SourceFile> files;
+  files.reserve(kFiles);
+  for (int f = 0; f < kFiles; ++f) {
+    std::string tag = "K";
+    tag += std::to_string(f);
+    tag += "_";
+    std::string text = "namespace gen {\n\n";
+    for (int i = 0; i < kFns; ++i) text += SyntheticFunction(tag + "b", i);
+    for (int i = 0; i < kFns; ++i) text += SyntheticKernel(tag + "k", i);
+    text += "}  // namespace gen\n";
+    files.push_back(
+        ParseSource(text, "src/gen/k" + std::to_string(f) + ".cc"));
+  }
+  std::vector<FileIndex> indexes;
+  indexes.reserve(files.size());
+  for (const SourceFile& sf : files) indexes.push_back(BuildIndex(sf));
+  std::vector<AnalyzedFile> analyzed;
+  analyzed.reserve(files.size());
+  for (size_t i = 0; i < files.size(); ++i)
+    analyzed.push_back({&files[i], &indexes[i]});
+  InterprocContext ctx = BuildInterprocContext(analyzed);
+  int64_t ops = 0;
+  for (auto _ : state) {
+    AbsInterpreter ai(ctx);
+    ai.Run();
+    ops = ai.interval_ops();
+    benchmark::DoNotOptimize(ops);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * ops);
+  state.SetLabel("interval_ops=" + std::to_string(ops) +
+                 " fns=" + std::to_string(ctx.cg.functions.size()));
+}
+BENCHMARK(BM_AbsIntSolve);
 
 /// End-to-end RunLint over a synthetic tree: every rule family, including
 /// the interprocedural passes, on kFiles files of kFns functions each.

@@ -1,6 +1,9 @@
 #include "db/binlog.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 #include "common/status.h"
@@ -42,8 +45,17 @@ void AppendDouble(std::string* out, double v) {
   AppendU64(out, bits);
 }
 
+/// Collection counts and string lengths ship as explicit 32-bit wire
+/// fields. Everything counted here lives in memory on the master first, so
+/// 2^32 is unreachable in practice; the assert pins the invariant where the
+/// truncating cast happens.
+void AppendCount(std::string* out, size_t n) {
+  assert(n <= std::numeric_limits<uint32_t>::max());
+  AppendU32(out, static_cast<uint32_t>(n));
+}
+
 void AppendLengthPrefixed(std::string* out, const std::string& s) {
-  AppendU32(out, static_cast<uint32_t>(s.size()));
+  AppendCount(out, s.size());
   out->append(s);
 }
 
@@ -96,9 +108,12 @@ class Reader {
     return Status::Ok();
   }
 
+  /// Mirror of AppendCount: counts and lengths are explicit 32-bit fields.
+  Status ReadCount(uint32_t* v) { return ReadU32(v); }
+
   Status ReadLengthPrefixed(std::string* s) {
     uint32_t len;
-    CLOUDDB_RETURN_IF_ERROR(ReadU32(&len));
+    CLOUDDB_RETURN_IF_ERROR(ReadCount(&len));
     if (pos_ + len > data_.size()) return Truncated();
     s->assign(data_.substr(pos_, len));
     pos_ += len;
@@ -106,6 +121,12 @@ class Reader {
   }
 
   bool AtEnd() const { return pos_ == data_.size(); }
+
+  /// Bytes left in the buffer. Decode loops cap their `reserve()` at what
+  /// the remaining wire could possibly encode (every element costs at least
+  /// one byte), so a hostile count field near 2^32 cannot force a
+  /// multi-gigabyte allocation before the truncation check catches it.
+  size_t Remaining() const { return data_.size() - pos_; }
 
  private:
   static Status Truncated() {
@@ -176,15 +197,15 @@ Status ReadValue(Reader* r, Value* out) {
 }
 
 void AppendRow(std::string* out, const Row& row) {
-  AppendU32(out, static_cast<uint32_t>(row.size()));
+  AppendCount(out, row.size());
   for (const Value& v : row) AppendValue(out, v);
 }
 
 Status ReadRow(Reader* r, Row* out) {
   uint32_t n;
-  CLOUDDB_RETURN_IF_ERROR(r->ReadU32(&n));
+  CLOUDDB_RETURN_IF_ERROR(r->ReadCount(&n));
   out->clear();
-  out->reserve(n);
+  out->reserve(std::min<size_t>(n, r->Remaining()));
   for (uint32_t i = 0; i < n; ++i) {
     Value v;
     CLOUDDB_RETURN_IF_ERROR(ReadValue(r, &v));
@@ -234,7 +255,7 @@ std::string SerializeBinlogEvent(const BinlogEvent& event) {
   out.reserve(static_cast<size_t>(EventWireSize(event)));
   AppendI64(&out, event.index);
   AppendI64(&out, event.commit_micros);
-  AppendU32(&out, static_cast<uint32_t>(event.statements.size()));
+  AppendCount(&out, event.statements.size());
   AppendU8(&out, event.has_writesets() ? 1 : 0);
   for (const std::string& sql : event.statements) {
     AppendLengthPrefixed(&out, sql);
@@ -242,7 +263,7 @@ std::string SerializeBinlogEvent(const BinlogEvent& event) {
   if (event.has_writesets()) {
     for (const StatementWriteset& ws : event.writesets) {
       AppendU8(&out, ws.covered ? 1 : 0);
-      AppendU32(&out, static_cast<uint32_t>(ws.ops.size()));
+      AppendCount(&out, ws.ops.size());
       for (const RowOp& op : ws.ops) {
         AppendU8(&out, static_cast<uint8_t>(op.kind));
         AppendLengthPrefixed(&out, op.table);
@@ -260,25 +281,25 @@ Result<BinlogEvent> DeserializeBinlogEvent(std::string_view data) {
   CLOUDDB_RETURN_IF_ERROR(r.ReadI64(&event.index));
   CLOUDDB_RETURN_IF_ERROR(r.ReadI64(&event.commit_micros));
   uint32_t num_statements = 0;
-  CLOUDDB_RETURN_IF_ERROR(r.ReadU32(&num_statements));
+  CLOUDDB_RETURN_IF_ERROR(r.ReadCount(&num_statements));
   uint8_t has_writesets = 0;
   CLOUDDB_RETURN_IF_ERROR(r.ReadU8(&has_writesets));
-  event.statements.reserve(num_statements);
+  event.statements.reserve(std::min<size_t>(num_statements, r.Remaining()));
   for (uint32_t i = 0; i < num_statements; ++i) {
     std::string sql;
     CLOUDDB_RETURN_IF_ERROR(r.ReadLengthPrefixed(&sql));
     event.statements.push_back(std::move(sql));
   }
   if (has_writesets != 0) {
-    event.writesets.reserve(num_statements);
+    event.writesets.reserve(std::min<size_t>(num_statements, r.Remaining()));
     for (uint32_t i = 0; i < num_statements; ++i) {
       StatementWriteset ws;
       uint8_t covered = 0;
       CLOUDDB_RETURN_IF_ERROR(r.ReadU8(&covered));
       ws.covered = covered != 0;
       uint32_t num_ops = 0;
-      CLOUDDB_RETURN_IF_ERROR(r.ReadU32(&num_ops));
-      ws.ops.reserve(num_ops);
+      CLOUDDB_RETURN_IF_ERROR(r.ReadCount(&num_ops));
+      ws.ops.reserve(std::min<size_t>(num_ops, r.Remaining()));
       for (uint32_t j = 0; j < num_ops; ++j) {
         RowOp op;
         uint8_t kind = 0;

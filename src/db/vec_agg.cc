@@ -57,6 +57,7 @@ void VecAccumulateMinMax(const ColumnVector& col, const Row* const* rows,
         int64_t v = col.i64[lane];
         if (!has || (is_max ? v > best : v < best)) {
           best = v;
+          // NOLINTNEXTLINE(clouddb-bounds): sel entries are row indexes < chunk row count by the selection-vector invariant
           state->best_row = rows[lane];
           has = true;
         }
@@ -74,6 +75,7 @@ void VecAccumulateMinMax(const ColumnVector& col, const Row* const* rows,
         // (NaN compares equal there, i.e. never a strict improvement).
         if (!has || (is_max ? v > best : v < best)) {
           best = v;
+          // NOLINTNEXTLINE(clouddb-bounds): sel entries are row indexes < chunk row count by the selection-vector invariant
           state->best_row = rows[lane];
           has = true;
         }
@@ -92,6 +94,7 @@ void VecAccumulateMinMax(const ColumnVector& col, const Row* const* rows,
         int c = v.compare(best);
         if (!has || (is_max ? c > 0 : c < 0)) {
           best = v;
+          // NOLINTNEXTLINE(clouddb-bounds): sel entries are row indexes < chunk row count by the selection-vector invariant
           state->best_row = rows[lane];
           has = true;
         }

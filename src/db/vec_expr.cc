@@ -1,5 +1,6 @@
 #include "db/vec_expr.h"
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
@@ -91,9 +92,11 @@ bool IsFoldableConst(const Expr& e) {
 
 uint16_t InternColumn(VecProgram* p, std::string_view name) {
   for (size_t i = 0; i < p->columns.size(); ++i) {
+    // NOLINTNEXTLINE(clouddb-narrowing): column count is capped by the 0xFFFF slot-overflow disengage in CompileNode
     if (p->columns[i] == name) return static_cast<uint16_t>(i);
   }
   p->columns.push_back(name);
+  // NOLINTNEXTLINE(clouddb-narrowing): column count is capped by the 0xFFFF slot-overflow disengage in CompileNode
   return static_cast<uint16_t>(p->columns.size() - 1);
 }
 
@@ -110,6 +113,7 @@ uint16_t InternConst(VecProgram* p, const Expr& e) {
     ref.param = static_cast<uint32_t>(operand->param_index);
   }
   p->consts.push_back(ref);
+  // NOLINTNEXTLINE(clouddb-narrowing): const-slot count is capped by the 0xFFFF slot-overflow disengage in CompileNode
   return static_cast<uint16_t>(p->consts.size() - 1);
 }
 
@@ -346,6 +350,7 @@ bool BindProgram(const VecProgram& program, const Schema& schema,
       }
     }
     if (idx == cols.size()) return false;
+    // NOLINTNEXTLINE(clouddb-narrowing): idx < cols.size() and schema width is nowhere near 2^32
     out->col_index.push_back(static_cast<uint32_t>(idx));
     out->col_type.push_back(cols[idx].type);
   }
@@ -379,6 +384,7 @@ bool BindProgram(const VecProgram& program, const Schema& schema,
 size_t VecFilterChunk(const VecBinding& binding, const Row* const* rows,
                       size_t len, uint32_t* sel, VecArena* arena) {
   const VecProgram& p = *binding.program;
+  assert(len <= kVecChunkSize);  // documented caller contract (vec_chunk.h)
   size_t ncols = p.columns.size();
   ColumnVector* cols = arena->AllocateArray<ColumnVector>(ncols);
   for (size_t i = 0; i < ncols; ++i) {
@@ -395,19 +401,25 @@ size_t VecFilterChunk(const VecBinding& binding, const Row* const* rows,
       switch (op.code) {
         case VecOp::Code::kCmpColConst: {
           uint8_t* t = arena->AllocateArray<uint8_t>(n);
+          // NOLINTNEXTLINE(clouddb-bounds): op.col < ncols: BindProgram resolved every column reference before execution
           EvalCmpColConst(cols[op.col], *binding.consts[op.arg], op.cmp, sel,
                           n, t);
+          // NOLINTNEXTLINE(clouddb-bounds): sp < max_stack: CompileNode tracked postfix depth and sized the stack
           stack[sp++] = t;
           break;
         }
         case VecOp::Code::kIsNullCol: {
           uint8_t* t = arena->AllocateArray<uint8_t>(n);
+          // NOLINTNEXTLINE(clouddb-bounds): op.col < ncols: BindProgram resolved every column reference before execution
           EvalIsNull(cols[op.col], op.negated, sel, n, t);
+          // NOLINTNEXTLINE(clouddb-bounds): sp < max_stack postfix-depth invariant from CompileNode
           stack[sp++] = t;
           break;
         }
         case VecOp::Code::kAnd: {
+          // NOLINTNEXTLINE(clouddb-bounds): binary op implies sp >= 2: CompileNode rejects underflowing programs
           uint8_t* b = stack[--sp];
+          // NOLINTNEXTLINE(clouddb-bounds): binary op implies sp >= 2 after the pop above
           uint8_t* a = stack[sp - 1];
           for (size_t j = 0; j < n; ++j) {
             if (b[j] < a[j]) a[j] = b[j];
@@ -415,7 +427,9 @@ size_t VecFilterChunk(const VecBinding& binding, const Row* const* rows,
           break;
         }
         case VecOp::Code::kOr: {
+          // NOLINTNEXTLINE(clouddb-bounds): binary op implies sp >= 2: CompileNode rejects underflowing programs
           uint8_t* b = stack[--sp];
+          // NOLINTNEXTLINE(clouddb-bounds): binary op implies sp >= 2 after the pop above
           uint8_t* a = stack[sp - 1];
           for (size_t j = 0; j < n; ++j) {
             if (b[j] > a[j]) a[j] = b[j];
@@ -423,15 +437,18 @@ size_t VecFilterChunk(const VecBinding& binding, const Row* const* rows,
           break;
         }
         case VecOp::Code::kNot: {
+          // NOLINTNEXTLINE(clouddb-bounds): unary op implies sp >= 1: CompileNode rejects underflowing programs
           uint8_t* a = stack[sp - 1];
           for (size_t j = 0; j < n; ++j) a[j] = kTrue - a[j];
           break;
         }
       }
     }
+    // NOLINTNEXTLINE(clouddb-bounds): a conjunct evaluates to exactly one mask: sp == 1 here
     const uint8_t* t = stack[sp - 1];
     size_t m = 0;
     for (size_t j = 0; j < n; ++j) {
+      // NOLINTNEXTLINE(clouddb-bounds): compaction write: m <= j < n
       if (t[j] == kTrue) sel[m++] = sel[j];
     }
     n = m;

@@ -198,6 +198,124 @@ TEST(BinlogCodecTest, TruncationAndTrailingBytesAreRejected) {
   EXPECT_FALSE(trailing.ok());
 }
 
+// --- Explicit-width boundary tests ------------------------------------------
+//
+// Collection counts and string lengths ship as explicit 32-bit fields
+// (AppendCount / ReadCount). These tests pin the behavior at the edges of
+// that width: hostile counts near UINT32_MAX must fail as clean truncation
+// errors (and must not pre-allocate gigabytes on the way), zero-length
+// collections must survive, and statements far past any realistic SQL size
+// must round-trip byte-exact.
+
+/// Overwrites the 4-byte little-endian count field at `at` in `wire`.
+void PatchCount(std::string* wire, size_t at, uint32_t v) {
+  ASSERT_LE(at + 4, wire->size());
+  for (int i = 0; i < 4; ++i) {
+    (*wire)[at + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+TEST(BinlogCodecTest, StatementCountsNearU32MaxAreRejectedCleanly) {
+  BinlogEvent event;
+  event.index = 1;
+  event.commit_micros = 2;
+  event.statements = {"COMMIT"};
+  std::string wire = SerializeBinlogEvent(event);
+  // num_statements sits after index (8) + commit_micros (8).
+  const size_t count_at = 16;
+  for (uint32_t hostile :
+       {uint32_t{0xFFFFFFFFu}, uint32_t{0xFFFFFFFEu}, uint32_t{0x80000000u}}) {
+    std::string bad = wire;
+    PatchCount(&bad, count_at, hostile);
+    auto decoded = DeserializeBinlogEvent(bad);
+    // A 23-byte buffer cannot hold 2^31+ statements: the decoder must
+    // return a truncation error after consuming what is actually there —
+    // not crash, and not reserve() billions of slots first.
+    EXPECT_FALSE(decoded.ok()) << "count " << hostile << " decoded";
+  }
+}
+
+TEST(BinlogCodecTest, OpAndColumnCountsNearU32MaxAreRejectedCleanly) {
+  BinlogEvent event;
+  event.index = 1;
+  event.commit_micros = 2;
+  event.statements = {"DELETE FROM t"};
+  StatementWriteset ws;
+  ws.covered = true;
+  RowOp op;
+  op.kind = RowOp::Kind::kDelete;
+  op.table = "t";
+  op.before = {Value(int64_t{5})};
+  ws.ops.push_back(std::move(op));
+  event.writesets.push_back(std::move(ws));
+  std::string wire = SerializeBinlogEvent(event);
+  // Layout: header (8+8+4+1) + statement (4+len) + covered (1), then the
+  // op count; the before-row's column count follows kind (1) + table (4+1)
+  // + that op count.
+  const size_t ops_at = 8 + 8 + 4 + 1 + 4 + event.statements[0].size() + 1;
+  const size_t cols_at = ops_at + 4 + 1 + 4 + 1;
+  for (size_t at : {ops_at, cols_at}) {
+    std::string bad = wire;
+    PatchCount(&bad, at, 0xFFFFFFFFu);
+    EXPECT_FALSE(DeserializeBinlogEvent(bad).ok())
+        << "count at offset " << at << " decoded";
+  }
+}
+
+TEST(BinlogCodecTest, StringLengthsNearU32MaxAreRejectedCleanly) {
+  BinlogEvent event;
+  event.index = 3;
+  event.commit_micros = 4;
+  event.statements = {"SELECT 1"};
+  std::string wire = SerializeBinlogEvent(event);
+  // The first statement's length prefix follows the 21-byte header.
+  std::string bad = wire;
+  PatchCount(&bad, 21, 0xFFFFFFF0u);
+  EXPECT_FALSE(DeserializeBinlogEvent(bad).ok());
+}
+
+TEST(BinlogCodecTest, ZeroLengthCollectionsRoundTrip) {
+  // Zero statements (and so zero writesets) is the degenerate but legal
+  // event; a covered writeset with zero ops is a real shape (a statement
+  // that matched no rows).
+  BinlogEvent empty;
+  empty.index = 0;
+  empty.commit_micros = 0;
+  ExpectRoundTrip(empty);
+
+  BinlogEvent no_rows;
+  no_rows.index = 1;
+  no_rows.commit_micros = 2;
+  no_rows.statements = {"DELETE FROM t WHERE 0 = 1"};
+  StatementWriteset ws;
+  ws.covered = true;  // covered, but zero ops
+  no_rows.writesets.push_back(std::move(ws));
+  ExpectRoundTrip(no_rows);
+}
+
+TEST(BinlogCodecTest, MaxSizeStatementsRoundTrip) {
+  // A statement and a string value far beyond realistic SQL (4 MiB each):
+  // the u32 length prefix must carry them without truncation, and the
+  // decode must be byte-exact.
+  const size_t kBig = size_t{4} << 20;
+  BinlogEvent event;
+  event.index = 9;
+  event.commit_micros = 10;
+  std::string sql(kBig, 'x');
+  sql[0] = 'S';
+  sql[kBig - 1] = ';';
+  event.statements.push_back(sql);
+  StatementWriteset ws;
+  ws.covered = true;
+  RowOp op;
+  op.kind = RowOp::Kind::kInsert;
+  op.table = "t";
+  op.after = {Value(std::string(kBig, 'v'))};
+  ws.ops.push_back(std::move(op));
+  event.writesets.push_back(std::move(ws));
+  ExpectRoundTrip(event);
+}
+
 TEST(BinlogCodecTest, UnknownTagsAreRejected) {
   BinlogEvent event;
   event.index = 1;

@@ -1,0 +1,12 @@
+// Deliberate bounds violations: the off-by-one loop guard, a constant
+// negative index, and a compaction write with no provable bound.
+void FillInclusive(int* out, int n) {
+  for (int i = 0; i <= n; ++i) {
+    out[i] = i;
+  }
+}
+
+int FirstBeforeStart(const int* vals, int n) {
+  int j = -1;
+  return vals[j];
+}

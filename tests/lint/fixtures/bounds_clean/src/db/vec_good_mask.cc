@@ -1,0 +1,33 @@
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+struct Arena {
+  template <typename T>
+  T* AllocateArray(size_t n);
+};
+
+// The vec-kernel null-mask shape: words = ceil(len/64) words are allocated,
+// and every store lands at i >> 6 for some i < len.
+void BuildMask(Arena* arena, const int* vals, size_t len) {
+  size_t words = (len + 63) / 64;
+  uint64_t* nulls = arena->AllocateArray<uint64_t>(words);
+  for (size_t w = 0; w < words; ++w) nulls[w] = 0;
+  for (size_t i = 0; i < len; ++i) {
+    if (vals[i] != 0) nulls[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+}
+
+// The sentinel idiom: a scan leaves idx <= v.size(), and the == bail
+// sharpens the survivor to idx < v.size().
+int FindSlot(const std::vector<int>& v, int key) {
+  size_t idx = v.size();
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i] == key) {
+      idx = i;
+      break;
+    }
+  }
+  if (idx == v.size()) return -1;
+  return v[idx];
+}

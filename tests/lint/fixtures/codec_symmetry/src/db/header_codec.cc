@@ -1,0 +1,29 @@
+#include <cstdint>
+#include <string>
+
+struct Header {
+  uint32_t id = 0;
+  uint64_t ts = 0;
+};
+
+struct Reader {
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+};
+
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+
+void SerializeHeader(std::string* out, const Header& h) {
+  AppendU32(out, h.id);
+  AppendU64(out, h.ts);
+}
+
+// BUG: the writer shipped ts as a U64; this reader consumes a U32.
+bool DeserializeHeader(Reader* r, Header* h) {
+  uint32_t ts_lo = 0;
+  r->ReadU32(&h->id);
+  r->ReadU32(&ts_lo);
+  h->ts = ts_lo;
+  return true;
+}

@@ -1,0 +1,44 @@
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+struct Row {
+  std::vector<uint64_t> vals;
+};
+
+struct Reader {
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+};
+
+void AppendU32(std::string* out, uint32_t v);
+void AppendU64(std::string* out, uint64_t v);
+
+// Helper pair: the Count suffix pairs AppendCount with ReadCount, and both
+// bodies ship exactly one U32.
+void AppendCount(std::string* out, size_t n) {
+  AppendU32(out, static_cast<uint32_t>(n));
+}
+
+bool ReadCount(Reader* r, uint32_t* v) {
+  return r->ReadU32(v);
+}
+
+void SerializeRow(std::string* out, const Row& row) {
+  AppendCount(out, row.vals.size());
+  for (size_t i = 0; i < row.vals.size(); ++i) {
+    AppendU64(out, row.vals[i]);
+  }
+}
+
+bool DeserializeRow(Reader* r, Row* row) {
+  uint32_t n = 0;
+  ReadCount(r, &n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint64_t v = 0;
+    r->ReadU64(&v);
+    row->vals.push_back(v);
+  }
+  return true;
+}

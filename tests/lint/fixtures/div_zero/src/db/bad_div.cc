@@ -1,0 +1,10 @@
+// Deliberate division hazards: an unguarded divisor and a guard that only
+// excludes the negative half.
+int Average(int total, int count) {
+  return total / count;
+}
+
+int Modulo(int total, int count) {
+  if (count < 0) return 0;
+  return total % count;
+}

@@ -1,0 +1,15 @@
+// Every divisor here is provably nonzero: a <= 0 bail, an == 0 bail, and a
+// ternary whose division arm only evaluates under n != 0.
+long PerMicro(long events, long micros) {
+  if (micros <= 0) return 0;
+  return events / micros;
+}
+
+int PerBatch(int total, int batches) {
+  if (batches == 0) return 0;
+  return total / batches;
+}
+
+int Guarded(int total, int n) {
+  return n != 0 ? total / n : 0;
+}

@@ -1,0 +1,7 @@
+#include <cstddef>
+#include <cstdint>
+
+// Unwitnessed truncation: nothing bounds n below 2^32.
+uint32_t CountField(size_t n) {
+  return static_cast<uint32_t>(n);
+}

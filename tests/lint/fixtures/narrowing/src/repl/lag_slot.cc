@@ -1,0 +1,9 @@
+#include <cstdint>
+
+// Implicit narrowing initialization: a 64-bit LSN into an int slot. The
+// sign guard bounds the operand below but not above, so the proof fails.
+int ToSlot(int64_t lsn) {
+  if (lsn < 0) return -1;
+  int slot = lsn;
+  return slot;
+}

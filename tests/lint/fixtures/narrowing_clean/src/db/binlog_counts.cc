@@ -1,0 +1,11 @@
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+// The assert is the documented witness form: it pins n under 2^32 at the
+// cast site, so the truncation is provably lossless.
+uint32_t CountField(size_t n) {
+  assert(n <= std::numeric_limits<uint32_t>::max());
+  return static_cast<uint32_t>(n);
+}

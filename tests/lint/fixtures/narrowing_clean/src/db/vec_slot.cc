@@ -1,0 +1,8 @@
+#include <cstddef>
+#include <cstdint>
+
+// The disengage guard bounds i strictly below the cast target's range.
+uint16_t Slot(size_t i) {
+  if (i >= 65535) return 65535;
+  return static_cast<uint16_t>(i);
+}

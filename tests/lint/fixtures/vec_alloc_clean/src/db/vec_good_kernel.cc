@@ -2,10 +2,11 @@
 
 // Allocation-free kernel: string_view operands, caller-owned output buffer.
 int CountMatches(const std::string_view* lanes, int n, std::string_view key,
-                 int* sel) {
+                 unsigned char* match) {
   int m = 0;
   for (int i = 0; i < n; ++i) {
-    if (lanes[i] == key) sel[m++] = i;
+    match[i] = lanes[i] == key ? 1 : 0;
+    if (match[i] != 0) ++m;
   }
   return m;
 }

@@ -352,6 +352,7 @@ TEST(JsonOutput, InterproceduralDiagnosticsMatchGoldenByteForByte) {
       "{\n"
       "  \"files_scanned\": 2,\n"
       "  \"suppressions_used\": 0,\n"
+      "  \"justified_suppressions\": 0,\n"
       "  \"baselined\": 0,\n"
       "  \"errors\": 1,\n"
       "  \"warnings\": 0,\n"

@@ -281,6 +281,7 @@ TEST(JsonOutput, MatchesGoldenByteForByte) {
       "{\n"
       "  \"files_scanned\": 4,\n"
       "  \"suppressions_used\": 0,\n"
+      "  \"justified_suppressions\": 0,\n"
       "  \"baselined\": 0,\n"
       "  \"errors\": 2,\n"
       "  \"warnings\": 0,\n"

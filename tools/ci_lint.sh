@@ -21,10 +21,17 @@ if [ ! -x "$LINT_BIN" ]; then
   exit 2
 fi
 
-# The tree scan runs every rule family, including the interprocedural
-# passes (lock-order, use-after-move, status-path, determinism-taint),
-# under --forbid-nolint. When a committed baseline exists, pre-existing
-# warnings frozen there are dropped and only regressions fail.
+# The tree scan runs every rule family: the interprocedural passes
+# (lock-order, use-after-move, status-path, determinism-taint) and the
+# abstract-interpretation rules (bounds, div-zero, narrowing,
+# codec-symmetry) all at error severity, under --forbid-nolint.
+# --forbid-nolint fails only on *bare* suppressions: a
+# `NOLINT(rule): rationale` comment is a justified exemption — the
+# sanctioned escape for invariants outside the solver's domain — and is
+# counted separately (`justified_suppressions` in the JSON). When a
+# committed baseline exists, pre-existing warnings frozen there are
+# dropped and only regressions fail; the baseline carries no
+# abstract-interpretation findings (those are fixed or justified inline).
 BASELINE_ARGS=""
 if [ -f "$ROOT/tools/lint_baseline.txt" ]; then
   BASELINE_ARGS="--baseline $ROOT/tools/lint_baseline.txt"

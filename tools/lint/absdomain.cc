@@ -1,0 +1,211 @@
+#include "absdomain.h"
+
+#include <algorithm>
+
+namespace clouddb::lint {
+namespace {
+
+/// Saturating add treating kMin/kMax as infinities.
+int64_t SatAdd(int64_t a, int64_t b) {
+  if (a == Interval::kMin || b == Interval::kMin) return Interval::kMin;
+  if (a == Interval::kMax || b == Interval::kMax) return Interval::kMax;
+  int64_t r;
+  if (__builtin_add_overflow(a, b, &r))
+    return b > 0 ? Interval::kMax : Interval::kMin;
+  return r;
+}
+
+int64_t SatMul(int64_t a, int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  bool neg = (a < 0) != (b < 0);
+  if (a == Interval::kMin || a == Interval::kMax || b == Interval::kMin ||
+      b == Interval::kMax)
+    return neg ? Interval::kMin : Interval::kMax;
+  int64_t r;
+  if (__builtin_mul_overflow(a, b, &r))
+    return neg ? Interval::kMin : Interval::kMax;
+  return r;
+}
+
+int64_t SatNeg(int64_t a) {
+  if (a == Interval::kMin) return Interval::kMax;
+  if (a == Interval::kMax) return Interval::kMin;
+  return -a;
+}
+
+}  // namespace
+
+Interval Interval::Join(const Interval& a, const Interval& b) {
+  if (a.bottom) return b;
+  if (b.bottom) return a;
+  return Range(std::min(a.lo, b.lo), std::max(a.hi, b.hi));
+}
+
+Interval Interval::Meet(const Interval& a, const Interval& b) {
+  if (a.bottom || b.bottom) return Bottom();
+  return Range(std::max(a.lo, b.lo), std::min(a.hi, b.hi));
+}
+
+Interval Interval::Widen(const Interval& prev, const Interval& next) {
+  if (prev.bottom) return next;
+  if (next.bottom) return prev;
+  Interval r;
+  r.lo = next.lo < prev.lo ? kMin : prev.lo;
+  r.hi = next.hi > prev.hi ? kMax : prev.hi;
+  // Widening must cover the new state: keep any bound next already has.
+  r.lo = std::min(r.lo, next.lo);
+  r.hi = std::max(r.hi, next.hi);
+  return r;
+}
+
+Interval Interval::Add(const Interval& a, const Interval& b) {
+  if (a.bottom || b.bottom) return Bottom();
+  return Range(SatAdd(a.lo, b.lo), SatAdd(a.hi, b.hi));
+}
+
+Interval Interval::Sub(const Interval& a, const Interval& b) {
+  if (a.bottom || b.bottom) return Bottom();
+  return Range(SatAdd(a.lo, SatNeg(b.hi)), SatAdd(a.hi, SatNeg(b.lo)));
+}
+
+Interval Interval::Mul(const Interval& a, const Interval& b) {
+  if (a.bottom || b.bottom) return Bottom();
+  int64_t c[4] = {SatMul(a.lo, b.lo), SatMul(a.lo, b.hi), SatMul(a.hi, b.lo),
+                  SatMul(a.hi, b.hi)};
+  return Range(*std::min_element(c, c + 4), *std::max_element(c, c + 4));
+}
+
+Interval Interval::Div(const Interval& a, const Interval& b) {
+  if (a.bottom || b.bottom) return Bottom();
+  // Only the common lint cases need precision: positive constant-ish
+  // divisors. Anything whose divisor range includes 0 or negatives degrades.
+  if (b.lo >= 1) {
+    auto dv = [](int64_t x, int64_t d) {
+      if (x == kMin || x == kMax) return x;
+      if (d == kMax) return int64_t{0};
+      return x / d;
+    };
+    int64_t lo = a.lo >= 0 ? dv(a.lo, b.hi) : dv(a.lo, b.lo);
+    int64_t hi = a.hi >= 0 ? dv(a.hi, b.lo) : dv(a.hi, b.hi);
+    return Range(lo, hi);
+  }
+  return Top();
+}
+
+Interval Interval::Mod(const Interval& a, const Interval& b) {
+  if (a.bottom || b.bottom) return Bottom();
+  if (b.lo >= 1 && b.hi != kMax) {
+    if (a.lo >= 0) return Range(0, std::min(a.hi, b.hi - 1));
+    return Range(SatNeg(b.hi - 1), b.hi - 1);
+  }
+  return Top();
+}
+
+Interval Interval::Shl(const Interval& a, const Interval& b) {
+  if (a.bottom || b.bottom) return Bottom();
+  if (a.lo >= 0 && b.lo >= 0 && b.hi <= 62) {
+    return Range(SatMul(a.lo, int64_t{1} << b.lo),
+                 SatMul(a.hi, int64_t{1} << b.hi));
+  }
+  return Top();
+}
+
+Interval Interval::Shr(const Interval& a, const Interval& b) {
+  if (a.bottom || b.bottom) return Bottom();
+  if (a.lo >= 0 && b.lo >= 0 && b.hi <= 62) {
+    int64_t lo = a.lo == kMax ? kMax : a.lo >> b.hi;
+    int64_t hi = a.hi == kMax ? kMax : a.hi >> b.lo;
+    return Range(lo, hi);
+  }
+  return Top();
+}
+
+Interval Interval::BitAnd(const Interval& a, const Interval& b) {
+  if (a.bottom || b.bottom) return Bottom();
+  // x & mask with a nonnegative constant-ish mask lands in [0, mask].
+  if (b.lo >= 0 && b.hi != kMax) return Range(0, b.hi);
+  if (a.lo >= 0 && a.hi != kMax) return Range(0, a.hi);
+  return Top();
+}
+
+Interval Interval::Neg(const Interval& a) {
+  if (a.bottom) return Bottom();
+  return Range(SatNeg(a.hi), SatNeg(a.lo));
+}
+
+Interval Interval::Min(const Interval& a, const Interval& b) {
+  if (a.bottom || b.bottom) return Bottom();
+  return Range(std::min(a.lo, b.lo), std::min(a.hi, b.hi));
+}
+
+Interval Interval::Max(const Interval& a, const Interval& b) {
+  if (a.bottom || b.bottom) return Bottom();
+  return Range(std::max(a.lo, b.lo), std::max(a.hi, b.hi));
+}
+
+Nullness JoinNullness(Nullness a, Nullness b) {
+  if (a == Nullness::kBottom) return b;
+  if (b == Nullness::kBottom) return a;
+  if (a == b) return a;
+  return Nullness::kTop;
+}
+
+AbsValue AbsValue::Join(const AbsValue& a, const AbsValue& b) {
+  AbsValue r;
+  r.range = Interval::Join(a.range, b.range);
+  r.nullness = JoinNullness(a.nullness, b.nullness);
+  r.nonzero = a.nonzero && b.nonzero;
+  r.is_float = a.is_float || b.is_float;
+  for (const auto& [sym, c] : a.upper_lt) {
+    auto it = b.upper_lt.find(sym);
+    if (it != b.upper_lt.end()) r.upper_lt[sym] = std::max(c, it->second);
+  }
+  for (const auto& [sym, c] : a.lower_ge) {
+    auto it = b.lower_ge.find(sym);
+    if (it != b.lower_ge.end()) r.lower_ge[sym] = std::min(c, it->second);
+  }
+  return r;
+}
+
+AbsValue AbsValue::Widen(const AbsValue& prev, const AbsValue& next) {
+  AbsValue r;
+  r.range = Interval::Widen(prev.range, next.range);
+  r.nullness = JoinNullness(prev.nullness, next.nullness);
+  r.nonzero = prev.nonzero && next.nonzero;
+  r.is_float = prev.is_float || next.is_float;
+  // Keep a relational fact only when stable: present on both sides and not
+  // weakening. A growing constant would ascend forever; drop it instead.
+  for (const auto& [sym, c] : prev.upper_lt) {
+    auto it = next.upper_lt.find(sym);
+    if (it != next.upper_lt.end() && it->second <= c) r.upper_lt[sym] = c;
+  }
+  for (const auto& [sym, c] : prev.lower_ge) {
+    auto it = next.lower_ge.find(sym);
+    if (it != next.lower_ge.end() && it->second >= c) r.lower_ge[sym] = c;
+  }
+  return r;
+}
+
+Interval TypeRange(const std::string& t) {
+  if (t == "bool") return Interval::Range(0, 1);
+  if (t == "int8_t") return Interval::Range(-128, 127);
+  if (t == "uint8_t") return Interval::Range(0, 255);
+  if (t == "int16_t" || t == "short") return Interval::Range(-32768, 32767);
+  if (t == "uint16_t") return Interval::Range(0, 65535);
+  if (t == "int32_t" || t == "int")
+    return Interval::Range(INT32_MIN, INT32_MAX);
+  if (t == "uint32_t" || t == "unsigned") return Interval::Range(0, UINT32_MAX);
+  if (t == "int64_t" || t == "long" || t == "ptrdiff_t" || t == "ssize_t")
+    return Interval::Top();
+  if (t == "uint64_t" || t == "size_t")
+    return Interval::Range(0, Interval::kMax);  // 2^63..2^64-1 folded into +inf
+  return Interval::Top();
+}
+
+bool IsNarrowIntType(const std::string& t) {
+  return t == "int8_t" || t == "uint8_t" || t == "int16_t" || t == "short" ||
+         t == "uint16_t" || t == "int32_t" || t == "int" || t == "uint32_t" ||
+         t == "unsigned";
+}
+
+}  // namespace clouddb::lint

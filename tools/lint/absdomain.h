@@ -1,0 +1,121 @@
+#ifndef CLOUDDB_TOOLS_LINT_ABSDOMAIN_H_
+#define CLOUDDB_TOOLS_LINT_ABSDOMAIN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace clouddb::lint {
+
+/// Abstract domains for the lint-side abstract interpreter (absint.{h,cc}).
+/// Three cooperating lattices:
+///
+///  * Interval — signed-64 value ranges with +/-inf sentinels, saturating
+///    transfer functions, and the classic widen-to-extreme / narrow-back
+///    operators used at loop heads.
+///  * Nullness — four-point pointer lattice (bottom / null / non-null / top).
+///  * AbsValue — one variable's state: an interval, a nullness, an optional
+///    "provably nonzero" bit (for `x != 0` guards the interval cannot
+///    express), and *relational* facts of the form `var < sym + c` /
+///    `var >= sym + c` against other variables or container-size symbols
+///    ("size:path"). The relational half is what lets `i < v.size()` guards
+///    discharge `v[i]` without a full octagon domain.
+///
+/// Everything is value-semantic and deterministic; joins are commutative so
+/// worklist visit order cannot change the fixpoint.
+
+struct Interval {
+  static constexpr int64_t kMin = INT64_MIN;  // -inf sentinel
+  static constexpr int64_t kMax = INT64_MAX;  // +inf sentinel
+
+  int64_t lo = kMin;
+  int64_t hi = kMax;
+  bool bottom = false;  // contradiction / unreachable
+
+  static Interval Top() { return Interval{}; }
+  static Interval Bottom() {
+    Interval r;
+    r.bottom = true;
+    return r;
+  }
+  static Interval Constant(int64_t v) { return Interval{v, v, false}; }
+  static Interval Range(int64_t lo, int64_t hi) {
+    if (lo > hi) return Bottom();
+    return Interval{lo, hi, false};
+  }
+
+  bool IsTop() const { return !bottom && lo == kMin && hi == kMax; }
+  bool IsConstant() const { return !bottom && lo == hi; }
+  bool Contains(int64_t v) const { return !bottom && lo <= v && v <= hi; }
+  /// True when every value of the interval lies inside [lo, hi].
+  bool Within(int64_t l, int64_t h) const {
+    return !bottom && lo >= l && hi <= h;
+  }
+  bool operator==(const Interval& o) const {
+    return bottom == o.bottom && (bottom || (lo == o.lo && hi == o.hi));
+  }
+
+  static Interval Join(const Interval& a, const Interval& b);
+  static Interval Meet(const Interval& a, const Interval& b);
+  /// Widen(previous, next): bounds that moved jump to the infinities.
+  static Interval Widen(const Interval& prev, const Interval& next);
+
+  static Interval Add(const Interval& a, const Interval& b);
+  static Interval Sub(const Interval& a, const Interval& b);
+  static Interval Mul(const Interval& a, const Interval& b);
+  static Interval Div(const Interval& a, const Interval& b);  // trunc toward 0
+  static Interval Mod(const Interval& a, const Interval& b);
+  static Interval Shl(const Interval& a, const Interval& b);
+  static Interval Shr(const Interval& a, const Interval& b);
+  static Interval BitAnd(const Interval& a, const Interval& b);
+  static Interval Neg(const Interval& a);
+  static Interval Min(const Interval& a, const Interval& b);
+  static Interval Max(const Interval& a, const Interval& b);
+};
+
+enum class Nullness : uint8_t { kBottom, kNull, kNonNull, kTop };
+
+Nullness JoinNullness(Nullness a, Nullness b);
+
+/// Relational bounds against a symbol: another variable's name or a
+/// container-size symbol spelled "size:<path>". `upper_lt[s] = c` encodes
+/// `var < s + c`; `lower_ge[s] = c` encodes `var >= s + c`. Joins keep the
+/// weaker bound on common symbols and drop symbols known on only one side.
+struct AbsValue {
+  Interval range;
+  Nullness nullness = Nullness::kTop;
+  bool nonzero = false;  // proven != 0 even when `range` straddles zero
+  bool is_float = false; // declared floating-point (div-zero rule exempts /0 UB)
+  std::map<std::string, int64_t> upper_lt;
+  std::map<std::string, int64_t> lower_ge;
+
+  bool operator==(const AbsValue& o) const {
+    return range == o.range && nullness == o.nullness && nonzero == o.nonzero &&
+           is_float == o.is_float && upper_lt == o.upper_lt &&
+           lower_ge == o.lower_ge;
+  }
+
+  static AbsValue Top() { return AbsValue{}; }
+  static AbsValue Of(const Interval& iv) {
+    AbsValue v;
+    v.range = iv;
+    if (!iv.Contains(0)) v.nonzero = !iv.bottom;
+    return v;
+  }
+
+  static AbsValue Join(const AbsValue& a, const AbsValue& b);
+  /// Widening: interval widens; relational facts survive only when present
+  /// on both sides with a non-growing constant (guarantees termination).
+  static AbsValue Widen(const AbsValue& prev, const AbsValue& next);
+};
+
+/// Declared-integer-type ranges ("uint32_t" -> [0, 2^32-1], ...). Returns
+/// Top for unknown or non-integer type spellings. `int`/`long` follow LP64.
+Interval TypeRange(const std::string& type_name);
+/// True when `type_name` is a sized integer type strictly narrower than 64
+/// bits (the clouddb-narrowing rule's cast targets). Plain `char` excluded.
+bool IsNarrowIntType(const std::string& type_name);
+
+}  // namespace clouddb::lint
+
+#endif  // CLOUDDB_TOOLS_LINT_ABSDOMAIN_H_

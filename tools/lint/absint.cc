@@ -1,0 +1,2364 @@
+#include "absint.h"
+#include "absdomain.h"
+#include "callgraph.h"
+#include "cfg.h"
+#include "frontend.h"
+#include "rules_flow.h"
+#include "rules_interproc.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <iterator>
+#include <optional>
+#include <set>
+#include <utility>
+
+namespace clouddb::lint {
+namespace {
+
+bool ParseIntLit(const std::string& s, int64_t* out) {
+  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  std::string digits;
+  int base = 10;
+  size_t i = 0;
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    base = 16;
+    i = 2;
+  }
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c == '\'') continue;  // digit separator
+    if (c == 'u' || c == 'U' || c == 'l' || c == 'L' || c == 'z' || c == 'Z') {
+      continue;  // suffix
+    }
+    if (base == 16 ? !std::isxdigit(static_cast<unsigned char>(c))
+                   : !std::isdigit(static_cast<unsigned char>(c))) {
+      return false;  // float literal (dot/exponent) or malformed
+    }
+    digits += c;
+  }
+  if (digits.empty()) return false;
+  errno = 0;
+  char* endp = nullptr;
+  unsigned long long v = std::strtoull(digits.c_str(), &endp, base);
+  if (endp == nullptr || *endp != '\0') return false;
+  if (v > static_cast<unsigned long long>(Interval::kMax)) {
+    *out = Interval::kMax;
+  } else {
+    *out = static_cast<int64_t>(v);
+  }
+  return true;
+}
+
+bool IsFloatLit(const std::string& s) {
+  if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0]))) {
+    return false;
+  }
+  return s.find('.') != std::string::npos || s.find('e') != std::string::npos ||
+         s.find('E') != std::string::npos;
+}
+
+bool IsFloatTypeName(const std::string& t) {
+  return t == "float" || t == "double";
+}
+
+const std::set<std::string>& ReadOnlyMethods() {
+  static const std::set<std::string> kRead = {
+      "size",  "empty", "length",   "begin", "end",   "data",
+      "at",    "front", "back",     "cbegin", "cend", "capacity",
+      "rbegin", "rend", "c_str",    "find",  "count", "contains"};
+  return kRead;
+}
+
+/// Removes `sym` as a relational anchor everywhere in the environment.
+void RemoveFactSym(AbsEnv* env, const std::string& sym) {
+  for (auto& [name, v] : env->vars) {
+    v.upper_lt.erase(sym);
+    v.lower_ge.erase(sym);
+  }
+  for (auto it = env->ceil_of.begin(); it != env->ceil_of.end();) {
+    if (it->second.first == sym) {
+      it = env->ceil_of.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+/// Reassignment of `name`: its old value is gone, so every fact anchored on
+/// it (in other variables, ceil shapes, extent symbols) dies with it.
+void KillVar(AbsEnv* env, const std::string& name) {
+  RemoveFactSym(env, name);
+  for (auto& [p, ext] : env->extents) {
+    if (ext.sym == name) ext.sym.clear();  // snapshot interval stays valid
+  }
+  env->ceil_of.erase(name);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Environment lattice.
+// ---------------------------------------------------------------------------
+
+AbsEnv AbsEnv::Join(const AbsEnv& a, const AbsEnv& b) {
+  if (!a.reachable) return b;
+  if (!b.reachable) return a;
+  AbsEnv r;
+  r.reachable = true;
+  for (const auto& [k, v] : a.vars) {
+    auto it = b.vars.find(k);
+    if (it != b.vars.end()) r.vars[k] = AbsValue::Join(v, it->second);
+  }
+  for (const auto& [k, v] : a.sizes) {
+    auto it = b.sizes.find(k);
+    if (it != b.sizes.end()) r.sizes[k] = Interval::Join(v, it->second);
+  }
+  for (const auto& [k, v] : a.extents) {
+    auto it = b.extents.find(k);
+    if (it == b.extents.end()) continue;
+    Extent e;
+    e.known = v.known && it->second.known;
+    e.count = Interval::Join(v.count, it->second.count);
+    e.sym = v.sym == it->second.sym ? v.sym : "";
+    if (e.known) r.extents[k] = e;
+  }
+  for (const auto& [k, v] : a.ceil_of) {
+    auto it = b.ceil_of.find(k);
+    if (it != b.ceil_of.end() && it->second == v) r.ceil_of[k] = v;
+  }
+  return r;
+}
+
+AbsEnv AbsEnv::Widen(const AbsEnv& prev, const AbsEnv& next) {
+  if (!prev.reachable) return next;
+  if (!next.reachable) return prev;
+  AbsEnv r;
+  r.reachable = true;
+  for (const auto& [k, v] : prev.vars) {
+    auto it = next.vars.find(k);
+    if (it != next.vars.end()) r.vars[k] = AbsValue::Widen(v, it->second);
+  }
+  for (const auto& [k, v] : prev.sizes) {
+    auto it = next.sizes.find(k);
+    if (it != next.sizes.end()) r.sizes[k] = Interval::Widen(v, it->second);
+  }
+  for (const auto& [k, v] : prev.extents) {
+    auto it = next.extents.find(k);
+    if (it == next.extents.end()) continue;
+    Extent e;
+    e.known = v.known && it->second.known;
+    e.count = Interval::Widen(v.count, it->second.count);
+    e.sym = v.sym == it->second.sym ? v.sym : "";
+    if (e.known) r.extents[k] = e;
+  }
+  for (const auto& [k, v] : prev.ceil_of) {
+    auto it = next.ceil_of.find(k);
+    if (it != next.ceil_of.end() && it->second == v) r.ceil_of[k] = v;
+  }
+  return r;
+}
+
+Interval ResolvedTypeRange(const std::map<std::string, std::string>& aliases,
+                           const std::string& type_name) {
+  auto it = aliases.find(type_name);
+  return TypeRange(it == aliases.end() ? type_name : it->second);
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation.
+// ---------------------------------------------------------------------------
+
+/// Recursive-descent evaluator over a token range. Total: malformed or
+/// unsupported shapes evaluate to Top and parsing always advances, so the
+/// evaluator terminates on arbitrary token soup.
+struct AbsEvalImpl {
+  const AbsInterpreter& in;
+  const std::vector<Token>& t;
+  const AbsEnv& env;
+  size_t p;
+  size_t end;
+
+  AbsEvalImpl(const AbsInterpreter& interp, const std::vector<Token>& toks,
+              const AbsEnv& e, size_t begin, size_t stop)
+      : in(interp), t(toks), env(e), p(begin), end(stop) {}
+
+  const std::string& Tok(size_t i) const {
+    static const std::string kEmpty;
+    return i < end ? t[i].text : kEmpty;
+  }
+  bool At(const char* s) const { return Tok(p) == s; }
+  bool At2(const char* a, const char* b) const {
+    return Tok(p) == a && Tok(p + 1) == b;
+  }
+
+  static EvalOut Top() { return EvalOut{AbsValue::Top(), ""}; }
+  static EvalOut Of(const Interval& iv) {
+    return EvalOut{AbsValue::Of(iv), ""};
+  }
+
+  /// Finds the token index of the matching closer for the opener at `open`,
+  /// or `end` when unbalanced.
+  size_t Close(size_t open) const {
+    const std::string& o = Tok(open);
+    std::string c = o == "(" ? ")" : o == "[" ? "]" : o == "{" ? "}" : "";
+    if (c.empty()) return end;
+    int depth = 0;
+    for (size_t i = open; i < end; ++i) {
+      if (Tok(i) == o) ++depth;
+      if (Tok(i) == c && --depth == 0) return i;
+    }
+    return end;
+  }
+
+  /// Reads an `a.b->c` chain starting at p (which must be an identifier),
+  /// advancing p past it. Returns the joined path spelling.
+  std::string ReadPath() {
+    std::string path = Tok(p++);
+    while (p + 1 < end && (Tok(p) == "." || Tok(p) == "->") &&
+           t[p + 1].ident) {
+      path += Tok(p);
+      path += Tok(p + 1);
+      p += 2;
+    }
+    return path;
+  }
+
+  EvalOut Expr() { return Ternary(); }
+
+  EvalOut Ternary() {
+    EvalOut cond = LogOr();
+    if (!At("?")) return cond;
+    ++p;
+    // Find the matching ':' at this nesting level.
+    int q = 0;
+    int depth = 0;
+    size_t colon = end;
+    for (size_t i = p; i < end; ++i) {
+      const std::string& s = Tok(i);
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      if (s == ")" || s == "]" || s == "}") --depth;
+      if (depth != 0) continue;
+      if (s == "?") ++q;
+      if (s == ":") {
+        if (q == 0) {
+          colon = i;
+          break;
+        }
+        --q;
+      }
+    }
+    if (colon == end) {
+      p = end;
+      return Top();
+    }
+    AbsEvalImpl a(in, t, env, p, colon);
+    EvalOut va = a.Expr();
+    AbsEvalImpl b(in, t, env, colon + 1, end);
+    EvalOut vb = b.Expr();
+    p = end;
+    return EvalOut{AbsValue::Join(va.val, vb.val), ""};
+  }
+
+  EvalOut LogOr() {
+    EvalOut v = LogAnd();
+    while (At2("|", "|")) {
+      p += 2;
+      LogAnd();
+      v = Of(Interval::Range(0, 1));
+    }
+    return v;
+  }
+
+  EvalOut LogAnd() {
+    EvalOut v = BitOr();
+    while (At2("&", "&")) {
+      p += 2;
+      BitOr();
+      v = Of(Interval::Range(0, 1));
+    }
+    return v;
+  }
+
+  EvalOut BitOr() {
+    EvalOut v = BitXor();
+    while (At("|") && !At2("|", "|")) {
+      ++p;
+      BitXor();
+      v = Top();
+    }
+    return v;
+  }
+
+  EvalOut BitXor() {
+    EvalOut v = BitAnd();
+    while (At("^")) {
+      ++p;
+      BitAnd();
+      v = Top();
+    }
+    return v;
+  }
+
+  EvalOut BitAnd() {
+    EvalOut v = Equality();
+    while (At("&") && !At2("&", "&")) {
+      ++p;
+      EvalOut r = Equality();
+      v = EvalOut{AbsValue::Of(Interval::BitAnd(v.val.range, r.val.range)), ""};
+    }
+    return v;
+  }
+
+  EvalOut Equality() {
+    EvalOut v = Relational();
+    while (At2("=", "=") || At2("!", "=")) {
+      p += 2;
+      Relational();
+      v = Of(Interval::Range(0, 1));
+    }
+    return v;
+  }
+
+  EvalOut Relational() {
+    EvalOut v = Shift();
+    while ((At("<") || At(">")) && !At2("<", "<") && !At2(">", ">")) {
+      p += Tok(p + 1) == "=" ? 2 : 1;
+      Shift();
+      v = Of(Interval::Range(0, 1));
+    }
+    return v;
+  }
+
+  EvalOut Shift() {
+    EvalOut v = Additive();
+    while (At2("<", "<") || At2(">", ">")) {
+      bool left = At2("<", "<");
+      p += 2;
+      EvalOut r = Additive();
+      Interval iv = left ? Interval::Shl(v.val.range, r.val.range)
+                         : Interval::Shr(v.val.range, r.val.range);
+      v = EvalOut{AbsValue::Of(iv), ""};
+    }
+    return v;
+  }
+
+  EvalOut Additive() {
+    EvalOut v = Multiplicative();
+    while (At("+") || At("-")) {
+      if (At2("+", "+") || At2("-", "-")) break;  // ++/-- never infix here
+      bool add = At("+");
+      ++p;
+      EvalOut r = Multiplicative();
+      Interval iv = add ? Interval::Add(v.val.range, r.val.range)
+                        : Interval::Sub(v.val.range, r.val.range);
+      AbsValue nv = AbsValue::Of(iv);
+      nv.is_float = v.val.is_float || r.val.is_float;
+      v = EvalOut{nv, ""};
+    }
+    return v;
+  }
+
+  EvalOut Multiplicative() {
+    EvalOut v = Unary();
+    while (At("*") || At("/") || At("%")) {
+      char op = Tok(p)[0];
+      ++p;
+      EvalOut r = Unary();
+      Interval iv = op == '*' ? Interval::Mul(v.val.range, r.val.range)
+                  : op == '/' ? Interval::Div(v.val.range, r.val.range)
+                              : Interval::Mod(v.val.range, r.val.range);
+      AbsValue nv = AbsValue::Of(iv);
+      nv.is_float = v.val.is_float || r.val.is_float;
+      v = EvalOut{nv, ""};
+    }
+    return v;
+  }
+
+  EvalOut Unary() {
+    // Pre-increment / pre-decrement: the tokenizer splits `--x` into two
+    // `-` tokens; `-(-x)` is never spelled without parens, so adjacent
+    // same-sign pairs before an identifier mean the mutating operator. The
+    // expression's value is old-x minus/plus one (the store itself is the
+    // statement transfer's business).
+    if (At2("-", "-") && p + 2 < end && t[p + 2].ident) {
+      p += 2;
+      EvalOut v = Unary();
+      return Of(Interval::Sub(v.val.range, Interval::Constant(1)));
+    }
+    if (At2("+", "+") && p + 2 < end && t[p + 2].ident) {
+      p += 2;
+      EvalOut v = Unary();
+      return Of(Interval::Add(v.val.range, Interval::Constant(1)));
+    }
+    if (At("-")) {
+      ++p;
+      EvalOut v = Unary();
+      return EvalOut{AbsValue::Of(Interval::Neg(v.val.range)), ""};
+    }
+    if (At("+")) {
+      ++p;
+      return Unary();
+    }
+    if (At("!")) {
+      ++p;
+      Unary();
+      return Of(Interval::Range(0, 1));
+    }
+    if (At("~") || At("*")) {
+      ++p;
+      Unary();
+      return Top();
+    }
+    if (At("&")) {
+      ++p;
+      Unary();
+      AbsValue v;
+      v.nonzero = true;
+      v.nullness = Nullness::kNonNull;
+      return EvalOut{v, ""};
+    }
+    return Postfix();
+  }
+
+  /// Skips a balanced `( ... )` / `[ ... ]` group; p must be at the opener.
+  void SkipGroup() {
+    size_t c = Close(p);
+    p = c == end ? end : c + 1;
+  }
+
+  EvalOut Postfix() {
+    EvalOut v = Primary();
+    for (;;) {
+      if (At2("+", "+") || At2("-", "-")) {
+        p += 2;  // post-inc/dec: value is the pre-step value, sym preserved
+        continue;
+      }
+      if (At("[")) {  // subscript read: contents untracked
+        SkipGroup();
+        v = Top();
+        continue;
+      }
+      break;
+    }
+    return v;
+  }
+
+  EvalOut Primary() {
+    if (p >= end) return Top();
+    const std::string& s = Tok(p);
+    int64_t lit = 0;
+    if (ParseIntLit(s, &lit)) {
+      ++p;
+      return Of(Interval::Constant(lit));
+    }
+    if (IsFloatLit(s)) {
+      ++p;
+      // Integral-valued float literals (`0.0`, `1.0`) keep their value so
+      // `y != 0.0` guards still establish nonzero-ness for the div rule.
+      errno = 0;
+      char* lend = nullptr;
+      double d = std::strtod(s.c_str(), &lend);
+      EvalOut v = Top();
+      if (errno == 0 && lend != nullptr &&
+          (*lend == '\0' || *lend == 'f' || *lend == 'F') &&
+          d == static_cast<double>(static_cast<int64_t>(d)) &&
+          d >= -1e15 && d <= 1e15) {
+        v = Of(Interval::Constant(static_cast<int64_t>(d)));
+      }
+      v.val.is_float = true;
+      return v;
+    }
+    if (s == "true") {
+      ++p;
+      return Of(Interval::Constant(1));
+    }
+    if (s == "false" || s == "nullptr") {
+      ++p;
+      EvalOut v = Of(Interval::Constant(0));
+      if (s == "nullptr") v.val.nullness = Nullness::kNull;
+      return v;
+    }
+    if (s == "(") {
+      size_t c = Close(p);
+      AbsEvalImpl inner(in, t, env, p + 1, c);
+      EvalOut v = inner.Expr();
+      p = c == end ? end : c + 1;
+      return v;
+    }
+    if (s == "static_cast" || s == "reinterpret_cast" || s == "const_cast") {
+      return Cast();
+    }
+    if (s == "sizeof") {
+      ++p;
+      if (At("(")) SkipGroup();
+      return Of(Interval::Range(1, 16));
+    }
+    if (!t[p].ident) {
+      ++p;  // stray punctuation: give up on this atom but keep advancing
+      return Top();
+    }
+    return PathAtom();
+  }
+
+  /// `static_cast<T>(e)`: evaluates `e`, then meets with T's declared range
+  /// — we model the program as if the cast never truncates; proving that it
+  /// cannot is exactly the clouddb-narrowing rule's job, done separately.
+  EvalOut Cast() {
+    bool is_static = At("static_cast");
+    ++p;
+    std::string type_last;
+    bool type_float = false;
+    if (At("<")) {
+      int depth = 0;
+      for (; p < end; ++p) {
+        if (Tok(p) == "<") ++depth;
+        else if (Tok(p) == ">") {
+          if (--depth == 0) {
+            ++p;
+            break;
+          }
+        } else if (t[p].ident) {
+          type_last = Tok(p);
+          if (IsFloatTypeName(type_last)) type_float = true;
+        }
+      }
+    }
+    EvalOut v = Top();
+    if (At("(")) {
+      size_t c = Close(p);
+      AbsEvalImpl inner(in, t, env, p + 1, c);
+      v = inner.Expr();
+      p = c == end ? end : c + 1;
+    }
+    if (type_float) {
+      v.val.is_float = true;
+      v.sym.clear();
+      return v;  // value-transparent for int -> double widenings
+    }
+    if (is_static && !type_last.empty()) {
+      Interval tr = ResolvedTypeRange(in.aliases_, type_last);
+      AbsValue nv = v.val;
+      nv.range = Interval::Meet(nv.range, tr);
+      if (nv.range.bottom) nv.range = tr;  // incompatible: trust the cast type
+      return EvalOut{nv, v.sym};
+    }
+    v.sym.clear();
+    return v;
+  }
+
+  EvalOut PathAtom() {
+    // std::min / std::max / std::numeric_limits<T>::max() / std::clamp.
+    if (At("std") && Tok(p + 1) == "::") {
+      if (Tok(p + 2) == "min" || Tok(p + 2) == "max") return MinMax();
+      if (Tok(p + 2) == "numeric_limits") return NumericLimits();
+      p += 2;  // fall through into the named atom
+      return PathAtom();
+    }
+    if ((At("min") || At("max")) && Tok(p + 1) == "(") return MinMax();
+    if (At("numeric_limits")) return NumericLimits();
+
+    std::string path = ReadPath();
+    // Method-call postfix: `path(...)` where path's last segment is a method.
+    if (At("(")) {
+      size_t sep = LastSepPos(path);
+      std::string base = sep == std::string::npos ? "" : path.substr(0, sep);
+      std::string method = sep == std::string::npos
+                               ? path
+                               : path.substr(sep + (path[sep] == '-' ? 2 : 1));
+      SkipGroup();
+      if (!base.empty() && (method == "size" || method == "length")) {
+        auto it = env.sizes.find(base);
+        // The symbolic identity holds whether or not the size interval is
+        // tracked yet: a guard against an untracked `blocks_.size()` must
+        // still pin `i < size:blocks_` for the subscript to discharge.
+        EvalOut v = Of(it != env.sizes.end()
+                           ? it->second
+                           : Interval::Range(0, Interval::kMax));
+        v.sym = "size:" + base;
+        return v;
+      }
+      if (!base.empty() && method == "empty") return Of(Interval::Range(0, 1));
+      if (base.empty()) {
+        // Free-function call: use the callee's return summary when the name
+        // resolves to exactly one definition in the call graph.
+        Interval ret = in.SummaryReturn(method);
+        if (!ret.IsTop()) return Of(ret);
+      }
+      return Top();
+    }
+    // Bare variable / constant / unmodeled member value.
+    if (LastSepPos(path) == std::string::npos) {
+      auto it = env.vars.find(path);
+      if (it != env.vars.end()) return EvalOut{it->second, path};
+      auto cit = in.constants_.find(path);
+      if (cit != in.constants_.end()) {
+        return Of(Interval::Constant(cit->second));
+      }
+      return EvalOut{AbsValue::Top(), path};
+    }
+    return Top();
+  }
+
+  static size_t LastSepPos(const std::string& path) {
+    size_t dot = path.rfind('.');
+    size_t arrow = path.rfind("->");
+    if (arrow != std::string::npos && (dot == std::string::npos || arrow > dot))
+      return arrow;
+    return dot;
+  }
+
+  EvalOut MinMax() {
+    bool is_min = false;
+    while (p < end && Tok(p) != "(") {
+      if (Tok(p) == "min") is_min = true;
+      ++p;
+    }
+    if (!At("(")) return Top();
+    size_t open = p;
+    size_t close = Close(open);
+    size_t comma = close;
+    int depth = 0;
+    for (size_t i = open; i < close; ++i) {
+      const std::string& s = Tok(i);
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      if (s == ")" || s == "]" || s == "}") --depth;
+      if (s == "," && depth == 1) {
+        comma = i;
+        break;
+      }
+    }
+    p = close == end ? end : close + 1;
+    if (comma == close) return Top();
+    AbsEvalImpl a(in, t, env, open + 1, comma);
+    EvalOut va = a.Expr();
+    AbsEvalImpl b(in, t, env, comma + 1, close);
+    EvalOut vb = b.Expr();
+    EvalOut v;
+    v.val.range = is_min ? Interval::Min(va.val.range, vb.val.range)
+                         : Interval::Max(va.val.range, vb.val.range);
+    if (is_min) {
+      // min(a, b) <= b and <= a: inherit both symbolic upper anchors.
+      if (!va.sym.empty()) v.val.upper_lt[va.sym] = 1;
+      if (!vb.sym.empty()) v.val.upper_lt[vb.sym] = 1;
+      for (const auto& [s, c] : va.val.upper_lt) {
+        auto it = v.val.upper_lt.find(s);
+        v.val.upper_lt[s] =
+            it == v.val.upper_lt.end() ? c : std::min(it->second, c);
+      }
+    }
+    return v;
+  }
+
+  EvalOut NumericLimits() {
+    // numeric_limits<T>::max() / ::min() / ::lowest()
+    std::string type_last;
+    while (p < end && Tok(p) != "<") ++p;
+    if (At("<")) {
+      int depth = 0;
+      for (; p < end; ++p) {
+        if (Tok(p) == "<") ++depth;
+        else if (Tok(p) == ">") {
+          if (--depth == 0) {
+            ++p;
+            break;
+          }
+        } else if (t[p].ident) {
+          type_last = Tok(p);
+        }
+      }
+    }
+    std::string member;
+    if (At("::")) {
+      ++p;
+      member = Tok(p);
+      ++p;
+    }
+    if (At("(")) SkipGroup();
+    Interval tr = ResolvedTypeRange(in.aliases_, type_last);
+    if (member == "max") return Of(Interval::Constant(tr.hi));
+    if (member == "min" || member == "lowest")
+      return Of(Interval::Constant(tr.lo));
+    return Top();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// AbsInterpreter.
+// ---------------------------------------------------------------------------
+
+AbsInterpreter::AbsInterpreter(const InterprocContext& ctx) : ctx_(&ctx) {
+  results_.resize(ctx.cg.functions.size());
+  summaries_.resize(ctx.cg.functions.size());
+}
+
+Interval AbsInterpreter::SummaryReturn(const std::string& name) const {
+  auto it = ctx_->cg.by_name.find(name);
+  if (it == ctx_->cg.by_name.end() || it->second.size() != 1) {
+    return Interval::Top();
+  }
+  return summaries_[it->second[0]].ret;
+}
+
+void AbsInterpreter::CollectGlobals() {
+  for (const AnalyzedFile& af : *ctx_->files) {
+    const std::vector<Token>& t = af.file->tokens;
+    for (size_t i = 0; i + 3 < t.size(); ++i) {
+      if (t[i].text == "constexpr") {
+        // constexpr <type...> kName = <intlit> ;
+        size_t j = i + 1;
+        while (j + 2 < t.size() && t[j].text != "=" && t[j].text != ";" &&
+               j < i + 8) {
+          ++j;
+        }
+        if (j + 2 < t.size() && t[j].text == "=" && t[j - 1].ident) {
+          int64_t v = 0;
+          if (ParseIntLit(t[j + 1].text, &v) && t[j + 2].text == ";") {
+            constants_[t[j - 1].text] = v;
+          }
+        }
+      } else if (t[i].text == "using" && t[i + 1].ident &&
+                 t[i + 2].text == "=") {
+        // using Alias = <type tokens> ;
+        size_t j = i + 3;
+        std::string last;
+        while (j < t.size() && t[j].text != ";") {
+          if (t[j].ident) last = t[j].text;
+          ++j;
+        }
+        if (!last.empty()) aliases_[t[i + 1].text] = last;
+      }
+    }
+  }
+}
+
+namespace {
+
+struct ParamInfo {
+  std::string name;
+  std::string type_last;  // last type identifier ("size_t", "vector", ...)
+  bool is_pointer = false;
+  bool is_container = false;
+  bool is_float = false;
+  bool is_int = false;
+};
+
+bool IsKnownIntTypeName(const std::map<std::string, std::string>& aliases,
+                        const std::string& t) {
+  auto it = aliases.find(t);
+  const std::string& r = it == aliases.end() ? t : it->second;
+  return r == "bool" || r == "int8_t" || r == "uint8_t" || r == "int16_t" ||
+         r == "uint16_t" || r == "int32_t" || r == "uint32_t" ||
+         r == "int64_t" || r == "uint64_t" || r == "int" || r == "unsigned" ||
+         r == "long" || r == "short" || r == "size_t" || r == "ptrdiff_t" ||
+         r == "ssize_t" || r == "char";
+}
+
+std::vector<ParamInfo> ParseParams(
+    const SourceFile& file, const FunctionDef& fn,
+    const std::map<std::string, std::string>& aliases) {
+  std::vector<ParamInfo> out;
+  const std::vector<Token>& t = file.tokens;
+  size_t b = fn.params_begin;
+  size_t e = fn.params_end;
+  if (b >= e || b >= t.size()) return out;
+  std::vector<std::pair<size_t, size_t>> groups;
+  int depth = 0;
+  size_t start = b;
+  for (size_t i = b; i < e && i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if (s == "(" || s == "[" || s == "{") ++depth;
+    if (s == ")" || s == "]" || s == "}") --depth;
+    if (s == "<" && i > b && t[i - 1].ident) ++depth;  // template args
+    if (s == ">" && depth > 0) --depth;
+    if (s == "," && depth == 0) {
+      groups.emplace_back(start, i);
+      start = i + 1;
+    }
+  }
+  if (start < e) groups.emplace_back(start, e);
+  for (auto [gb, ge] : groups) {
+    // Strip a default argument.
+    int d = 0;
+    for (size_t i = gb; i < ge; ++i) {
+      const std::string& s = t[i].text;
+      if (s == "(" || s == "[" || s == "{" || s == "<") ++d;
+      if (s == ")" || s == "]" || s == "}" || s == ">") --d;
+      if (s == "=" && d == 0) {
+        ge = i;
+        break;
+      }
+    }
+    ParamInfo pi;
+    size_t name_tok = ge;
+    for (size_t i = ge; i > gb;) {
+      --i;
+      if (t[i].ident && !IsKeyword(t[i].text)) {
+        name_tok = i;
+        break;
+      }
+    }
+    if (name_tok == ge) continue;
+    pi.name = t[name_tok].text;
+    if (pi.name == "void") continue;
+    for (size_t i = gb; i < name_tok; ++i) {
+      const std::string& s = t[i].text;
+      if (s == "*") pi.is_pointer = true;
+      if (s == "vector" || s == "deque" || s == "string" || s == "span") {
+        pi.is_container = true;
+      }
+      if (t[i].ident && s != "const" && s != "std" && s != "struct") {
+        pi.type_last = s;
+      }
+    }
+    if (pi.type_last.empty()) continue;  // e.g. sole `void`
+    pi.is_float = IsFloatTypeName(pi.type_last);
+    pi.is_int = !pi.is_pointer && !pi.is_container &&
+                IsKnownIntTypeName(aliases, pi.type_last);
+    out.push_back(std::move(pi));
+  }
+  return out;
+}
+
+}  // namespace
+
+void AbsInterpreter::SetupSummaries() {
+  for (size_t f = 0; f < ctx_->cg.functions.size(); ++f) {
+    const CgFunction& cf = ctx_->cg.functions[f];
+    const AnalyzedFile& af = (*ctx_->files)[cf.file];
+    Summary& s = summaries_[f];
+    for (const ParamInfo& pi : ParseParams(*af.file, *cf.fn, aliases_)) {
+      s.param_names.push_back(pi.name);
+      s.param_types.push_back(pi.type_last);
+      s.param_decl.push_back(pi.is_int ? ResolvedTypeRange(aliases_, pi.type_last)
+                                       : Interval::Top());
+      s.param_incoming.push_back(Interval::Bottom());
+      s.param_has_incoming.push_back(false);
+    }
+  }
+}
+
+void AbsInterpreter::CollectMemberScalars() {
+  for (size_t fi = 0; fi < ctx_->files->size(); ++fi) {
+    const std::vector<Token>& t = (*ctx_->files)[fi].file->tokens;
+    for (size_t i = 0; i + 2 < t.size(); ++i) {
+      if (!t[i].ident || !IsKnownIntTypeName(aliases_, t[i].text)) continue;
+      const Token& name = t[i + 1];
+      if (!name.ident || name.text.size() < 2 || name.text.back() != '_') {
+        continue;
+      }
+      const std::string& after = t[i + 2].text;
+      if (after != ";" && after != "=" && after != "{") continue;
+      Interval r = ResolvedTypeRange(aliases_, t[i].text);
+      if (r.IsTop()) continue;
+      auto& file_map = member_scalars_[static_cast<int>(fi)];
+      auto it = file_map.find(name.text);
+      // Conflicting redeclarations across classes in one file: keep the
+      // weaker (joined) range, which stays sound for both.
+      file_map[name.text] =
+          it == file_map.end() ? r : Interval::Join(it->second, r);
+    }
+  }
+}
+
+AbsEnv AbsInterpreter::EntryEnv(int f, bool use_incoming) const {
+  const CgFunction& cf = ctx_->cg.functions[f];
+  const AnalyzedFile& af = (*ctx_->files)[cf.file];
+  const SourceFile& file = *af.file;
+  AbsEnv env;
+  env.reachable = true;
+  std::vector<ParamInfo> params = ParseParams(file, *cf.fn, aliases_);
+  const Summary& sum = summaries_[f];
+  // Scalar and container parameters.
+  std::vector<size_t> int_params;
+  for (size_t i = 0; i < params.size(); ++i) {
+    const ParamInfo& pi = params[i];
+    if (pi.is_container) {
+      env.sizes[pi.name] = Interval::Range(0, Interval::kMax);
+    } else if (pi.is_int || pi.is_float) {
+      AbsValue v;
+      Interval iv = i < sum.param_decl.size() ? sum.param_decl[i]
+                                              : Interval::Top();
+      if (use_incoming && i < sum.param_incoming.size() &&
+          sum.param_has_incoming[i] && !sum.param_incoming[i].bottom) {
+        iv = Interval::Meet(iv, sum.param_incoming[i]);
+        if (iv.bottom) iv = sum.param_decl[i];
+      }
+      v.range = pi.is_float ? Interval::Top() : iv;
+      v.is_float = pi.is_float;
+      env.vars[pi.name] = v;
+      if (pi.is_int) int_params.push_back(i);
+    }
+  }
+  // Pointer-extent contract: a raw pointer parameter's element count is the
+  // nearest integer parameter in the signature (ties prefer the later one,
+  // the `(T* buf, size_t n)` convention).
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!params[i].is_pointer) continue;
+    size_t best = SIZE_MAX;
+    size_t best_dist = SIZE_MAX;
+    for (size_t j : int_params) {
+      size_t dist = j > i ? j - i : i - j;
+      if (dist < best_dist || (dist == best_dist && j > i)) {
+        best_dist = dist;
+        best = j;
+      }
+    }
+    if (best != SIZE_MAX) {
+      Extent ext;
+      ext.known = true;
+      ext.sym = params[best].name;
+      auto it = env.vars.find(ext.sym);
+      ext.count = it != env.vars.end() ? it->second.range : Interval::Top();
+      env.extents[params[i].name] = ext;
+    }
+  }
+  // Member-scalar seeding: declared-type ranges for `type name_;` members of
+  // classes in this file (a type invariant, so sound at every method entry).
+  // Parameters shadowing a member name keep their own seeding above.
+  auto ms = member_scalars_.find(cf.file);
+  if (ms != member_scalars_.end()) {
+    for (const auto& [name, range] : ms->second) {
+      if (env.vars.count(name) != 0) continue;
+      AbsValue v;
+      v.range = range;
+      env.vars[name] = v;
+    }
+  }
+  // Member-path size seeding: a container member path is modeled iff the
+  // function itself consults `path.size()` / `path.empty()` (the documented
+  // modeling contract — unconsulted paths stay unmodeled and unreported).
+  const std::vector<Token>& t = file.tokens;
+  for (size_t i = cf.fn->body_begin; i < cf.fn->body_end && i < t.size(); ++i) {
+    const std::string& s = t[i].text;
+    if ((s != "size" && s != "empty" && s != "length") ||
+        i + 1 >= t.size() || t[i + 1].text != "(" || i < 2) {
+      continue;
+    }
+    const std::string& sep = t[i - 1].text;
+    if (sep != "." && sep != "->") continue;
+    // Walk backwards over the base path: ident (sep ident)* ending at the
+    // separator before size/empty. Chained call results (`foo().size()`)
+    // have ')' where an identifier is expected and are skipped — a call
+    // result is not a stable path.
+    size_t j = i - 1;  // separator position
+    std::string path;
+    bool ok = true;
+    for (;;) {
+      if (j == 0 || !t[j - 1].ident) {
+        ok = false;
+        break;
+      }
+      path = t[j - 1].text + (path.empty() ? "" : t[j].text + path);
+      if (j >= 2 && (t[j - 2].text == "." || t[j - 2].text == "->")) {
+        j -= 2;
+        continue;
+      }
+      break;
+    }
+    if (!ok || path.empty()) continue;
+    if (!env.sizes.count(path)) {
+      env.sizes[path] = Interval::Range(0, Interval::kMax);
+    }
+  }
+  return env;
+}
+
+int AbsInterpreter::NodeOfToken(int f, size_t tok) const {
+  const Cfg& cfg = ctx_->cfgs[f];
+  int best = -1;
+  for (size_t n = 0; n < cfg.nodes.size(); ++n) {
+    const CfgNode& nd = cfg.nodes[n];
+    if (nd.begin <= tok && tok < nd.end) {
+      // Prefer the tightest enclosing range (condition nodes nest inside
+      // the for-statement's overall range in no case here; ranges are
+      // disjoint by construction, first hit wins).
+      best = static_cast<int>(n);
+      break;
+    }
+  }
+  return best;
+}
+
+EvalOut AbsInterpreter::Eval(int f, const AbsEnv& env, size_t begin,
+                             size_t end) const {
+  ++interval_ops_;
+  const CgFunction& cf = ctx_->cg.functions[f];
+  const std::vector<Token>& t = (*ctx_->files)[cf.file].file->tokens;
+  if (begin >= end || end > t.size()) return EvalOut{AbsValue::Top(), ""};
+  AbsEvalImpl ev(*this, t, env, begin, end);
+  return ev.Expr();
+}
+
+void AbsInterpreter::Run() {
+  CollectGlobals();
+  CollectMemberScalars();  // needs the completed alias table
+  SetupSummaries();
+  // Phase A: declared-type parameter ranges; record returns and call args.
+  for (size_t f = 0; f < results_.size(); ++f) {
+    SolveFunction(static_cast<int>(f), /*use_incoming=*/false);
+  }
+  for (size_t f = 0; f < results_.size(); ++f) {
+    RecordCallArgs(static_cast<int>(f));
+  }
+  // Phase B: caller-informed parameter ranges.
+  for (size_t f = 0; f < results_.size(); ++f) {
+    SolveFunction(static_cast<int>(f), /*use_incoming=*/true);
+  }
+}
+
+void AbsInterpreter::RecordCallArgs(int f) {
+  const CgFunction& cf = ctx_->cg.functions[f];
+  const FnAbsResult& R = results_[f];
+  if (!R.solved) return;
+  const std::vector<Token>& t = (*ctx_->files)[cf.file].file->tokens;
+  for (const CallSite& cs : cf.calls) {
+    if (cs.targets.empty()) continue;
+    int node = NodeOfToken(f, cs.token);
+    if (node < 0 || !R.in[node].reachable) continue;
+    if (cs.token + 1 >= t.size() || t[cs.token + 1].text != "(") continue;
+    // Split argument ranges at top-level commas.
+    AbsEvalImpl ev(*this, t, R.in[node], cs.token + 1,
+                   std::min(t.size(), cs.token + 4096));
+    size_t close = ev.Close(cs.token + 1);
+    if (close >= std::min(t.size(), cs.token + 4096)) continue;
+    std::vector<std::pair<size_t, size_t>> args;
+    int depth = 0;
+    size_t start = cs.token + 2;
+    for (size_t i = cs.token + 1; i < close; ++i) {
+      const std::string& s = t[i].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      if (s == ")" || s == "]" || s == "}") --depth;
+      if (s == "," && depth == 1) {
+        args.emplace_back(start, i);
+        start = i + 1;
+      }
+    }
+    if (start < close) args.emplace_back(start, close);
+    for (int tgt : cs.targets) {
+      Summary& sum = summaries_[tgt];
+      for (size_t a = 0; a < args.size() && a < sum.param_incoming.size();
+           ++a) {
+        EvalOut v = Eval(f, R.in[node], args[a].first, args[a].second);
+        sum.param_incoming[a] =
+            Interval::Join(sum.param_incoming[a], v.val.range);
+        sum.param_has_incoming[a] = true;
+      }
+    }
+  }
+}
+
+void AbsInterpreter::SolveFunction(int f, bool use_incoming) {
+  FnAbsResult& R = results_[f];
+  const Cfg& cfg = ctx_->cfgs[f];
+  R.solved = false;
+  R.in.assign(cfg.nodes.size(), AbsEnv{});
+  R.ret = Interval::Bottom();
+  if (!cfg.ok || cfg.nodes.empty()) return;
+  R.in[Cfg::kEntry] = EntryEnv(f, use_incoming);
+
+  std::vector<int> rpo = cfg.ReversePostOrder();
+  std::vector<int> order(cfg.nodes.size(), 0);
+  for (size_t i = 0; i < rpo.size(); ++i) order[rpo[i]] = static_cast<int>(i);
+  std::vector<int> joins(cfg.nodes.size(), 0);
+  std::set<std::pair<int, int>> wl;
+  auto push = [&](int n) { wl.insert({order[n], n}); };
+  for (int s : cfg.nodes[Cfg::kEntry].succs) push(s);
+
+  auto edge_out = [&](int p, int n) {
+    const AbsEnv& inp = R.in[p];
+    if (!inp.reachable) return AbsEnv{};
+    AbsEnv out = TransferNode(f, p, inp, nullptr);
+    const CfgNode& pn = cfg.nodes[p];
+    if (pn.kind == CfgNode::Kind::kCondition && pn.succs.size() == 2 &&
+        pn.succs[0] != pn.succs[1] && pn.begin < pn.end) {
+      RefineCond(f, pn.begin, pn.end, n == pn.succs[0], &out);
+    }
+    return out;
+  };
+
+  int rounds = 0;
+  const int kMaxRounds = 40000;  // hard backstop, never reached in practice
+  while (!wl.empty() && rounds < kMaxRounds) {
+    ++rounds;
+    int n = wl.begin()->second;
+    wl.erase(wl.begin());
+    if (n == Cfg::kEntry) continue;
+    AbsEnv nin;
+    for (int p : cfg.nodes[n].preds) nin = AbsEnv::Join(nin, edge_out(p, n));
+    ++joins[n];
+    if (joins[n] > kWidenAfter) nin = AbsEnv::Widen(R.in[n], nin);
+    if (!(nin == R.in[n])) {
+      R.in[n] = std::move(nin);
+      for (int s : cfg.nodes[n].succs) push(s);
+    }
+  }
+  // Narrowing: bounded decreasing sweeps below the widened fixpoint to
+  // recover bounds the widening jump discarded.
+  for (int r = 0; r < kNarrowRounds; ++r) {
+    for (int n : rpo) {
+      if (n == Cfg::kEntry) continue;
+      AbsEnv nin;
+      for (int p : cfg.nodes[n].preds) nin = AbsEnv::Join(nin, edge_out(p, n));
+      R.in[n] = std::move(nin);
+    }
+  }
+  R.join_rounds = rounds;
+  // Collect the return interval with the final states.
+  Interval ret = Interval::Bottom();
+  for (size_t n = 0; n < cfg.nodes.size(); ++n) {
+    if (!R.in[n].reachable) continue;
+    (void)TransferNode(f, static_cast<int>(n), R.in[n], &ret);
+  }
+  R.ret = ret.bottom ? Interval::Top() : ret;
+  summaries_[f].ret = R.ret;  // publish for SummaryReturn at call sites
+  R.solved = true;
+}
+
+namespace {
+
+/// Removes every relational anchor whose root path segment is `name`
+/// ("name", "name.x", "name->x", "size:name", "size:name->x", ...).
+void RemoveFactsRootedAt(AbsEnv* env, const std::string& name) {
+  auto rooted = [&](const std::string& raw) {
+    std::string k = raw.rfind("size:", 0) == 0 ? raw.substr(5) : raw;
+    if (k == name) return true;
+    return k.rfind(name + ".", 0) == 0 || k.rfind(name + "->", 0) == 0;
+  };
+  for (auto& [vn, v] : env->vars) {
+    for (auto it = v.upper_lt.begin(); it != v.upper_lt.end();) {
+      it = rooted(it->first) ? v.upper_lt.erase(it) : std::next(it);
+    }
+    for (auto it = v.lower_ge.begin(); it != v.lower_ge.end();) {
+      it = rooted(it->first) ? v.lower_ge.erase(it) : std::next(it);
+    }
+  }
+  for (auto it = env->ceil_of.begin(); it != env->ceil_of.end();) {
+    if (rooted(it->second.first) || rooted(it->first)) {
+      it = env->ceil_of.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [p, ext] : env->extents) {
+    if (rooted(ext.sym)) ext.sym.clear();
+  }
+}
+
+/// `name += delta` for a unit step: shifts the interval and the variable's
+/// own relational facts. Widening drops facts that keep growing, so loops
+/// over shifted variables still terminate.
+void ShiftVar(AbsEnv* env, const std::string& name, int delta) {
+  auto it = env->vars.find(name);
+  AbsValue cur = it != env->vars.end() ? it->second : AbsValue::Top();
+  AbsValue nv;
+  nv.range = Interval::Add(cur.range, Interval::Constant(delta));
+  nv.is_float = cur.is_float;
+  for (const auto& [s, c] : cur.upper_lt) {
+    if (c < Interval::kMax - 1) nv.upper_lt[s] = c + delta;
+  }
+  for (const auto& [s, c] : cur.lower_ge) {
+    if (c > Interval::kMin + 1) nv.lower_ge[s] = c + delta;
+  }
+  KillVar(env, name);
+  RemoveFactsRootedAt(env, name);
+  env->vars[name] = nv;
+}
+
+char FlipCmp(char op) {
+  switch (op) {
+    case '<': return '>';
+    case 'l': return 'g';  // 'l' = <=, 'g' = >=
+    case '>': return '<';
+    case 'g': return 'l';
+    default: return op;  // == and != are symmetric
+  }
+}
+
+char NegateCmp(char op) {
+  switch (op) {
+    case '<': return 'g';
+    case 'l': return '>';
+    case '>': return 'l';
+    case 'g': return '<';
+    case '=': return '!';
+    case '!': return '=';
+    default: return 0;
+  }
+}
+
+}  // namespace
+
+std::pair<std::string, int64_t> AbsInterpreter::SymPlusConst(
+    int f, const AbsEnv& env, size_t b, size_t e) const {
+  const CgFunction& cf = ctx_->cg.functions[f];
+  const std::vector<Token>& t = (*ctx_->files)[cf.file].file->tokens;
+  e = std::min(e, t.size());
+  if (b >= e) return {"", 0};
+  int64_t k = 0;
+  if (e - b >= 3 &&
+      (t[e - 2].text == "+" || t[e - 2].text == "-") &&
+      ParseIntLit(t[e - 1].text, &k)) {
+    // The +/- must be top-level: bracket depth at e-2 must be zero.
+    int depth = 0;
+    for (size_t i = b; i < e - 2; ++i) {
+      const std::string& s = t[i].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      if (s == ")" || s == "]" || s == "}") --depth;
+    }
+    if (depth == 0) {
+      EvalOut base = Eval(f, env, b, e - 2);
+      if (!base.sym.empty()) {
+        return {base.sym, t[e - 2].text == "+" ? k : -k};
+      }
+    }
+  }
+  EvalOut v = Eval(f, env, b, e);
+  return {v.sym, 0};
+}
+
+/// Applies `x + off  OP  o` to the tracked entity behind `sym`, where OP is
+/// one of < (op '<'), <= ('l'), > ('>'), >= ('g'), == ('='), != ('!').
+/// `other_sym`/`other_off` carry the right side's symbolic decomposition for
+/// relational-fact recording.
+void AbsInterpreter::RefineHalf(AbsEnv* env, const std::string& sym,
+                                int64_t off, char op, const Interval& other,
+                                const std::string& other_sym,
+                                int64_t other_off) const {
+  if (sym.empty()) return;
+  Interval o = Interval::Sub(other, Interval::Constant(off));
+  bool is_size = sym.rfind("size:", 0) == 0;
+  Interval* iv = nullptr;
+  AbsValue* var = nullptr;
+  if (is_size) {
+    auto it = env->sizes.find(sym.substr(5));
+    if (it == env->sizes.end()) return;
+    iv = &it->second;
+  } else {
+    var = &env->vars[sym];  // create-on-refine for member scalars
+    iv = &var->range;
+  }
+  int64_t rel = other_off - off;  // x OP s + rel
+  switch (op) {
+    case '<':
+      if (o.hi != Interval::kMax) {
+        *iv = Interval::Meet(*iv, Interval::Range(Interval::kMin, o.hi - 1));
+      }
+      if (var && !other_sym.empty() && other_sym != sym) {
+        auto it = var->upper_lt.find(other_sym);
+        var->upper_lt[other_sym] =
+            it == var->upper_lt.end() ? rel : std::min(it->second, rel);
+      }
+      break;
+    case 'l':
+      *iv = Interval::Meet(*iv, Interval::Range(Interval::kMin, o.hi));
+      if (var && !other_sym.empty() && other_sym != sym) {
+        auto it = var->upper_lt.find(other_sym);
+        var->upper_lt[other_sym] =
+            it == var->upper_lt.end() ? rel + 1 : std::min(it->second, rel + 1);
+      }
+      break;
+    case '>':
+      if (o.lo != Interval::kMin) {
+        *iv = Interval::Meet(*iv, Interval::Range(o.lo + 1, Interval::kMax));
+      }
+      if (var && !other_sym.empty() && other_sym != sym) {
+        auto it = var->lower_ge.find(other_sym);
+        var->lower_ge[other_sym] =
+            it == var->lower_ge.end() ? rel + 1 : std::max(it->second, rel + 1);
+      }
+      if (var && o.lo >= 0) var->nonzero = true;
+      break;
+    case 'g':
+      *iv = Interval::Meet(*iv, Interval::Range(o.lo, Interval::kMax));
+      if (var && !other_sym.empty() && other_sym != sym) {
+        auto it = var->lower_ge.find(other_sym);
+        var->lower_ge[other_sym] =
+            it == var->lower_ge.end() ? rel : std::max(it->second, rel);
+      }
+      break;
+    case '=':
+      *iv = Interval::Meet(*iv, o);
+      if (var && !other_sym.empty() && other_sym != sym) {
+        auto u = var->upper_lt.find(other_sym);
+        var->upper_lt[other_sym] =
+            u == var->upper_lt.end() ? rel + 1 : std::min(u->second, rel + 1);
+        auto l = var->lower_ge.find(other_sym);
+        var->lower_ge[other_sym] =
+            l == var->lower_ge.end() ? rel : std::max(l->second, rel);
+      }
+      if (var && !o.Contains(0)) var->nonzero = true;
+      break;
+    case '!':
+      if (var && o.IsConstant() && o.lo == 0) var->nonzero = true;
+      if (o.IsConstant() && !iv->bottom) {
+        if (iv->lo == o.lo && iv->lo != Interval::kMax) {
+          *iv = Interval::Meet(*iv, Interval::Range(o.lo + 1, Interval::kMax));
+        } else if (iv->hi == o.lo && iv->hi != Interval::kMin) {
+          *iv = Interval::Meet(*iv, Interval::Range(Interval::kMin, o.lo - 1));
+        }
+      }
+      // Relational sharpening: `x <= s + rel` plus `x != s + rel` gives
+      // `x < s + rel` (the `idx == v.size() -> bail` sentinel idiom), and
+      // symmetrically for an exact lower bound.
+      if (var && !other_sym.empty() && other_sym != sym) {
+        auto u = var->upper_lt.find(other_sym);
+        if (u != var->upper_lt.end() && u->second == rel + 1) u->second = rel;
+        auto l = var->lower_ge.find(other_sym);
+        if (l != var->lower_ge.end() && l->second == rel) l->second = rel + 1;
+      }
+      break;
+    default:
+      break;
+  }
+  if (iv->bottom) *iv = Interval::Top();  // contradicting guard: stay sound
+}
+
+void AbsInterpreter::RefineCond(int f, size_t b, size_t e, bool truth,
+                                AbsEnv* env) const {
+  if (!env->reachable) return;
+  const CgFunction& cf = ctx_->cg.functions[f];
+  const std::vector<Token>& t = (*ctx_->files)[cf.file].file->tokens;
+  e = std::min(e, t.size());
+  if (b >= e) return;
+  AbsEvalImpl scan(*this, t, *env, b, e);
+  // Strip enclosing parens.
+  while (b < e && t[b].text == "(") {
+    scan.p = b;
+    size_t c = scan.Close(b);
+    if (c == e - 1) {
+      ++b;
+      --e;
+    } else {
+      break;
+    }
+  }
+  if (b >= e) return;
+  // `if (init; cond)` — refine only the condition after the last ';'.
+  {
+    int depth = 0;
+    for (size_t i = b; i < e; ++i) {
+      const std::string& s = t[i].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      if (s == ")" || s == "]" || s == "}") --depth;
+      if (s == ";" && depth == 0) b = i + 1;
+    }
+    if (b >= e) return;
+  }
+  // `!expr`
+  if (t[b].text == "!" && (e - b == 2 || t[b + 1].text == "(")) {
+    if (e - b == 2) {
+      RefineCond(f, b + 1, e, !truth, env);
+      return;
+    }
+    scan.p = b + 1;
+    if (scan.Close(b + 1) == e - 1) {
+      RefineCond(f, b + 2, e - 1, !truth, env);
+      return;
+    }
+  }
+  // Top-level && / ||.
+  std::vector<size_t> ands;
+  std::vector<size_t> ors;
+  {
+    int depth = 0;
+    for (size_t i = b; i + 1 < e; ++i) {
+      const std::string& s = t[i].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      if (s == ")" || s == "]" || s == "}") --depth;
+      if (depth != 0) continue;
+      if (s == "&" && t[i + 1].text == "&") ands.push_back(i++);
+      else if (s == "|" && t[i + 1].text == "|") ors.push_back(i++);
+    }
+  }
+  if (!ors.empty()) {
+    if (truth) return;  // `a || b` true: no single-branch refinement
+    size_t start = b;
+    for (size_t pos : ors) {
+      RefineCond(f, start, pos, false, env);
+      start = pos + 2;
+    }
+    RefineCond(f, start, e, false, env);
+    return;
+  }
+  if (!ands.empty()) {
+    if (!truth) return;  // `a && b` false: which conjunct failed is unknown
+    size_t start = b;
+    for (size_t pos : ands) {
+      RefineCond(f, start, pos, true, env);
+      start = pos + 2;
+    }
+    RefineCond(f, start, e, true, env);
+    return;
+  }
+  // Find the top-level comparison operator.
+  char op = 0;
+  size_t opb = e;
+  size_t ope = e;
+  {
+    int depth = 0;
+    for (size_t i = b; i < e; ++i) {
+      const std::string& s = t[i].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      if (s == ")" || s == "]" || s == "}") --depth;
+      if (depth != 0 || s.size() != 1) continue;
+      const std::string& n = i + 1 < e ? t[i + 1].text : "";
+      if (s == "<") {
+        if (n == "<") { ++i; continue; }  // shift
+        op = n == "=" ? 'l' : '<';
+        opb = i;
+        ope = i + (n == "=" ? 2 : 1);
+        break;
+      }
+      if (s == ">") {
+        if (n == ">") { ++i; continue; }
+        op = n == "=" ? 'g' : '>';
+        opb = i;
+        ope = i + (n == "=" ? 2 : 1);
+        break;
+      }
+      if (s == "=" && n == "=") {
+        op = '=';
+        opb = i;
+        ope = i + 2;
+        break;
+      }
+      if (s == "!" && n == "=") {
+        op = '!';
+        opb = i;
+        ope = i + 2;
+        break;
+      }
+      if (s == "=") return;  // embedded assignment: bail out
+    }
+  }
+  if (op != 0 && opb > b && ope < e) {
+    char eff = truth ? op : NegateCmp(op);
+    if (eff == 0) return;
+    EvalOut lv = Eval(f, *env, b, opb);
+    EvalOut rv = Eval(f, *env, ope, e);
+    auto [ls, loff] = SymPlusConst(f, *env, b, opb);
+    auto [rs, roff] = SymPlusConst(f, *env, ope, e);
+    RefineHalf(env, ls, loff, eff, rv.val.range, rs, roff);
+    RefineHalf(env, rs, roff, FlipCmp(eff), lv.val.range, ls, loff);
+    return;
+  }
+  // `path.empty()` / `!path.empty()` (the bang binds tighter than any
+  // operator that could appear here, so consuming it is safe).
+  {
+    bool etruth = truth;
+    size_t eb = b;
+    if (t[eb].text == "!" && eb + 1 < e) {
+      etruth = !etruth;
+      ++eb;
+    }
+    if (e - eb >= 4 && t[e - 1].text == ")" && t[e - 2].text == "(" &&
+        t[e - 3].text == "empty") {
+      size_t pe = e - 3;
+      if (pe > eb + 1 && (t[pe - 1].text == "." || t[pe - 1].text == "->")) {
+        AbsEvalImpl pr(*this, t, *env, eb, pe - 1);
+        std::string path = pr.ReadPath();
+        if (pr.p == pe - 1) {
+          // First touch of the container may well be this guard; seed the
+          // size entry so the refinement has something to narrow.
+          auto it = env->sizes.find(path);
+          if (it == env->sizes.end()) {
+            it = env->sizes.emplace(path, Interval::Range(0, Interval::kMax))
+                     .first;
+          }
+          if (etruth) {
+            it->second = Interval::Meet(it->second, Interval::Constant(0));
+          } else {
+            it->second =
+                Interval::Meet(it->second, Interval::Range(1, Interval::kMax));
+          }
+          if (it->second.bottom) {
+            it->second = Interval::Range(0, Interval::kMax);
+          }
+        }
+        return;
+      }
+    }
+  }
+  // Bare truthiness of a tracked variable.
+  if (t[b].ident) {
+    AbsEvalImpl pr(*this, t, *env, b, e);
+    std::string path = pr.ReadPath();
+    if (pr.p == e) {
+      auto it = env->vars.find(path);
+      if (it != env->vars.end()) {
+        if (truth) {
+          it->second.nonzero = true;
+          if (it->second.range.lo >= 0) {
+            it->second.range = Interval::Meet(
+                it->second.range, Interval::Range(1, Interval::kMax));
+            if (it->second.range.bottom) it->second.range = Interval::Top();
+          }
+        } else {
+          it->second.range =
+              Interval::Meet(it->second.range, Interval::Constant(0));
+          if (it->second.range.bottom) {
+            it->second.range = Interval::Constant(0);
+          }
+        }
+      }
+    }
+  }
+}
+
+AbsEnv AbsInterpreter::RefinedAt(int f, size_t tok) const {
+  AbsEnv env;  // default-constructed: unreachable
+  int n = NodeOfToken(f, tok);
+  if (n < 0) return env;
+  const FnAbsResult& r = results_[f];
+  if (!r.solved || n >= static_cast<int>(r.in.size())) return env;
+  env = r.in[n];
+  if (!env.reachable) return env;
+  const CfgNode& nd = ctx_->cfgs[f].nodes[n];
+  RefinePrefix(f, nd.begin, nd.end, tok, &env);
+  return env;
+}
+
+/// Applies the short-circuit facts a site inherits from the sub-expressions
+/// sequenced before it in the same CFG node. C++ guarantees `a` is fully
+/// evaluated (and decisive) before `b` in `a && b` / `a || b` / `a ? b : c`,
+/// so a subscript in the second position runs only under the refined state.
+void AbsInterpreter::RefinePrefix(int f, size_t b, size_t e, size_t site,
+                                  AbsEnv* env) const {
+  const CgFunction& cf = ctx_->cg.functions[f];
+  const std::vector<Token>& t = (*ctx_->files)[cf.file].file->tokens;
+  e = std::min(e, t.size());
+  if (site < b || site >= e) return;
+  for (int round = 0; round < 16 && b < e; ++round) {
+    while (e > b && t[e - 1].text == ";") --e;
+    if (t[b].text == "return") ++b;
+    if (site < b || site >= e) return;
+    // Strip parens enclosing the whole remaining span.
+    if (t[b].text == "(") {
+      AbsEvalImpl scan(*this, t, *env, b, e);
+      size_t c = scan.Close(b);
+      if (c == e - 1 && site > b && site < c) {
+        ++b;
+        --e;
+        continue;
+      }
+    }
+    // `path(args)` spanning the rest: descend into the argument list and
+    // narrow to the argument containing the site (short-circuit facts from
+    // sibling arguments never apply, so split at top-level commas).
+    if (t[b].ident) {
+      size_t j = b;
+      while (j + 2 < e && t[j].ident &&
+             (t[j + 1].text == "." || t[j + 1].text == "->" ||
+              t[j + 1].text == "::") &&
+             t[j + 2].ident) {
+        j += 2;
+      }
+      if (t[j].ident && j + 1 < e && t[j + 1].text == "(") {
+        AbsEvalImpl scan(*this, t, *env, j + 1, e);
+        size_t c = scan.Close(j + 1);
+        if (c == e - 1 && site > j + 1 && site < c) {
+          size_t ab = j + 2;
+          size_t ae = c;
+          int depth = 0;
+          for (size_t i = ab; i < c; ++i) {
+            const std::string& s = t[i].text;
+            if (s == "(" || s == "[" || s == "{") ++depth;
+            if (s == ")" || s == "]" || s == "}") --depth;
+            if (depth == 0 && s == ",") {
+              if (i < site) ab = i + 1;
+              if (i > site) {
+                ae = i;
+                break;
+              }
+            }
+          }
+          b = ab;
+          e = ae;
+          continue;
+        }
+      }
+    }
+    // Skip a leading declaration / assignment prefix: refinement concerns
+    // the RHS expression only. An assignment `=` is a bare `=` (two-char
+    // operator spellings arrive as separate tokens; check the neighbours).
+    // Top-level scan for the earliest of: assignment `=`, ternary `?`,
+    // `&&` / `||` splits.
+    size_t assign = e;
+    size_t q = e;
+    std::vector<size_t> ands;
+    std::vector<size_t> ors;
+    {
+      int depth = 0;
+      for (size_t i = b; i < e; ++i) {
+        const std::string& s = t[i].text;
+        if (s == "(" || s == "[" || s == "{") ++depth;
+        if (s == ")" || s == "]" || s == "}") --depth;
+        if (depth != 0 || s.size() != 1) continue;
+        const std::string& nx = i + 1 < e ? t[i + 1].text : "";
+        if (assign == e && s == "=" && nx != "=" &&
+            (i == b || (t[i - 1].text != "=" && t[i - 1].text != "<" &&
+                        t[i - 1].text != ">" && t[i - 1].text != "!" &&
+                        t[i - 1].text != "+" && t[i - 1].text != "-" &&
+                        t[i - 1].text != "*" && t[i - 1].text != "/" &&
+                        t[i - 1].text != "%" && t[i - 1].text != "&" &&
+                        t[i - 1].text != "|" && t[i - 1].text != "^"))) {
+          assign = i;
+        }
+        if (q == e && s == "?") q = i;
+        if (s == "&" && nx == "&") ands.push_back(i++);
+        else if (s == "|" && nx == "|") ors.push_back(i++);
+      }
+    }
+    if (assign < e && site > assign) {
+      b = assign + 1;
+      continue;
+    }
+    // Ternary: the `?` splits condition from arms; find the matching `:`
+    // (nested ternaries associate right, so track `?` depth).
+    if (q < e && site > q) {
+      size_t colon = e;
+      int qd = 0;
+      int depth = 0;
+      for (size_t i = q + 1; i < e; ++i) {
+        const std::string& s = t[i].text;
+        if (s == "(" || s == "[" || s == "{") ++depth;
+        if (s == ")" || s == "]" || s == "}") --depth;
+        if (depth != 0) continue;
+        if (s == "?") ++qd;
+        if (s == ":" && t[i - 1].text != ":" &&
+            (i + 1 >= e || t[i + 1].text != ":")) {
+          if (qd == 0) {
+            colon = i;
+            break;
+          }
+          --qd;
+        }
+      }
+      if (colon == e) return;
+      if (site < colon) {
+        RefineCond(f, b, q, /*truth=*/true, env);
+        b = q + 1;
+        e = colon;
+      } else {
+        RefineCond(f, b, q, /*truth=*/false, env);
+        b = colon + 1;
+      }
+      continue;
+    }
+    // `a || b`: operands before the one containing the site are false.
+    if (!ors.empty()) {
+      size_t start = b;
+      bool advanced = false;
+      for (size_t pos : ors) {
+        if (site > pos) {
+          RefineCond(f, start, pos, /*truth=*/false, env);
+          start = pos + 2;
+          advanced = true;
+        }
+      }
+      if (!advanced) {
+        e = ors.front();  // site inside the first operand: recurse into it
+      } else {
+        b = start;
+        // Narrow to the operand containing the site.
+        for (size_t pos : ors) {
+          if (pos > site) {
+            e = pos;
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    // `a && b`: operands before the one containing the site are true.
+    if (!ands.empty()) {
+      size_t start = b;
+      bool advanced = false;
+      for (size_t pos : ands) {
+        if (site > pos) {
+          RefineCond(f, start, pos, /*truth=*/true, env);
+          start = pos + 2;
+          advanced = true;
+        }
+      }
+      if (!advanced) {
+        e = ands.front();
+      } else {
+        b = start;
+        for (size_t pos : ands) {
+          if (pos > site) {
+            e = pos;
+            break;
+          }
+        }
+      }
+      continue;
+    }
+    return;  // no further top-level structure before the site
+  }
+}
+
+AbsEnv AbsInterpreter::TransferNode(int f, int node, const AbsEnv& env,
+                                    Interval* ret) const {
+  const Cfg& cfg = ctx_->cfgs[f];
+  const CfgNode& nd = cfg.nodes[node];
+  AbsEnv out = env;
+  if (!env.reachable) return out;
+  if (nd.kind == CfgNode::Kind::kCondition) return out;  // side-effect-free
+  const CgFunction& cf = ctx_->cg.functions[f];
+  const std::vector<Token>& t = (*ctx_->files)[cf.file].file->tokens;
+  size_t b = nd.begin;
+  size_t e = std::min(nd.end, t.size());
+  while (e > b && t[e - 1].text == ";") --e;
+  if (b >= e) return out;
+  AbsEvalImpl scan(*this, t, out, b, e);
+
+  const std::string& first = t[b].text;
+  if (first == "assert") {
+    if (b + 1 < e && t[b + 1].text == "(") {
+      scan.p = b + 1;
+      size_t close = scan.Close(b + 1);
+      if (close <= e) RefineCond(f, b + 2, close, true, &out);
+    }
+    return out;
+  }
+  // `CLOUDDB_ASSIGN_OR_RETURN(type name, expr)` declares `name`: the value
+  // is the unwrapped StatusOr, opaque here, but the declared type still
+  // gives its range (and floatness, which the div-zero rule consults).
+  if (first == "CLOUDDB_ASSIGN_OR_RETURN" && b + 1 < e &&
+      t[b + 1].text == "(") {
+    scan.p = b + 1;
+    size_t close = scan.Close(b + 1);
+    size_t comma = close;
+    int depth = 0;
+    for (size_t i = b + 2; i < close && i < e; ++i) {
+      const std::string& s = t[i].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      if (s == ")" || s == "]" || s == "}") --depth;
+      if (depth == 0 && s == ",") {
+        comma = i;
+        break;
+      }
+    }
+    if (comma < close && comma > b + 2 && t[comma - 1].ident) {
+      const std::string& name = t[comma - 1].text;
+      std::string type_last;
+      for (size_t i = b + 2; i + 1 < comma; ++i) {
+        if (t[i].ident && t[i].text != "const" && t[i].text != "std") {
+          type_last = t[i].text;
+        }
+      }
+      AbsValue v;
+      if (IsFloatTypeName(type_last)) {
+        v.is_float = true;
+      } else if (!type_last.empty()) {
+        v.range = ResolvedTypeRange(aliases_, type_last);
+      }
+      KillVar(&out, name);
+      RemoveFactsRootedAt(&out, name);
+      out.vars[name] = v;
+    }
+    return out;
+  }
+  if (first == "return") {
+    if (ret != nullptr && e > b + 1) {
+      EvalOut v = Eval(f, out, b + 1, e);
+      *ret = Interval::Join(*ret, v.val.range);
+    }
+    return out;
+  }
+  if (first == "throw" || first == "goto" || first == "break" ||
+      first == "continue" || first == "case" || first == "default") {
+    return out;
+  }
+
+  // Out-parameter kills: `call(&x, ...)` may write anything into x.
+  for (size_t i = b; i + 1 < e; ++i) {
+    if (t[i].text == "&" && t[i + 1].ident && i > b &&
+        (t[i - 1].text == "(" || t[i - 1].text == ",")) {
+      const std::string& n = t[i + 1].text;
+      KillVar(&out, n);
+      RemoveFactsRootedAt(&out, n);
+      out.vars.erase(n);
+    }
+  }
+
+  // ++x / x++ / --x / x-- as the whole statement (incl. for-increment nodes).
+  {
+    std::string name;
+    int delta = 0;
+    if (e - b == 3 && t[b].text == t[b + 1].text &&
+        (t[b].text == "+" || t[b].text == "-") && t[b + 2].ident) {
+      name = t[b + 2].text;
+      delta = t[b].text == "+" ? 1 : -1;
+    } else if (e - b == 3 && t[b].ident && t[b + 1].text == t[b + 2].text &&
+               (t[b + 1].text == "+" || t[b + 1].text == "-")) {
+      name = t[b].text;
+      delta = t[b + 1].text == "+" ? 1 : -1;
+    }
+    if (delta != 0) {
+      ShiftVar(&out, name, delta);
+      return out;
+    }
+  }
+
+  // Embedded `x++` / `--x` inside a larger statement (`stack[sp++] = t;`,
+  // `sel[m++] = sel[j];`): collect the side effects now, apply them after
+  // the main transfer so the statement's own reads see the old value.
+  std::vector<std::pair<std::string, int>> embedded;
+  for (size_t i = b; i + 1 < e; ++i) {
+    const std::string& s = t[i].text;
+    if ((s != "+" && s != "-") || t[i + 1].text != s) continue;
+    int d = s == "+" ? 1 : -1;
+    bool prev_operand =
+        i > b && (t[i - 1].ident || t[i - 1].text == ")" || t[i - 1].text == "]");
+    if (i + 2 < e && t[i + 2].ident && !prev_operand) {
+      embedded.emplace_back(t[i + 2].text, d);  // prefix
+      ++i;
+    } else if (i > b && t[i - 1].ident && t[i - 1].text != "operator" &&
+               (i + 2 >= e || !t[i + 2].ident)) {
+      embedded.emplace_back(t[i - 1].text, d);  // postfix
+      ++i;
+    }
+  }
+
+  // Top-level assignment or compound assignment.
+  size_t eq = e;
+  char compound = 0;
+  {
+    int depth = 0;
+    for (size_t i = b; i < e; ++i) {
+      const std::string& s = t[i].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      else if (s == ")" || s == "]" || s == "}") --depth;
+      if (depth != 0 || s != "=") continue;
+      const std::string& prev = i > b ? t[i - 1].text : "";
+      const std::string& next = i + 1 < e ? t[i + 1].text : "";
+      if (next == "=") { ++i; continue; }  // ==
+      if (prev == "=" || prev == "<" || prev == ">" || prev == "!") continue;
+      if (prev.size() == 1 &&
+          std::string("+-*/%&|^").find(prev[0]) != std::string::npos) {
+        compound = prev[0];
+        eq = i;
+        break;
+      }
+      eq = i;
+      break;
+    }
+  }
+  if (eq != e) {
+    TransferAssign(f, b, eq, e, compound, &out);
+  } else {
+    // No assignment: declarations without initializer and container effects.
+    TransferEffects(f, b, e, &out);
+  }
+  for (const auto& [name, delta] : embedded) ShiftVar(&out, name, delta);
+  return out;
+}
+
+/// `[lb, le0)` = LHS tokens (excluding a compound operator), `[eq+1, e)` the
+/// RHS. Handles declarations, scalar/container/pointer assignment, and the
+/// special value shapes (size aliasing, ceil-division, midpoint, X/c).
+void AbsInterpreter::TransferAssign(int f, size_t b, size_t eq, size_t e,
+                                    char compound, AbsEnv* out) const {
+  const CgFunction& cf = ctx_->cg.functions[f];
+  const std::vector<Token>& t = (*ctx_->files)[cf.file].file->tokens;
+  size_t lb = b;
+  size_t le = compound ? eq - 1 : eq;
+  size_t rb = eq + 1;
+  // Element store `v[i] = x` / deref store `*p = x`: no tracked cell
+  // changes. A C-array declaration with initializer still records extent.
+  for (size_t i = lb; i < le; ++i) {
+    if (t[i].text == "[") {
+      int64_t k = 0;
+      if (i > lb && t[i - 1].ident && i + 2 < le &&
+          ParseIntLit(t[i + 1].text, &k) && t[i + 2].text == "]" &&
+          i >= lb + 2) {
+        Extent ext;
+        ext.known = true;
+        ext.count = Interval::Constant(k);
+        out->extents[t[i - 1].text] = ext;
+      }
+      return;
+    }
+  }
+  if (le > lb && t[lb].text == "*") return;
+  if (le == lb || !t[le - 1].ident) return;
+  // Trailing path of the LHS = the assigned entity.
+  size_t ps = le - 1;
+  std::string name = t[ps].text;
+  while (ps >= lb + 2 && (t[ps - 1].text == "." || t[ps - 1].text == "->") &&
+         t[ps - 2].ident) {
+    name = t[ps - 2].text + t[ps - 1].text + name;
+    ps -= 2;
+  }
+  bool is_decl = ps > lb;
+  std::string type_last;
+  bool decl_container = false;
+  bool decl_float = false;
+  if (is_decl) {
+    for (size_t i = lb; i < ps; ++i) {
+      const std::string& s = t[i].text;
+      if (s == "vector" || s == "deque") decl_container = true;
+      if (t[i].ident && s != "const" && s != "std" && s != "auto" &&
+          s != "static" && s != "constexpr" && s != "unsigned" &&
+          s != "struct") {
+        type_last = s;
+      }
+    }
+    decl_float = IsFloatTypeName(type_last);
+  }
+
+  // Whole-container assignment.
+  if (decl_container || out->sizes.count(name)) {
+    Interval sz = Interval::Range(0, Interval::kMax);
+    if (rb < e && t[rb].text == "{") {
+      AbsEvalImpl scan(*this, t, *out, rb, e);
+      size_t close = scan.Close(rb);
+      if (close == rb + 1) {
+        sz = Interval::Constant(0);
+      } else if (close < e) {
+        int depth = 0;
+        int64_t commas = 0;
+        for (size_t i = rb; i < close; ++i) {
+          const std::string& s = t[i].text;
+          if (s == "(" || s == "[" || s == "{") ++depth;
+          if (s == ")" || s == "]" || s == "}") --depth;
+          if (s == "," && depth == 1) ++commas;
+        }
+        sz = Interval::Constant(commas + 1);
+      }
+    } else {
+      EvalOut rv = Eval(f, *out, rb, e);
+      if (rv.sym.rfind("size:", 0) == 0) {
+        // not meaningful — a size is not a container
+      } else if (!rv.sym.empty()) {
+        auto it = out->sizes.find(rv.sym);
+        if (it != out->sizes.end()) sz = it->second;  // copy assignment
+      }
+    }
+    RemoveFactSym(out, "size:" + name);
+    out->sizes[name] = sz;
+    return;
+  }
+
+  // Pointer from arena: `T* p = arena->AllocateArray<T>(n)`.
+  for (size_t i = rb; i + 1 < e; ++i) {
+    if (t[i].text != "AllocateArray") continue;
+    size_t open = i + 1;
+    if (t[open].text == "<") {
+      int depth = 0;
+      for (; open < e; ++open) {
+        if (t[open].text == "<") ++depth;
+        if (t[open].text == ">" && --depth == 0) {
+          ++open;
+          break;
+        }
+      }
+    }
+    if (open >= e || t[open].text != "(") break;
+    AbsEvalImpl scan(*this, t, *out, open, e);
+    size_t close = scan.Close(open);
+    if (close >= e) break;
+    EvalOut cnt = Eval(f, *out, open + 1, close);
+    Extent ext;
+    ext.known = true;
+    ext.count = Interval::Meet(cnt.val.range, Interval::Range(0, Interval::kMax));
+    if (ext.count.bottom) ext.count = Interval::Range(0, Interval::kMax);
+    ext.sym = cnt.sym;
+    KillVar(out, name);
+    RemoveFactsRootedAt(out, name);
+    out->extents[name] = ext;
+    AbsValue pv;
+    pv.nullness = Nullness::kNonNull;
+    pv.nonzero = true;
+    out->vars[name] = pv;
+    return;
+  }
+
+  // Scalar assignment. Evaluate the RHS *before* killing the target so
+  // `i = i + 1` reads the old value.
+  EvalOut rv = Eval(f, *out, rb, e);
+  AbsValue nv;
+  if (compound) {
+    auto it = out->vars.find(name);
+    AbsValue cur = it != out->vars.end() ? it->second : AbsValue::Top();
+    Interval iv;
+    switch (compound) {
+      case '+': iv = Interval::Add(cur.range, rv.val.range); break;
+      case '-': iv = Interval::Sub(cur.range, rv.val.range); break;
+      case '*': iv = Interval::Mul(cur.range, rv.val.range); break;
+      case '/': iv = Interval::Div(cur.range, rv.val.range); break;
+      case '%': iv = Interval::Mod(cur.range, rv.val.range); break;
+      case '&': iv = Interval::BitAnd(cur.range, rv.val.range); break;
+      default: iv = Interval::Top(); break;
+    }
+    nv = AbsValue::Of(iv);
+    nv.is_float = cur.is_float || rv.val.is_float;
+  } else {
+    nv = rv.val;
+    if (is_decl && decl_float) nv.is_float = true;
+    if (is_decl && !type_last.empty() && !decl_float && type_last != "auto") {
+      Interval tr = ResolvedTypeRange(aliases_, type_last);
+      Interval met = Interval::Meet(nv.range, tr);
+      nv.range = met.bottom ? tr : met;
+    }
+    // Equality facts: x = <sym ± c>.
+    auto [s, off] = SymPlusConst(f, *out, rb, e);
+    if (!s.empty() && s != name) {
+      nv.upper_lt[s] = off + 1;
+      nv.lower_ge[s] = off;
+    }
+    // The kill must precede ShapeRules: the shapes *record* results keyed by
+    // `name` (ceil_of) that the kill would otherwise erase. The facts the
+    // shapes read anchor on other variables, which the kill leaves alone.
+    KillVar(out, name);
+    RemoveFactsRootedAt(out, name);
+    ShapeRules(f, rb, e, *out, &nv, name, out);
+    out->vars[name] = nv;
+    return;
+  }
+  KillVar(out, name);
+  RemoveFactsRootedAt(out, name);
+  out->vars[name] = nv;
+}
+
+/// Structural value rules applied to a plain assignment's RHS:
+///   * `(X + c1) / c2` with c1 == c2-1 — records `name = ceil(X/c2)`.
+///   * `(a + b) / 2` and `a + (b - a) / 2` with `a < b` known — midpoint:
+///     `name < b` plus b's upper anchors, and a's lower bound.
+///   * `X / c` (c >= 2) with X >= 1 — `name < X` (strict shrink).
+void AbsInterpreter::ShapeRules(int f, size_t rb, size_t re, const AbsEnv& env,
+                                AbsValue* nv, const std::string& name,
+                                AbsEnv* out) const {
+  const CgFunction& cf = ctx_->cg.functions[f];
+  const std::vector<Token>& t = (*ctx_->files)[cf.file].file->tokens;
+  re = std::min(re, t.size());
+  if (rb >= re) return;
+  int64_t c2 = 0;
+  // Trailing `/ c` at top level.
+  if (re - rb >= 3 && t[re - 2].text == "/" && ParseIntLit(t[re - 1].text, &c2) &&
+      c2 >= 2) {
+    int depth = 0;
+    for (size_t i = rb; i < re - 2; ++i) {
+      const std::string& s = t[i].text;
+      if (s == "(" || s == "[" || s == "{") ++depth;
+      if (s == ")" || s == "]" || s == "}") --depth;
+    }
+    if (depth != 0) return;
+    size_t xb = rb;
+    size_t xe = re - 2;
+    // Parenthesized numerator?
+    AbsEvalImpl scan(*this, t, env, xb, xe);
+    if (t[xb].text == "(" && scan.Close(xb) == xe - 1) {
+      size_t ib = xb + 1;
+      size_t ie = xe - 1;
+      // (X + c1) / c2 with c1 == c2-1: ceil-division shape.
+      int64_t c1 = 0;
+      if (ie - ib >= 3 && t[ie - 2].text == "+" &&
+          ParseIntLit(t[ie - 1].text, &c1) && c1 == c2 - 1) {
+        EvalOut base = Eval(f, env, ib, ie - 2);
+        if (!base.sym.empty()) {
+          out->ceil_of[name] = {base.sym, c2};
+        }
+      }
+      // (a + b) / 2: midpoint.
+      if (c2 == 2) MidpointFacts(f, ib, ie, env, nv);
+      ib = ie;  // done with the parenthesized forms
+    } else {
+      // X / c with X >= 1: strict shrink below X.
+      EvalOut base = Eval(f, env, xb, xe);
+      if (!base.sym.empty() && base.val.range.lo >= 1) {
+        nv->upper_lt[base.sym] = 0;
+        if (nv->range.lo == Interval::kMin || nv->range.lo < 0) {
+          nv->range = Interval::Meet(nv->range,
+                                     Interval::Range(0, Interval::kMax));
+          if (nv->range.bottom) nv->range = Interval::Range(0, Interval::kMax);
+        }
+      }
+    }
+  }
+  // a + (b - a) / 2: the overflow-safe midpoint spelling.
+  if (re - rb >= 9 && t[rb].ident && t[rb + 1].text == "+" &&
+      t[rb + 2].text == "(" && t[rb + 3].ident && t[rb + 4].text == "-" &&
+      t[rb + 5].text == t[rb].text && t[rb + 6].text == ")" &&
+      t[rb + 7].text == "/" && t[rb + 8].text == "2" &&
+      t[rb + 3].text != t[rb].text) {
+    const std::string& a = t[rb].text;
+    const std::string& bn = t[rb + 3].text;
+    auto ai = env.vars.find(a);
+    auto bi = env.vars.find(bn);
+    if (ai != env.vars.end() && bi != env.vars.end()) {
+      auto lt = ai->second.upper_lt.find(bn);
+      if (lt != ai->second.upper_lt.end() && lt->second <= 0) {
+        nv->upper_lt[bn] = 0;
+        for (const auto& [s, c] : bi->second.upper_lt) {
+          auto it = nv->upper_lt.find(s);
+          nv->upper_lt[s] = it == nv->upper_lt.end() ? c : std::min(it->second, c);
+        }
+        for (const auto& [s, c] : ai->second.lower_ge) nv->lower_ge[s] = c;
+        if (ai->second.range.lo != Interval::kMin) {
+          nv->range = Interval::Meet(
+              nv->range, Interval::Range(ai->second.range.lo, Interval::kMax));
+          if (nv->range.bottom) nv->range = Interval::Top();
+        }
+      }
+    }
+  }
+}
+
+/// `(a + b) / 2` numerator handling: with `a < b` known, the midpoint is
+/// strictly below b and at or above a's lower bound.
+void AbsInterpreter::MidpointFacts(int f, size_t ib, size_t ie,
+                                   const AbsEnv& env, AbsValue* nv) const {
+  const CgFunction& cf = ctx_->cg.functions[f];
+  const std::vector<Token>& t = (*ctx_->files)[cf.file].file->tokens;
+  if (ie - ib != 3 || !t[ib].ident || t[ib + 1].text != "+" ||
+      !t[ib + 2].ident) {
+    return;
+  }
+  const std::string& a = t[ib].text;
+  const std::string& bn = t[ib + 2].text;
+  auto ai = env.vars.find(a);
+  auto bi = env.vars.find(bn);
+  if (ai == env.vars.end() || bi == env.vars.end()) return;
+  auto lt = ai->second.upper_lt.find(bn);
+  if (lt == ai->second.upper_lt.end() || lt->second > 0) return;
+  nv->upper_lt[bn] = 0;  // (a + b)/2 <= b-1 when a <= b-1
+  for (const auto& [s, c] : bi->second.upper_lt) {
+    auto it = nv->upper_lt.find(s);
+    nv->upper_lt[s] = it == nv->upper_lt.end() ? c : std::min(it->second, c);
+  }
+  for (const auto& [s, c] : ai->second.lower_ge) nv->lower_ge[s] = c;
+  if (ai->second.range.lo != Interval::kMin) {
+    nv->range = Interval::Meet(
+        nv->range, Interval::Range(ai->second.range.lo, Interval::kMax));
+    if (nv->range.bottom) nv->range = Interval::Top();
+  }
+}
+
+/// Statements without a top-level `=`: uninitialized declarations and
+/// container effect calls.
+void AbsInterpreter::TransferEffects(int f, size_t b, size_t e,
+                                     AbsEnv* out) const {
+  const CgFunction& cf = ctx_->cg.functions[f];
+  const std::vector<Token>& t = (*ctx_->files)[cf.file].file->tokens;
+  AbsEvalImpl scan(*this, t, *out, b, e);
+
+  // `std::vector<T> v;` / `v(n)` / `v(n, x)` / `v{...}` declarations.
+  for (size_t i = b; i < e; ++i) {
+    if (t[i].text != "vector" && t[i].text != "deque") continue;
+    size_t j = i + 1;
+    if (j < e && t[j].text == "<") {
+      int depth = 0;
+      for (; j < e; ++j) {
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">" && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    if (j >= e || !t[j].ident) break;
+    const std::string& name = t[j].text;
+    Interval sz = Interval::Range(0, Interval::kMax);
+    if (j + 1 >= e || t[j + 1].text == ";") {
+      sz = Interval::Constant(0);
+    } else if (t[j + 1].text == "(") {
+      size_t close = scan.Close(j + 1);
+      size_t first_end = close;
+      int depth = 0;
+      for (size_t k = j + 1; k < close; ++k) {
+        const std::string& s = t[k].text;
+        if (s == "(" || s == "[" || s == "{") ++depth;
+        if (s == ")" || s == "]" || s == "}") --depth;
+        if (s == "," && depth == 1) {
+          first_end = k;
+          break;
+        }
+      }
+      if (close > j + 2 && close < e + 1) {
+        EvalOut n = Eval(f, *out, j + 2, first_end);
+        sz = Interval::Meet(n.val.range, Interval::Range(0, Interval::kMax));
+        if (sz.bottom) sz = Interval::Range(0, Interval::kMax);
+      } else {
+        sz = Interval::Constant(0);
+      }
+    }
+    RemoveFactSym(out, "size:" + name);
+    out->sizes[name] = sz;
+    break;
+  }
+
+  // C-array declaration: `T name[K];`.
+  for (size_t i = b; i + 3 < e; ++i) {
+    int64_t k = 0;
+    if (t[i].ident && i > b && t[i - 1].ident && t[i + 1].text == "[" &&
+        ParseIntLit(t[i + 2].text, &k) && t[i + 3].text == "]") {
+      Extent ext;
+      ext.known = true;
+      ext.count = Interval::Constant(k);
+      out->extents[t[i].text] = ext;
+    }
+    // `T name[K]` with a named constant bound.
+    if (t[i].ident && i > b && t[i - 1].ident && t[i + 1].text == "[" &&
+        t[i + 2].ident && t[i + 3].text == "]") {
+      auto cit = constants_.find(t[i + 2].text);
+      if (cit != constants_.end()) {
+        Extent ext;
+        ext.known = true;
+        ext.count = Interval::Constant(cit->second);
+        out->extents[t[i].text] = ext;
+      }
+    }
+  }
+
+  // Container effect calls: `path.method(args)`.
+  for (size_t i = b; i + 1 < e; ++i) {
+    if (!(t[i].ident && i > b && (t[i - 1].text == "." || t[i - 1].text == "->") &&
+          t[i + 1].text == "(")) {
+      continue;
+    }
+    const std::string& method = t[i].text;
+    // Backward path walk (mirrors the entry-env seeding).
+    size_t j = i - 1;
+    std::string base;
+    bool ok = true;
+    for (;;) {
+      if (j <= b || !t[j - 1].ident) {
+        ok = false;
+        break;
+      }
+      base = t[j - 1].text + (base.empty() ? "" : t[j].text + base);
+      if (j >= b + 2 && (t[j - 2].text == "." || t[j - 2].text == "->")) {
+        j -= 2;
+        continue;
+      }
+      break;
+    }
+    if (!ok || base.empty()) continue;
+    auto it = out->sizes.find(base);
+    if (it == out->sizes.end()) continue;  // unmodeled path
+    Interval& sz = it->second;
+    const std::string sym = "size:" + base;
+    if (method == "push_back" || method == "emplace_back") {
+      // Growth preserves `x < size` facts: strictly-below stays strictly
+      // below when the bound moves up.
+      sz = Interval::Meet(Interval::Add(sz, Interval::Constant(1)),
+                          Interval::Range(0, Interval::kMax));
+      if (sz.bottom) sz = Interval::Range(1, Interval::kMax);
+    } else if (method == "pop_back") {
+      sz = Interval::Meet(Interval::Sub(sz, Interval::Constant(1)),
+                          Interval::Range(0, Interval::kMax));
+      if (sz.bottom) sz = Interval::Range(0, Interval::kMax);
+      RemoveFactSym(out, sym);
+    } else if (method == "clear") {
+      sz = Interval::Constant(0);
+      RemoveFactSym(out, sym);
+    } else if (method == "resize" || method == "assign") {
+      size_t close = scan.Close(i + 1);
+      size_t first_end = close;
+      int depth = 0;
+      for (size_t k = i + 1; k < close; ++k) {
+        const std::string& s = t[k].text;
+        if (s == "(" || s == "[" || s == "{") ++depth;
+        if (s == ")" || s == "]" || s == "}") --depth;
+        if (s == "," && depth == 1) {
+          first_end = k;
+          break;
+        }
+      }
+      Interval n = Interval::Range(0, Interval::kMax);
+      if (close > i + 2 && close <= e) {
+        EvalOut v = Eval(f, *out, i + 2, first_end);
+        n = Interval::Meet(v.val.range, Interval::Range(0, Interval::kMax));
+        if (n.bottom) n = Interval::Range(0, Interval::kMax);
+      }
+      sz = n;
+      RemoveFactSym(out, sym);
+    } else if (method == "reserve") {
+      // capacity only; size unchanged
+    } else if (method == "erase" || method == "insert" || method == "append" ||
+               method == "emplace") {
+      sz = Interval::Range(0, Interval::kMax);
+      RemoveFactSym(out, sym);
+    } else if (!ReadOnlyMethods().count(method)) {
+      sz = Interval::Range(0, Interval::kMax);
+      RemoveFactSym(out, sym);
+    }
+  }
+}
+
+bool AbsInterpreter::ProveIndex(int f, const AbsEnv& env, size_t b, size_t e,
+                                const std::string& limit_sym,
+                                const Interval& limit, int slack) const {
+  const CgFunction& cf = ctx_->cg.functions[f];
+  const std::vector<Token>& t = (*ctx_->files)[cf.file].file->tokens;
+  e = std::min(e, t.size());
+  if (b >= e) return false;
+  EvalOut iv = Eval(f, env, b, e);
+  const Interval& r = iv.val.range;
+  if (r.bottom) return true;  // unreachable read
+  if (r.lo < 0) return false;
+  // Concrete proof.
+  if (limit.lo != Interval::kMin && r.hi != Interval::kMax &&
+      r.hi < limit.lo + slack) {
+    return true;
+  }
+  if (limit_sym.empty()) return false;
+  // Relational proof through sym ± const decomposition.
+  auto [s, off] = SymPlusConst(f, env, b, e);
+  if (!s.empty()) {
+    const AbsValue* sv = nullptr;
+    auto vit = env.vars.find(s);
+    if (vit != env.vars.end()) sv = &vit->second;
+    if (sv != nullptr) {
+      auto it = sv->upper_lt.find(limit_sym);
+      if (it != sv->upper_lt.end() && it->second + off <= slack) return true;
+      // One transitive step: x < m + c1, m < limit + c2  =>  x < limit + c1+c2-1.
+      for (const auto& [mid, c1] : sv->upper_lt) {
+        auto mv = env.vars.find(mid);
+        if (mv == env.vars.end()) continue;
+        auto it2 = mv->second.upper_lt.find(limit_sym);
+        if (it2 != mv->second.upper_lt.end() &&
+            c1 + it2->second - 1 + off <= slack) {
+          return true;
+        }
+      }
+    }
+    // `limit_expr ± c` indexing against its own limit symbol:
+    // `v[v.size() - 1]` is `s + (-1)` vs limit s, in range iff off < slack.
+    if (s == limit_sym && off + 1 <= slack) return true;
+  }
+  // Ceil-division word count: `p[i >> k]` / `p[i / c]` into an extent of
+  // ceil(len / c) elements, justified by `i < len`.
+  auto ci = env.ceil_of.find(limit_sym);
+  if (ci != env.ceil_of.end()) {
+    int64_t div = 0;
+    size_t m = e;
+    int64_t lit = 0;
+    if (e - b >= 3 && t[e - 2].text == "/" && ParseIntLit(t[e - 1].text, &lit)) {
+      div = lit;
+      m = e - 2;
+    } else if (e - b >= 4 && t[e - 3].text == ">" && t[e - 2].text == ">" &&
+               ParseIntLit(t[e - 1].text, &lit) && lit >= 0 && lit <= 62) {
+      div = int64_t{1} << lit;
+      m = e - 3;
+    }
+    if (div != 0 && div == ci->second.second) {
+      EvalOut bv = Eval(f, env, b, m);
+      if (!bv.sym.empty() && bv.val.range.lo >= 0) {
+        auto it = bv.val.upper_lt.find(ci->second.first);
+        if (it != bv.val.upper_lt.end() && it->second <= 0) return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace clouddb::lint

@@ -1,0 +1,204 @@
+#ifndef CLOUDDB_TOOLS_LINT_ABSINT_H_
+#define CLOUDDB_TOOLS_LINT_ABSINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "absdomain.h"
+#include "cfg.h"
+#include "rules_interproc.h"
+
+namespace clouddb::lint {
+
+/// Per-function abstract interpreter over the statement-granular CFG.
+///
+/// The interpreter runs a reverse-post-order worklist per function, joining
+/// predecessor out-states at each node. Loop heads (any node joined more
+/// than `kWidenAfter` times) widen instead of join, so the solver terminates
+/// on every loop including ones with unknown bounds; a bounded narrowing
+/// sweep afterwards recovers the precision widening threw away on the
+/// non-loop-carried parts of the state.
+///
+/// Condition nodes refine their out-edges: succs[0] carries the condition
+/// assumed true (the CFG builder's invariant), the remaining edge assumed
+/// false. Refinement understands comparisons against constants, variables,
+/// and `path.size()`; `&&` conjuncts; negated `||` on the false edge;
+/// `v.empty()`; and bare-identifier truthiness. `assert(cond)` statements
+/// refine in place (asserts are trusted — they are the documented witness
+/// form for the bounds rules).
+///
+/// Interprocedural pass structure: phase A seeds every parameter with its
+/// declared-type range and records return intervals plus per-call-site
+/// argument intervals over the PR 7 call graph; phase B re-runs every
+/// function with parameter intervals met with the join over resolved src/
+/// callers, and call expressions evaluate to the callee's phase-A return
+/// interval when the callee name resolves uniquely.
+
+/// Known allocation extent of a raw pointer: a constant-ish interval plus,
+/// when the element count was a tracked variable, that variable's name so
+/// relational facts (`i < n`) can discharge `p[i]` even after `n`'s concrete
+/// range widens.
+struct Extent {
+  bool known = false;
+  Interval count = Interval::Top();
+  std::string sym;  // count-providing variable name ("" when none)
+
+  bool operator==(const Extent& o) const {
+    return known == o.known && count == o.count && sym == o.sym;
+  }
+};
+
+/// Abstract state at one program point. Variables (locals, parameters, and
+/// unqualified member scalars) are keyed by name; container sizes by path
+/// ("v", "p->keys", "samples_"); pointer extents by pointer name. `ceil_of`
+/// records `w = ceil(base / div)` shapes so `p[i >> k]` indexing into an
+/// extent of ceil(len/2^k) words can be proven from `i < len`.
+struct AbsEnv {
+  bool reachable = false;
+  std::map<std::string, AbsValue> vars;
+  std::map<std::string, Interval> sizes;
+  std::map<std::string, Extent> extents;
+  std::map<std::string, std::pair<std::string, int64_t>> ceil_of;
+
+  bool operator==(const AbsEnv& o) const {
+    return reachable == o.reachable && vars == o.vars && sizes == o.sizes &&
+           extents == o.extents && ceil_of == o.ceil_of;
+  }
+
+  static AbsEnv Join(const AbsEnv& a, const AbsEnv& b);
+  static AbsEnv Widen(const AbsEnv& prev, const AbsEnv& next);
+};
+
+/// Evaluation result: the abstract value plus the symbolic identity of the
+/// expression when it is a bare tracked variable ("i") or a container size
+/// ("size:path"); empty otherwise.
+struct EvalOut {
+  AbsValue val;
+  std::string sym;
+};
+
+struct FnAbsResult {
+  bool solved = false;          // false when the CFG was not ok / skipped
+  std::vector<AbsEnv> in;       // entry state per CFG node
+  Interval ret = Interval::Bottom();  // join over `return expr` evaluations
+  int join_rounds = 0;          // worklist iterations (termination witness)
+};
+
+class AbsInterpreter {
+ public:
+  /// Joins at a node beyond this count widen instead. Three plain joins let
+  /// short counted loops (0, 1, 2 iterations) settle exactly before the
+  /// jump to the infinities.
+  static constexpr int kWidenAfter = 3;
+  /// Narrowing sweeps after the widened fixpoint.
+  static constexpr int kNarrowRounds = 2;
+
+  explicit AbsInterpreter(const InterprocContext& ctx);
+
+  /// Runs phase A then phase B over every function in the call graph.
+  void Run();
+
+  const InterprocContext& ctx() const { return *ctx_; }
+  const FnAbsResult& Result(int f) const { return results_[f]; }
+
+  /// CFG node whose token range contains `tok` (-1 when none), for mapping a
+  /// syntactic site found by a rule back to its entry state.
+  int NodeOfToken(int f, size_t tok) const;
+
+  /// Evaluates the expression tokens [begin, end) of cg function `f`'s file
+  /// in `env`. Total: unknown shapes evaluate to Top, never fail.
+  EvalOut Eval(int f, const AbsEnv& env, size_t begin, size_t end) const;
+
+  /// Tries to prove the index expression [begin, end) lies in [0, limit)
+  /// where the limit is `limit_sym` (a variable name or "size:path"; may be
+  /// empty) with concrete range `limit`. Understands direct relational
+  /// facts, one transitive step through a variable's own upper bounds, and
+  /// the ceil-division word-count shape for `i >> k` / `i / c` indexes.
+  /// `slack` relaxes the bound to [0, limit + slack): `.data() + i` pointer
+  /// arithmetic passes slack 1 (one-past-the-end is formable).
+  bool ProveIndex(int f, const AbsEnv& env, size_t begin, size_t end,
+                  const std::string& limit_sym, const Interval& limit,
+                  int slack = 0) const;
+
+  /// Entry environment of the CFG node containing `tok`, refined with the
+  /// short-circuit facts established *within the node* before the site: for
+  /// `a && b[i]` the subscript only evaluates with `a` true, for `a || b[i]`
+  /// with `a` false, and for `c ? x[i] : y[i]` with `c` true (resp. false).
+  /// Returns an unreachable env when the token maps to no solved node.
+  AbsEnv RefinedAt(int f, size_t tok) const;
+
+  /// Decomposes [begin, end) as `sym + c` when the tokens are a tracked
+  /// variable / size expression plus-minus an integer literal (or bare).
+  /// Returns {"", 0} when no decomposition applies.
+  std::pair<std::string, int64_t> SymPlusConst(int f, const AbsEnv& env,
+                                               size_t begin, size_t end) const;
+
+  /// Total expression evaluations across Run() — the "intervals solved"
+  /// counter surfaced by bench/micro_lint.
+  int64_t interval_ops() const { return interval_ops_; }
+
+  /// Tree-wide `using X = Y;` alias table (for the narrowing rule's
+  /// cast-target resolution).
+  const std::map<std::string, std::string>& aliases() const { return aliases_; }
+
+ private:
+  struct Summary {
+    Interval ret = Interval::Top();
+    std::vector<std::string> param_names;
+    std::vector<std::string> param_types;
+    std::vector<Interval> param_decl;      // declared-type ranges
+    std::vector<Interval> param_incoming;  // join over resolved caller args
+    std::vector<bool> param_has_incoming;
+  };
+
+  void CollectGlobals();
+  /// Per-file `type name_ = ...;` member-scalar declarations (trailing
+  /// underscore, the repo's member convention). The declared-type range is a
+  /// sound entry-state invariant for every method of the class.
+  void CollectMemberScalars();
+  void SetupSummaries();
+  /// Return-interval summary for a call by name; Top unless the name
+  /// resolves to exactly one definition in the call graph.
+  Interval SummaryReturn(const std::string& name) const;
+  AbsEnv EntryEnv(int f, bool use_incoming) const;
+  void SolveFunction(int f, bool use_incoming);
+  void RecordCallArgs(int f);
+  AbsEnv TransferNode(int f, int node, const AbsEnv& env, Interval* ret) const;
+  void TransferAssign(int f, size_t b, size_t eq, size_t e, char compound,
+                      AbsEnv* out) const;
+  void TransferEffects(int f, size_t b, size_t e, AbsEnv* out) const;
+  void ShapeRules(int f, size_t rb, size_t re, const AbsEnv& env, AbsValue* nv,
+                  const std::string& name, AbsEnv* out) const;
+  void MidpointFacts(int f, size_t ib, size_t ie, const AbsEnv& env,
+                     AbsValue* nv) const;
+  void RefineCond(int f, size_t begin, size_t end, bool truth,
+                  AbsEnv* env) const;
+  void RefinePrefix(int f, size_t begin, size_t end, size_t site,
+                    AbsEnv* env) const;
+  void RefineHalf(AbsEnv* env, const std::string& sym, int64_t off, char op,
+                  const Interval& other, const std::string& other_sym,
+                  int64_t other_off) const;
+
+  const InterprocContext* ctx_;
+  std::vector<FnAbsResult> results_;
+  std::vector<Summary> summaries_;
+  std::map<std::string, int64_t> constants_;    // tree-wide constexpr ints
+  std::map<std::string, std::string> aliases_;  // `using X = int64_t;`
+  // file index -> member name -> declared-type range
+  std::map<int, std::map<std::string, Interval>> member_scalars_;
+  mutable int64_t interval_ops_ = 0;
+
+  friend struct AbsEvalImpl;
+};
+
+/// Resolves a type spelling through the tree-wide `using` alias table before
+/// the absdomain TypeRange lookup.
+Interval ResolvedTypeRange(const std::map<std::string, std::string>& aliases,
+                           const std::string& type_name);
+
+}  // namespace clouddb::lint
+
+#endif  // CLOUDDB_TOOLS_LINT_ABSINT_H_

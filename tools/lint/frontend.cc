@@ -25,9 +25,12 @@ std::vector<std::string> SplitLines(const std::string& text) {
 }
 
 /// Parses NOLINT / NOLINT(rule, ...) / NOLINTNEXTLINE(...) markers from a raw
-/// source line into `out[target_line]`.
+/// source line into `out[target_line]`. A marker of the form
+/// `NOLINT(rule): rationale text` — explicit rule list, colon, non-empty
+/// justification — is additionally recorded in `justified[target_line]`.
 void ParseNolint(const std::string& raw, int line,
-                 std::map<int, std::set<std::string>>* out) {
+                 std::map<int, std::set<std::string>>* out,
+                 std::map<int, std::set<std::string>>* justified) {
   size_t pos = 0;
   while ((pos = raw.find("NOLINT", pos)) != std::string::npos) {
     size_t after = pos + 6;
@@ -44,13 +47,27 @@ void ParseNolint(const std::string& raw, int line,
       std::string list = raw.substr(
           p + 1, close == std::string::npos ? std::string::npos : close - p - 1);
       std::string name;
+      std::set<std::string> named;
       std::istringstream ss(list);
       while (std::getline(ss, name, ',')) {
         name.erase(0, name.find_first_not_of(" \t"));
         name.erase(name.find_last_not_of(" \t") + 1);
-        if (!name.empty()) rules.insert(name);
+        if (!name.empty()) named.insert(name);
       }
-      if (rules.empty()) rules.insert("*");
+      rules.insert(named.begin(), named.end());
+      if (named.empty()) rules.insert("*");
+      // `NOLINT(rule): why` — a named rule list followed by a rationale.
+      if (!named.empty() && close != std::string::npos) {
+        size_t q = close + 1;
+        if (q < raw.size() && raw[q] == ':') {
+          ++q;
+          while (q < raw.size() && (raw[q] == ' ' || raw[q] == '\t')) ++q;
+          if (q < raw.size()) {
+            std::set<std::string>& jr = (*justified)[target];
+            jr.insert(named.begin(), named.end());
+          }
+        }
+      }
     } else {
       rules.insert("*");  // bare NOLINT silences every rule on the line
     }
@@ -725,7 +742,8 @@ SourceFile ParseSource(const std::string& text, const std::string& rel,
   f.stripped_lines = SplitLines(StripCommentsAndStrings(text));
   f.tokens = Tokenize(f.stripped_lines);
   for (size_t li = 0; li < f.raw_lines.size(); ++li)
-    ParseNolint(f.raw_lines[li], static_cast<int>(li) + 1, &f.nolint);
+    ParseNolint(f.raw_lines[li], static_cast<int>(li) + 1, &f.nolint,
+                &f.nolint_justified);
   ParseIncludes(&f);
   MarkDirectiveLines(&f);
   return f;

@@ -37,6 +37,11 @@ struct SourceFile {
   std::vector<Include> includes;
   // line -> suppressed rule names ("*" = all). NOLINTNEXTLINE is folded in.
   std::map<int, std::set<std::string>> nolint;
+  // Subset of `nolint` entries written as `NOLINT(rule): justification` —
+  // an explicit rule list followed by a non-empty rationale. CI's
+  // --forbid-nolint gate exempts these (the rationale is the review record);
+  // bare or unjustified markers still fail it.
+  std::map<int, std::set<std::string>> nolint_justified;
   std::set<int> directive_lines;  // preprocessor lines incl. continuations
   bool is_header = false;
 };

@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "frontend.h"
+#include "rules_absint.h"
 #include "rules_flow.h"
 #include "rules_interproc.h"
+#include "absint.h"
 
 namespace clouddb::lint {
 namespace {
@@ -733,6 +735,14 @@ LintResult RunLint(const Options& options) {
   CheckStatusPath(interproc, status_fns, &candidates);
   CheckDeterminismTaint(interproc, &candidates);
 
+  // Abstract-interpretation passes share one solved interpreter.
+  AbsInterpreter absint(interproc);
+  absint.Run();
+  CheckBounds(absint, &candidates);
+  CheckDivZero(absint, &candidates);
+  CheckNarrowing(absint, &candidates);
+  CheckCodecSymmetry(absint, &candidates);
+
   std::set<std::string> baseline;
   if (!options.baseline_file.empty()) {
     std::ifstream bl(options.baseline_file);
@@ -761,6 +771,10 @@ LintResult RunLint(const Options& options) {
     if (it != fi->nolint.end() &&
         (it->second.count("*") || it->second.count(d.rule))) {
       ++result.suppressions_used;
+      auto jt = fi->nolint_justified.find(d.line);
+      if (jt != fi->nolint_justified.end() && jt->second.count(d.rule)) {
+        ++result.justified_suppressions;
+      }
       continue;
     }
     if (baseline.count(d.Key())) {
@@ -787,6 +801,8 @@ std::string ToJson(const LintResult& result) {
   out += "  \"files_scanned\": " + std::to_string(result.files_scanned) + ",\n";
   out += "  \"suppressions_used\": " +
          std::to_string(result.suppressions_used) + ",\n";
+  out += "  \"justified_suppressions\": " +
+         std::to_string(result.justified_suppressions) + ",\n";
   out += "  \"baselined\": " + std::to_string(result.baselined) + ",\n";
   out += "  \"errors\": " + std::to_string(result.errors) + ",\n";
   out += "  \"warnings\": " + std::to_string(result.warnings) + ",\n";

@@ -70,6 +70,10 @@ struct LintResult {
   /// Number of violations silenced by NOLINT / NOLINTNEXTLINE comments.
   /// CI runs with --forbid-nolint so merged code needs zero of these.
   int suppressions_used = 0;
+  /// Subset of `suppressions_used` whose marker named the rule and carried a
+  /// written justification (`NOLINT(rule): why`). --forbid-nolint exempts
+  /// these: the rationale is the review record for an intentional pattern.
+  int justified_suppressions = 0;
   /// Number of diagnostics dropped because their key is in the baseline.
   int baselined = 0;
 };

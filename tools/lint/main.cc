@@ -140,9 +140,14 @@ int main(int argc, char** argv) {
   }
   if (fix_diverged) return 1;
   if (res.errors > 0) return 1;
-  if (forbid_nolint && res.suppressions_used > 0) {
-    std::cerr << "clouddb_lint: NOLINT suppressions are forbidden in this "
-                 "mode; remove them before merging\n";
+  // Justified suppressions (`NOLINT(rule): why`) are exempt: the written
+  // rationale is the review record for an intentional pattern. Bare or
+  // unjustified markers still fail the gate.
+  if (forbid_nolint &&
+      res.suppressions_used - res.justified_suppressions > 0) {
+    std::cerr << "clouddb_lint: unjustified NOLINT suppressions are forbidden "
+                 "in this mode; name the rule and add a `: reason` or remove "
+                 "them before merging\n";
     return 1;
   }
   return 0;

@@ -1,0 +1,770 @@
+#include "rules_absint.h"
+#include "absdomain.h"
+#include "absint.h"
+#include "callgraph.h"
+#include "frontend.h"
+#include "linter.h"
+#include "rules_flow.h"
+#include "rules_interproc.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace clouddb::lint {
+namespace {
+
+constexpr char kRuleBounds[] = "clouddb-bounds";
+constexpr char kRuleDivZero[] = "clouddb-div-zero";
+constexpr char kRuleNarrowing[] = "clouddb-narrowing";
+constexpr char kRuleCodecSymmetry[] = "clouddb-codec-symmetry";
+
+bool StartsWith(const std::string& s, const std::string& p) {
+  return s.rfind(p, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& p) {
+  return s.size() >= p.size() && s.compare(s.size() - p.size(), p.size(), p) == 0;
+}
+
+std::string FmtBound(int64_t v) {
+  if (v == Interval::kMin) return "-inf";
+  if (v == Interval::kMax) return "+inf";
+  return std::to_string(v);
+}
+
+std::string FmtInterval(const Interval& iv) {
+  if (iv.bottom) return "[unreachable]";
+  return "[" + FmtBound(iv.lo) + ", " + FmtBound(iv.hi) + "]";
+}
+
+/// Matching-bracket lookup through the FileIndex, falling back to a linear
+/// scan when the index has no entry.
+size_t MatchTok(const FileIndex& idx, const std::vector<Token>& t, size_t i) {
+  if (i < idx.match.size() && idx.match[i] > 0) {
+    return static_cast<size_t>(idx.match[i]);
+  }
+  const std::string& o = t[i].text;
+  std::string c = o == "(" ? ")" : o == "[" ? "]" : o == "{" ? "}" : "";
+  if (c.empty()) return t.size();
+  int depth = 0;
+  for (size_t j = i; j < t.size(); ++j) {
+    if (t[j].text == o) ++depth;
+    if (t[j].text == c && --depth == 0) return j;
+  }
+  return t.size();
+}
+
+/// Reads the `a.b->c` path ending at token `last` (inclusive). Returns the
+/// joined spelling, or "" when `last` is not an identifier or the chain runs
+/// through anything but ident-sep-ident links (e.g. `(*rows[i])`).
+std::string PathEndingAt(const std::vector<Token>& t, size_t begin,
+                         size_t last) {
+  if (!t[last].ident) return "";
+  std::string path = t[last].text;
+  size_t j = last;
+  while (j >= begin + 2 && (t[j - 1].text == "." || t[j - 1].text == "->") &&
+         t[j - 2].ident) {
+    path = t[j - 2].text + t[j - 1].text + path;
+    j -= 2;
+  }
+  return path;
+}
+
+/// End (exclusive) of the multiplicative/unary operand starting at `b`:
+/// optional prefix operators, then a primary with member/call/subscript
+/// suffixes. Used to slice out a divisor or a `.data() + i` offset.
+size_t OperandEnd(const FileIndex& idx, const std::vector<Token>& t, size_t b,
+                  size_t limit) {
+  size_t j = b;
+  while (j < limit && (t[j].text == "-" || t[j].text == "+" ||
+                       t[j].text == "!" || t[j].text == "~" ||
+                       t[j].text == "*" || t[j].text == "&")) {
+    ++j;
+  }
+  if (j >= limit) return limit;
+  if (t[j].text == "(") {
+    size_t c = MatchTok(idx, t, j);
+    return std::min(c + 1, limit);
+  }
+  if (t[j].text == "static_cast" || t[j].text == "reinterpret_cast" ||
+      t[j].text == "const_cast") {
+    ++j;
+    if (j < limit && t[j].text == "<") {
+      int depth = 0;
+      for (; j < limit; ++j) {
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">" && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    if (j < limit && t[j].text == "(") {
+      size_t c = MatchTok(idx, t, j);
+      return std::min(c + 1, limit);
+    }
+    return j;
+  }
+  if (!t[j].ident) return std::min(j + 1, limit);
+  ++j;
+  for (;;) {
+    if (j + 1 < limit && (t[j].text == "." || t[j].text == "->" ||
+                          t[j].text == "::") &&
+        t[j + 1].ident) {
+      j += 2;
+      continue;
+    }
+    if (j < limit && (t[j].text == "(" || t[j].text == "[")) {
+      size_t c = MatchTok(idx, t, j);
+      if (c >= limit) return limit;
+      j = c + 1;
+      continue;
+    }
+    break;
+  }
+  return std::min(j, limit);
+}
+
+struct FnScope {
+  int f;
+  const CgFunction* cf;
+  const SourceFile* file;
+  const FileIndex* idx;
+};
+
+/// Enumerates solved functions whose file matches `want`, in call-graph
+/// order (deterministic).
+std::vector<FnScope> ScopedFns(const AbsInterpreter& ai,
+                               bool (*want)(const std::string& rel)) {
+  std::vector<FnScope> out;
+  const InterprocContext& ctx = ai.ctx();
+  for (int f = 0; f < static_cast<int>(ctx.cg.functions.size()); ++f) {
+    const CgFunction& cf = ctx.cg.functions[f];
+    const AnalyzedFile& af = (*ctx.files)[cf.file];
+    if (!want(af.file->rel)) continue;
+    if (!ai.Result(f).solved) continue;
+    out.push_back(FnScope{f, &cf, af.file, af.index});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// clouddb-bounds
+// ---------------------------------------------------------------------------
+
+bool BoundsScope(const std::string& rel) {
+  return StartsWith(rel, "src/db/vec_") || EndsWith(rel, "bplus_tree.h");
+}
+
+void BoundsCheckSite(const AbsInterpreter& ai, const FnScope& fs,
+                     const AbsEnv& env, const std::string& base, size_t ib,
+                     size_t ie, int line, int slack, const char* what,
+                     std::vector<Diagnostic>* out) {
+  std::string limit_sym;
+  Interval limit = Interval::Top();
+  auto si = env.sizes.find(base);
+  if (si != env.sizes.end()) {
+    limit_sym = "size:" + base;
+    limit = si->second;
+  } else {
+    auto ei = env.extents.find(base);
+    if (ei == env.extents.end() || !ei->second.known) return;  // unmodeled
+    limit_sym = ei->second.sym;
+    limit = ei->second.count;
+  }
+  if (ai.ProveIndex(fs.f, env, ib, ie, limit_sym, limit, slack)) return;
+  EvalOut iv = ai.Eval(fs.f, env, ib, ie);
+  Diagnostic d(fs.file->rel, line, kRuleBounds,
+               std::string(what) + " into '" + base + "' not provably within " +
+                   (limit_sym.empty() ? std::string("extent ")
+                                      : "'" + limit_sym + "' = ") +
+                   FmtInterval(limit) + "; index range " +
+                   FmtInterval(iv.val.range));
+  out->push_back(std::move(d));
+}
+
+void RunBounds(const AbsInterpreter& ai, std::vector<Diagnostic>* out) {
+  for (const FnScope& fs : ScopedFns(ai, BoundsScope)) {
+    const std::vector<Token>& t = fs.file->tokens;
+    const FunctionDef& fn = *fs.cf->fn;
+    size_t b = fn.body_begin;
+    size_t e = std::min(fn.body_end, t.size());
+    for (size_t i = b; i < e; ++i) {
+      // `base[expr]` subscripts.
+      if (t[i].text == "[" && i > b && t[i - 1].ident) {
+        // Array *declarations* spell `T name[K]` — the token before the
+        // base is a type identifier, not punctuation. Skip them.
+        if (i >= b + 2 && t[i - 2].ident && !IsKeyword(t[i - 2].text)) {
+          continue;
+        }
+        std::string base = PathEndingAt(t, b, i - 1);
+        if (base.empty()) continue;
+        size_t close = MatchTok(*fs.idx, t, i);
+        if (close >= e) continue;
+        AbsEnv env = ai.RefinedAt(fs.f, i);
+        if (!env.reachable) continue;
+        BoundsCheckSite(ai, fs, env, base, i + 1, close, t[i].line, 0,
+                        "index", out);
+      }
+      // `base.data() + expr` pointer arithmetic (one-past-end allowed).
+      if (t[i].text == "data" && i > b + 1 &&
+          (t[i - 1].text == "." || t[i - 1].text == "->") && i + 3 < e &&
+          t[i + 1].text == "(" && t[i + 2].text == ")" &&
+          t[i + 3].text == "+") {
+        std::string base = PathEndingAt(t, b, i - 2);
+        if (base.empty()) continue;
+        size_t ob = i + 4;
+        size_t oe = OperandEnd(*fs.idx, t, ob, e);
+        if (ob >= oe) continue;
+        AbsEnv env = ai.RefinedAt(fs.f, i);
+        if (!env.reachable) continue;
+        BoundsCheckSite(ai, fs, env, base, ob, oe, t[i].line, 1,
+                        "offset from data()", out);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// clouddb-div-zero
+// ---------------------------------------------------------------------------
+
+bool DivZeroScope(const std::string& rel) {
+  return StartsWith(rel, "src/db/") || StartsWith(rel, "src/repl/") ||
+         StartsWith(rel, "src/metrics/");
+}
+
+void RunDivZero(const AbsInterpreter& ai, std::vector<Diagnostic>* out) {
+  for (const FnScope& fs : ScopedFns(ai, DivZeroScope)) {
+    const std::vector<Token>& t = fs.file->tokens;
+    const FunctionDef& fn = *fs.cf->fn;
+    size_t b = fn.body_begin;
+    size_t e = std::min(fn.body_end, t.size());
+    for (size_t i = b + 1; i + 1 < e; ++i) {
+      if (t[i].text != "/" && t[i].text != "%") continue;
+      if (fs.file->directive_lines.count(t[i].line)) continue;
+      // Binary use only: the left neighbour must terminate an operand.
+      const std::string& prev = t[i - 1].text;
+      if (!(t[i - 1].ident || prev == ")" || prev == "]")) continue;
+      if (prev == "operator") continue;
+      // Compound assignment `/=` is still a division; plain `/` followed by
+      // `=` is the operator spelling `/=` (tokenizer splits it).
+      size_t ob = t[i + 1].text == "=" ? i + 2 : i + 1;
+      size_t oe = OperandEnd(*fs.idx, t, ob, e);
+      if (ob >= oe) continue;
+      AbsEnv env = ai.RefinedAt(fs.f, i);
+      if (!env.reachable) continue;
+      EvalOut dv = ai.Eval(fs.f, env, ob, oe);
+      if (dv.val.is_float) continue;  // IEEE semantics, not UB
+      if (dv.val.nonzero || !dv.val.range.Contains(0)) continue;
+      // Float *numerator* also lifts the operation out of UB. Walk back
+      // over the left operand: bracket groups, then the leading path (or a
+      // cast spelling).
+      size_t k = i;
+      if (prev == ")" || prev == "]") {
+        int depth = 0;
+        for (--k; k > b; --k) {
+          const std::string& s = t[k].text;
+          if (s == ")" || s == "]") ++depth;
+          else if (s == "(" || s == "[") {
+            if (--depth == 0) break;
+          }
+        }
+        // `>` before the open paren: a cast's template-argument close.
+        while (k > b && t[k - 1].text == ">") {
+          int ad = 0;
+          for (--k; k > b; --k) {
+            if (t[k].text == ">") ++ad;
+            else if (t[k].text == "<" && --ad == 0) break;
+          }
+        }
+      }
+      while (k > b + 1 && t[k - 1].ident) {
+        --k;
+        if (k > b + 1 && (t[k - 1].text == "." || t[k - 1].text == "->" ||
+                          t[k - 1].text == "::")) {
+          --k;
+        } else {
+          break;
+        }
+      }
+      if (k < i) {
+        EvalOut nv = ai.Eval(fs.f, env, k, i);
+        if (nv.val.is_float) continue;
+      }
+      out->push_back(Diagnostic(
+          fs.file->rel, t[i].line, kRuleDivZero,
+          std::string("divisor of '") + t[i].text +
+              "' not provably nonzero; range " + FmtInterval(dv.val.range)));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// clouddb-narrowing
+// ---------------------------------------------------------------------------
+
+bool NarrowingScope(const std::string& rel) {
+  return StartsWith(rel, "src/db/binlog") || StartsWith(rel, "src/db/vec_") ||
+         StartsWith(rel, "src/repl/");
+}
+
+/// Resolves one `using` alias step, then answers whether `ty` is a sized
+/// integer type strictly narrower than 64 bits.
+bool NarrowTarget(const AbsInterpreter& ai, const std::string& ty,
+                  std::string* resolved) {
+  std::string r = ty;
+  auto it = ai.aliases().find(r);
+  if (it != ai.aliases().end()) r = it->second;
+  *resolved = r;
+  return IsNarrowIntType(r);
+}
+
+void NarrowingCheck(const AbsInterpreter& ai, const FnScope& fs,
+                    const std::string& target, size_t ob, size_t oe,
+                    int line, const char* what,
+                    std::vector<Diagnostic>* out) {
+  AbsEnv env = ai.RefinedAt(fs.f, ob);
+  if (!env.reachable) return;
+  EvalOut v = ai.Eval(fs.f, env, ob, oe);
+  if (v.val.is_float) return;  // float->int is a different rule's business
+  const Interval& r = v.val.range;
+  if (r.bottom) return;
+  // A completely unknown operand (both bounds at infinity, e.g. an enum
+  // member or an unmodeled field) is skipped: the rule reports *broken*
+  // proofs on values the solver actually reasons about — sizes, counts,
+  // loop indexes — not every opaque expression.
+  if (r.lo == Interval::kMin && r.hi == Interval::kMax) return;
+  Interval tr = TypeRange(target);
+  if (tr.IsTop()) return;
+  if (r.Within(tr.lo, tr.hi)) return;
+  out->push_back(Diagnostic(
+      fs.file->rel, line, kRuleNarrowing,
+      std::string(what) + " to " + target + " " + FmtInterval(tr) +
+          " not provably lossless; operand range " + FmtInterval(r)));
+}
+
+void RunNarrowing(const AbsInterpreter& ai, std::vector<Diagnostic>* out) {
+  for (const FnScope& fs : ScopedFns(ai, NarrowingScope)) {
+    const std::vector<Token>& t = fs.file->tokens;
+    const FunctionDef& fn = *fs.cf->fn;
+    size_t b = fn.body_begin;
+    size_t e = std::min(fn.body_end, t.size());
+    for (size_t i = b; i < e; ++i) {
+      // Explicit cast: static_cast<T>(expr).
+      if (t[i].text == "static_cast" && i + 1 < e && t[i + 1].text == "<") {
+        size_t j = i + 1;
+        int depth = 0;
+        std::string ty;
+        bool uns = false;
+        for (; j < e; ++j) {
+          if (t[j].text == "<") ++depth;
+          else if (t[j].text == ">") {
+            if (--depth == 0) {
+              ++j;
+              break;
+            }
+          } else if (t[j].ident) {
+            if (t[j].text == "unsigned") uns = true;
+            else if (t[j].text != "const" && t[j].text != "std") ty = t[j].text;
+          }
+        }
+        if (ty.empty() && uns) ty = "unsigned";
+        std::string resolved;
+        if (j >= e || t[j].text != "(" || !NarrowTarget(ai, ty, &resolved)) {
+          continue;
+        }
+        size_t close = MatchTok(*fs.idx, t, j);
+        if (close >= e) continue;
+        NarrowingCheck(ai, fs, resolved, j + 1, close, t[i].line,
+                       "explicit narrowing cast", out);
+        continue;
+      }
+      // Implicit narrowing declaration: `T name = expr ;`.
+      if (t[i].ident && i + 2 < e && t[i + 1].ident && t[i + 2].text == "=" &&
+          (i == b || !t[i - 1].ident) && t[i].text != "return" &&
+          (i + 3 >= e || t[i + 3].text != "=")) {
+        std::string resolved;
+        if (!NarrowTarget(ai, t[i].text, &resolved)) continue;
+        size_t se = i + 3;
+        int depth = 0;
+        for (; se < e; ++se) {
+          const std::string& s = t[se].text;
+          if (s == "(" || s == "[" || s == "{") ++depth;
+          if (s == ")" || s == "]" || s == "}") --depth;
+          if (s == ";" && depth == 0) break;
+        }
+        if (se >= e || se == i + 3) continue;
+        NarrowingCheck(ai, fs, resolved, i + 3, se, t[i].line,
+                       "implicit narrowing initialization", out);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// clouddb-codec-symmetry
+// ---------------------------------------------------------------------------
+
+/// Canonical wire-op label for a call name, or "" when the call is not a
+/// codec primitive. The suffix after the direction prefix is the label, so
+/// AppendU32 and ReadU32 (or SerializeRow / DeserializeRow) unify.
+std::string WireOp(const std::string& name) {
+  static const char* kWrite[] = {"Append", "Serialize"};
+  static const char* kRead[] = {"Read", "Deserialize"};
+  for (const char* p : kWrite) {
+    if (StartsWith(name, p) && name.size() > std::string(p).size()) {
+      return name.substr(std::string(p).size());
+    }
+  }
+  for (const char* p : kRead) {
+    if (StartsWith(name, p) && name.size() > std::string(p).size()) {
+      return name.substr(std::string(p).size());
+    }
+  }
+  return "";
+}
+
+constexpr size_t kMaxPaths = 64;
+
+struct PathSet {
+  std::set<std::string> done;  // paths that returned normally
+  std::set<std::string> open;  // paths flowing off the end of the block
+  bool overflow = false;       // exceeded kMaxPaths: comparison abstains
+};
+
+std::string JoinOp(const std::string& path, const std::string& op) {
+  return path.empty() ? op : path + " " + op;
+}
+
+void AppendToAll(PathSet* ps, const std::string& op) {
+  std::set<std::string> next;
+  for (const std::string& p : ps->open) next.insert(JoinOp(p, op));
+  ps->open = std::move(next);
+}
+
+/// True when the return statement tokens [b, e) abort with an error status:
+/// `return Status::<NotOk>(...)` or a call whose name ends in Error/Corrupt.
+bool IsAbortReturn(const std::vector<Token>& t, size_t b, size_t e) {
+  for (size_t i = b; i + 2 < e; ++i) {
+    if (t[i].text == "Status" && t[i + 1].text == "::" && t[i + 2].ident &&
+        t[i + 2].text != "Ok") {
+      return true;
+    }
+  }
+  return false;
+}
+
+class PathBuilder {
+ public:
+  PathBuilder(const FileIndex& idx, const std::vector<Token>& t)
+      : idx_(idx), t_(t) {}
+
+  /// Paths through the statement list [b, e) (exclusive of enclosing braces).
+  PathSet Build(size_t b, size_t e) {
+    PathSet ps;
+    ps.open.insert("");
+    size_t i = b;
+    while (i < e && !ps.overflow) {
+      const std::string& s = t_[i].text;
+      if (s == "if") {
+        i = HandleIf(i, e, &ps);
+      } else if (s == "for" || s == "while") {
+        i = HandleLoop(i, e, &ps);
+      } else if (s == "do") {
+        i = HandleDo(i, e, &ps);
+      } else if (s == "switch") {
+        i = HandleSwitch(i, e, &ps);
+      } else if (s == "return") {
+        i = HandleReturn(i, e, &ps);
+      } else if (s == "{") {
+        size_t c = MatchTok(idx_, t_, i);
+        Cross(&ps, Build(i + 1, std::min(c, e)));
+        i = std::min(c + 1, e);
+      } else {
+        // Plain statement: collect wire ops in source order to the `;`.
+        size_t j = i;
+        int depth = 0;
+        for (; j < e; ++j) {
+          const std::string& w = t_[j].text;
+          if (w == "(" || w == "[" || w == "{") ++depth;
+          if (w == ")" || w == "]" || w == "}") --depth;
+          if (w == ";" && depth == 0) break;
+          if (t_[j].ident && j + 1 < e && t_[j + 1].text == "(") {
+            std::string op = WireOp(w);
+            if (!op.empty()) AppendToAll(&ps, op);
+          }
+        }
+        i = std::min(j + 1, e);
+      }
+      if (ps.open.size() + ps.done.size() > kMaxPaths) ps.overflow = true;
+    }
+    return ps;
+  }
+
+ private:
+  /// Sequences `ps` with the sub-block result `sub`.
+  static void Cross(PathSet* ps, const PathSet& sub) {
+    if (sub.overflow) ps->overflow = true;
+    std::set<std::string> open;
+    for (const std::string& a : ps->open) {
+      for (const std::string& b : sub.open) {
+        open.insert(b.empty() ? a : JoinOp(a, b));
+      }
+      for (const std::string& b : sub.done) {
+        ps->done.insert(b.empty() ? a : JoinOp(a, b));
+      }
+    }
+    ps->open = std::move(open);
+    if (ps->open.size() + ps->done.size() > kMaxPaths) ps->overflow = true;
+  }
+
+  /// [stmt_begin, stmt_end) of the statement or brace block starting at `i`.
+  std::pair<size_t, size_t> BlockAt(size_t i, size_t e) const {
+    if (i >= e) return {e, e};
+    if (t_[i].text == "{") {
+      size_t c = MatchTok(idx_, t_, i);
+      return {i + 1, std::min(c, e)};
+    }
+    size_t j = i;
+    int depth = 0;
+    for (; j < e; ++j) {
+      const std::string& w = t_[j].text;
+      if (w == "(" || w == "[" || w == "{") ++depth;
+      if (w == ")" || w == "]" || w == "}") --depth;
+      if (w == ";" && depth == 0) break;
+    }
+    return {i, std::min(j + 1, e)};
+  }
+
+  size_t AfterBlock(size_t i, size_t e) const {
+    if (i < e && t_[i].text == "{") {
+      return std::min(MatchTok(idx_, t_, i) + 1, e);
+    }
+    auto [b2, e2] = BlockAt(i, e);
+    return e2;
+  }
+
+  size_t HandleIf(size_t i, size_t e, PathSet* ps) {
+    size_t open = i + 1;
+    if (open >= e || t_[open].text != "(") return i + 1;
+    size_t close = MatchTok(idx_, t_, open);
+    size_t tb = close + 1;
+    auto [then_b, then_e0] = BlockAt(tb, e);
+    size_t then_after = AfterBlock(tb, e);
+    PathSet thenp = Build(then_b, t_[tb].text == "{" ? then_e0 : then_after);
+    PathSet elsep;
+    elsep.open.insert("");
+    size_t next = then_after;
+    if (next < e && t_[next].text == "else") {
+      size_t eb = next + 1;
+      auto [else_b, else_e0] = BlockAt(eb, e);
+      size_t else_after = AfterBlock(eb, e);
+      elsep = Build(else_b, t_[eb].text == "{" ? else_e0 : else_after);
+      next = else_after;
+    } else {
+      // No else: the empty path joins the then-paths.
+    }
+    PathSet merged;
+    merged.open = thenp.open;
+    merged.open.insert(elsep.open.begin(), elsep.open.end());
+    merged.done = thenp.done;
+    merged.done.insert(elsep.done.begin(), elsep.done.end());
+    merged.overflow = thenp.overflow || elsep.overflow;
+    Cross(ps, merged);
+    return next;
+  }
+
+  size_t HandleLoop(size_t i, size_t e, PathSet* ps) {
+    size_t open = i + 1;
+    if (open >= e || t_[open].text != "(") return i + 1;
+    size_t close = MatchTok(idx_, t_, open);
+    size_t bb = close + 1;
+    auto [body_b, body_e0] = BlockAt(bb, e);
+    size_t after = AfterBlock(bb, e);
+    PathSet body = Build(body_b, t_[bb].text == "{" ? body_e0 : after);
+    StarInto(ps, body);
+    return after;
+  }
+
+  size_t HandleDo(size_t i, size_t e, PathSet* ps) {
+    size_t bb = i + 1;
+    auto [body_b, body_e0] = BlockAt(bb, e);
+    size_t after = AfterBlock(bb, e);
+    PathSet body = Build(body_b, t_[bb].text == "{" ? body_e0 : after);
+    StarInto(ps, body);
+    // Skip the trailing `while (...);`.
+    if (after < e && t_[after].text == "while" && after + 1 < e &&
+        t_[after + 1].text == "(") {
+      size_t c = MatchTok(idx_, t_, after + 1);
+      after = std::min(c + 2, e);  // past ')' and ';'
+    }
+    return after;
+  }
+
+  size_t HandleSwitch(size_t i, size_t e, PathSet* ps) {
+    size_t open = i + 1;
+    if (open >= e || t_[open].text != "(") return i + 1;
+    size_t close = MatchTok(idx_, t_, open);
+    size_t bb = close + 1;
+    if (bb >= e || t_[bb].text != "{") return std::min(close + 1, e);
+    size_t be = MatchTok(idx_, t_, bb);
+    // Split the body at top-level `case`/`default` labels; each segment is
+    // one alternative (break/fallthrough distinctions are ignored: every
+    // case is compared independently, which is what a tag dispatch means).
+    std::vector<size_t> starts;
+    int depth = 0;
+    for (size_t j = bb + 1; j < be; ++j) {
+      const std::string& w = t_[j].text;
+      if (w == "(" || w == "[" || w == "{") ++depth;
+      if (w == ")" || w == "]" || w == "}") --depth;
+      if (depth == 0 && (w == "case" || w == "default")) starts.push_back(j);
+    }
+    PathSet merged;
+    merged.open.insert("");
+    if (!starts.empty()) {
+      merged.open.clear();
+      for (size_t k = 0; k < starts.size(); ++k) {
+        size_t sb = starts[k];
+        // Skip to past the label's ':'.
+        while (sb < be && t_[sb].text != ":") ++sb;
+        ++sb;
+        size_t se = k + 1 < starts.size() ? starts[k + 1] : be;
+        PathSet alt = Build(sb, se);
+        merged.open.insert(alt.open.begin(), alt.open.end());
+        merged.done.insert(alt.done.begin(), alt.done.end());
+        merged.overflow = merged.overflow || alt.overflow;
+      }
+    }
+    Cross(ps, merged);
+    return std::min(be + 1, e);
+  }
+
+  size_t HandleReturn(size_t i, size_t e, PathSet* ps) {
+    size_t j = i;
+    int depth = 0;
+    for (; j < e; ++j) {
+      const std::string& w = t_[j].text;
+      if (w == "(" || w == "[" || w == "{") ++depth;
+      if (w == ")" || w == "]" || w == "}") --depth;
+      if (w == ";" && depth == 0) break;
+    }
+    bool abort = IsAbortReturn(t_, i, j);
+    if (!abort) {
+      // Ops inside the returned expression still execute.
+      for (size_t k = i; k < j; ++k) {
+        if (t_[k].ident && k + 1 < j && t_[k + 1].text == "(") {
+          std::string op = WireOp(t_[k].text);
+          if (!op.empty()) AppendToAll(ps, op);
+        }
+      }
+      ps->done.insert(ps->open.begin(), ps->open.end());
+    }
+    ps->open.clear();
+    return std::min(j + 1, e);
+  }
+
+  /// Appends the starred canonical form of `body`'s paths to every open
+  /// path, unless the body touches no wire ops at all (pure control loops
+  /// contribute nothing to the wire).
+  static void StarInto(PathSet* ps, const PathSet& body) {
+    if (body.overflow) ps->overflow = true;
+    std::set<std::string> all = body.open;
+    all.insert(body.done.begin(), body.done.end());
+    std::string joined;
+    bool any = false;
+    for (const std::string& p : all) {
+      if (p.empty()) continue;
+      any = true;
+      if (!joined.empty()) joined += "|";
+      joined += p;
+    }
+    if (!any) return;
+    AppendToAll(ps, "(" + joined + ")*");
+  }
+
+  const FileIndex& idx_;
+  const std::vector<Token>& t_;
+};
+
+std::string FmtPaths(const std::set<std::string>& paths) {
+  std::string s;
+  int n = 0;
+  for (const std::string& p : paths) {
+    if (n++) s += "; ";
+    if (s.size() > 160) {
+      s += "...";
+      break;
+    }
+    s += p.empty() ? "<none>" : p;
+  }
+  return "{" + s + "}";
+}
+
+void RunCodecSymmetry(const AbsInterpreter& ai,
+                      std::vector<Diagnostic>* out) {
+  const InterprocContext& ctx = ai.ctx();
+  // Collect writer/reader definitions by wire suffix. Ambiguous suffixes
+  // (overloads) abstain.
+  std::map<std::string, std::vector<int>> writers;
+  std::map<std::string, std::vector<int>> readers;
+  for (int f = 0; f < static_cast<int>(ctx.cg.functions.size()); ++f) {
+    const CgFunction& cf = ctx.cg.functions[f];
+    const std::string& rel = (*ctx.files)[cf.file].file->rel;
+    if (!StartsWith(rel, "src/")) continue;
+    if (cf.fn == nullptr || cf.fn->body_begin == 0) continue;
+    std::string op = WireOp(cf.name);
+    if (op.empty()) continue;
+    bool is_writer =
+        StartsWith(cf.name, "Append") || StartsWith(cf.name, "Serialize");
+    (is_writer ? writers : readers)[op].push_back(f);
+  }
+  for (const auto& [suffix, ws] : writers) {
+    auto ri = readers.find(suffix);
+    if (ri == readers.end()) continue;  // no counterpart: nothing to compare
+    if (ws.size() != 1 || ri->second.size() != 1) continue;  // ambiguous
+    const CgFunction& w = ctx.cg.functions[ws[0]];
+    const CgFunction& r = ctx.cg.functions[ri->second[0]];
+    const AnalyzedFile& wf = (*ctx.files)[w.file];
+    const AnalyzedFile& rf = (*ctx.files)[r.file];
+    PathBuilder wb(*wf.index, wf.file->tokens);
+    PathBuilder rb(*rf.index, rf.file->tokens);
+    PathSet wp = wb.Build(w.fn->body_begin + 1, w.fn->body_end);
+    PathSet rp = rb.Build(r.fn->body_begin + 1, r.fn->body_end);
+    if (wp.overflow || rp.overflow) continue;  // abstain, never guess
+    std::set<std::string> wall = wp.open;
+    wall.insert(wp.done.begin(), wp.done.end());
+    std::set<std::string> rall = rp.open;
+    rall.insert(rp.done.begin(), rp.done.end());
+    if (wall == rall) continue;
+    out->push_back(Diagnostic(
+        rf.file->rel, r.fn->line, kRuleCodecSymmetry,
+        "wire-op sequences of " + w.Qualified() + " and " + r.Qualified() +
+            " diverge: writer " + FmtPaths(wall) + " vs reader " +
+            FmtPaths(rall)));
+  }
+}
+
+}  // namespace
+
+void CheckBounds(const AbsInterpreter& ai, std::vector<Diagnostic>* out) {
+  RunBounds(ai, out);
+}
+
+void CheckDivZero(const AbsInterpreter& ai, std::vector<Diagnostic>* out) {
+  RunDivZero(ai, out);
+}
+
+void CheckNarrowing(const AbsInterpreter& ai, std::vector<Diagnostic>* out) {
+  RunNarrowing(ai, out);
+}
+
+void CheckCodecSymmetry(const AbsInterpreter& ai,
+                        std::vector<Diagnostic>* out) {
+  RunCodecSymmetry(ai, out);
+}
+
+}  // namespace clouddb::lint

@@ -1,0 +1,49 @@
+#ifndef CLOUDDB_TOOLS_LINT_RULES_ABSINT_H_
+#define CLOUDDB_TOOLS_LINT_RULES_ABSINT_H_
+
+#include <vector>
+
+#include "absint.h"
+#include "linter.h"
+
+namespace clouddb::lint {
+
+/// The four abstract-interpretation rule families. All of them are
+/// report-only (FixKind::kNone): a missed bound or a truncating cast has no
+/// mechanically safe rewrite, so --fix never touches their findings.
+///
+/// Each pass takes the shared AbsInterpreter (already Run()) so the solver
+/// executes once per lint invocation no matter how many rules consume it.
+
+/// clouddb-bounds: `p[i]`, `v[i]`, and `v.data() + i` sites in the
+/// vectorized hot path (src/db/vec_*, src/db/bplus_tree.h) where the base is
+/// *modeled* (tracked container size, arena extent, or C-array extent) but
+/// the index cannot be proven inside [0, size). Unmodeled bases are skipped
+/// silently — the rule reports broken proofs, not missing models.
+void CheckBounds(const AbsInterpreter& ai, std::vector<Diagnostic>* out);
+
+/// clouddb-div-zero: `/` and `%` whose divisor is not provably nonzero at
+/// the site, over src/db, src/repl, and src/metrics. Floating-point
+/// divisions are exempt (no UB; the EWMA code divides by measured elapsed
+/// time which is guarded at construction), as are literal and
+/// provably-nonzero divisors.
+void CheckDivZero(const AbsInterpreter& ai, std::vector<Diagnostic>* out);
+
+/// clouddb-narrowing: explicit narrowing casts (`static_cast<uint32_t>(x)`
+/// and friends) whose operand's abstract range is not provably within the
+/// destination type, over the binlog codec, the vec kernels, and src/repl.
+/// Length/count fields shipped over the wire are the target: a statement
+/// batch whose size silently truncates to 32 bits corrupts every replica.
+void CheckNarrowing(const AbsInterpreter& ai, std::vector<Diagnostic>* out);
+
+/// clouddb-codec-symmetry: pairs each `Append*`/`Serialize*` writer with its
+/// `Read*`/`Deserialize*` reader and compares the canonicalized sequences of
+/// wire operations along non-aborting paths. Asymmetric field order, width,
+/// or count is exactly the class of bug that desynchronizes master and
+/// replica binlog cursors.
+void CheckCodecSymmetry(const AbsInterpreter& ai,
+                        std::vector<Diagnostic>* out);
+
+}  // namespace clouddb::lint
+
+#endif  // CLOUDDB_TOOLS_LINT_RULES_ABSINT_H_
